@@ -1,0 +1,74 @@
+//! Ablation A2 — design-choice studies the paper calls out:
+//!
+//! 1. clock jitter on/off (does the 110 ps jitter matter?);
+//! 2. scaling the front end too (the paper's future work);
+//! 3. dropping the load/store → integer histogram coupling (§3.2 footnote).
+
+use mcd_offline::{derive_schedule, OfflineConfig};
+use mcd_pipeline::{simulate, DomainId, MachineConfig};
+use mcd_power::PowerModel;
+use mcd_time::{DvfsModel, JitterModel};
+use mcd_workload::suites;
+
+fn main() {
+    let n = (mcd_bench::instructions() / 4).max(40_000);
+    let power = PowerModel::paper_calibrated();
+
+    // 1. Jitter sensitivity on the baseline MCD overhead.
+    println!("A2.1: baseline-MCD overhead with and without clock jitter ({n} instructions)");
+    println!("{:<9} {:>12} {:>12}", "bench", "jitter on", "jitter off");
+    for name in ["adpcm", "gcc"] {
+        let profile = suites::by_name(name).expect("known benchmark");
+        let base = simulate(&MachineConfig::baseline(mcd_bench::SEED), &profile, n);
+        let on = simulate(&MachineConfig::baseline_mcd(mcd_bench::SEED), &profile, n);
+        let mut quiet = MachineConfig::baseline_mcd(mcd_bench::SEED);
+        quiet.jitter = JitterModel::disabled();
+        let off = simulate(&quiet, &profile, n);
+        println!(
+            "{name:<9} {:>11.2}% {:>11.2}%",
+            100.0 * (on.slowdown_vs(&base) - 1.0),
+            100.0 * (off.slowdown_vs(&base) - 1.0)
+        );
+    }
+    println!();
+
+    // 2 & 3. Off-line tool variants on gcc, dynamic-5%.
+    println!("A2.2/3: off-line tool variants (gcc, dynamic-5%)");
+    println!("{:<28} {:>10} {:>10} {:>8}", "variant", "perf deg", "energy", "reconf");
+    let profile = suites::by_name("gcc").expect("known benchmark");
+    let base = simulate(&MachineConfig::baseline(mcd_bench::SEED), &profile, n);
+    let e_base = power.energy_of(&base).total();
+    let mut variants: Vec<(&str, OfflineConfig)> = Vec::new();
+    variants.push(("paper configuration", OfflineConfig::paper(0.05, DvfsModel::XScale)));
+    let mut fe = OfflineConfig::paper(0.05, DvfsModel::XScale);
+    fe.scale_front_end = true;
+    // The analytic dilation model is least reliable for the front end (its
+    // speed gates every later event); without a strong de-rating the tool
+    // would slow fetch catastrophically — one of the reasons the paper pins
+    // the front end at full speed.
+    fe.budget_safety[0] = 0.05;
+    variants.push(("+ front-end scaling", fe));
+    let mut uncoupled = OfflineConfig::paper(0.05, DvfsModel::XScale);
+    uncoupled.couple_ls_into_int = false;
+    variants.push(("- LS->Int histogram coupling", uncoupled));
+    for (label, cfg) in variants {
+        let (analysis, _) = derive_schedule(mcd_bench::SEED, &profile, n, &cfg);
+        let machine = MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, analysis.schedule.clone());
+        let run = simulate(&machine, &profile, n);
+        let e = power.energy_of(&run).total();
+        println!(
+            "{label:<28} {:>9.2}% {:>9.2}% {:>8}",
+            100.0 * (run.slowdown_vs(&base) - 1.0),
+            100.0 * (1.0 - e / e_base),
+            analysis.schedule.len()
+        );
+    }
+    let _ = DomainId::ALL; // silences unused import on some cfgs
+    println!();
+    println!("notes: jitter-off results depend on fixed phase luck — sub-cycle phase");
+    println!("offsets can pipeline cross-domain hops ('time borrowing'), which jitter");
+    println!("destroys; front-end scaling buys extra energy (the paper's future work)");
+    println!("at disproportionate degradation, showing why the paper pins the front");
+    println!("end; dropping the LS->Int coupling lets effective-address computation");
+    println!("lag when memory activity is high.");
+}

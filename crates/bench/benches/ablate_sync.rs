@@ -1,0 +1,29 @@
+//! Ablation A1 — sensitivity of the baseline-MCD overhead to the
+//! synchronization window `T_s` (the paper assumes 30 % of the faster
+//! clock's period; we sweep 0–50 %).
+
+use mcd_pipeline::{simulate, MachineConfig};
+use mcd_time::SyncParams;
+use mcd_workload::suites;
+
+fn main() {
+    let n = (mcd_bench::instructions() / 4).max(40_000);
+    let names = ["adpcm", "g721", "gcc", "art"];
+    println!("Ablation: baseline-MCD performance cost vs sync window T_s ({n} instructions)");
+    println!("{:<9} {:>8} {:>8} {:>8} {:>8}", "bench", "Ts=0%", "Ts=15%", "Ts=30%", "Ts=50%");
+    for name in names {
+        let profile = suites::by_name(name).expect("known benchmark");
+        let base = simulate(&MachineConfig::baseline(mcd_bench::SEED), &profile, n);
+        print!("{name:<9}");
+        for frac in [0.0, 0.15, 0.30, 0.50] {
+            let mut machine = MachineConfig::baseline_mcd(mcd_bench::SEED);
+            machine.sync = SyncParams::new(frac);
+            let run = simulate(&machine, &profile, n);
+            print!(" {:>7.2}%", 100.0 * (run.slowdown_vs(&base) - 1.0));
+        }
+        println!();
+    }
+    println!();
+    println!("expected: overhead grows monotonically with the window; even Ts=0 keeps a");
+    println!("residual cost from edge misalignment between independent clocks.");
+}

@@ -1,0 +1,21 @@
+//! Figure 5 — performance degradation of baseline MCD, dynamic-1 %,
+//! dynamic-5 % and global voltage scaling, relative to the singly-clocked
+//! baseline, under the XScale model.
+
+use mcd_core::report::{average, format_percent_table, PercentRow};
+use mcd_time::DvfsModel;
+
+fn main() {
+    let results = mcd_bench::full_suite(mcd_bench::instructions(), DvfsModel::XScale);
+    let mut rows: Vec<PercentRow> = results
+        .iter()
+        .map(|r| PercentRow {
+            label: r.name.clone(),
+            values: r.perf_degradation().map(|v| v * 100.0),
+        })
+        .collect();
+    rows.push(average(&rows));
+    print!("{}", format_percent_table("Figure 5: Performance degradation results", &rows));
+    println!();
+    println!("paper averages: baseline MCD < 4%, dynamic-5% ~ 10%, global matched to dynamic-5%");
+}

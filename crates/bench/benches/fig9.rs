@@ -1,0 +1,56 @@
+//! Figure 9 — summary statistics for the intervals chosen by the off-line
+//! tool for the dynamic-5 % configuration, under both the Transmeta and
+//! XScale models: reconfigurations per million instructions, plus the mean
+//! and range of the frequencies chosen for the integer, load/store and
+//! floating-point domains.
+
+use mcd_offline::{derive_schedule, OfflineConfig};
+use mcd_pipeline::DomainId;
+use mcd_time::DvfsModel;
+use mcd_workload::suites;
+
+fn main() {
+    let n = mcd_bench::instructions();
+    for model in [DvfsModel::Transmeta, DvfsModel::XScale] {
+        println!("{model:?} reconfiguration data (dynamic-5%)");
+        println!(
+            "{:<9} {:>12} | {:>9} {:>9} {:>9} | {:>17} {:>17} {:>17}",
+            "bench", "reconf/1M", "Int MHz", "LS MHz", "FP MHz", "Int range", "LS range", "FP range"
+        );
+        let mut total_reconf = 0.0;
+        for profile in suites::all() {
+            let cfg = OfflineConfig::paper(0.05, model);
+            let (analysis, _) = derive_schedule(mcd_bench::SEED, &profile, n, &cfg);
+            let per_mi = analysis.schedule.len() as f64 * 1e6 / n as f64;
+            total_reconf += per_mi;
+            let s = |d: DomainId| &analysis.stats[d.index()];
+            let range = |d: DomainId| {
+                format!(
+                    "{:>4.0}-{:<4.0}",
+                    s(d).min_frequency.as_mhz_f64(),
+                    s(d).max_frequency.as_mhz_f64()
+                )
+            };
+            println!(
+                "{:<9} {:>12.1} | {:>9.0} {:>9.0} {:>9.0} | {:>17} {:>17} {:>17}",
+                profile.name,
+                per_mi,
+                s(DomainId::Integer).mean_frequency_hz / 1e6,
+                s(DomainId::LoadStore).mean_frequency_hz / 1e6,
+                s(DomainId::FloatingPoint).mean_frequency_hz / 1e6,
+                range(DomainId::Integer),
+                range(DomainId::LoadStore),
+                range(DomainId::FloatingPoint),
+            );
+        }
+        println!(
+            "average reconfigurations per 1M instructions: {:.1}\n",
+            total_reconf / suites::names().len() as f64
+        );
+    }
+    println!("expected shape (paper): far fewer reconfigurations and narrower ranges");
+    println!("under Transmeta. Note the scale effect: our windows span hundreds of");
+    println!("microseconds (vs the paper's tens of milliseconds), so Transmeta's");
+    println!("20 us/step ramps and 10-20 us re-locks often cannot pay for themselves");
+    println!("at all within the dilation budget.");
+}

@@ -1,0 +1,56 @@
+//! Headline claims — the paper's abstract and conclusion numbers, checked
+//! against the regenerated suite:
+//!
+//! * baseline MCD: < 4 % average performance cost, ~1.5 % energy cost;
+//! * dynamic-5 %: ~10 % degradation, ~27 % energy savings, ~20 % ED gain;
+//! * dynamic-1 %: ~13 % ED gain;
+//! * global voltage scaling: ~12 % energy, only ~3 % ED gain.
+
+use mcd_time::DvfsModel;
+
+fn main() {
+    let results = mcd_bench::full_suite(mcd_bench::instructions(), DvfsModel::XScale);
+    let n = results.len() as f64;
+    let avg = |f: &dyn Fn(&mcd_core::BenchmarkResults) -> [f64; 4]| -> [f64; 4] {
+        let mut sums = [0.0; 4];
+        for r in &results {
+            for (s, v) in sums.iter_mut().zip(f(r)) {
+                *s += v;
+            }
+        }
+        sums.map(|s| 100.0 * s / n)
+    };
+    let perf = avg(&|r| r.perf_degradation());
+    let energy = avg(&|r| r.energy_savings());
+    let ed = avg(&|r| r.energy_delay_improvement());
+
+    println!("Headline comparison (averages over 16 benchmarks, XScale model)");
+    println!("{:<34} {:>10} {:>10}", "claim", "this repo", "paper");
+    let rows = [
+        ("baseline MCD perf cost", perf[0], "< 4%"),
+        ("baseline MCD energy cost", -energy[0], "~1.5%"),
+        ("baseline MCD ED cost", -ed[0], "~5%"),
+        ("dynamic-5% perf degradation", perf[2], "~10%"),
+        ("dynamic-5% energy savings", energy[2], "~27%"),
+        ("dynamic-5% ED improvement", ed[2], "~20%"),
+        ("dynamic-1% ED improvement", ed[1], "~13%"),
+        ("global energy savings", energy[3], "< 12%"),
+        ("global ED improvement", ed[3], "~3%"),
+    ];
+    for (name, ours, paper) in rows {
+        println!("{name:<34} {ours:>9.1}% {paper:>10}");
+    }
+    println!();
+    let ok_shape = perf[0] < 8.0
+        && ed[0] < 0.0
+        && energy[2] > energy[3] * 0.8
+        && ed[2] > ed[1]
+        && ed[2] > ed[3]
+        && ed[1] > 0.0;
+    if ok_shape {
+        println!("shape check PASSED: MCD overhead small, dynamic-5% > dynamic-1% > 0,");
+        println!("and per-domain scaling beats global voltage scaling on energy-delay.");
+    } else {
+        println!("shape check FAILED — see EXPERIMENTS.md for discussion.");
+    }
+}

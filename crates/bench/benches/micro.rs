@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the simulator's own hot paths: full
+//! pipeline simulation throughput, cache accesses, branch prediction, and
+//! the off-line shaker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcd_offline::{analyze, OfflineConfig};
+use mcd_pipeline::{simulate, MachineConfig};
+use mcd_time::DvfsModel;
+use mcd_uarch::{BranchPredictor, BranchPredictorConfig, Cache, CacheConfig};
+use mcd_workload::suites;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let profile = suites::by_name("gcc").expect("known benchmark");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("simulate_gcc_10k", |b| {
+        b.iter(|| {
+            let machine = MachineConfig::baseline_mcd(1);
+            black_box(simulate(&machine, &profile, 10_000).committed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d_paper());
+        cache.access(0x1000, false);
+        b.iter(|| black_box(cache.access(black_box(0x1000), false)))
+    });
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    c.bench_function("bpred/predict_update", |b| {
+        let mut bp = BranchPredictor::new(BranchPredictorConfig::paper());
+        let mut pc = 0x4000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0xffff;
+            let p = bp.predict(pc);
+            bp.update(pc, !p.taken, pc ^ 0x40);
+            black_box(p.taken)
+        })
+    });
+}
+
+fn bench_shaker(c: &mut Criterion) {
+    let mut machine = MachineConfig::baseline_mcd(1);
+    machine.collect_trace = true;
+    let profile = suites::by_name("art").expect("known benchmark");
+    let run = simulate(&machine, &profile, 20_000);
+    let trace = run.trace.expect("trace requested");
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("analyze_art_20k", |b| {
+        let cfg = OfflineConfig::paper(0.05, DvfsModel::XScale);
+        b.iter(|| black_box(analyze(&trace, &machine.pipeline, &cfg).schedule.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_cache, bench_bpred, bench_shaker);
+criterion_main!(benches);

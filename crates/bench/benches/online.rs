@@ -1,0 +1,74 @@
+//! Extension — on-line control (the paper's future work): the attack/decay
+//! governor of the authors' follow-up work versus the off-line oracle, on a
+//! representative subset of benchmarks. Reported relative to the static
+//! baseline-MCD machine.
+
+use mcd_offline::{derive_schedule, OfflineConfig};
+use mcd_pipeline::{simulate, AttackDecay, MachineConfig, Pipeline};
+use mcd_power::PowerModel;
+use mcd_time::DvfsModel;
+use mcd_workload::{suites, WorkloadGenerator};
+
+fn main() {
+    let n = mcd_bench::instructions();
+    let power = PowerModel::paper_calibrated();
+    println!("On-line attack/decay vs off-line oracle (θ=5%), {n} instructions");
+    println!(
+        "{:<9} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "", "off deg", "off en", "off ED", "on deg", "on en", "on ED"
+    );
+    let (mut sums_off, mut sums_on) = ([0.0f64; 3], [0.0f64; 3]);
+    let names = ["adpcm", "gcc", "mcf", "em3d", "bzip2", "art", "swim", "g721"];
+    for name in names {
+        let profile = suites::by_name(name).expect("known benchmark");
+        let mcd = simulate(&MachineConfig::baseline_mcd(mcd_bench::SEED), &profile, n);
+        let e_mcd = power.energy_of(&mcd).total();
+        let metrics = |time: mcd_time::Femtos, energy: f64| -> [f64; 3] {
+            let deg = time.as_femtos() as f64 / mcd.total_time.as_femtos() as f64 - 1.0;
+            let savings = 1.0 - energy / e_mcd;
+            let ed = 1.0 - (energy / e_mcd) * (1.0 + deg);
+            [deg, savings, ed]
+        };
+        let cfg = OfflineConfig::paper(0.05, DvfsModel::XScale);
+        let (analysis, _) = derive_schedule(mcd_bench::SEED, &profile, n, &cfg);
+        let off_machine =
+            MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, analysis.schedule);
+        let off = simulate(&off_machine, &profile, n);
+        let m_off = metrics(off.total_time, power.energy_of(&off).total());
+
+        let on_machine =
+            MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, Default::default());
+        let generator = WorkloadGenerator::new(profile.clone(), on_machine.seed);
+        let on = Pipeline::new(on_machine, generator)
+            .run_with_governor(n, Box::new(AttackDecay::paper_like()));
+        let m_on = metrics(on.total_time, power.energy_of(&on).total());
+
+        for i in 0..3 {
+            sums_off[i] += m_off[i];
+            sums_on[i] += m_on[i];
+        }
+        println!(
+            "{name:<9} | {:>8.2}% {:>8.2}% {:>8.2}% | {:>8.2}% {:>8.2}% {:>8.2}%",
+            100.0 * m_off[0],
+            100.0 * m_off[1],
+            100.0 * m_off[2],
+            100.0 * m_on[0],
+            100.0 * m_on[1],
+            100.0 * m_on[2]
+        );
+    }
+    let k = names.len() as f64;
+    println!(
+        "{:<9} | {:>8.2}% {:>8.2}% {:>8.2}% | {:>8.2}% {:>8.2}% {:>8.2}%",
+        "AVG",
+        100.0 * sums_off[0] / k,
+        100.0 * sums_off[1] / k,
+        100.0 * sums_off[2] / k,
+        100.0 * sums_on[0] / k,
+        100.0 * sums_on[1] / k,
+        100.0 * sums_on[2] / k
+    );
+    println!();
+    println!("the on-line policy needs no oracle and should land within a few points of");
+    println!("the off-line tool — the feasibility the paper's future-work section posits.");
+}

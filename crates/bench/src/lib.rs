@@ -1,0 +1,85 @@
+//! Shared infrastructure for the figure/table regeneration benches.
+//!
+//! Figures 5, 6, 7 and the headline summary all consume the same
+//! five-configuration experiment over the sixteen benchmarks, which takes
+//! minutes at full scale; results are therefore cached as JSON under
+//! `target/` keyed by instruction count, seed and DVFS model, so running
+//! `cargo bench` regenerates every artifact while executing the expensive
+//! suite only once.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mcd_core::{run_benchmark, BenchmarkResults, ExperimentConfig};
+use mcd_time::DvfsModel;
+use mcd_workload::suites;
+
+/// Default committed-instruction count per simulation run.
+pub const DEFAULT_INSTRUCTIONS: u64 = 240_000;
+/// Experiment seed used by all published artifacts.
+pub const SEED: u64 = 5;
+
+/// Instruction count for the current invocation, overridable with the
+/// `MCD_INSTRUCTIONS` environment variable (useful for quick smoke runs).
+pub fn instructions() -> u64 {
+    std::env::var("MCD_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS)
+}
+
+fn cache_path(n: u64, model: DvfsModel) -> PathBuf {
+    let tag = match model {
+        DvfsModel::XScale => "xscale",
+        DvfsModel::Transmeta => "transmeta",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join(format!("mcd-suite-{tag}-s{SEED}-n{n}.json"))
+}
+
+/// Runs (or loads from cache) the full five-configuration experiment for all
+/// sixteen benchmarks under `model`.
+pub fn full_suite(n: u64, model: DvfsModel) -> Vec<BenchmarkResults> {
+    let path = cache_path(n, model);
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(results) = serde_json::from_str::<Vec<BenchmarkResults>>(&text) {
+            if results.len() == suites::names().len() {
+                eprintln!("[mcd-bench] loaded cached suite from {}", path.display());
+                return results;
+            }
+        }
+    }
+    eprintln!(
+        "[mcd-bench] running full suite ({n} instructions/run, {model:?}); this takes a few minutes…"
+    );
+    let cfg = ExperimentConfig::paper(SEED, n, model);
+    let results: Vec<BenchmarkResults> = suites::all()
+        .iter()
+        .map(|p| {
+            eprintln!("[mcd-bench]   {}", p.name);
+            run_benchmark(p, &cfg)
+        })
+        .collect();
+    if let Ok(json) = serde_json::to_string(&results) {
+        let _ = fs::create_dir_all(path.parent().expect("has parent"));
+        let _ = fs::write(&path, json);
+    }
+    results
+}
+
+/// Formats a hertz value the way the paper's figures label frequencies.
+pub fn fmt_mhz(hz: f64) -> String {
+    format!("{:.0} MHz", hz / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_paths_distinguish_models() {
+        assert_ne!(cache_path(1000, DvfsModel::XScale), cache_path(1000, DvfsModel::Transmeta));
+        assert_ne!(cache_path(1000, DvfsModel::XScale), cache_path(2000, DvfsModel::XScale));
+    }
+}

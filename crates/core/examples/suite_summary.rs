@@ -1,0 +1,46 @@
+//! Prints the Figure 5/6/7 summary (performance degradation, energy
+//! savings, energy-delay improvement for all five machine configurations)
+//! over the full sixteen-benchmark suite, in one table.
+//!
+//! ```sh
+//! cargo run --release -p mcd-core --example suite_summary [instructions]
+//! ```
+//!
+//! This duplicates what `cargo bench -p mcd-bench --bench fig5/6/7` report,
+//! without the result cache — useful when iterating on calibration.
+
+use mcd_core::{run_benchmark, ExperimentConfig};
+use mcd_time::DvfsModel;
+use mcd_workload::suites;
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let mut sums = [[0.0f64; 4]; 3];
+    let names = suites::names();
+    println!("{:8} | {:^28} | {:^28} | {:^28}", "", "perf degradation %", "energy savings %", "ED improvement %");
+    println!("{:8} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}",
+        "bench", "mcd", "d1", "d5", "glob", "mcd", "d1", "d5", "glob", "mcd", "d1", "d5", "glob");
+    for name in &names {
+        let cfg = ExperimentConfig::paper(5, n, DvfsModel::XScale);
+        let p = suites::by_name(name).unwrap();
+        let r = run_benchmark(&p, &cfg);
+        let rows = [r.perf_degradation(), r.energy_savings(), r.energy_delay_improvement()];
+        print!("{name:8} |");
+        for (k, row) in rows.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                print!(" {:>6.1}", v * 100.0);
+                sums[k][j] += v * 100.0;
+            }
+            print!(" |");
+        }
+        println!();
+    }
+    print!("{:8} |", "AVG");
+    for k in 0..3 {
+        for j in 0..4 {
+            print!(" {:>6.1}", sums[k][j] / names.len() as f64);
+        }
+        print!(" |");
+    }
+    println!();
+}

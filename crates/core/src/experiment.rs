@@ -1,0 +1,351 @@
+//! The paper's five machine configurations and the experiment driver.
+//!
+//! §4: *baseline* (single 1 GHz clock, no scaling), *baseline MCD* (four
+//! domains statically at 1 GHz — pure synchronization cost), *dynamic-1 %*
+//! and *dynamic-5 %* (baseline MCD plus per-domain schedules from the
+//! off-line tool at θ = 1 % / 5 %), and *global* (the baseline's single
+//! clock and voltage scaled so its performance degradation matches
+//! dynamic-5 % — conventional whole-chip DVFS at equal slowdown).
+
+use serde::{Deserialize, Serialize};
+
+use mcd_offline::{analyze, AnalysisOutput, OfflineConfig};
+use mcd_pipeline::{simulate, DomainId, MachineConfig, RunResult};
+use mcd_power::PowerModel;
+use mcd_time::{DvfsModel, Frequency, FrequencyGrid, VfTable};
+use mcd_workload::BenchmarkProfile;
+
+use crate::metrics::Metrics;
+
+/// Experiment parameters shared by all benchmarks.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Experiment seed (workload, jitter, PLL lock times).
+    pub seed: u64,
+    /// Committed instructions per run.
+    pub instructions: u64,
+    /// DVFS transition model for the dynamic configurations.
+    pub model: DvfsModel,
+    /// Power model.
+    pub power: PowerModel,
+    /// Off-line tool configuration template (dilation target is overridden
+    /// per dynamic configuration).
+    pub offline: OfflineConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper's setup under a given DVFS model.
+    pub fn paper(seed: u64, instructions: u64, model: DvfsModel) -> Self {
+        ExperimentConfig {
+            seed,
+            instructions,
+            model,
+            power: PowerModel::paper_calibrated(),
+            offline: OfflineConfig::paper(0.05, model),
+        }
+    }
+}
+
+/// Per-domain summary used by Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainSummary {
+    /// Reconfigurations per million committed instructions.
+    pub reconfigs_per_mi: f64,
+    /// Time-weighted mean frequency (Hz) over the planned schedule.
+    pub mean_frequency_hz: f64,
+    /// Lowest planned frequency (Hz).
+    pub min_frequency_hz: u64,
+    /// Highest planned frequency (Hz).
+    pub max_frequency_hz: u64,
+}
+
+/// Everything measured for one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkResults {
+    /// Benchmark name.
+    pub name: String,
+    /// Single-clock 1 GHz baseline.
+    pub baseline: Metrics,
+    /// Four domains at a static 1 GHz.
+    pub baseline_mcd: Metrics,
+    /// MCD with the θ = 1 % schedule.
+    pub dynamic1: Metrics,
+    /// MCD with the θ = 5 % schedule.
+    pub dynamic5: Metrics,
+    /// Globally scaled single clock matched to dynamic-5 % degradation.
+    pub global: Metrics,
+    /// The frequency the global search settled on.
+    pub global_frequency: Frequency,
+    /// Figure-9 summaries for the θ = 5 % schedule (indexed by
+    /// [`DomainId::index`]; the front end never scales).
+    pub domain_summary5: [DomainSummary; DomainId::COUNT],
+    /// Reconfigurations scheduled at θ = 5 %.
+    pub reconfigurations5: usize,
+    /// Baseline IPC, for reporting.
+    pub baseline_ipc: f64,
+}
+
+impl BenchmarkResults {
+    /// Performance degradation of each configuration versus baseline, in the
+    /// figure order `[baseline MCD, dynamic-1 %, dynamic-5 %, global]`.
+    pub fn perf_degradation(&self) -> [f64; 4] {
+        [
+            self.baseline_mcd.perf_degradation_vs(&self.baseline),
+            self.dynamic1.perf_degradation_vs(&self.baseline),
+            self.dynamic5.perf_degradation_vs(&self.baseline),
+            self.global.perf_degradation_vs(&self.baseline),
+        ]
+    }
+
+    /// Energy savings versus baseline, same order.
+    pub fn energy_savings(&self) -> [f64; 4] {
+        [
+            self.baseline_mcd.energy_savings_vs(&self.baseline),
+            self.dynamic1.energy_savings_vs(&self.baseline),
+            self.dynamic5.energy_savings_vs(&self.baseline),
+            self.global.energy_savings_vs(&self.baseline),
+        ]
+    }
+
+    /// Energy-delay improvement versus baseline, same order.
+    pub fn energy_delay_improvement(&self) -> [f64; 4] {
+        [
+            self.baseline_mcd.energy_delay_improvement_vs(&self.baseline),
+            self.dynamic1.energy_delay_improvement_vs(&self.baseline),
+            self.dynamic5.energy_delay_improvement_vs(&self.baseline),
+            self.global.energy_delay_improvement_vs(&self.baseline),
+        ]
+    }
+}
+
+fn metrics_of(power: &PowerModel, run: &RunResult) -> Metrics {
+    Metrics::new(run.total_time, power.energy_of(run).total())
+}
+
+/// Runs the full experiment (all five configurations) for one benchmark.
+///
+/// # Example
+///
+/// ```no_run
+/// use mcd_core::{run_benchmark, ExperimentConfig};
+/// use mcd_time::DvfsModel;
+/// use mcd_workload::suites;
+///
+/// let cfg = ExperimentConfig::paper(1, 100_000, DvfsModel::XScale);
+/// let art = suites::by_name("art").expect("known benchmark");
+/// let results = run_benchmark(&art, &cfg);
+/// println!("dynamic-5% ED improvement: {:.1}%",
+///          100.0 * results.energy_delay_improvement()[2]);
+/// ```
+pub fn run_benchmark(profile: &BenchmarkProfile, cfg: &ExperimentConfig) -> BenchmarkResults {
+    // 1. Single-clock baseline.
+    let base_machine = MachineConfig::baseline(cfg.seed);
+    let base_run = simulate(&base_machine, profile, cfg.instructions);
+    let baseline = metrics_of(&cfg.power, &base_run);
+
+    // 2. Baseline MCD, traced for the off-line tool.
+    let mut mcd_machine = MachineConfig::baseline_mcd(cfg.seed);
+    mcd_machine.collect_trace = true;
+    let mcd_run = simulate(&mcd_machine, profile, cfg.instructions);
+    let baseline_mcd = metrics_of(&cfg.power, &mcd_run);
+    let trace = mcd_run.trace.as_ref().expect("trace requested");
+
+    // 3 & 4. Off-line analysis at both dilation targets, each refined in a
+    // closed loop: the analytic dilation model cannot see every structural
+    // effect of slowing a domain, so the tool replays its own schedule and
+    // tightens (or relaxes) the per-domain budgets until the measured
+    // degradation lands near θ — the paper's figures show exactly this
+    // property ("performance degradation … roughly in keeping with θ").
+    let (_analysis1, dyn1_run) =
+        refined_dynamic(profile, cfg, trace, &mcd_machine.pipeline, 0.01, mcd_run.total_time);
+    let dynamic1 = metrics_of(&cfg.power, &dyn1_run);
+    let (analysis5, dyn5_run) =
+        refined_dynamic(profile, cfg, trace, &mcd_machine.pipeline, 0.05, mcd_run.total_time);
+    let dynamic5 = metrics_of(&cfg.power, &dyn5_run);
+
+    // 5. Global scaling matched to the dynamic-5 % degradation.
+    let (global_frequency, global_run) =
+        search_global(profile, cfg, dyn5_run.total_time, base_run.total_time);
+    let global = metrics_of(&cfg.power, &global_run);
+
+    let domain_summary5 = DomainId::ALL.map(|d| {
+        let s = &analysis5.stats[d.index()];
+        DomainSummary {
+            reconfigs_per_mi: s.reconfigurations as f64 * 1e6 / cfg.instructions as f64,
+            mean_frequency_hz: s.mean_frequency_hz,
+            min_frequency_hz: s.min_frequency.as_hz(),
+            max_frequency_hz: s.max_frequency.as_hz(),
+        }
+    });
+
+    BenchmarkResults {
+        name: profile.name.clone(),
+        baseline,
+        baseline_mcd,
+        dynamic1,
+        dynamic5,
+        global,
+        global_frequency,
+        domain_summary5,
+        reconfigurations5: analysis5.schedule.len(),
+        baseline_ipc: base_run.ipc(),
+    }
+}
+
+/// Derives a schedule for dilation target θ and refines the per-domain
+/// budgets until the dynamic run's measured degradation (over the baseline
+/// MCD run) is close to θ.
+fn refined_dynamic(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    trace: &[mcd_pipeline::InstrTrace],
+    pcfg: &mcd_pipeline::PipelineConfig,
+    theta: f64,
+    mcd_time: mcd_time::Femtos,
+) -> (AnalysisOutput, RunResult) {
+    let mut off = cfg.offline.clone();
+    off.dilation_target = theta;
+    off.model = cfg.model;
+    let base_safety = off.budget_safety;
+    // Share of the degradation budget granted to each domain. Scaling each
+    // domain's budget against its *measured* cost redistributes slack toward
+    // domains that are cheap to slow on this particular benchmark.
+    let weights = [0.0, 0.40, 0.25, 0.35];
+    let mut scale = [1.0f64; DomainId::COUNT];
+    let mut best: Option<(AnalysisOutput, RunResult)> = None;
+    for iter in 0..3 {
+        for (i, s) in off.budget_safety.iter_mut().enumerate() {
+            *s = (base_safety[i] * scale[i]).clamp(0.02, 5.0);
+        }
+        let analysis = analyze(trace, pcfg, &off);
+        let machine = MachineConfig::dynamic(cfg.seed, cfg.model, analysis.schedule.clone());
+        let run = simulate(&machine, profile, cfg.instructions);
+        best = Some((analysis, run));
+        if iter == 2 {
+            break;
+        }
+        // Measure each domain's isolated degradation and rescale its budget
+        // toward its share of θ.
+        let analysis_ref = &best.as_ref().expect("just set").0;
+        let mut adjusted = false;
+        for d in &DomainId::ALL[1..] {
+            let entries: Vec<_> = analysis_ref
+                .schedule
+                .entries()
+                .iter()
+                .filter(|e| e.domain == *d)
+                .copied()
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let machine = MachineConfig::dynamic(
+                cfg.seed,
+                cfg.model,
+                mcd_pipeline::FrequencySchedule::from_entries(entries),
+            );
+            let run_d = simulate(&machine, profile, cfg.instructions);
+            let deg_d =
+                run_d.total_time.as_femtos() as f64 / mcd_time.as_femtos() as f64 - 1.0;
+            let target_d = theta * weights[d.index()];
+            if deg_d > target_d * 1.35 + 0.003 || deg_d < target_d * 0.5 {
+                let ratio = (target_d / deg_d.max(1e-4)).clamp(0.3, 2.5);
+                scale[d.index()] = (scale[d.index()] * ratio).clamp(0.02, 8.0);
+                adjusted = true;
+            }
+        }
+        if !adjusted {
+            break;
+        }
+    }
+    best.expect("at least one iteration ran")
+}
+
+/// Finds the 32-point-grid frequency whose single-clock run time is closest
+/// to `target_time` (the dynamic-5 % execution time), by bisection.
+fn search_global(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    target_time: mcd_time::Femtos,
+    baseline_time: mcd_time::Femtos,
+) -> (Frequency, RunResult) {
+    let grid = FrequencyGrid::new(VfTable::paper(), 32);
+    if target_time <= baseline_time {
+        // Dynamic-5 % was not slower: global cannot scale at all.
+        let f = grid.points().last().expect("non-empty grid").frequency;
+        let run = simulate(&MachineConfig::global(cfg.seed, f), profile, cfg.instructions);
+        return (f, run);
+    }
+    // Run time decreases monotonically with frequency: bisect the grid.
+    let mut lo = 0usize;
+    let mut hi = grid.len() - 1;
+    let mut best: Option<(u64, Frequency, RunResult)> = None;
+    let consider = |i: usize, best: &mut Option<(u64, Frequency, RunResult)>| -> bool {
+        let f = grid.point(i).frequency;
+        let run = simulate(&MachineConfig::global(cfg.seed, f), profile, cfg.instructions);
+        let err = run.total_time.as_femtos().abs_diff(target_time.as_femtos());
+        let slower = run.total_time > target_time;
+        if best.as_ref().map(|(e, _, _)| err < *e).unwrap_or(true) {
+            *best = Some((err, f, run));
+        }
+        slower
+    };
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if consider(mid, &mut best) {
+            // Too slow: need a higher frequency.
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    consider(lo, &mut best);
+    let (_, f, run) = best.expect("at least one probe ran");
+    (f, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_workload::suites;
+
+    #[test]
+    fn full_experiment_has_paper_shape_for_integer_code() {
+        let cfg = ExperimentConfig::paper(5, 60_000, DvfsModel::XScale);
+        let profile = suites::by_name("bzip2").expect("known benchmark");
+        let r = run_benchmark(&profile, &cfg);
+        let perf = r.perf_degradation();
+        let energy = r.energy_savings();
+        let ed = r.energy_delay_improvement();
+        // Baseline MCD: slower and no cheaper.
+        assert!(perf[0] > 0.0, "MCD overhead {:.3}", perf[0]);
+        assert!(perf[0] < 0.15, "MCD overhead too large {:.3}", perf[0]);
+        // Dynamic-5 % saves real energy.
+        assert!(energy[2] > 0.06, "dynamic-5% energy savings {:.3}", energy[2]);
+        // Dynamic-5 % saves at least as much energy as dynamic-1 %.
+        assert!(energy[2] >= energy[1] - 0.02, "5% {:.3} vs 1% {:.3}", energy[2], energy[1]);
+        // Dynamic ED must recover well above the baseline-MCD ED cost.
+        assert!(
+            ed[2] > ed[0] + 0.03,
+            "dynamic-5% ED ({:.3}) should recover from the MCD cost ({:.3})",
+            ed[2],
+            ed[0]
+        );
+    }
+
+    #[test]
+    fn global_matches_dynamic5_slowdown() {
+        let cfg = ExperimentConfig::paper(5, 40_000, DvfsModel::XScale);
+        let profile = suites::by_name("gcc").expect("known benchmark");
+        let r = run_benchmark(&profile, &cfg);
+        let perf = r.perf_degradation();
+        // The global configuration's degradation should be near dynamic-5 %'s
+        // (quantized to the 32-point grid).
+        assert!(
+            (perf[3] - perf[2]).abs() < 0.08,
+            "global {:.3} vs dynamic-5% {:.3}",
+            perf[3],
+            perf[2]
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Performance/energy metrics and the paper's comparison quantities.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_time::Femtos;
+
+/// Execution time and energy of one configuration on one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Execution time of the simulated window.
+    pub time: Femtos,
+    /// Chip energy (model energy units).
+    pub energy: f64,
+}
+
+impl Metrics {
+    /// Creates a metrics record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is non-finite or negative, or `time` is zero.
+    pub fn new(time: Femtos, energy: f64) -> Self {
+        assert!(time > Femtos::ZERO, "execution time must be positive");
+        assert!(energy.is_finite() && energy >= 0.0, "invalid energy: {energy}");
+        Metrics { time, energy }
+    }
+
+    /// Energy-delay product.
+    pub fn energy_delay(&self) -> f64 {
+        self.energy * self.time.as_secs_f64()
+    }
+
+    /// Fractional performance degradation versus `base` (positive = slower),
+    /// e.g. `0.10` = 10 % more execution time.
+    pub fn perf_degradation_vs(&self, base: &Metrics) -> f64 {
+        self.time.as_femtos() as f64 / base.time.as_femtos() as f64 - 1.0
+    }
+
+    /// Fractional energy savings versus `base` (positive = less energy).
+    pub fn energy_savings_vs(&self, base: &Metrics) -> f64 {
+        1.0 - self.energy / base.energy
+    }
+
+    /// Fractional energy-delay improvement versus `base` (positive =
+    /// better).
+    pub fn energy_delay_improvement_vs(&self, base: &Metrics) -> f64 {
+        1.0 - self.energy_delay() / base.energy_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(us: u64, energy: f64) -> Metrics {
+        Metrics::new(Femtos::from_micros(us), energy)
+    }
+
+    #[test]
+    fn degradation_and_savings() {
+        let base = m(100, 1000.0);
+        let cfg = m(110, 730.0);
+        assert!((cfg.perf_degradation_vs(&base) - 0.10).abs() < 1e-12);
+        assert!((cfg.energy_savings_vs(&base) - 0.27).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_delay_improvement() {
+        let base = m(100, 1000.0);
+        let cfg = m(110, 730.0);
+        // ED = 0.73 × 1.1 = 0.803 of baseline → 19.7 % improvement.
+        let edi = cfg.energy_delay_improvement_vs(&base);
+        assert!((edi - (1.0 - 0.73 * 1.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_metrics_are_neutral() {
+        let base = m(50, 400.0);
+        assert_eq!(base.perf_degradation_vs(&base), 0.0);
+        assert_eq!(base.energy_savings_vs(&base), 0.0);
+        assert_eq!(base.energy_delay_improvement_vs(&base), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "execution time must be positive")]
+    fn zero_time_rejected() {
+        let _ = Metrics::new(Femtos::ZERO, 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Table/series formatting for the figure-regeneration harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's row in a Figure-5/6/7-style table: four configuration
+/// percentages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PercentRow {
+    /// Benchmark (or "average") label.
+    pub label: String,
+    /// `[baseline MCD, dynamic-1 %, dynamic-5 %, global]`, in percent.
+    pub values: [f64; 4],
+}
+
+/// Column-wise mean of a set of rows (the paper's "average" bar).
+pub fn average(rows: &[PercentRow]) -> PercentRow {
+    let mut sums = [0.0; 4];
+    for row in rows {
+        for (s, v) in sums.iter_mut().zip(row.values.iter()) {
+            *s += v;
+        }
+    }
+    let n = rows.len().max(1) as f64;
+    PercentRow { label: "average".into(), values: sums.map(|s| s / n) }
+}
+
+/// Renders rows as CSV (benchmark, baseline MCD, dynamic-1%, dynamic-5%,
+/// global), for plotting the figures with external tools.
+pub fn to_csv(rows: &[PercentRow]) -> String {
+    let mut out =
+        String::from("benchmark,baseline_mcd_pct,dynamic_1_pct,dynamic_5_pct,global_pct\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4}\n",
+            row.label, row.values[0], row.values[1], row.values[2], row.values[3]
+        ));
+    }
+    out
+}
+
+/// Renders rows as an aligned text table with the paper's column headers.
+pub fn format_percent_table(title: &str, rows: &[PercentRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}\n{:<10} {:>14} {:>12} {:>12} {:>22}\n",
+        "benchmark", "baseline MCD", "dynamic-1%", "dynamic-5%", "global voltage scaling"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:>13.2}% {:>11.2}% {:>11.2}% {:>21.2}%\n",
+            row.label, row.values[0], row.values[1], row.values[2], row.values[3]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_is_columnwise_mean() {
+        let rows = vec![
+            PercentRow { label: "a".into(), values: [1.0, 2.0, 3.0, 4.0] },
+            PercentRow { label: "b".into(), values: [3.0, 2.0, 1.0, 0.0] },
+        ];
+        let avg = average(&rows);
+        assert_eq!(avg.values, [2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(avg.label, "average");
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_headers() {
+        let rows = vec![PercentRow { label: "gcc".into(), values: [1.5, 2.5, 3.5, 4.5] }];
+        let t = format_percent_table("Figure 5", &rows);
+        assert!(t.contains("Figure 5"));
+        assert!(t.contains("gcc"));
+        assert!(t.contains("dynamic-5%"));
+        assert!(t.contains("3.50%"));
+    }
+
+    #[test]
+    fn average_of_empty_is_zero() {
+        assert_eq!(average(&[]).values, [0.0; 4]);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let rows = vec![
+            PercentRow { label: "mcf".into(), values: [2.6, 3.6, 5.4, 4.9] },
+            PercentRow { label: "art".into(), values: [2.9, 4.5, 9.3, 9.0] },
+        ];
+        let csv = to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("benchmark,"));
+        assert!(lines[1].starts_with("mcf,2.6000,"));
+        assert!(lines[2].contains("9.3000"));
+    }
+}

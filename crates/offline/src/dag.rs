@@ -1,0 +1,457 @@
+//! Dependence-DAG construction from a full-speed event trace.
+//!
+//! §3.2: the trace is cut into 50 K-cycle intervals; for each interval a DAG
+//! is built whose nodes are primitive events (fetch, dispatch, address
+//! calculation, memory access, execute, commit) and whose edges are data
+//! dependences, intra-instruction pipeline order, and functional dependences
+//! that capture the limited size of the fetch queue, ROB, issue queues and
+//! load/store queue ("in the fetch queue, event *i* depends on event
+//! *i − k*, where *k* is the size of the queue").
+//!
+//! Edge slack is measured from the recorded event times; edges whose
+//! measured slack would be negative (an artifact of approximating a
+//! queue-departure constraint with the corresponding event's *end* time) are
+//! dropped — this only makes the subsequent shaker more conservative.
+
+use mcd_pipeline::{DomainId, EventKind, InstrTrace, PipelineConfig};
+use mcd_time::Femtos;
+use mcd_workload::OpClass;
+
+/// One primitive event in the DAG.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Instruction sequence number this event belongs to.
+    pub instr: u64,
+    /// Which primitive event this is.
+    pub kind: EventKind,
+    /// The clock domain that executes the event.
+    pub domain: DomainId,
+    /// Original (measured) start time.
+    pub orig_start: Femtos,
+    /// Original (measured) end time.
+    pub orig_end: Femtos,
+    /// Current start (mutated by the shaker).
+    pub start: Femtos,
+    /// Current end (mutated by the shaker).
+    pub end: Femtos,
+    /// Stretch factor (1.0 = full speed, up to the ¼-frequency cap).
+    pub scale: f64,
+    /// Relative power factor (initialized from the domain's share, divided
+    /// by `scale²` as the event is stretched).
+    pub power: f64,
+    /// Whether the shaker may stretch this event (front-end events and
+    /// commits are not scaled, matching the paper).
+    pub scalable: bool,
+    /// Clock cycles of the owning domain actually consumed by the event.
+    /// Usually `duration × f_base`, but a memory access that misses to main
+    /// memory only occupies the load/store clock for the L1 + L2 pipeline
+    /// portion — the DRAM part is frequency-invariant and must not force
+    /// the domain to stay fast.
+    pub domain_cycles: f64,
+}
+
+impl Node {
+    /// Original duration of the event.
+    pub fn orig_duration(&self) -> Femtos {
+        self.orig_end - self.orig_start
+    }
+
+    /// Current (possibly stretched) duration.
+    pub fn duration(&self) -> Femtos {
+        self.end - self.start
+    }
+}
+
+/// A dependence DAG covering one analysis interval.
+#[derive(Debug, Clone)]
+pub struct IntervalDag {
+    /// Interval bounds in absolute trace time.
+    pub start: Femtos,
+    /// End of the interval.
+    pub end: Femtos,
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// Successor adjacency (indices into `nodes`).
+    pub succs: Vec<Vec<u32>>,
+    /// Predecessor adjacency.
+    pub preds: Vec<Vec<u32>>,
+    /// Instructions contributing events to this interval.
+    pub instructions: u64,
+}
+
+impl IntervalDag {
+    /// Minimum successor start (or the interval end for sinks): the latest
+    /// time this node may currently end without delaying anything.
+    pub fn out_limit(&self, i: usize) -> Femtos {
+        self.succs[i]
+            .iter()
+            .map(|&s| self.nodes[s as usize].start)
+            .fold(self.end, Femtos::min)
+    }
+
+    /// Maximum predecessor end (or the interval start for sources): the
+    /// earliest time this node may currently start.
+    pub fn in_limit(&self, i: usize) -> Femtos {
+        self.preds[i]
+            .iter()
+            .map(|&p| self.nodes[p as usize].end)
+            .fold(self.start, Femtos::max)
+    }
+
+    /// Total slack currently present on outgoing edges of all nodes.
+    pub fn total_slack(&self) -> Femtos {
+        (0..self.nodes.len())
+            .map(|i| self.out_limit(i).saturating_sub(self.nodes[i].end))
+            .sum()
+    }
+}
+
+/// Relative per-domain power factors used to initialize node power.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerFactors {
+    /// Factor per domain, indexed by [`DomainId::index`].
+    pub by_domain: [f64; DomainId::COUNT],
+}
+
+impl Default for PowerFactors {
+    fn default() -> Self {
+        // Relative per-event power, loosely following the calibrated power
+        // model (integer events are the most expensive to keep fast).
+        PowerFactors { by_domain: [0.8, 1.0, 0.9, 0.95] }
+    }
+}
+
+/// Builder state for per-queue functional dependences.
+struct QueueDeps {
+    fetch_nodes: Vec<u32>,
+    dispatch_nodes: Vec<u32>,
+    commit_nodes: Vec<u32>,
+    int_iq: Vec<(u32, u32)>, // (dispatch node, leave node)
+    fp_iq: Vec<(u32, u32)>,
+    lsq: Vec<(u32, u32)>, // (dispatch node, commit node)
+    // Ordered execute/memory nodes per domain, for same-unit dependences.
+    int_exec: Vec<u32>,
+    fp_exec: Vec<u32>,
+    mem_access: Vec<u32>,
+}
+
+/// Cuts `trace` into `interval_len`-long DAGs.
+///
+/// Instructions are assigned to intervals by fetch start time. `scale_fe`
+/// marks front-end events scalable (an ablation; the paper keeps the front
+/// end at full speed).
+pub fn build_interval_dags(
+    trace: &[InstrTrace],
+    pcfg: &PipelineConfig,
+    interval_len: Femtos,
+    power: PowerFactors,
+    scale_fe: bool,
+) -> Vec<IntervalDag> {
+    // Interval length is `interval_cycles` base periods, so the base period
+    // is recoverable without threading the frequency through.
+    let base_period_fs: f64 = 1_000_000.0; // 1 GHz trace runs (asserted below)
+    assert!(interval_len > Femtos::ZERO, "interval length must be positive");
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let total_end = trace.iter().map(|t| t.commit).fold(Femtos::ZERO, Femtos::max);
+    let n_intervals = (total_end.as_femtos() / interval_len.as_femtos() + 1) as usize;
+    let mut dags: Vec<IntervalDag> = (0..n_intervals)
+        .map(|k| IntervalDag {
+            start: Femtos::from_femtos(k as u64 * interval_len.as_femtos()),
+            end: Femtos::from_femtos((k as u64 + 1) * interval_len.as_femtos()),
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            instructions: 0,
+        })
+        .collect();
+
+    // Per-interval builder state.
+    let mut qdeps: Vec<QueueDeps> = (0..n_intervals)
+        .map(|_| QueueDeps {
+            fetch_nodes: Vec::new(),
+            dispatch_nodes: Vec::new(),
+            commit_nodes: Vec::new(),
+            int_iq: Vec::new(),
+            fp_iq: Vec::new(),
+            lsq: Vec::new(),
+            int_exec: Vec::new(),
+            fp_exec: Vec::new(),
+            mem_access: Vec::new(),
+        })
+        .collect();
+    // seq → (interval, completion node) for data edges.
+    let mut completion: std::collections::HashMap<u64, (usize, u32)> =
+        std::collections::HashMap::new();
+    let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_intervals];
+
+    for t in trace {
+        let k = (t.fetch.start.as_femtos() / interval_len.as_femtos()) as usize;
+        let k = k.min(n_intervals - 1);
+        let dag = &mut dags[k];
+        dag.instructions += 1;
+        let base = dag.nodes.len() as u32;
+        // Frequency-sensitive cycle count for a memory access: a DRAM miss
+        // occupies the load/store clock only for the cache-pipeline part.
+        let mem_domain_cycles = if t.l2_miss {
+            (pcfg.l1_latency + pcfg.l2_latency) as f64
+        } else {
+            f64::NAN // use measured duration
+        };
+        let push = |dag: &mut IntervalDag, kind, domain: DomainId, s: Femtos, e: Femtos| {
+            let scalable = match domain {
+                DomainId::FrontEnd => scale_fe && kind != EventKind::Commit,
+                _ => kind != EventKind::Commit,
+            } && e > s;
+            let mut domain_cycles = (e - s).as_femtos() as f64 / base_period_fs;
+            if kind == EventKind::MemAccess && mem_domain_cycles.is_finite() {
+                domain_cycles = domain_cycles.min(mem_domain_cycles);
+            }
+            dag.nodes.push(Node {
+                instr: t.seq,
+                kind,
+                domain,
+                orig_start: s,
+                orig_end: e,
+                start: s,
+                end: e,
+                scale: 1.0,
+                power: power.by_domain[domain.index()],
+                scalable,
+                domain_cycles,
+            });
+            (dag.nodes.len() - 1) as u32
+        };
+
+        let f = push(dag, EventKind::Fetch, DomainId::FrontEnd, t.fetch.start, t.fetch.end);
+        let d = push(dag, EventKind::Dispatch, DomainId::FrontEnd, t.dispatch.start, t.dispatch.end);
+        edges[k].push((f, d));
+        let mut compute_entry = d; // node that register sources feed
+        let mut last = d;
+        let q_units = &mut qdeps[k];
+        if let Some(a) = t.addr_calc {
+            let an = push(dag, EventKind::AddrCalc, DomainId::Integer, a.start, a.end);
+            edges[k].push((last, an));
+            // Same-unit dependence: the integer units execute a bounded
+            // number of events at once (paper: "functional dependences link
+            // each event to previous and subsequent events that use the
+            // same hardware units").
+            if q_units.int_exec.len() >= pcfg.fus.int_alu {
+                let prev = q_units.int_exec[q_units.int_exec.len() - pcfg.fus.int_alu];
+                edges[k].push((prev, an));
+            }
+            q_units.int_exec.push(an);
+            compute_entry = an;
+            last = an;
+        }
+        if let Some(m) = t.mem_access {
+            let mn = push(dag, EventKind::MemAccess, DomainId::LoadStore, m.start, m.end);
+            edges[k].push((last, mn));
+            if q_units.mem_access.len() >= pcfg.issue_width_mem {
+                let prev = q_units.mem_access[q_units.mem_access.len() - pcfg.issue_width_mem];
+                edges[k].push((prev, mn));
+            }
+            q_units.mem_access.push(mn);
+            last = mn;
+        }
+        if let Some(x) = t.execute {
+            let xn = push(dag, EventKind::Execute, t.exec_domain, x.start, x.end);
+            edges[k].push((last, xn));
+            match t.exec_domain {
+                DomainId::FloatingPoint => {
+                    if q_units.fp_exec.len() >= pcfg.fus.fp_alu {
+                        let prev = q_units.fp_exec[q_units.fp_exec.len() - pcfg.fus.fp_alu];
+                        edges[k].push((prev, xn));
+                    }
+                    q_units.fp_exec.push(xn);
+                }
+                _ => {
+                    if q_units.int_exec.len() >= pcfg.fus.int_alu {
+                        let prev = q_units.int_exec[q_units.int_exec.len() - pcfg.fus.int_alu];
+                        edges[k].push((prev, xn));
+                    }
+                    q_units.int_exec.push(xn);
+                }
+            }
+            compute_entry = xn;
+            last = xn;
+        }
+        let c = push(dag, EventKind::Commit, DomainId::FrontEnd, t.commit, t.commit);
+        edges[k].push((last, c));
+
+        // Data dependences (only within the interval).
+        for producer in t.src_producers.iter().flatten() {
+            if let Some(&(pk, pnode)) = completion.get(producer) {
+                if pk == k {
+                    edges[k].push((pnode, compute_entry));
+                }
+            }
+        }
+        completion.insert(t.seq, (k, last));
+
+        // Functional (capacity) dependences.
+        let q = &mut qdeps[k];
+        if let Some(&prev_f) = q.fetch_nodes.last() {
+            edges[k].push((prev_f, f));
+        }
+        if q.fetch_nodes.len() >= pcfg.fetch_queue {
+            let blocker = q.dispatch_nodes[q.fetch_nodes.len() - pcfg.fetch_queue];
+            edges[k].push((blocker, f));
+        }
+        if q.commit_nodes.len() >= pcfg.rob_size {
+            let blocker = q.commit_nodes[q.commit_nodes.len() - pcfg.rob_size];
+            edges[k].push((blocker, d));
+        }
+        if let Some(&prev_c) = q.commit_nodes.last() {
+            edges[k].push((prev_c, c));
+        }
+        q.fetch_nodes.push(f);
+        q.dispatch_nodes.push(d);
+        q.commit_nodes.push(c);
+
+        // Issue-queue and LSQ capacity: dispatch of the m-th same-queue
+        // instruction waits for the departure of the (m − cap)-th.
+        let is_mem = t.op.is_mem();
+        if is_mem {
+            if q.int_iq.len() >= pcfg.iq_int {
+                let (_, leave) = q.int_iq[q.int_iq.len() - pcfg.iq_int];
+                edges[k].push((leave, d));
+            }
+            q.int_iq.push((d, compute_entry));
+            if q.lsq.len() >= pcfg.lsq_size {
+                let (_, leave) = q.lsq[q.lsq.len() - pcfg.lsq_size];
+                edges[k].push((leave, d));
+            }
+            q.lsq.push((d, c));
+        } else if t.op != OpClass::Branch && t.exec_domain == DomainId::FloatingPoint {
+            if q.fp_iq.len() >= pcfg.iq_fp {
+                let (_, leave) = q.fp_iq[q.fp_iq.len() - pcfg.iq_fp];
+                edges[k].push((leave, d));
+            }
+            q.fp_iq.push((d, base + 2)); // execute node follows dispatch
+        } else {
+            if q.int_iq.len() >= pcfg.iq_int {
+                let (_, leave) = q.int_iq[q.int_iq.len() - pcfg.iq_int];
+                edges[k].push((leave, d));
+            }
+            q.int_iq.push((d, compute_entry));
+        }
+    }
+
+    // Materialize adjacency, dropping negative-slack edges.
+    for (k, dag) in dags.iter_mut().enumerate() {
+        let n = dag.nodes.len();
+        dag.succs = vec![Vec::new(); n];
+        dag.preds = vec![Vec::new(); n];
+        for &(a, b) in &edges[k] {
+            if dag.nodes[a as usize].end <= dag.nodes[b as usize].start {
+                dag.succs[a as usize].push(b);
+                dag.preds[b as usize].push(a);
+            }
+        }
+    }
+    dags.retain(|d| !d.nodes.is_empty());
+    dags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_pipeline::{simulate, MachineConfig};
+    use mcd_workload::suites;
+
+    fn traced_run(name: &str, n: u64) -> (Vec<InstrTrace>, PipelineConfig) {
+        let mut m = MachineConfig::baseline_mcd(3);
+        m.collect_trace = true;
+        let profile = suites::by_name(name).expect("known benchmark");
+        let r = simulate(&m, &profile, n);
+        (r.trace.expect("trace requested"), m.pipeline)
+    }
+
+    #[test]
+    fn dags_cover_all_instructions() {
+        let (trace, pcfg) = traced_run("adpcm", 5_000);
+        let dags = build_interval_dags(
+            &trace,
+            &pcfg,
+            Femtos::from_micros(1),
+            PowerFactors::default(),
+            false,
+        );
+        assert!(!dags.is_empty());
+        let total: u64 = dags.iter().map(|d| d.instructions).sum();
+        assert_eq!(total, 5_000);
+    }
+
+    #[test]
+    fn all_edges_have_non_negative_slack() {
+        let (trace, pcfg) = traced_run("gcc", 5_000);
+        let dags = build_interval_dags(
+            &trace,
+            &pcfg,
+            Femtos::from_micros(1),
+            PowerFactors::default(),
+            false,
+        );
+        for dag in &dags {
+            for (i, succs) in dag.succs.iter().enumerate() {
+                for &s in succs {
+                    assert!(dag.nodes[i].end <= dag.nodes[s as usize].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_end_nodes_are_not_scalable_by_default() {
+        let (trace, pcfg) = traced_run("adpcm", 2_000);
+        let dags = build_interval_dags(
+            &trace,
+            &pcfg,
+            Femtos::from_micros(1),
+            PowerFactors::default(),
+            false,
+        );
+        for dag in &dags {
+            for node in &dag.nodes {
+                if node.domain == DomainId::FrontEnd {
+                    assert!(!node.scalable);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_events_are_scalable() {
+        let (trace, pcfg) = traced_run("swim", 3_000);
+        let dags = build_interval_dags(
+            &trace,
+            &pcfg,
+            Femtos::from_micros(1),
+            PowerFactors::default(),
+            false,
+        );
+        let scalable = dags
+            .iter()
+            .flat_map(|d| d.nodes.iter())
+            .filter(|n| n.scalable)
+            .count();
+        assert!(scalable > 1_000, "only {scalable} scalable nodes");
+    }
+
+    #[test]
+    fn interval_dag_has_slack() {
+        // A real run always leaves slack off the critical path.
+        let (trace, pcfg) = traced_run("art", 5_000);
+        let dags = build_interval_dags(
+            &trace,
+            &pcfg,
+            Femtos::from_micros(1),
+            PowerFactors::default(),
+            false,
+        );
+        let slack: Femtos = dags.iter().map(|d| d.total_slack()).sum();
+        assert!(slack > Femtos::ZERO);
+    }
+}

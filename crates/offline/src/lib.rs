@@ -1,0 +1,38 @@
+//! Off-line slack analysis and reconfiguration scheduling for the MCD
+//! processor (§3.2 of the paper).
+//!
+//! "We employ an off-line tool that analyzes a trace collected during a
+//! full-speed run of an application in an attempt to determine the minimum
+//! frequencies and voltages that could have been used by various domains
+//! during various parts of the run without significantly increasing
+//! execution time."
+//!
+//! The pipeline goes: event trace → per-50K-cycle dependence DAGs
+//! ([`dag`]) → the shaker stretching algorithm ([`shaker`]) → per-domain
+//! frequency histograms ([`histogram`]) → interval clustering with
+//! model-aware reconfiguration costs ([`cluster`]) → a
+//! [`mcd_pipeline::FrequencySchedule`] replayed in a second, dynamic run
+//! ([`tool`]).
+//!
+//! ```no_run
+//! use mcd_offline::{derive_schedule, OfflineConfig};
+//! use mcd_time::DvfsModel;
+//! use mcd_workload::suites;
+//!
+//! let profile = suites::by_name("art").expect("known benchmark");
+//! let cfg = OfflineConfig::paper(0.05, DvfsModel::XScale);
+//! let (analysis, _trace_run) = derive_schedule(1, &profile, 50_000, &cfg);
+//! println!("{} reconfigurations", analysis.schedule.len());
+//! ```
+
+pub mod cluster;
+pub mod dag;
+pub mod histogram;
+pub mod shaker;
+pub mod tool;
+
+pub use cluster::{Cluster, ClusterConfig, DomainPlanStats};
+pub use dag::{build_interval_dags, IntervalDag, Node, PowerFactors};
+pub use histogram::{FreqHistogram, HISTOGRAM_BINS};
+pub use shaker::{run_shaker, ShakerConfig};
+pub use tool::{analyze, derive_schedule, AnalysisOutput, OfflineConfig};

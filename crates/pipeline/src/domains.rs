@@ -1,0 +1,108 @@
+//! The four on-chip clock domains of the MCD processor (§2.1 of the paper),
+//! plus helpers for mapping work onto them.
+//!
+//! Main memory is treated as a fifth, external domain that always runs at
+//! full speed; it has no on-chip clock and is modeled as a fixed-latency
+//! resource.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_workload::OpClass;
+
+/// An on-chip clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DomainId {
+    /// Front end: L1 I-cache, branch prediction, rename, dispatch, ROB.
+    FrontEnd,
+    /// Integer issue queue, ALUs and register file (also effective-address
+    /// computation for memory operations).
+    Integer,
+    /// Floating-point issue queue, ALUs and register file.
+    FloatingPoint,
+    /// Load/store queue, L1 D-cache and the unified L2.
+    LoadStore,
+}
+
+impl DomainId {
+    /// All four domains, in a stable order.
+    pub const ALL: [DomainId; 4] = [
+        DomainId::FrontEnd,
+        DomainId::Integer,
+        DomainId::FloatingPoint,
+        DomainId::LoadStore,
+    ];
+
+    /// Number of on-chip domains.
+    pub const COUNT: usize = 4;
+
+    /// Stable index in `0..4`.
+    pub fn index(self) -> usize {
+        match self {
+            DomainId::FrontEnd => 0,
+            DomainId::Integer => 1,
+            DomainId::FloatingPoint => 2,
+            DomainId::LoadStore => 3,
+        }
+    }
+
+    /// Short display label used in reports (matches the paper's figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            DomainId::FrontEnd => "front-end",
+            DomainId::Integer => "integer",
+            DomainId::FloatingPoint => "floating-point",
+            DomainId::LoadStore => "load-store",
+        }
+    }
+
+    /// The domain whose functional units execute an operation class.
+    ///
+    /// Memory operations *execute* (access the cache) in the load/store
+    /// domain; their effective-address computation is a separate µop in the
+    /// integer domain.
+    pub fn executing(op: OpClass) -> DomainId {
+        match op {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Branch => {
+                DomainId::Integer
+            }
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => {
+                DomainId::FloatingPoint
+            }
+            OpClass::Load | OpClass::Store => DomainId::LoadStore,
+        }
+    }
+}
+
+impl std::fmt::Display for DomainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_distinct() {
+        for (i, d) in DomainId::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn op_classes_map_to_paper_domains() {
+        assert_eq!(DomainId::executing(OpClass::IntAlu), DomainId::Integer);
+        assert_eq!(DomainId::executing(OpClass::Branch), DomainId::Integer);
+        assert_eq!(DomainId::executing(OpClass::FpSqrt), DomainId::FloatingPoint);
+        assert_eq!(DomainId::executing(OpClass::Load), DomainId::LoadStore);
+        assert_eq!(DomainId::executing(OpClass::Store), DomainId::LoadStore);
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_unique() {
+        let labels: std::collections::HashSet<_> =
+            DomainId::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-instruction event traces for the off-line analysis tool.
+//!
+//! §3.2: "During this initial run we collect a trace of all primitive events
+//! (temporally contiguous operations performed on behalf of a single
+//! instruction by hardware in a single clock domain), and of the functional
+//! and data dependences among these events. For example, a memory
+//! instruction is broken down into five events: fetch, dispatch, address
+//! calculation, memory access, and commit."
+//!
+//! The trace records, per committed instruction, the time window of each
+//! primitive event plus the producer instructions of its register sources;
+//! the off-line tool reconstructs functional dependences (queue capacities,
+//! in-order constraints) from the machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_time::Femtos;
+use mcd_workload::OpClass;
+
+use crate::domains::DomainId;
+
+/// The primitive event kinds of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Instruction fetch (front end).
+    Fetch,
+    /// Rename/dispatch (front end).
+    Dispatch,
+    /// Effective-address calculation (integer domain; memory ops only).
+    AddrCalc,
+    /// Cache/memory access (load/store domain; memory ops only).
+    MemAccess,
+    /// Functional-unit execution (integer or FP domain; non-memory ops).
+    Execute,
+    /// In-order commit (front end).
+    Commit,
+}
+
+impl EventKind {
+    /// All kinds in pipeline order.
+    pub const ALL: [EventKind; 6] = [
+        EventKind::Fetch,
+        EventKind::Dispatch,
+        EventKind::AddrCalc,
+        EventKind::MemAccess,
+        EventKind::Execute,
+        EventKind::Commit,
+    ];
+}
+
+/// A time window of one primitive event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventSpan {
+    /// Start of the event.
+    pub start: Femtos,
+    /// End of the event (`end >= start`).
+    pub end: Femtos,
+}
+
+impl EventSpan {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: Femtos, end: Femtos) -> Self {
+        assert!(end >= start, "event ends before it starts");
+        EventSpan { start, end }
+    }
+
+    /// Duration of the event.
+    pub fn duration(&self) -> Femtos {
+        self.end - self.start
+    }
+}
+
+/// The complete event record of one committed instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrTrace {
+    /// Commit-order sequence number (also dispatch order — the simulator is
+    /// trace-driven, so the two coincide).
+    pub seq: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Domain where the execute / memory event ran.
+    pub exec_domain: DomainId,
+    /// Fetch window.
+    pub fetch: EventSpan,
+    /// Dispatch window.
+    pub dispatch: EventSpan,
+    /// Address-calculation window (memory ops).
+    pub addr_calc: Option<EventSpan>,
+    /// Memory-access window (memory ops).
+    pub mem_access: Option<EventSpan>,
+    /// Execute window (non-memory ops).
+    pub execute: Option<EventSpan>,
+    /// Commit instant.
+    pub commit: Femtos,
+    /// Sequence numbers of the instructions that produced each register
+    /// source operand (`None` for operands carried from before the window or
+    /// absent operands).
+    pub src_producers: [Option<u64>; 2],
+    /// Whether the access missed in L1 (memory ops).
+    pub l1_miss: bool,
+    /// Whether the access also missed in L2.
+    pub l2_miss: bool,
+    /// Whether a branch was mispredicted.
+    pub mispredicted: bool,
+}
+
+impl InstrTrace {
+    /// The span of a given event kind, if the instruction has it.
+    pub fn span(&self, kind: EventKind) -> Option<EventSpan> {
+        match kind {
+            EventKind::Fetch => Some(self.fetch),
+            EventKind::Dispatch => Some(self.dispatch),
+            EventKind::AddrCalc => self.addr_calc,
+            EventKind::MemAccess => self.mem_access,
+            EventKind::Execute => self.execute,
+            EventKind::Commit => Some(EventSpan { start: self.commit, end: self.commit }),
+        }
+    }
+
+    /// Completion time of the instruction's last pre-commit event.
+    pub fn ready_time(&self) -> Femtos {
+        let mut t = self.dispatch.end;
+        for span in [self.addr_calc, self.mem_access, self.execute].into_iter().flatten() {
+            t = t.max(span.end);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(a: u64, b: u64) -> EventSpan {
+        EventSpan::new(Femtos::from_nanos(a), Femtos::from_nanos(b))
+    }
+
+    fn mem_trace() -> InstrTrace {
+        InstrTrace {
+            seq: 7,
+            op: OpClass::Load,
+            exec_domain: DomainId::LoadStore,
+            fetch: span(0, 1),
+            dispatch: span(1, 2),
+            addr_calc: Some(span(3, 4)),
+            mem_access: Some(span(5, 7)),
+            execute: None,
+            commit: Femtos::from_nanos(9),
+            src_producers: [Some(3), None],
+            l1_miss: true,
+            l2_miss: false,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn span_accessors() {
+        let t = mem_trace();
+        assert_eq!(t.span(EventKind::Fetch), Some(span(0, 1)));
+        assert_eq!(t.span(EventKind::AddrCalc), Some(span(3, 4)));
+        assert_eq!(t.span(EventKind::Execute), None);
+        assert_eq!(
+            t.span(EventKind::Commit).expect("commit exists").start,
+            Femtos::from_nanos(9)
+        );
+    }
+
+    #[test]
+    fn ready_time_is_last_event_end() {
+        assert_eq!(mem_trace().ready_time(), Femtos::from_nanos(7));
+    }
+
+    #[test]
+    fn duration() {
+        assert_eq!(span(5, 7).duration(), Femtos::from_nanos(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "event ends before it starts")]
+    fn inverted_span_rejected() {
+        let _ = EventSpan::new(Femtos::from_nanos(2), Femtos::from_nanos(1));
+    }
+}

@@ -1,0 +1,255 @@
+//! On-line per-domain DVFS control — the paper's stated future work.
+//!
+//! §6: "Our current analysis uses an off-line algorithm … Future work will
+//! involve developing effective on-line algorithms." The authors' follow-up
+//! (Semeraro et al., MICRO 2002) controlled each domain from its issue-queue
+//! utilization with an *attack/decay* rule; [`AttackDecay`] implements that
+//! scheme against this simulator's machinery, and the [`Governor`] trait
+//! lets users plug in their own policies.
+//!
+//! The pipeline samples per-domain utilization continuously and hands the
+//! governor a [`ControlSample`] at the end of every control interval; the
+//! governor returns frequency requests which the machine applies through
+//! the normal DVFS transition model (ramps, re-locks and all).
+
+use mcd_time::{Femtos, Frequency};
+
+use crate::domains::DomainId;
+
+/// Utilization observed in one control interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlSample {
+    /// Interval start time.
+    pub start: Femtos,
+    /// Interval end time.
+    pub end: Femtos,
+    /// Mean occupancy of each domain's issue structure over the interval,
+    /// as a fraction of capacity (integer IQ, FP IQ, LSQ; the front-end
+    /// entry holds fetch-queue occupancy).
+    pub queue_utilization: [f64; DomainId::COUNT],
+    /// Operations issued in each domain during the interval.
+    pub issued: [u64; DomainId::COUNT],
+    /// Instructions committed during the interval.
+    pub committed: u64,
+}
+
+/// A per-domain frequency decision: `None` leaves the domain alone.
+pub type ControlDecision = [Option<Frequency>; DomainId::COUNT];
+
+/// An on-line DVFS policy.
+///
+/// Implementations are called once per control interval with fresh
+/// utilization statistics and may request new frequencies for any domain.
+pub trait Governor {
+    /// Decides frequency changes for the coming interval.
+    fn decide(&mut self, sample: &ControlSample) -> ControlDecision;
+
+    /// The control interval length.
+    fn interval(&self) -> Femtos;
+}
+
+/// The attack/decay rule of the authors' follow-up work.
+///
+/// Per scaled domain and interval: if the queue utilization moved by more
+/// than `deviation_threshold` since the previous interval, the frequency is
+/// changed *aggressively* in the same direction (attack); otherwise it
+/// decays gently downward, continually probing for energy savings. The
+/// front end is never scaled, matching the paper.
+///
+/// # Example
+///
+/// ```
+/// use mcd_pipeline::governor::{AttackDecay, ControlSample, Governor};
+/// use mcd_time::Femtos;
+///
+/// let mut governor = AttackDecay::paper_like();
+/// let sample = ControlSample {
+///     start: Femtos::ZERO,
+///     end: governor.interval(),
+///     queue_utilization: [0.2, 0.9, 0.0, 0.4],
+///     issued: [0, 4000, 0, 1500],
+///     committed: 5_000,
+/// };
+/// let decision = governor.decide(&sample);
+/// // The completely idle FP domain is sent straight to the 250 MHz floor;
+/// // the near-saturated integer domain is already at 1 GHz and stays there.
+/// assert!(decision[2].is_some());
+/// assert!(decision[1].is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackDecay {
+    interval: Femtos,
+    /// Utilization swing that triggers an attack.
+    deviation_threshold: f64,
+    /// Multiplicative attack step (e.g. 0.07 = 7 %).
+    attack: f64,
+    /// Multiplicative decay step applied when utilization is stable.
+    decay: f64,
+    /// Previous interval's utilization.
+    prev_util: [f64; DomainId::COUNT],
+    /// Current frequency targets (tracked, since requests are asynchronous).
+    target_hz: [f64; DomainId::COUNT],
+    f_min: f64,
+    f_max: f64,
+}
+
+impl AttackDecay {
+    /// Parameters in the spirit of the follow-up paper: 10 µs intervals,
+    /// ±1.75 % utilization deviation threshold, 7 % attack, 0.5 % decay.
+    pub fn paper_like() -> Self {
+        AttackDecay::new(Femtos::from_micros(10), 0.0175, 0.07, 0.005)
+    }
+
+    /// Creates a governor with custom parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-finite or out of `(0, 1)` where a
+    /// fraction is expected.
+    pub fn new(interval: Femtos, deviation_threshold: f64, attack: f64, decay: f64) -> Self {
+        assert!(interval > Femtos::ZERO, "control interval must be positive");
+        for (name, v) in [
+            ("deviation_threshold", deviation_threshold),
+            ("attack", attack),
+            ("decay", decay),
+        ] {
+            assert!(v.is_finite() && v > 0.0 && v < 1.0, "invalid {name}: {v}");
+        }
+        AttackDecay {
+            interval,
+            deviation_threshold,
+            attack,
+            decay,
+            prev_util: [0.0; DomainId::COUNT],
+            target_hz: [1e9; DomainId::COUNT],
+            f_min: 250e6,
+            f_max: 1e9,
+        }
+    }
+}
+
+impl Governor for AttackDecay {
+    fn decide(&mut self, sample: &ControlSample) -> ControlDecision {
+        let mut decision: ControlDecision = [None; DomainId::COUNT];
+        for d in &DomainId::ALL[1..] {
+            let i = d.index();
+            let util = sample.queue_utilization[i];
+            let delta = util - self.prev_util[i];
+            self.prev_util[i] = util;
+            let current = self.target_hz[i];
+            let next = if sample.issued[i] == 0 && util < 1e-3 {
+                // Completely idle domain: go straight to the floor.
+                self.f_min
+            } else if delta.abs() > self.deviation_threshold {
+                // Attack in the direction utilization moved.
+                if delta > 0.0 {
+                    current * (1.0 + self.attack)
+                } else {
+                    current * (1.0 - self.attack)
+                }
+            } else if util > 0.85 {
+                // Near-saturated queue: climb even without a swing.
+                current * (1.0 + self.attack)
+            } else {
+                // Stable: decay gently, probing for savings.
+                current * (1.0 - self.decay)
+            };
+            let next = next.clamp(self.f_min, self.f_max);
+            if (next - current).abs() > 1e3 {
+                self.target_hz[i] = next;
+                decision[i] = Some(Frequency::from_hz(next.round() as u64));
+            }
+        }
+        decision
+    }
+
+    fn interval(&self) -> Femtos {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(util: [f64; 4], issued: [u64; 4]) -> ControlSample {
+        ControlSample {
+            start: Femtos::ZERO,
+            end: Femtos::from_micros(10),
+            queue_utilization: util,
+            issued,
+            committed: 1000,
+        }
+    }
+
+    #[test]
+    fn idle_domain_drops_to_the_floor() {
+        let mut g = AttackDecay::paper_like();
+        let d = g.decide(&sample([0.0, 0.5, 0.0, 0.5], [0, 100, 0, 100]));
+        assert_eq!(
+            d[DomainId::FloatingPoint.index()],
+            Some(Frequency::MIN_SCALED)
+        );
+    }
+
+    #[test]
+    fn rising_utilization_attacks_upward() {
+        let mut g = AttackDecay::paper_like();
+        // Establish a baseline, decay a few steps, then spike.
+        g.decide(&sample([0.0, 0.3, 0.3, 0.3], [1, 1, 1, 1]));
+        for _ in 0..20 {
+            g.decide(&sample([0.0, 0.3, 0.3, 0.3], [1, 1, 1, 1]));
+        }
+        let before = g.target_hz[DomainId::Integer.index()];
+        let d = g.decide(&sample([0.0, 0.6, 0.3, 0.3], [1, 1, 1, 1]));
+        let after = g.target_hz[DomainId::Integer.index()];
+        assert!(after > before, "attack should raise the target");
+        assert!(d[DomainId::Integer.index()].is_some());
+    }
+
+    #[test]
+    fn stable_utilization_decays_slowly() {
+        let mut g = AttackDecay::paper_like();
+        g.decide(&sample([0.0, 0.4, 0.4, 0.4], [1, 1, 1, 1]));
+        let before = g.target_hz[DomainId::Integer.index()];
+        g.decide(&sample([0.0, 0.4, 0.4, 0.4], [1, 1, 1, 1]));
+        let after = g.target_hz[DomainId::Integer.index()];
+        assert!(after < before);
+        assert!(after > before * 0.99, "decay is gentle");
+    }
+
+    #[test]
+    fn front_end_is_never_touched() {
+        let mut g = AttackDecay::paper_like();
+        for util in [0.0, 0.9, 0.1] {
+            let d = g.decide(&sample([util, 0.5, 0.5, 0.5], [9, 9, 9, 9]));
+            assert_eq!(d[DomainId::FrontEnd.index()], None);
+        }
+    }
+
+    #[test]
+    fn targets_stay_inside_the_operating_region() {
+        let mut g = AttackDecay::paper_like();
+        // Hammer the decay for a long time: must clamp at 250 MHz.
+        for _ in 0..2_000 {
+            g.decide(&sample([0.0, 0.4, 0.4, 0.4], [1, 1, 1, 1]));
+        }
+        for d in &DomainId::ALL[1..] {
+            assert!(g.target_hz[d.index()] >= 250e6 - 1.0);
+        }
+        // And saturate upward: must clamp at 1 GHz.
+        for step in 0..2_000 {
+            let u = if step % 2 == 0 { 0.95 } else { 0.9 };
+            g.decide(&sample([0.0, u, u, u], [9, 9, 9, 9]));
+        }
+        for d in &DomainId::ALL[1..] {
+            assert!(g.target_hz[d.index()] <= 1e9 + 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid attack")]
+    fn bad_parameters_rejected() {
+        let _ = AttackDecay::new(Femtos::from_micros(10), 0.02, 1.5, 0.005);
+    }
+}

@@ -1,0 +1,173 @@
+//! Whole-machine configuration: pipeline structure plus clocking style.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_time::{DvfsModel, Frequency, JitterModel, PllModel, SyncParams, VfTable};
+
+use crate::config::PipelineConfig;
+use crate::domains::DomainId;
+use crate::schedule::FrequencySchedule;
+
+/// How the chip is clocked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClockingMode {
+    /// Conventional singly-clocked chip: one clock drives everything, there
+    /// are no synchronization penalties. Used for the `baseline` and
+    /// `global` configurations of §4.
+    SingleDomain {
+        /// The global clock frequency (voltage follows the VF table).
+        frequency: Frequency,
+    },
+    /// Four independent clock domains (the MCD design). Frequencies are the
+    /// *initial* per-domain values; a [`FrequencySchedule`] may change them
+    /// during the run.
+    Mcd {
+        /// Initial frequency per domain, indexed by [`DomainId::index`].
+        frequencies: [Frequency; DomainId::COUNT],
+    },
+}
+
+/// Complete machine description for one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use mcd_pipeline::MachineConfig;
+///
+/// let m = MachineConfig::baseline_mcd(42);
+/// assert!(matches!(m.mode, mcd_pipeline::ClockingMode::Mcd { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Pipeline structure (Table 1).
+    pub pipeline: PipelineConfig,
+    /// Clocking style.
+    pub mode: ClockingMode,
+    /// Per-cycle clock jitter.
+    pub jitter: JitterModel,
+    /// Inter-domain synchronization window.
+    pub sync: SyncParams,
+    /// Voltage/frequency operating region.
+    pub vf: VfTable,
+    /// DVFS transition model for scalable domains.
+    pub dvfs_model: DvfsModel,
+    /// PLL re-lock model (Transmeta transitions).
+    pub pll: PllModel,
+    /// Experiment seed (drives jitter, PLL lock times and the workload).
+    pub seed: u64,
+    /// Reconfiguration schedule applied during the run (empty = static).
+    pub schedule: FrequencySchedule,
+    /// Whether to record a per-instruction event trace (needed by the
+    /// off-line analysis tool; costs memory).
+    pub collect_trace: bool,
+    /// Instructions streamed through the caches and branch predictor before
+    /// the timed run, emulating the paper's mid-execution simulation windows
+    /// (e.g. "1000M–1100M") without simulating the first billion
+    /// instructions. Statistics are reset afterwards.
+    pub warmup_instructions: u64,
+}
+
+impl MachineConfig {
+    /// The paper's `baseline`: single 1 GHz clock, no scaling.
+    pub fn baseline(seed: u64) -> Self {
+        MachineConfig {
+            pipeline: PipelineConfig::alpha21264(),
+            mode: ClockingMode::SingleDomain { frequency: Frequency::GHZ },
+            jitter: JitterModel::paper(),
+            sync: SyncParams::paper(),
+            vf: VfTable::paper(),
+            dvfs_model: DvfsModel::XScale,
+            pll: PllModel::paper(),
+            seed,
+            schedule: FrequencySchedule::new(),
+            collect_trace: false,
+            warmup_instructions: 30_000,
+        }
+    }
+
+    /// The paper's `baseline MCD`: four domains, all statically at 1 GHz —
+    /// isolates the cost of inter-domain synchronization.
+    pub fn baseline_mcd(seed: u64) -> Self {
+        MachineConfig {
+            mode: ClockingMode::Mcd { frequencies: [Frequency::GHZ; DomainId::COUNT] },
+            ..MachineConfig::baseline(seed)
+        }
+    }
+
+    /// The paper's `global`: the singly-clocked chip scaled to `frequency`
+    /// (voltage follows), modeling conventional whole-chip DVFS.
+    pub fn global(seed: u64, frequency: Frequency) -> Self {
+        MachineConfig {
+            mode: ClockingMode::SingleDomain { frequency },
+            ..MachineConfig::baseline(seed)
+        }
+    }
+
+    /// A `dynamic` MCD machine driven by an off-line schedule under the
+    /// given DVFS model.
+    pub fn dynamic(seed: u64, model: DvfsModel, schedule: FrequencySchedule) -> Self {
+        MachineConfig {
+            mode: ClockingMode::Mcd { frequencies: [Frequency::GHZ; DomainId::COUNT] },
+            dvfs_model: model,
+            schedule,
+            ..MachineConfig::baseline(seed)
+        }
+    }
+
+    /// Whether this machine has independent clock domains.
+    pub fn is_mcd(&self) -> bool {
+        matches!(self.mode, ClockingMode::Mcd { .. })
+    }
+
+    /// Initial frequency of a domain.
+    pub fn initial_frequency(&self, domain: DomainId) -> Frequency {
+        match &self.mode {
+            ClockingMode::SingleDomain { frequency } => *frequency,
+            ClockingMode::Mcd { frequencies } => frequencies[domain.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_single_1ghz() {
+        let m = MachineConfig::baseline(1);
+        assert!(!m.is_mcd());
+        assert_eq!(m.initial_frequency(DomainId::Integer), Frequency::GHZ);
+        assert!(m.schedule.is_empty());
+    }
+
+    #[test]
+    fn baseline_mcd_starts_all_domains_at_1ghz() {
+        let m = MachineConfig::baseline_mcd(1);
+        assert!(m.is_mcd());
+        for d in DomainId::ALL {
+            assert_eq!(m.initial_frequency(d), Frequency::GHZ);
+        }
+    }
+
+    #[test]
+    fn global_scales_single_clock() {
+        let m = MachineConfig::global(1, Frequency::from_mhz(800));
+        assert!(!m.is_mcd());
+        assert_eq!(m.initial_frequency(DomainId::LoadStore), Frequency::from_mhz(800));
+    }
+
+    #[test]
+    fn dynamic_carries_schedule_and_model() {
+        use crate::schedule::ScheduleEntry;
+        use mcd_time::Femtos;
+        let sched = FrequencySchedule::from_entries(vec![ScheduleEntry {
+            at: Femtos::from_micros(1),
+            domain: DomainId::FloatingPoint,
+            frequency: Frequency::MIN_SCALED,
+        }]);
+        let m = MachineConfig::dynamic(1, DvfsModel::Transmeta, sched);
+        assert!(m.is_mcd());
+        assert_eq!(m.dvfs_model, DvfsModel::Transmeta);
+        assert_eq!(m.schedule.len(), 1);
+    }
+}

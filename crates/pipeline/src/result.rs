@@ -1,0 +1,120 @@
+//! Outputs of one simulation run.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_time::Femtos;
+use mcd_uarch::CacheStats;
+
+use crate::domains::DomainId;
+use crate::events::InstrTrace;
+use crate::stats::ActivityLedger;
+
+/// Everything the power model and the experiment driver need from a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Committed instruction count.
+    pub committed: u64,
+    /// Commit time of the last instruction (the run's execution time).
+    pub total_time: Femtos,
+    /// Clock cycles produced per domain.
+    pub domain_cycles: [u64; DomainId::COUNT],
+    /// Per-domain Σ V² over cycles (volts²·cycles), for clock-tree energy.
+    pub domain_v2_cycles: [f64; DomainId::COUNT],
+    /// Per-domain time spent idle in PLL re-lock windows.
+    pub domain_idle: [Femtos; DomainId::COUNT],
+    /// Per-domain DVFS transitions actually performed.
+    pub domain_transitions: [u64; DomainId::COUNT],
+    /// Mean frequency per domain over the run, in hertz.
+    pub avg_frequency_hz: [f64; DomainId::COUNT],
+    /// Voltage-weighted structure accesses.
+    pub ledger: ActivityLedger,
+    /// L1 instruction-cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data-cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// Branch direction lookups.
+    pub branch_lookups: u64,
+    /// Branch direction mispredictions.
+    pub branch_mispredicts: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub lsq_forwards: u64,
+    /// Per-instruction event trace, when requested.
+    pub trace: Option<Vec<InstrTrace>>,
+}
+
+impl RunResult {
+    /// Committed instructions per front-end cycle.
+    pub fn ipc(&self) -> f64 {
+        let fe = self.domain_cycles[DomainId::FrontEnd.index()];
+        if fe == 0 {
+            0.0
+        } else {
+            self.committed as f64 / fe as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branch_lookups == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branch_lookups as f64
+        }
+    }
+
+    /// Execution-time ratio of this run versus a reference (> 1 = slower).
+    pub fn slowdown_vs(&self, reference: &RunResult) -> f64 {
+        self.total_time.as_femtos() as f64 / reference.total_time.as_femtos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> RunResult {
+        RunResult {
+            committed: 100,
+            total_time: Femtos::from_nanos(100),
+            domain_cycles: [100, 90, 10, 50],
+            domain_v2_cycles: [144.0, 129.6, 14.4, 72.0],
+            domain_idle: [Femtos::ZERO; 4],
+            domain_transitions: [0; 4],
+            avg_frequency_hz: [1e9; 4],
+            ledger: ActivityLedger::new(),
+            l1i: CacheStats::default(),
+            l1d: CacheStats::default(),
+            l2: CacheStats::default(),
+            branch_lookups: 20,
+            branch_mispredicts: 2,
+            lsq_forwards: 0,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = blank();
+        assert!((r.ipc() - 1.0).abs() < 1e-12);
+        assert!((r.mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let a = blank();
+        let mut b = blank();
+        b.total_time = Femtos::from_nanos(110);
+        assert!((b.slowdown_vs(&a) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_do_not_divide_by_zero() {
+        let mut r = blank();
+        r.domain_cycles = [0; 4];
+        r.branch_lookups = 0;
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.mispredict_rate(), 0.0);
+    }
+}

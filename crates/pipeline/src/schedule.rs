@@ -1,0 +1,176 @@
+//! Per-domain frequency reconfiguration schedules.
+//!
+//! The off-line analysis tool emits "a log file that specifies times at
+//! which the application could profitably have requested changes in the
+//! frequencies and voltages of various domains" (§3.2); the simulator reads
+//! it back during the second, dynamic run. [`FrequencySchedule`] is that log
+//! file, serializable to JSON.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_time::{Femtos, Frequency};
+
+use crate::domains::DomainId;
+
+/// One reconfiguration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// When the request is issued.
+    pub at: Femtos,
+    /// Which domain changes.
+    pub domain: DomainId,
+    /// Target frequency (voltage follows the operating-point table).
+    pub frequency: Frequency,
+}
+
+/// A time-ordered reconfiguration schedule.
+///
+/// # Example
+///
+/// ```
+/// use mcd_pipeline::{DomainId, FrequencySchedule, ScheduleEntry};
+/// use mcd_time::{Femtos, Frequency};
+///
+/// let mut s = FrequencySchedule::new();
+/// s.push(ScheduleEntry {
+///     at: Femtos::from_micros(100),
+///     domain: DomainId::FloatingPoint,
+///     frequency: Frequency::MIN_SCALED,
+/// });
+/// assert_eq!(s.len(), 1);
+/// let json = s.to_json().expect("serializable");
+/// let back = FrequencySchedule::from_json(&json).expect("round trips");
+/// assert_eq!(back.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrequencySchedule {
+    entries: Vec<ScheduleEntry>,
+}
+
+impl FrequencySchedule {
+    /// An empty schedule (static frequencies).
+    pub fn new() -> Self {
+        FrequencySchedule { entries: Vec::new() }
+    }
+
+    /// Builds from a list of entries, sorting by time.
+    pub fn from_entries(mut entries: Vec<ScheduleEntry>) -> Self {
+        entries.sort_by_key(|e| e.at);
+        FrequencySchedule { entries }
+    }
+
+    /// Appends an entry, keeping time order.
+    pub fn push(&mut self, entry: ScheduleEntry) {
+        match self.entries.last() {
+            Some(last) if last.at > entry.at => {
+                self.entries.push(entry);
+                self.entries.sort_by_key(|e| e.at);
+            }
+            _ => self.entries.push(entry),
+        }
+    }
+
+    /// Number of reconfiguration requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Entries affecting one domain, in time order.
+    pub fn for_domain(&self, domain: DomainId) -> impl Iterator<Item = &ScheduleEntry> {
+        self.entries.iter().filter(move |e| e.domain == domain)
+    }
+
+    /// Number of requests per domain, indexed by [`DomainId::index`].
+    pub fn counts_per_domain(&self) -> [usize; DomainId::COUNT] {
+        let mut counts = [0; DomainId::COUNT];
+        for e in &self.entries {
+            counts[e.domain.index()] += 1;
+        }
+        counts
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (practically unreachable for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a schedule from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let parsed: FrequencySchedule = serde_json::from_str(json)?;
+        Ok(FrequencySchedule::from_entries(parsed.entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(us: u64, domain: DomainId, mhz: u64) -> ScheduleEntry {
+        ScheduleEntry {
+            at: Femtos::from_micros(us),
+            domain,
+            frequency: Frequency::from_mhz(mhz),
+        }
+    }
+
+    #[test]
+    fn entries_kept_in_time_order() {
+        let s = FrequencySchedule::from_entries(vec![
+            entry(50, DomainId::Integer, 500),
+            entry(10, DomainId::FloatingPoint, 250),
+            entry(30, DomainId::LoadStore, 750),
+        ]);
+        let times: Vec<u64> = s.entries().iter().map(|e| e.at.as_micros_f64() as u64).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn push_out_of_order_resorts() {
+        let mut s = FrequencySchedule::new();
+        s.push(entry(30, DomainId::Integer, 500));
+        s.push(entry(10, DomainId::Integer, 750));
+        assert_eq!(s.entries()[0].at, Femtos::from_micros(10));
+    }
+
+    #[test]
+    fn per_domain_filters() {
+        let s = FrequencySchedule::from_entries(vec![
+            entry(1, DomainId::Integer, 500),
+            entry(2, DomainId::FloatingPoint, 250),
+            entry(3, DomainId::Integer, 1000),
+        ]);
+        assert_eq!(s.for_domain(DomainId::Integer).count(), 2);
+        assert_eq!(s.counts_per_domain(), [0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = FrequencySchedule::from_entries(vec![entry(5, DomainId::LoadStore, 333)]);
+        let json = s.to_json().expect("serialize");
+        let back = FrequencySchedule::from_json(&json).expect("parse");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(FrequencySchedule::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Activity accounting for the power model.
+//!
+//! Following Wattch, energy is attributed per structure access. Because a
+//! domain's supply voltage varies over a run, each access is recorded
+//! together with the square of the instantaneous voltage; the power model
+//! multiplies the accumulated `Σ V²` by a per-unit effective capacitance to
+//! get joules. Unweighted counts are kept as well for reporting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::domains::DomainId;
+
+/// Architectural structures whose accesses dissipate energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Branch predictor tables + BTB (front end).
+    Bpred,
+    /// L1 instruction cache (front end).
+    ICache,
+    /// Rename map and free lists (front end).
+    Rename,
+    /// Reorder buffer (front end).
+    Rob,
+    /// Integer issue queue (wakeup + select).
+    IqInt,
+    /// Floating-point issue queue.
+    IqFp,
+    /// Load/store queue (including forwarding CAM).
+    Lsq,
+    /// Integer register file.
+    RegInt,
+    /// Floating-point register file.
+    RegFp,
+    /// Integer ALUs.
+    AluInt,
+    /// Integer multiplier/divider.
+    MulInt,
+    /// Floating-point adders.
+    AluFp,
+    /// Floating-point multiplier/divider/sqrt.
+    MulFp,
+    /// L1 data cache.
+    Dcache,
+    /// Unified L2 cache (load/store domain).
+    L2,
+    /// Integer-domain result bus.
+    BusInt,
+    /// FP-domain result bus.
+    BusFp,
+    /// Load/store-domain result bus.
+    BusLs,
+}
+
+impl Unit {
+    /// All units, in a stable order.
+    pub const ALL: [Unit; 18] = [
+        Unit::Bpred,
+        Unit::ICache,
+        Unit::Rename,
+        Unit::Rob,
+        Unit::IqInt,
+        Unit::IqFp,
+        Unit::Lsq,
+        Unit::RegInt,
+        Unit::RegFp,
+        Unit::AluInt,
+        Unit::MulInt,
+        Unit::AluFp,
+        Unit::MulFp,
+        Unit::Dcache,
+        Unit::L2,
+        Unit::BusInt,
+        Unit::BusFp,
+        Unit::BusLs,
+    ];
+
+    /// Number of units.
+    pub const COUNT: usize = 18;
+
+    /// Stable index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        Unit::ALL.iter().position(|&u| u == self).expect("unit in ALL")
+    }
+
+    /// The clock domain a unit belongs to (determines its supply voltage).
+    pub fn domain(self) -> DomainId {
+        match self {
+            Unit::Bpred | Unit::ICache | Unit::Rename | Unit::Rob => DomainId::FrontEnd,
+            Unit::IqInt | Unit::RegInt | Unit::AluInt | Unit::MulInt | Unit::BusInt => {
+                DomainId::Integer
+            }
+            Unit::IqFp | Unit::RegFp | Unit::AluFp | Unit::MulFp | Unit::BusFp => {
+                DomainId::FloatingPoint
+            }
+            Unit::Lsq | Unit::Dcache | Unit::L2 | Unit::BusLs => DomainId::LoadStore,
+        }
+    }
+}
+
+/// Accumulated access activity, voltage-weighted.
+///
+/// # Example
+///
+/// ```
+/// use mcd_pipeline::{ActivityLedger, Unit};
+///
+/// let mut ledger = ActivityLedger::new();
+/// ledger.record(Unit::Dcache, 1.2);
+/// ledger.record(Unit::Dcache, 0.65);
+/// assert_eq!(ledger.count(Unit::Dcache), 2);
+/// let w = ledger.weighted_v2(Unit::Dcache);
+/// assert!((w - (1.2f64 * 1.2 + 0.65 * 0.65)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityLedger {
+    counts: Vec<u64>,
+    weighted: Vec<f64>,
+}
+
+impl ActivityLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        ActivityLedger { counts: vec![0; Unit::COUNT], weighted: vec![0.0; Unit::COUNT] }
+    }
+
+    /// Records one access to `unit` at supply voltage `volts`.
+    pub fn record(&mut self, unit: Unit, volts: f64) {
+        let i = unit.index();
+        self.counts[i] += 1;
+        self.weighted[i] += volts * volts;
+    }
+
+    /// Records `n` accesses at the same voltage.
+    pub fn record_n(&mut self, unit: Unit, volts: f64, n: u64) {
+        let i = unit.index();
+        self.counts[i] += n;
+        self.weighted[i] += volts * volts * n as f64;
+    }
+
+    /// Raw access count for a unit.
+    pub fn count(&self, unit: Unit) -> u64 {
+        self.counts[unit.index()]
+    }
+
+    /// Voltage-squared-weighted access sum for a unit (volts²·accesses).
+    pub fn weighted_v2(&self, unit: Unit) -> f64 {
+        self.weighted[unit.index()]
+    }
+
+    /// Total accesses attributed to a domain.
+    pub fn domain_count(&self, domain: DomainId) -> u64 {
+        Unit::ALL
+            .iter()
+            .filter(|u| u.domain() == domain)
+            .map(|&u| self.count(u))
+            .sum()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &ActivityLedger) {
+        for i in 0..Unit::COUNT {
+            self.counts[i] += other.counts[i];
+            self.weighted[i] += other.weighted[i];
+        }
+    }
+}
+
+impl Default for ActivityLedger {
+    fn default() -> Self {
+        ActivityLedger::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_indices_are_dense_and_distinct() {
+        let mut seen = vec![false; Unit::COUNT];
+        for u in Unit::ALL {
+            assert!(!seen[u.index()]);
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_domain_mapping_matches_paper_partition() {
+        assert_eq!(Unit::ICache.domain(), DomainId::FrontEnd);
+        assert_eq!(Unit::Rob.domain(), DomainId::FrontEnd);
+        assert_eq!(Unit::IqInt.domain(), DomainId::Integer);
+        assert_eq!(Unit::MulFp.domain(), DomainId::FloatingPoint);
+        assert_eq!(Unit::L2.domain(), DomainId::LoadStore);
+        assert_eq!(Unit::Dcache.domain(), DomainId::LoadStore);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = ActivityLedger::new();
+        l.record(Unit::AluInt, 1.0);
+        l.record_n(Unit::AluInt, 2.0, 3);
+        assert_eq!(l.count(Unit::AluInt), 4);
+        assert!((l.weighted_v2(Unit::AluInt) - (1.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ActivityLedger::new();
+        let mut b = ActivityLedger::new();
+        a.record(Unit::L2, 1.2);
+        b.record(Unit::L2, 1.2);
+        b.record(Unit::Bpred, 0.8);
+        a.merge(&b);
+        assert_eq!(a.count(Unit::L2), 2);
+        assert_eq!(a.count(Unit::Bpred), 1);
+    }
+
+    #[test]
+    fn domain_count_aggregates_units() {
+        let mut l = ActivityLedger::new();
+        l.record(Unit::ICache, 1.2);
+        l.record(Unit::Rename, 1.2);
+        l.record(Unit::AluInt, 1.2);
+        assert_eq!(l.domain_count(DomainId::FrontEnd), 2);
+        assert_eq!(l.domain_count(DomainId::Integer), 1);
+        assert_eq!(l.domain_count(DomainId::LoadStore), 0);
+    }
+}

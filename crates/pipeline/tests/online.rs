@@ -1,0 +1,70 @@
+//! End-to-end tests of the on-line attack/decay governor.
+
+use mcd_pipeline::{AttackDecay, DomainId, MachineConfig, Pipeline};
+use mcd_time::Femtos;
+use mcd_workload::{suites, WorkloadGenerator};
+
+fn run_online(name: &str, n: u64) -> mcd_pipeline::RunResult {
+    let machine = MachineConfig::baseline_mcd(5);
+    let generator = WorkloadGenerator::new(
+        suites::by_name(name).expect("known benchmark"),
+        machine.seed,
+    );
+    Pipeline::new(machine, generator)
+        .run_with_governor(n, Box::new(AttackDecay::paper_like()))
+}
+
+#[test]
+fn governor_scales_idle_fp_domain_for_integer_code() {
+    // The XScale ramp takes ~55 µs across the full range, so the window
+    // must be several times that for the average frequency to show it.
+    let run = run_online("bzip2", 200_000);
+    assert_eq!(run.committed, 200_000);
+    let fp = run.avg_frequency_hz[DomainId::FloatingPoint.index()];
+    let int = run.avg_frequency_hz[DomainId::Integer.index()];
+    assert!(fp < 0.7 * int, "idle FP should be scaled on-line: fp {fp:.3e} vs int {int:.3e}");
+    // The front end is untouched by the governor.
+    let fe = run.avg_frequency_hz[DomainId::FrontEnd.index()];
+    assert!((fe - 1e9).abs() < 2e7, "front end stays at 1 GHz: {fe:.3e}");
+}
+
+#[test]
+fn governor_keeps_degradation_bounded() {
+    let machine = MachineConfig::baseline_mcd(5);
+    let profile = suites::by_name("gcc").expect("known benchmark");
+    let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
+    let static_run = Pipeline::new(machine.clone(), generator).run(60_000);
+    let online = run_online("gcc", 60_000);
+    let deg = online.total_time.as_femtos() as f64 / static_run.total_time.as_femtos() as f64 - 1.0;
+    assert!(deg < 0.25, "on-line control degradation out of hand: {:.3}", deg);
+    assert!(online.domain_transitions.iter().sum::<u64>() > 3, "governor actually acted");
+}
+
+#[test]
+fn governor_saves_energy_versus_static_mcd() {
+    use mcd_pipeline::Unit;
+    let machine = MachineConfig::baseline_mcd(5);
+    let profile = suites::by_name("treeadd").expect("known benchmark");
+    let generator = WorkloadGenerator::new(profile, machine.seed);
+    let static_run = Pipeline::new(machine, generator).run(60_000);
+    let online = run_online("treeadd", 60_000);
+    // Cheap proxy for energy: V²-weighted cycles and accesses must fall.
+    let static_v2: f64 = static_run.domain_v2_cycles.iter().sum();
+    let online_v2: f64 = online.domain_v2_cycles.iter().sum();
+    assert!(
+        online_v2 < 0.95 * static_v2,
+        "on-line scaling should cut V²·cycles: {online_v2:.3e} vs {static_v2:.3e}"
+    );
+    let u = Unit::IqInt;
+    assert!(online.ledger.weighted_v2(u) <= static_run.ledger.weighted_v2(u) + 1.0);
+}
+
+#[test]
+fn governor_reacts_to_phase_changes() {
+    // art alternates FP-busy and FP-idle phases: the on-line controller
+    // must produce multiple FP transitions, not a single settling step.
+    let run = run_online("art", 120_000);
+    let fp_transitions = run.domain_transitions[DomainId::FloatingPoint.index()];
+    assert!(fp_transitions >= 4, "expected repeated FP adaptation, got {fp_transitions}");
+    assert!(run.total_time > Femtos::from_micros(50));
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for pipeline-level invariants.
+
+use proptest::prelude::*;
+
+use mcd_pipeline::{
+    simulate, ActivityLedger, DomainId, FrequencySchedule, MachineConfig, ScheduleEntry, Unit,
+};
+use mcd_time::{DvfsModel, Femtos, Frequency};
+use mcd_workload::suites;
+
+fn arbitrary_schedule() -> impl Strategy<Value = FrequencySchedule> {
+    proptest::collection::vec(
+        (0u64..200, 1usize..4, 250u64..1000),
+        0..6,
+    )
+    .prop_map(|entries| {
+        FrequencySchedule::from_entries(
+            entries
+                .into_iter()
+                .map(|(us, d, mhz)| ScheduleEntry {
+                    at: Femtos::from_micros(us),
+                    domain: DomainId::ALL[d],
+                    frequency: Frequency::from_mhz(mhz),
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_schedule_still_commits_every_instruction(
+        schedule in arbitrary_schedule(),
+        model_is_xscale in any::<bool>(),
+    ) {
+        // Whatever reconfiguration sequence is thrown at the machine, the
+        // pipeline must make forward progress and commit the exact target.
+        let model = if model_is_xscale { DvfsModel::XScale } else { DvfsModel::Transmeta };
+        let machine = MachineConfig::dynamic(1, model, schedule);
+        let profile = suites::by_name("epic").expect("known benchmark");
+        let run = simulate(&machine, &profile, 5_000);
+        prop_assert_eq!(run.committed, 5_000);
+        prop_assert!(run.total_time > Femtos::ZERO);
+        // Frequencies stay inside the operating region.
+        for d in DomainId::ALL {
+            let f = run.avg_frequency_hz[d.index()];
+            prop_assert!(f > 200e6 && f < 1.2e9, "{d} at {f:.3e} Hz");
+        }
+    }
+
+    #[test]
+    fn schedule_json_round_trips(schedule in arbitrary_schedule()) {
+        let json = schedule.to_json().expect("serializable");
+        let back = FrequencySchedule::from_json(&json).expect("parses");
+        prop_assert_eq!(schedule, back);
+    }
+
+    #[test]
+    fn ledger_merge_is_commutative_and_additive(
+        a in proptest::collection::vec((0usize..Unit::COUNT, 0.5f64..1.3), 0..50),
+        b in proptest::collection::vec((0usize..Unit::COUNT, 0.5f64..1.3), 0..50),
+    ) {
+        let build = |entries: &[(usize, f64)]| {
+            let mut ledger = ActivityLedger::new();
+            for (u, v) in entries {
+                ledger.record(Unit::ALL[*u], *v);
+            }
+            ledger
+        };
+        let mut ab = build(&a);
+        ab.merge(&build(&b));
+        let mut ba = build(&b);
+        ba.merge(&build(&a));
+        for u in Unit::ALL {
+            prop_assert_eq!(ab.count(u), ba.count(u));
+            prop_assert!((ab.weighted_v2(u) - ba.weighted_v2(u)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Wattch-style architectural power model for the MCD simulator.
+//!
+//! The pipeline (`mcd-pipeline`) records *activity*: voltage-squared-weighted
+//! access counts per structure and per-domain clock cycles. This crate turns
+//! those records into energy numbers with a calibrated set of per-access
+//! energies, per-domain clock-tree capacitances, and a clock-gated idle
+//! floor (Wattch's `cc3` style).
+//!
+//! ```
+//! use mcd_pipeline::{simulate, MachineConfig};
+//! use mcd_power::{PowerModel, EnergyParams};
+//! use mcd_workload::suites;
+//!
+//! let profile = suites::by_name("gcc").expect("known benchmark");
+//! let run = simulate(&MachineConfig::baseline(1), &profile, 2_000);
+//! let breakdown = PowerModel::new(EnergyParams::wattch_like()).energy_of(&run);
+//! let fe = breakdown.domain_share(mcd_pipeline::DomainId::FrontEnd);
+//! assert!(fe > 0.0 && fe < 1.0);
+//! ```
+
+pub mod model;
+pub mod params;
+
+pub use model::{EnergyBreakdown, PowerModel};
+pub use params::EnergyParams;

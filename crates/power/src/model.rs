@@ -1,0 +1,234 @@
+//! Turning activity records into energy numbers.
+//!
+//! Three components per domain, all scaling with the square of the
+//! instantaneous supply voltage:
+//!
+//! * **activity energy** — per-access energies weighted by `V²` at access
+//!   time (the pipeline records `Σ V²` per structure);
+//! * **clock-tree energy** — one clock-capacitance charge per produced
+//!   clock edge (`Σ V²` over cycles, recorded by each domain clock);
+//! * **gated-idle floor** — residual switching of clock-gated units,
+//!   charged per cycle (Wattch `cc3`: idle structures still burn a fixed
+//!   fraction of their maximum power).
+//!
+//! Frequency enters implicitly: a slower clock produces fewer cycles in the
+//! same wall time, shrinking the cycle-proportional terms, and voltage
+//! scaling shrinks everything quadratically — exactly the `C·V²·f` physics
+//! the paper relies on.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_pipeline::{DomainId, RunResult, Unit};
+
+use crate::params::EnergyParams;
+
+/// Energy attribution for one run, in model energy units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Per-structure activity energy.
+    pub by_unit: Vec<f64>,
+    /// Per-domain clock-tree energy.
+    pub clock: [f64; DomainId::COUNT],
+    /// Per-domain gated-idle floor energy.
+    pub idle_floor: [f64; DomainId::COUNT],
+}
+
+impl EnergyBreakdown {
+    /// Activity energy of one structure.
+    pub fn unit(&self, unit: Unit) -> f64 {
+        self.by_unit[unit.index()]
+    }
+
+    /// Total energy of one domain (activity + clock + idle floor).
+    pub fn domain(&self, domain: DomainId) -> f64 {
+        let activity: f64 = Unit::ALL
+            .iter()
+            .filter(|u| u.domain() == domain)
+            .map(|u| self.by_unit[u.index()])
+            .sum();
+        activity + self.clock[domain.index()] + self.idle_floor[domain.index()]
+    }
+
+    /// Whole-chip energy.
+    pub fn total(&self) -> f64 {
+        DomainId::ALL.iter().map(|d| self.domain(*d)).sum()
+    }
+
+    /// Fraction of chip energy dissipated in `domain`.
+    pub fn domain_share(&self, domain: DomainId) -> f64 {
+        self.domain(domain) / self.total()
+    }
+}
+
+/// The energy model.
+///
+/// # Example
+///
+/// ```
+/// use mcd_pipeline::{simulate, MachineConfig};
+/// use mcd_power::PowerModel;
+/// use mcd_workload::suites;
+///
+/// let profile = suites::by_name("adpcm").expect("known benchmark");
+/// let result = simulate(&MachineConfig::baseline(1), &profile, 2_000);
+/// let energy = PowerModel::paper_calibrated().energy_of(&result);
+/// assert!(energy.total() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    params: EnergyParams,
+}
+
+impl PowerModel {
+    /// Builds a model with the calibrated default parameters.
+    pub fn paper_calibrated() -> Self {
+        PowerModel { params: EnergyParams::wattch_like() }
+    }
+
+    /// Builds a model from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail validation.
+    pub fn new(params: EnergyParams) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid energy parameters: {e}");
+        }
+        PowerModel { params }
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Attributes energy to a finished run.
+    ///
+    /// The pipeline records voltage-squared-weighted activity, so this is a
+    /// pure post-processing step: no voltage information is needed here
+    /// beyond the nominal reference.
+    pub fn energy_of(&self, result: &RunResult) -> EnergyBreakdown {
+        let vnom2 = self.params.v_nominal.as_volts() * self.params.v_nominal.as_volts();
+        let by_unit = Unit::ALL
+            .iter()
+            .map(|u| self.params.access_energy(*u) * result.ledger.weighted_v2(*u) / vnom2)
+            .collect();
+        let mut clock = [0.0; DomainId::COUNT];
+        let mut idle_floor = [0.0; DomainId::COUNT];
+        for d in DomainId::ALL {
+            let v2_cycles = result.domain_v2_cycles[d.index()] / vnom2;
+            clock[d.index()] = self.params.clock_per_cycle[d.index()] * v2_cycles;
+            idle_floor[d.index()] = self.params.idle_floor_per_cycle[d.index()] * v2_cycles;
+        }
+        EnergyBreakdown { by_unit, clock, idle_floor }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_pipeline::{simulate, MachineConfig};
+    use mcd_time::{Frequency, VfTable};
+    use mcd_workload::suites;
+
+    const N: u64 = 20_000;
+
+    fn profile(name: &str) -> mcd_workload::BenchmarkProfile {
+        suites::by_name(name).expect("known benchmark")
+    }
+
+    #[test]
+    fn front_end_share_matches_paper() {
+        // §3.2: "the front end typically accounts for 20% of the total chip
+        // energy".
+        let model = PowerModel::paper_calibrated();
+        let mut shares = Vec::new();
+        for name in ["adpcm", "gcc", "g721", "swim", "art", "mcf"] {
+            let r = simulate(&MachineConfig::baseline(1), &profile(name), N);
+            shares.push(model.energy_of(&r).domain_share(DomainId::FrontEnd));
+        }
+        let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+        assert!((0.14..=0.27).contains(&avg), "front-end share {avg}");
+    }
+
+    #[test]
+    fn integer_domain_dominates_integer_codes() {
+        let model = PowerModel::paper_calibrated();
+        let r = simulate(&MachineConfig::baseline(1), &profile("bzip2"), N);
+        let e = model.energy_of(&r);
+        let int = e.domain(DomainId::Integer);
+        for d in [DomainId::FrontEnd, DomainId::FloatingPoint, DomainId::LoadStore] {
+            assert!(int > e.domain(d), "integer should dominate, {d} = {}", e.domain(d));
+        }
+    }
+
+    #[test]
+    fn gated_fp_domain_is_small_but_nonzero_for_integer_code() {
+        let model = PowerModel::paper_calibrated();
+        let r = simulate(&MachineConfig::baseline(1), &profile("gcc"), N);
+        let e = model.energy_of(&r);
+        let fp_share = e.domain_share(DomainId::FloatingPoint);
+        assert!(fp_share > 0.02, "clock + idle floor still burn energy: {fp_share}");
+        assert!(fp_share < 0.28, "gated FP must stay below the integer share: {fp_share}");
+    }
+
+    #[test]
+    fn fp_code_spends_more_in_fp_domain() {
+        let model = PowerModel::paper_calibrated();
+        let int_run = simulate(&MachineConfig::baseline(1), &profile("gcc"), N);
+        let fp_run = simulate(&MachineConfig::baseline(1), &profile("swim"), N);
+        let int_share = model.energy_of(&int_run).domain_share(DomainId::FloatingPoint);
+        let fp_share = model.energy_of(&fp_run).domain_share(DomainId::FloatingPoint);
+        assert!(fp_share > 1.25 * int_share, "swim {fp_share} vs gcc {int_share}");
+    }
+
+    #[test]
+    fn global_scaling_matches_analytic_v_squared() {
+        // The paper's sanity check: energy of the globally scaled machine
+        // agrees with the baseline scaled by the square of the voltage
+        // ratio, within ~2 %.
+        let model = PowerModel::paper_calibrated();
+        let freq = Frequency::from_mhz(700);
+        let base = simulate(&MachineConfig::baseline(1), &profile("g721"), N);
+        let scaled = simulate(&MachineConfig::global(1, freq), &profile("g721"), N);
+        let e_base = model.energy_of(&base).total();
+        let e_scaled = model.energy_of(&scaled).total();
+        let v = VfTable::paper().voltage_for(freq);
+        let analytic = e_base * v.squared_ratio_to(mcd_time::Voltage::NOMINAL);
+        let err = (e_scaled - analytic).abs() / analytic;
+        assert!(err < 0.02, "measured {e_scaled}, analytic {analytic}, err {err}");
+    }
+
+    #[test]
+    fn scaling_down_saves_energy() {
+        let model = PowerModel::paper_calibrated();
+        let base = simulate(&MachineConfig::baseline(1), &profile("adpcm"), N);
+        let slow = simulate(
+            &MachineConfig::global(1, Frequency::MIN_SCALED),
+            &profile("adpcm"),
+            N,
+        );
+        let e_base = model.energy_of(&base).total();
+        let e_slow = model.energy_of(&slow).total();
+        // V drops 1.2 → 0.65: energy ≈ 29 % of baseline.
+        let ratio = e_slow / e_base;
+        assert!(ratio < 0.35 && ratio > 0.22, "ratio {ratio}");
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let model = PowerModel::paper_calibrated();
+        let r = simulate(&MachineConfig::baseline(1), &profile("epic"), 5_000);
+        let e = model.energy_of(&r);
+        let domain_sum: f64 = DomainId::ALL.iter().map(|d| e.domain(*d)).sum();
+        assert!((domain_sum - e.total()).abs() < 1e-9 * e.total());
+        let share_sum: f64 = DomainId::ALL.iter().map(|d| e.domain_share(*d)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+    }
+}

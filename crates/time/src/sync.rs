@@ -1,0 +1,190 @@
+//! Inter-domain synchronization calculus.
+//!
+//! The paper adopts the Sjogren & Myers arbitration scheme: a signal
+//! generated at a source clock edge can be latched at a destination edge only
+//! if the two edges are at least `T_s` apart, where `T_s` is 30 % of the
+//! period of the *faster* of the two interface clocks. If the next
+//! destination edge falls inside the window, the signal waits a full
+//! destination cycle — this is the fundamental MCD synchronization penalty.
+//!
+//! In the simulator, a cross-domain message produced at source-edge time `t`
+//! is stamped `visible_at = t + T_s`; the consuming domain then naturally
+//! picks it up at its first clock edge at or after `visible_at`, which
+//! reproduces the "first destination edge with `T ≥ T_s`" rule without
+//! needing to enumerate future destination edges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::femtos::Femtos;
+use crate::freq::Frequency;
+
+/// Parameters of the synchronization window.
+///
+/// # Example
+///
+/// ```
+/// use mcd_time::{Femtos, SyncParams};
+///
+/// let p = SyncParams::paper();
+/// // Both clocks at 1 GHz: the window is 30 % of 1 ns = 300 ps.
+/// let one_ghz = Femtos::from_nanos(1);
+/// assert_eq!(p.window(one_ghz, one_ghz), Femtos::from_picos(300));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncParams {
+    /// `T_s` as a fraction of the faster clock's period.
+    fraction: f64,
+}
+
+impl SyncParams {
+    /// The paper's assumption: `T_s` = 30 % of the faster clock's period.
+    pub fn paper() -> Self {
+        SyncParams { fraction: 0.30 }
+    }
+
+    /// Zero-cost synchronization — the idealized ablation baseline.
+    pub fn free() -> Self {
+        SyncParams { fraction: 0.0 }
+    }
+
+    /// A custom window fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1)` — a window of a full period or
+    /// more would make some interfaces unable to ever latch.
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "sync window fraction must be in [0, 1): {fraction}"
+        );
+        SyncParams { fraction }
+    }
+
+    /// The window fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// The synchronization window `T_s` for an interface between clocks with
+    /// the given periods.
+    pub fn window(&self, src_period: Femtos, dst_period: Femtos) -> Femtos {
+        let faster = src_period.min(dst_period);
+        Femtos::from_femtos((faster.as_femtos() as f64 * self.fraction).round() as u64)
+    }
+}
+
+/// The earliest time at which a signal produced at source edge `t` may be
+/// latched in the destination domain.
+///
+/// The destination picks the signal up at its first clock edge at or after
+/// this time.
+pub fn sync_visible_at(
+    params: &SyncParams,
+    t: Femtos,
+    src_period: Femtos,
+    dst_period: Femtos,
+) -> Femtos {
+    t + params.window(src_period, dst_period)
+}
+
+/// The worst-case latency added by one domain crossing: the window plus up to
+/// one full destination period of alignment slip. Useful for sizing the extra
+/// queue entries of §2.2.
+pub fn sync_latency(params: &SyncParams, src_period: Femtos, dst_period: Femtos) -> Femtos {
+    params.window(src_period, dst_period) + dst_period
+}
+
+/// Extra queue entries needed so the nominal capacity stays fully usable
+/// under worst-case clock ratios (§2.2).
+///
+/// "In order to avoid underutilization of the queues, we assume extra queue
+/// entries to buffer writes under worst-case conditions … the worst-case
+/// situation occurs when the producer is operating at the maximum frequency
+/// and the consumer at the minimum. … assuming an additional cycle for the
+/// producer to recognize the FULL signal, ⌈f_max / f_min⌉ + 1 additional
+/// entries are required." The paper charges neither the performance benefit
+/// nor the energy of these entries, and neither do we — this helper exists
+/// so designers can size real interfaces.
+///
+/// # Example
+///
+/// ```
+/// use mcd_time::{sync_headroom_entries, Frequency};
+///
+/// // The paper's range: 1 GHz producer, 250 MHz consumer → 4 + 1 entries.
+/// assert_eq!(sync_headroom_entries(Frequency::GHZ, Frequency::MIN_SCALED), 5);
+/// // Matched frequencies still need one recognition-cycle entry.
+/// assert_eq!(sync_headroom_entries(Frequency::GHZ, Frequency::GHZ), 2);
+/// ```
+pub fn sync_headroom_entries(producer_max: Frequency, consumer_min: Frequency) -> usize {
+    let ratio = producer_max.as_hz() as f64 / consumer_min.as_hz() as f64;
+    ratio.ceil() as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_uses_faster_clock() {
+        let p = SyncParams::paper();
+        let fast = Femtos::from_nanos(1); // 1 GHz
+        let slow = Femtos::from_nanos(4); // 250 MHz
+        assert_eq!(p.window(fast, slow), Femtos::from_picos(300));
+        assert_eq!(p.window(slow, fast), Femtos::from_picos(300));
+        assert_eq!(p.window(slow, slow), Femtos::from_femtos(1_200_000));
+    }
+
+    #[test]
+    fn free_sync_has_no_window() {
+        let p = SyncParams::free();
+        let t = Femtos::from_nanos(100);
+        assert_eq!(
+            sync_visible_at(&p, t, Femtos::from_nanos(1), Femtos::from_nanos(2)),
+            t
+        );
+    }
+
+    #[test]
+    fn visible_at_adds_window() {
+        let p = SyncParams::paper();
+        let t = Femtos::from_nanos(10);
+        let vis = sync_visible_at(&p, t, Femtos::from_nanos(1), Femtos::from_nanos(1));
+        assert_eq!(vis, t + Femtos::from_picos(300));
+    }
+
+    #[test]
+    fn worst_case_latency_bounds_visibility() {
+        let p = SyncParams::paper();
+        let src = Femtos::from_nanos(1);
+        let dst = Femtos::from_nanos(2);
+        let worst = sync_latency(&p, src, dst);
+        assert_eq!(worst, Femtos::from_picos(300) + Femtos::from_nanos(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sync window fraction")]
+    fn full_period_window_rejected() {
+        let _ = SyncParams::new(1.0);
+    }
+
+    #[test]
+    fn headroom_matches_paper_worst_case() {
+        use crate::freq::Frequency;
+        // f_max/f_min = 4 over the paper's range.
+        assert_eq!(
+            sync_headroom_entries(Frequency::GHZ, Frequency::MIN_SCALED),
+            5
+        );
+        // Non-integral ratios round up.
+        assert_eq!(
+            sync_headroom_entries(Frequency::GHZ, Frequency::from_mhz(300)),
+            5
+        );
+        assert_eq!(
+            sync_headroom_entries(Frequency::from_mhz(500), Frequency::GHZ),
+            2
+        );
+    }
+}

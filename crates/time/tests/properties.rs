@@ -1,0 +1,116 @@
+//! Property-based tests for the clocking substrate.
+
+use proptest::prelude::*;
+
+use mcd_time::{
+    sync_visible_at, DomainClock, DvfsModel, Femtos, Frequency, FrequencyGrid, JitterModel,
+    PllModel, SimRng, SyncParams, VfTable, VoltageController,
+};
+
+proptest! {
+    #[test]
+    fn femtos_arithmetic_is_consistent(a in 0u64..1u64 << 50, b in 0u64..1u64 << 50) {
+        let (fa, fb) = (Femtos::from_femtos(a), Femtos::from_femtos(b));
+        prop_assert_eq!((fa + fb).as_femtos(), a + b);
+        prop_assert_eq!(fa.max(fb) + fa.min(fb), fa + fb);
+        prop_assert_eq!(fa.saturating_sub(fb).as_femtos(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn voltage_for_is_monotonic(f1 in 250u64..1000, f2 in 250u64..1000) {
+        let table = VfTable::paper();
+        let (lo, hi) = (f1.min(f2), f1.max(f2));
+        let v_lo = table.voltage_for(Frequency::from_mhz(lo));
+        let v_hi = table.voltage_for(Frequency::from_mhz(hi));
+        prop_assert!(v_lo <= v_hi);
+        prop_assert!(v_lo.as_volts() >= 0.65 - 1e-9);
+        prop_assert!(v_hi.as_volts() <= 1.2 + 1e-9);
+    }
+
+    #[test]
+    fn grid_quantize_up_is_tight(mhz in 1u64..1500, steps in 2usize..64) {
+        let grid = FrequencyGrid::new(VfTable::paper(), steps);
+        let f = Frequency::from_mhz(mhz);
+        let q = grid.quantize_up(f);
+        if f <= Frequency::GHZ {
+            prop_assert!(q.frequency >= f.max(Frequency::MIN_SCALED));
+        }
+        // No grid point between f and the chosen one.
+        for p in grid.points() {
+            prop_assert!(!(p.frequency >= f && p.frequency < q.frequency));
+        }
+    }
+
+    #[test]
+    fn sync_visibility_is_monotone_in_time(
+        t1 in 0u64..1u64 << 40,
+        t2 in 0u64..1u64 << 40,
+        frac in 0.0f64..0.9,
+    ) {
+        let params = SyncParams::new(frac);
+        let src = Frequency::GHZ.period();
+        let dst = Frequency::from_mhz(400).period();
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let v_lo = sync_visible_at(&params, Femtos::from_femtos(lo), src, dst);
+        let v_hi = sync_visible_at(&params, Femtos::from_femtos(hi), src, dst);
+        prop_assert!(v_lo <= v_hi);
+        prop_assert!(v_lo >= Femtos::from_femtos(lo));
+    }
+
+    #[test]
+    fn clock_edges_strictly_increase_for_any_seed(seed in 0u64..10_000) {
+        let mut clk = DomainClock::new(Frequency::GHZ, JitterModel::paper(), seed);
+        let mut prev = Femtos::ZERO;
+        for _ in 0..500 {
+            let e = clk.next_edge();
+            prop_assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn controller_always_stays_inside_the_operating_region(
+        targets in proptest::collection::vec(250u64..1000, 1..6),
+        model_is_xscale in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let model = if model_is_xscale { DvfsModel::XScale } else { DvfsModel::Transmeta };
+        let mut ctl = VoltageController::new(
+            model,
+            VfTable::paper(),
+            PllModel::paper(),
+            Frequency::GHZ,
+        );
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut now = Femtos::ZERO;
+        for mhz in targets {
+            let plan = ctl.request(now, Frequency::from_mhz(mhz), &mut rng);
+            // Walk through the plan in small steps and check the invariant.
+            let horizon = plan.settled_at + Femtos::from_micros(1);
+            while now < horizon {
+                now += Femtos::from_micros(3);
+                ctl.advance_to(now);
+                let p = ctl.current();
+                prop_assert!(p.voltage.as_volts() >= 0.65 - 1e-9);
+                prop_assert!(p.voltage.as_volts() <= 1.2 + 1e-9);
+                prop_assert!(p.frequency >= Frequency::MIN_SCALED);
+                prop_assert!(p.frequency <= Frequency::GHZ);
+                // The voltage always supports the current frequency.
+                let needed = VfTable::paper().voltage_for(p.frequency);
+                prop_assert!(p.voltage.as_volts() >= needed.as_volts() - 2e-3);
+            }
+            prop_assert_eq!(ctl.current().frequency, Frequency::from_mhz(mhz));
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let u = a.uniform();
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+}

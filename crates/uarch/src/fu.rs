@@ -1,0 +1,182 @@
+//! Functional-unit pools with occupancy tracking.
+//!
+//! Table 1: 4 integer ALUs + 1 integer multiply/divide unit, 2 FP ALUs +
+//! 1 FP multiply/divide/sqrt unit. Memory ports are modeled as a pool too.
+//! Units are reserved for an *occupancy window* in absolute time: pipelined
+//! operations hold a unit for one issue cycle, unpipelined ones (divide,
+//! sqrt) for their full latency.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional-unit classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Simple integer ALU.
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// Floating-point adder.
+    FpAlu,
+    /// Floating-point multiply/divide/sqrt unit.
+    FpMulDiv,
+    /// Data-cache port.
+    MemPort,
+}
+
+impl FuKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [FuKind; 5] = [
+        FuKind::IntAlu,
+        FuKind::IntMulDiv,
+        FuKind::FpAlu,
+        FuKind::FpMulDiv,
+        FuKind::MemPort,
+    ];
+}
+
+/// Unit counts per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuPoolConfig {
+    /// Integer ALUs (paper: 4).
+    pub int_alu: usize,
+    /// Integer multiply/divide units (paper: 1).
+    pub int_muldiv: usize,
+    /// FP adders (paper: 2).
+    pub fp_alu: usize,
+    /// FP multiply/divide/sqrt units (paper: 1).
+    pub fp_muldiv: usize,
+    /// Cache ports (2, typical for a 21264-like L1D).
+    pub mem_ports: usize,
+}
+
+impl FuPoolConfig {
+    /// Table 1 of the paper.
+    pub fn paper() -> Self {
+        FuPoolConfig { int_alu: 4, int_muldiv: 1, fp_alu: 2, fp_muldiv: 1, mem_ports: 2 }
+    }
+
+    fn count(&self, kind: FuKind) -> usize {
+        match kind {
+            FuKind::IntAlu => self.int_alu,
+            FuKind::IntMulDiv => self.int_muldiv,
+            FuKind::FpAlu => self.fp_alu,
+            FuKind::FpMulDiv => self.fp_muldiv,
+            FuKind::MemPort => self.mem_ports,
+        }
+    }
+}
+
+/// Tracks per-instance busy-until times for every unit kind.
+///
+/// Times are raw femtosecond counts — this crate stays independent of the
+/// clocking crate, and the pipeline passes absolute times through.
+///
+/// # Example
+///
+/// ```
+/// use mcd_uarch::{FuKind, FuPool, FuPoolConfig};
+///
+/// let mut pool = FuPool::new(FuPoolConfig { int_alu: 1, ..FuPoolConfig::paper() });
+/// assert!(pool.try_acquire(FuKind::IntAlu, 100, 200));
+/// assert!(!pool.try_acquire(FuKind::IntAlu, 150, 250)); // still busy
+/// assert!(pool.try_acquire(FuKind::IntAlu, 200, 300)); // free again
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    config: FuPoolConfig,
+    busy_until: [Vec<u64>; 5],
+    acquisitions: [u64; 5],
+}
+
+impl FuPool {
+    /// Builds a pool with all units free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any unit count is zero.
+    pub fn new(config: FuPoolConfig) -> Self {
+        let busy_until = FuKind::ALL.map(|k| {
+            let n = config.count(k);
+            assert!(n > 0, "unit count for {k:?} must be positive");
+            vec![0u64; n]
+        });
+        FuPool { config, busy_until, acquisitions: [0; 5] }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> FuPoolConfig {
+        self.config
+    }
+
+    fn kind_index(kind: FuKind) -> usize {
+        FuKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+    }
+
+    /// Attempts to reserve a unit of `kind` at time `now`, holding it until
+    /// `busy_until`. Returns `false` if every instance is occupied.
+    pub fn try_acquire(&mut self, kind: FuKind, now: u64, busy_until: u64) -> bool {
+        let idx = Self::kind_index(kind);
+        if let Some(slot) = self.busy_until[idx].iter_mut().find(|t| **t <= now) {
+            *slot = busy_until;
+            self.acquisitions[idx] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of instances of `kind` free at `now`.
+    pub fn free_at(&self, kind: FuKind, now: u64) -> usize {
+        let idx = Self::kind_index(kind);
+        self.busy_until[idx].iter().filter(|t| **t <= now).count()
+    }
+
+    /// Total successful acquisitions of `kind` (an activity statistic).
+    pub fn acquisitions(&self, kind: FuKind) -> u64 {
+        self.acquisitions[Self::kind_index(kind)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts() {
+        let p = FuPoolConfig::paper();
+        assert_eq!(p.int_alu, 4);
+        assert_eq!(p.int_muldiv, 1);
+        assert_eq!(p.fp_alu, 2);
+        assert_eq!(p.fp_muldiv, 1);
+    }
+
+    #[test]
+    fn four_int_alus_saturate() {
+        let mut pool = FuPool::new(FuPoolConfig::paper());
+        for _ in 0..4 {
+            assert!(pool.try_acquire(FuKind::IntAlu, 0, 10));
+        }
+        assert!(!pool.try_acquire(FuKind::IntAlu, 0, 10));
+        assert_eq!(pool.free_at(FuKind::IntAlu, 0), 0);
+        assert_eq!(pool.free_at(FuKind::IntAlu, 10), 4);
+    }
+
+    #[test]
+    fn unpipelined_divide_blocks_unit() {
+        let mut pool = FuPool::new(FuPoolConfig::paper());
+        // A divide occupies the single int mul/div unit for 20 time units.
+        assert!(pool.try_acquire(FuKind::IntMulDiv, 0, 20));
+        assert!(!pool.try_acquire(FuKind::IntMulDiv, 5, 25));
+        assert!(pool.try_acquire(FuKind::IntMulDiv, 20, 40));
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let mut pool = FuPool::new(FuPoolConfig::paper());
+        assert!(pool.try_acquire(FuKind::IntMulDiv, 0, 100));
+        assert!(pool.try_acquire(FuKind::FpMulDiv, 0, 100));
+        assert_eq!(pool.acquisitions(FuKind::IntMulDiv), 1);
+        assert_eq!(pool.acquisitions(FuKind::FpMulDiv), 1);
+        assert_eq!(pool.acquisitions(FuKind::IntAlu), 0);
+    }
+}

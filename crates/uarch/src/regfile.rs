@@ -1,0 +1,218 @@
+//! Register renaming: map tables and physical register free lists.
+//!
+//! The paper splits SimpleScalar's RUU into a ROB, issue queues, and
+//! physical register files of 72 integer + 72 floating-point registers
+//! (Table 1). With 32 architectural registers of each class mapped at all
+//! times, 40 of each are available for in-flight renaming.
+//!
+//! Because the simulator is trace-driven (wrong-path instructions are never
+//! dispatched), no checkpoint/rollback machinery is needed: a physical
+//! register is freed when the instruction that overwrote its architectural
+//! register commits.
+
+use mcd_workload::Reg;
+
+/// A physical register, in a flat space: integer registers first, then
+/// floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(u16);
+
+impl PhysReg {
+    /// Flat index, usable to key ready-time tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Renaming failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenameError {
+    /// No free integer physical register.
+    OutOfIntRegs,
+    /// No free floating-point physical register.
+    OutOfFpRegs,
+}
+
+impl std::fmt::Display for RenameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenameError::OutOfIntRegs => write!(f, "no free integer physical register"),
+            RenameError::OutOfFpRegs => write!(f, "no free floating-point physical register"),
+        }
+    }
+}
+
+impl std::error::Error for RenameError {}
+
+/// The result of renaming a destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Renamed {
+    /// Newly allocated physical destination.
+    pub new: PhysReg,
+    /// Previous mapping of the architectural register; free it when the
+    /// renaming instruction commits.
+    pub prev: PhysReg,
+}
+
+/// Map table plus free lists for both register classes.
+///
+/// # Example
+///
+/// ```
+/// use mcd_uarch::RenameUnit;
+/// use mcd_workload::Reg;
+///
+/// let mut rn = RenameUnit::paper();
+/// let r1 = rn.lookup(Reg::int(1));
+/// let renamed = rn.allocate(Reg::int(1)).expect("free registers available");
+/// assert_eq!(renamed.prev, r1);
+/// assert_ne!(rn.lookup(Reg::int(1)), r1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RenameUnit {
+    /// Arch-reg index (0..64) → current physical mapping.
+    map: Vec<PhysReg>,
+    free_int: Vec<PhysReg>,
+    free_fp: Vec<PhysReg>,
+    int_phys: u16,
+    fp_phys: u16,
+}
+
+impl RenameUnit {
+    /// Builds a rename unit with the paper's 72 + 72 physical registers.
+    pub fn paper() -> Self {
+        RenameUnit::new(72, 72)
+    }
+
+    /// Builds a rename unit with custom physical register file sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless each file has more physical than architectural
+    /// registers (32 each).
+    pub fn new(int_phys: u16, fp_phys: u16) -> Self {
+        assert!(int_phys > 32, "need > 32 integer physical registers");
+        assert!(fp_phys > 32, "need > 32 fp physical registers");
+        // Initial mapping: arch int i → phys i; arch fp i → phys int_phys+i.
+        let mut map = Vec::with_capacity(64);
+        for i in 0..32u16 {
+            map.push(PhysReg(i));
+        }
+        for i in 0..32u16 {
+            map.push(PhysReg(int_phys + i));
+        }
+        let free_int = (32..int_phys).rev().map(PhysReg).collect();
+        let free_fp = (int_phys + 32..int_phys + fp_phys).rev().map(PhysReg).collect();
+        RenameUnit { map, free_int, free_fp, int_phys, fp_phys }
+    }
+
+    /// Total physical registers (both classes).
+    pub fn total_phys(&self) -> usize {
+        self.int_phys as usize + self.fp_phys as usize
+    }
+
+    /// Free integer physical registers remaining.
+    pub fn free_int(&self) -> usize {
+        self.free_int.len()
+    }
+
+    /// Free floating-point physical registers remaining.
+    pub fn free_fp(&self) -> usize {
+        self.free_fp.len()
+    }
+
+    /// Whether `phys` is a floating-point register.
+    pub fn is_fp_phys(&self, phys: PhysReg) -> bool {
+        phys.0 >= self.int_phys
+    }
+
+    /// Current mapping of an architectural register.
+    pub fn lookup(&self, reg: Reg) -> PhysReg {
+        self.map[reg.index()]
+    }
+
+    /// Allocates a new physical register for a write to `reg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenameError`] if the class's free list is empty — the
+    /// pipeline stalls rename in that case.
+    pub fn allocate(&mut self, reg: Reg) -> Result<Renamed, RenameError> {
+        let new = if reg.is_fp() {
+            self.free_fp.pop().ok_or(RenameError::OutOfFpRegs)?
+        } else {
+            self.free_int.pop().ok_or(RenameError::OutOfIntRegs)?
+        };
+        let prev = self.map[reg.index()];
+        self.map[reg.index()] = new;
+        Ok(Renamed { new, prev })
+    }
+
+    /// Returns a physical register to its free list (at commit of the
+    /// overwriting instruction).
+    pub fn free(&mut self, phys: PhysReg) {
+        if self.is_fp_phys(phys) {
+            debug_assert!(!self.free_fp.contains(&phys), "double free of {phys:?}");
+            self.free_fp.push(phys);
+        } else {
+            debug_assert!(!self.free_int.contains(&phys), "double free of {phys:?}");
+            self.free_int.push(phys);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity() {
+        let rn = RenameUnit::paper();
+        assert_eq!(rn.free_int(), 40);
+        assert_eq!(rn.free_fp(), 40);
+    }
+
+    #[test]
+    fn initial_mapping_is_distinct() {
+        let rn = RenameUnit::paper();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32 {
+            assert!(seen.insert(rn.lookup(Reg::int(i))));
+            assert!(seen.insert(rn.lookup(Reg::fp(i))));
+        }
+    }
+
+    #[test]
+    fn allocate_changes_mapping_and_reports_prev() {
+        let mut rn = RenameUnit::paper();
+        let before = rn.lookup(Reg::fp(3));
+        let r = rn.allocate(Reg::fp(3)).expect("free regs");
+        assert_eq!(r.prev, before);
+        assert_eq!(rn.lookup(Reg::fp(3)), r.new);
+        assert!(rn.is_fp_phys(r.new));
+        assert_eq!(rn.free_fp(), 39);
+    }
+
+    #[test]
+    fn exhaustion_then_free_recovers() {
+        let mut rn = RenameUnit::paper();
+        let mut prevs = Vec::new();
+        for i in 0..40 {
+            prevs.push(rn.allocate(Reg::int((i % 24) as u8)).expect("free regs").prev);
+        }
+        assert_eq!(rn.allocate(Reg::int(0)), Err(RenameError::OutOfIntRegs));
+        rn.free(prevs[0]);
+        assert!(rn.allocate(Reg::int(0)).is_ok());
+    }
+
+    #[test]
+    fn classes_do_not_interfere() {
+        let mut rn = RenameUnit::paper();
+        for i in 0..40 {
+            rn.allocate(Reg::int((i % 24) as u8)).expect("free regs");
+        }
+        // Int exhausted; fp still fine.
+        assert!(rn.allocate(Reg::int(0)).is_err());
+        assert!(rn.allocate(Reg::fp(0)).is_ok());
+    }
+}

@@ -1,0 +1,623 @@
+//! Deterministic expansion of a [`BenchmarkProfile`] into a dynamic
+//! instruction stream.
+//!
+//! Each phase lazily materializes a *static code region*: every PC slot has
+//! a fixed operation class, and every branch slot a fixed behaviour class
+//! (biased vs. random) and a fixed taken-target, mostly short backward jumps
+//! — i.e. loops. The dynamic stream then walks this static code the way real
+//! execution walks a program: hot loops re-execute the same PCs, so the
+//! I-cache, BTB, and direction predictors see realistic locality. Register
+//! operands and memory addresses are drawn dynamically per instance
+//! according to the phase's dependence and locality parameters.
+//!
+//! The generator is a pure function of `(profile, seed)`: the paper's
+//! methodology runs *the same program* twice — once at full speed to collect
+//! the analysis trace, once with the derived reconfiguration schedule — so
+//! reproducibility is a correctness requirement, not a convenience.
+
+use std::collections::VecDeque;
+
+use crate::isa::{Instruction, OpClass, Reg};
+use crate::profile::{BenchmarkProfile, PhaseSpec};
+
+/// Generator RNG — a tiny xoshiro256++, kept local so this crate does not
+/// depend on the clocking crate.
+#[derive(Debug, Clone)]
+struct GenRng {
+    state: [u64; 4],
+}
+
+impl GenRng {
+    fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        GenRng { state: [next(), next(), next(), next()] }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// How a static branch behaves across its dynamic instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BranchKind {
+    /// Strongly biased (predictable): taken with probability 0.95.
+    Biased,
+    /// Statistically random (unpredictable): 50/50.
+    Random,
+}
+
+/// A static branch site: fixed behaviour and fixed taken-target.
+#[derive(Debug, Clone, Copy)]
+struct StaticBranch {
+    kind: BranchKind,
+    /// Slot index of the taken target within the phase's code region.
+    target_slot: u32,
+}
+
+/// One slot of a phase's static code.
+#[derive(Debug, Clone, Copy)]
+struct StaticOp {
+    class: OpClass,
+    branch: Option<StaticBranch>,
+}
+
+/// A phase's materialized static code region.
+#[derive(Debug, Clone)]
+struct PhaseCode {
+    ops: Vec<StaticOp>,
+}
+
+impl PhaseCode {
+    /// Builds the static code for one phase. Branch targets are mostly short
+    /// backward jumps (loops), occasionally long jumps that spread the
+    /// dynamic footprint across the region.
+    fn build(spec: &PhaseSpec, rng: &mut GenRng) -> Self {
+        let slots = (spec.code_bytes / 4).max(16) as u32;
+        // Branch placement: a refractory gap after each branch (basic
+        // blocks) plus a compensated Bernoulli rate keeps the *dynamic*
+        // branch fraction near the mix value — without the gap, adjacent
+        // branches form tight attractor cycles that are nearly all branches.
+        let f = spec.mix.fraction(OpClass::Branch);
+        let refractory: u32 = 3;
+        let p_branch = if f <= 0.0 {
+            0.0
+        } else {
+            let inv = 1.0 / f - refractory as f64;
+            if inv <= 1.0 {
+                1.0
+            } else {
+                1.0 / inv
+            }
+        };
+        let mut gap = refractory; // allow an early branch
+        let ops = (0..slots)
+            .map(|slot| {
+                let is_branch = gap >= refractory && rng.chance(p_branch);
+                if is_branch {
+                    gap = 0;
+                    // Branch roles. Back-edges (loop closers) are always
+                    // strongly biased — a random back-edge would exit its
+                    // loop half the time and never become hot, which would
+                    // silently erase the configured unpredictability from
+                    // the *dynamic* stream. Unpredictable branches are
+                    // short forward if-then-else skips inside loop bodies,
+                    // which stay hot. A few long-range jumps (calls) spread
+                    // the instruction footprint.
+                    let roll = rng.uniform();
+                    let (kind, target_slot) = if roll < 0.55 {
+                        // Loop back-edge: jump 4–256 instructions backwards,
+                        // wrapping at the region start (a saturating jump
+                        // would make slot 0 an absorbing attractor and trap
+                        // execution in one corner of the code).
+                        let d = (4 + rng.below(253) as u32) % slots.max(1);
+                        (BranchKind::Biased, (slot + slots - d) % slots)
+                    } else if roll < 0.95 {
+                        // Forward skip of 2–16 instructions.
+                        let d = 2 + rng.below(15) as u32;
+                        let kind = if rng.chance((spec.random_branch_frac / 0.40).min(1.0)) {
+                            BranchKind::Random
+                        } else {
+                            BranchKind::Biased
+                        };
+                        (kind, (slot + d) % slots)
+                    } else {
+                        // Long-range jump anywhere in the region.
+                        (BranchKind::Biased, rng.below(slots as u64) as u32)
+                    };
+                    StaticOp {
+                        class: OpClass::Branch,
+                        branch: Some(StaticBranch { kind, target_slot }),
+                    }
+                } else {
+                    gap += 1;
+                    // Sample the non-branch classes (rejection).
+                    let class = loop {
+                        let c = spec.mix.sample(rng.uniform());
+                        if c != OpClass::Branch {
+                            break c;
+                        }
+                    };
+                    StaticOp { class, branch: None }
+                }
+            })
+            .collect();
+        PhaseCode { ops }
+    }
+}
+
+/// Base virtual address of each phase's code region.
+///
+/// The per-phase stride is deliberately *not* a multiple of the 1 MB
+/// direct-mapped L2 span (it is 16.25 MB): phases would otherwise alias each
+/// other in L2 and every phase transition would thrash the cache.
+fn code_base(phase: usize) -> u64 {
+    0x0040_0000 + (phase as u64) * 0x0104_0000
+}
+
+/// Base virtual address of each phase's hot data region (stride 64 MB +
+/// 64 KB, again avoiding L2 aliasing between phases while preserving the
+/// L1 set mapping).
+fn hot_base(phase: usize) -> u64 {
+    0x1000_0000 + (phase as u64) * 0x0401_0000
+}
+
+/// Base virtual address of each phase's warm (L2-resident) data region.
+fn warm_base(phase: usize) -> u64 {
+    0x4000_0000 + (phase as u64) * 0x0400_0000
+}
+
+/// Base of the cold streaming region (shared; the pointer only moves
+/// forward, so every access is a compulsory miss).
+const STREAM_BASE: u64 = 0x8000_0000;
+
+/// A deterministic, infinite instruction stream for one benchmark.
+///
+/// # Example
+///
+/// ```
+/// use mcd_workload::{suites, WorkloadGenerator};
+///
+/// let profile = suites::by_name("art").expect("known benchmark");
+/// let mut a = WorkloadGenerator::new(profile.clone(), 1);
+/// let mut b = WorkloadGenerator::new(profile.clone(), 1);
+/// for _ in 0..100 {
+///     assert_eq!(a.next_instruction(), b.next_instruction());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    profile: BenchmarkProfile,
+    rng: GenRng,
+    /// Global dynamic instruction index.
+    index: u64,
+    /// Current phase and position within it.
+    phase: usize,
+    phase_pos: u64,
+    /// Current slot within the phase's static code.
+    slot: u32,
+    /// Lazily built static code per phase.
+    code: Vec<Option<PhaseCode>>,
+    /// Recently written integer / fp destination registers (most recent
+    /// first), used to realize dependence distances.
+    recent_int: VecDeque<Reg>,
+    recent_fp: VecDeque<Reg>,
+    /// Round-robin destination allocation cursors.
+    next_int_dest: u8,
+    next_fp_dest: u8,
+    /// Streaming pointer for guaranteed-cold accesses.
+    stream_ptr: u64,
+}
+
+impl WorkloadGenerator {
+    /// Number of architectural registers used for dependence chains; the
+    /// rest serve as long-lived (loop-invariant) values.
+    const CHAIN_REGS: u8 = 24;
+
+    /// Creates a generator for `profile`, seeded with `seed` (mixed with the
+    /// profile's name salt).
+    pub fn new(profile: BenchmarkProfile, seed: u64) -> Self {
+        let rng = GenRng::new(seed ^ profile.seed_salt);
+        let phases = profile.phases.len();
+        WorkloadGenerator {
+            profile,
+            rng,
+            index: 0,
+            phase: 0,
+            phase_pos: 0,
+            slot: 0,
+            code: vec![None; phases],
+            recent_int: VecDeque::with_capacity(32),
+            recent_fp: VecDeque::with_capacity(32),
+            next_int_dest: 0,
+            next_fp_dest: 0,
+            stream_ptr: STREAM_BASE,
+        }
+    }
+
+    /// The profile being expanded.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Index of the phase the *next* instruction belongs to.
+    pub fn phase_index(&self) -> usize {
+        self.phase
+    }
+
+    /// Number of instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.index
+    }
+
+    fn spec(&self) -> &PhaseSpec {
+        &self.profile.phases[self.phase]
+    }
+
+    /// The static code of the current phase, building it on first entry.
+    ///
+    /// Construction uses an RNG derived only from the profile seed and phase
+    /// index, so the code is identical no matter when it is first visited.
+    fn ensure_code(&mut self) {
+        if self.code[self.phase].is_none() {
+            let mut code_rng =
+                GenRng::new(self.profile.seed_salt ^ (0xC0DE_0000 + self.phase as u64));
+            let built = PhaseCode::build(&self.profile.phases[self.phase], &mut code_rng);
+            self.code[self.phase] = Some(built);
+        }
+    }
+
+    /// Picks a source register honouring the phase's dependence density.
+    fn pick_source(&mut self, fp: bool) -> Option<Reg> {
+        let spec = self.spec();
+        let dep_density = spec.dep_density;
+        let dep_distance = spec.dep_distance;
+        let recent = if fp { &self.recent_fp } else { &self.recent_int };
+        if !recent.is_empty() && self.rng.chance(dep_density) {
+            // Short-distance dependence: distance ~ exponential with the
+            // configured mean, capped by history length.
+            let mean = dep_distance.max(1.0);
+            let d = ((-(1.0 - self.rng.uniform()).ln() * mean) as usize).min(recent.len() - 1);
+            Some(recent[d])
+        } else {
+            // Long-lived value from the invariant pool.
+            let i = Self::CHAIN_REGS + (self.rng.below((32 - Self::CHAIN_REGS) as u64) as u8);
+            Some(if fp { Reg::fp(i) } else { Reg::int(i) })
+        }
+    }
+
+    /// Allocates a destination register round-robin over the chain pool.
+    fn pick_dest(&mut self, fp: bool) -> Reg {
+        if fp {
+            let r = Reg::fp(self.next_fp_dest);
+            self.next_fp_dest = (self.next_fp_dest + 1) % Self::CHAIN_REGS;
+            self.recent_fp.push_front(r);
+            self.recent_fp.truncate(32);
+            r
+        } else {
+            let r = Reg::int(self.next_int_dest);
+            self.next_int_dest = (self.next_int_dest + 1) % Self::CHAIN_REGS;
+            self.recent_int.push_front(r);
+            self.recent_int.truncate(32);
+            r
+        }
+    }
+
+    /// Generates a data address according to the phase's locality model.
+    fn pick_address(&mut self) -> u64 {
+        let spec = self.spec().clone();
+        let phase = self.phase;
+        if self.rng.chance(spec.l1d_miss) {
+            // Cold access.
+            if self.rng.chance(spec.l2_miss) {
+                // Streaming: compulsory miss everywhere.
+                self.stream_ptr += 64;
+                self.stream_ptr
+            } else {
+                // Warm: L1-hostile but L2-resident by construction. The warm
+                // set concentrates on 16 L1 sets (so its 256 lines thrash the
+                // 2-way L1 by conflict) while occupying 256 *distinct* sets
+                // of the direct-mapped L2 (tag bits land inside the L2 index
+                // range). A small per-phase offset keeps phases' warm sets
+                // from aliasing each other in L2.
+                let set_sel = self.rng.below(16); // L1 set selector (bits 6..10)
+                let tag = self.rng.below(16); // L1 tag / L2 set bits 15..19
+                let word = self.rng.below(8); // word within the line
+                warm_base(phase) + ((phase as u64) << 11) + (set_sel << 6) + (tag << 15) + word * 8
+            }
+        } else {
+            // Hot-set access (L1-resident).
+            let hot = spec.hot_set_bytes.max(64);
+            hot_base(phase) + (self.rng.below(hot / 8)) * 8
+        }
+    }
+
+    /// Advances phase bookkeeping after emitting one instruction.
+    fn advance_position(&mut self) {
+        self.index += 1;
+        self.phase_pos += 1;
+        if self.phase_pos >= self.profile.phases[self.phase].length {
+            self.phase_pos = 0;
+            self.phase = (self.phase + 1) % self.profile.phases.len();
+            self.slot = 0;
+        }
+    }
+
+    /// Produces the next dynamic instruction.
+    pub fn next_instruction(&mut self) -> Instruction {
+        self.ensure_code();
+        let spec = self.spec().clone();
+        let phase = self.phase;
+        let n_slots = self.code[phase].as_ref().expect("code built").ops.len() as u32;
+        let slot = self.slot.min(n_slots - 1);
+        let op = self.code[phase].as_ref().expect("code built").ops[slot as usize];
+        let pc = code_base(phase) + slot as u64 * 4;
+
+        let instr = match op.class {
+            OpClass::Load => {
+                let addr_src = self.pick_source(false);
+                let addr = self.pick_address();
+                // Loads feed the fp chains in proportion to fp content.
+                let fp_dest = self.rng.chance(spec.mix.fp_fraction() * 1.5);
+                let dest = self.pick_dest(fp_dest);
+                Instruction::load(pc, dest, addr_src, addr)
+            }
+            OpClass::Store => {
+                let fp_data = self.rng.chance(spec.mix.fp_fraction());
+                let data_src = self.pick_source(fp_data);
+                let addr_src = self.pick_source(false);
+                let addr = self.pick_address();
+                Instruction::store(pc, data_src, addr_src, addr)
+            }
+            OpClass::Branch => {
+                let cond_src = self.pick_source(false);
+                let sb = op.branch.expect("branch slot has branch data");
+                let taken = match sb.kind {
+                    BranchKind::Biased => self.rng.chance(0.95),
+                    BranchKind::Random => self.rng.chance(0.5),
+                };
+                let target = code_base(phase) + sb.target_slot as u64 * 4;
+                let i = Instruction::branch(pc, cond_src, taken, target);
+                self.slot = if taken { sb.target_slot } else { (slot + 1) % n_slots };
+                self.advance_position();
+                return i;
+            }
+            class => {
+                let fp = class.is_fp();
+                let s1 = self.pick_source(fp);
+                let s2 = if self.rng.chance(0.7) { self.pick_source(fp) } else { None };
+                let dest = self.pick_dest(fp);
+                Instruction::alu(pc, class, Some(dest), [s1, s2])
+            }
+        };
+
+        self.slot = (slot + 1) % n_slots;
+        self.advance_position();
+        instr
+    }
+
+    /// Generates the next `n` instructions into a vector.
+    pub fn take_instructions(&mut self, n: usize) -> Vec<Instruction> {
+        (0..n).map(|_| self.next_instruction()).collect()
+    }
+
+    /// Line addresses of every phase's warm (L2-resident) data set.
+    ///
+    /// Cold accesses re-use these lines with long re-use distances, so a
+    /// simulator warming its caches should pre-touch them into the L2:
+    /// without that, benchmarks with low miss rates would pay compulsory
+    /// misses on this set for millions of instructions (far beyond any
+    /// simulated window), which misrepresents the paper's mid-execution
+    /// measurement windows.
+    pub fn warm_footprint(&self) -> Vec<u64> {
+        let mut lines = Vec::new();
+        for phase in 0..self.profile.phases.len() {
+            for set_sel in 0..16u64 {
+                for tag in 0..16u64 {
+                    lines.push(
+                        warm_base(phase) + ((phase as u64) << 11) + (set_sel << 6) + (tag << 15),
+                    );
+                }
+            }
+        }
+        lines
+    }
+}
+
+impl Iterator for WorkloadGenerator {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        Some(self.next_instruction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Mix, Suite};
+
+    fn toy_profile() -> BenchmarkProfile {
+        BenchmarkProfile::new(
+            "toy",
+            Suite::Olden,
+            "n/a",
+            vec![
+                PhaseSpec::compute(1000, Mix::integer_heavy()),
+                PhaseSpec::compute(500, Mix::fp_heavy()),
+            ],
+        )
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = WorkloadGenerator::new(toy_profile(), 7);
+        let mut b = WorkloadGenerator::new(toy_profile(), 7);
+        for _ in 0..5_000 {
+            assert_eq!(a.next_instruction(), b.next_instruction());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = WorkloadGenerator::new(toy_profile(), 1);
+        let mut b = WorkloadGenerator::new(toy_profile(), 2);
+        let same = (0..100)
+            .filter(|_| a.next_instruction() == b.next_instruction())
+            .count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn mix_fractions_are_roughly_respected() {
+        // Dynamic frequencies follow the static mix re-weighted by loop
+        // visit counts; they should land near the configured fractions.
+        let mut g = WorkloadGenerator::new(toy_profile(), 3);
+        let n = 50_000;
+        let mut loads = 0;
+        let mut branches = 0;
+        for _ in 0..n {
+            let i = g.next_instruction();
+            match i.op {
+                OpClass::Load => loads += 1,
+                OpClass::Branch => branches += 1,
+                _ => {}
+            }
+        }
+        let load_frac = loads as f64 / n as f64;
+        let br_frac = branches as f64 / n as f64;
+        assert!(load_frac > 0.1 && load_frac < 0.45, "load {load_frac}");
+        assert!(br_frac > 0.05 && br_frac < 0.35, "branch {br_frac}");
+    }
+
+    #[test]
+    fn phases_rotate() {
+        let mut g = WorkloadGenerator::new(toy_profile(), 4);
+        assert_eq!(g.phase_index(), 0);
+        for _ in 0..1000 {
+            g.next_instruction();
+        }
+        assert_eq!(g.phase_index(), 1);
+        for _ in 0..500 {
+            g.next_instruction();
+        }
+        assert_eq!(g.phase_index(), 0);
+    }
+
+    #[test]
+    fn fp_phase_emits_fp_ops_int_phase_does_not() {
+        let mut g = WorkloadGenerator::new(toy_profile(), 5);
+        let first_phase = g.take_instructions(1000);
+        assert!(first_phase.iter().all(|i| !i.op.is_fp()));
+        let second_phase = g.take_instructions(500);
+        assert!(second_phase.iter().any(|i| i.op.is_fp()));
+    }
+
+    #[test]
+    fn pcs_stay_in_phase_code_region() {
+        let mut g = WorkloadGenerator::new(toy_profile(), 6);
+        for _ in 0..2_000 {
+            let i = g.next_instruction();
+            let base = if i.pc >= code_base(1) { code_base(1) } else { code_base(0) };
+            assert!(i.pc >= base && i.pc < base + (16 << 10) + 4);
+        }
+    }
+
+    #[test]
+    fn static_branches_have_stable_targets() {
+        // Any branch PC seen twice must have the same taken-target.
+        let mut g = WorkloadGenerator::new(toy_profile(), 11);
+        let mut targets = std::collections::HashMap::new();
+        for i in g.take_instructions(20_000) {
+            if let Some(b) = i.branch {
+                let prev = targets.insert(i.pc, b.target);
+                if let Some(p) = prev {
+                    assert_eq!(p, b.target, "target changed for pc {:#x}", i.pc);
+                }
+            }
+        }
+        assert!(!targets.is_empty());
+    }
+
+    #[test]
+    fn execution_revisits_hot_code() {
+        // Loop-biased branch targets must make some PCs execute many times.
+        let mut g = WorkloadGenerator::new(toy_profile(), 12);
+        let mut visits = std::collections::HashMap::new();
+        for i in g.take_instructions(10_000) {
+            *visits.entry(i.pc).or_insert(0u32) += 1;
+        }
+        let max = visits.values().copied().max().expect("non-empty");
+        assert!(max > 10, "hottest pc only executed {max} times");
+    }
+
+    #[test]
+    fn loads_and_stores_have_addresses() {
+        let mut g = WorkloadGenerator::new(toy_profile(), 8);
+        for i in g.take_instructions(5_000) {
+            if i.op.is_mem() {
+                assert!(i.mem.expect("mem payload").addr >= hot_base(0));
+            } else {
+                assert!(i.mem.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn branch_bias_matches_spec() {
+        // With random_branch_frac = 0, nearly all dynamic branches are taken
+        // (biased at 0.95).
+        let mut phases = toy_profile().phases;
+        for p in &mut phases {
+            p.random_branch_frac = 0.0;
+        }
+        let profile = BenchmarkProfile::new("toy2", Suite::Olden, "", phases);
+        let mut g = WorkloadGenerator::new(profile, 9);
+        let (mut taken, mut total) = (0u32, 0u32);
+        for i in g.take_instructions(30_000) {
+            if let Some(b) = i.branch {
+                total += 1;
+                taken += b.taken as u32;
+            }
+        }
+        let rate = taken as f64 / total as f64;
+        assert!((rate - 0.95).abs() < 0.02, "taken rate {rate}");
+    }
+
+    #[test]
+    fn iterator_interface_matches_direct_calls() {
+        let mut a = WorkloadGenerator::new(toy_profile(), 10);
+        let b = WorkloadGenerator::new(toy_profile(), 10);
+        let direct: Vec<_> = (0..50).map(|_| a.next_instruction()).collect();
+        let via_iter: Vec<_> = b.take(50).collect();
+        assert_eq!(direct, via_iter);
+    }
+}

@@ -1,0 +1,324 @@
+//! Statistical benchmark profiles.
+//!
+//! A profile captures the workload characteristics the paper's evaluation
+//! depends on, per program *phase*: instruction mix, dependence density
+//! (how serial the code is), memory behaviour (hot working set vs. cold
+//! streaming footprint), and branch predictability. Programs are modeled as
+//! repeating sequences of phases, which is what gives the off-line
+//! reconfiguration tool temporal structure to exploit (cf. Figure 8 of the
+//! paper, where `art` alternates floating-point-idle and busy regions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::OpClass;
+
+/// Benchmark suite of origin (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// MediaBench multimedia workloads.
+    MediaBench,
+    /// Olden pointer-intensive workloads.
+    Olden,
+    /// SPEC2000 integer workloads.
+    SpecInt2000,
+    /// SPEC2000 floating-point workloads.
+    SpecFp2000,
+}
+
+impl Suite {
+    /// Display name matching the paper's Table 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Suite::MediaBench => "MediaBench",
+            Suite::Olden => "Olden",
+            Suite::SpecInt2000 => "SPEC 2000 Int",
+            Suite::SpecFp2000 => "SPEC 2000 FP",
+        }
+    }
+}
+
+/// An instruction-class mixture (fractions summing to 1).
+///
+/// # Example
+///
+/// ```
+/// use mcd_workload::{Mix, OpClass};
+///
+/// let mix = Mix::integer_heavy();
+/// assert!(mix.fraction(OpClass::IntAlu) > 0.3);
+/// let total: f64 = OpClass::ALL.iter().map(|&c| mix.fraction(c)).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mix {
+    fractions: [f64; 10],
+}
+
+impl Mix {
+    /// Builds a mix from per-class weights (normalized internally).
+    ///
+    /// Order follows [`OpClass::ALL`]:
+    /// `[IntAlu, IntMul, IntDiv, FpAdd, FpMul, FpDiv, FpSqrt, Load, Store, Branch]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all weights are zero.
+    pub fn from_weights(weights: [f64; 10]) -> Self {
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| *w >= 0.0) && sum > 0.0,
+            "mix weights must be non-negative and not all zero"
+        );
+        let mut fractions = weights;
+        for f in &mut fractions {
+            *f /= sum;
+        }
+        Mix { fractions }
+    }
+
+    /// A typical integer-code mix (no floating point).
+    pub fn integer_heavy() -> Self {
+        Mix::from_weights([0.42, 0.02, 0.005, 0.0, 0.0, 0.0, 0.0, 0.24, 0.12, 0.195])
+    }
+
+    /// A typical floating-point loop-nest mix.
+    pub fn fp_heavy() -> Self {
+        Mix::from_weights([0.20, 0.01, 0.0, 0.20, 0.16, 0.02, 0.005, 0.25, 0.10, 0.055])
+    }
+
+    /// The fraction of dynamic instructions in class `c`.
+    pub fn fraction(&self, c: OpClass) -> f64 {
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("class is in ALL");
+        self.fractions[idx]
+    }
+
+    /// Total floating-point fraction.
+    pub fn fp_fraction(&self) -> f64 {
+        OpClass::ALL
+            .iter()
+            .filter(|c| c.is_fp())
+            .map(|&c| self.fraction(c))
+            .sum()
+    }
+
+    /// Total memory-op fraction.
+    pub fn mem_fraction(&self) -> f64 {
+        self.fraction(OpClass::Load) + self.fraction(OpClass::Store)
+    }
+
+    /// Samples a class given a uniform draw in `[0, 1)`.
+    pub fn sample(&self, u: f64) -> OpClass {
+        let mut acc = 0.0;
+        for (i, f) in self.fractions.iter().enumerate() {
+            acc += f;
+            if u < acc {
+                return OpClass::ALL[i];
+            }
+        }
+        OpClass::ALL[9]
+    }
+}
+
+/// One program phase: a statistically homogeneous region of execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Dynamic instruction count of one occurrence of this phase.
+    pub length: u64,
+    /// Instruction mixture within the phase.
+    pub mix: Mix,
+    /// Probability that a source operand is a *recent* value (short
+    /// dependence distance). Higher → more serial code → lower ILP.
+    pub dep_density: f64,
+    /// Mean dependence distance (in instructions) for recent operands.
+    pub dep_distance: f64,
+    /// Probability that a memory access leaves the hot set and touches the
+    /// cold footprint (≈ L1D miss probability).
+    pub l1d_miss: f64,
+    /// Conditional probability that a cold access also misses in L2.
+    pub l2_miss: f64,
+    /// Bytes of the hot data set (fits in L1 for cache-friendly codes).
+    pub hot_set_bytes: u64,
+    /// Bytes of the cold data footprint.
+    pub cold_set_bytes: u64,
+    /// Fraction of branches whose outcome is statistically unpredictable
+    /// (50/50); the rest are strongly biased and predict well.
+    pub random_branch_frac: f64,
+    /// Static code footprint in bytes (drives I-cache behaviour).
+    pub code_bytes: u64,
+}
+
+impl PhaseSpec {
+    /// A reasonable default compute phase (used as a builder base).
+    pub fn compute(length: u64, mix: Mix) -> Self {
+        PhaseSpec {
+            length,
+            mix,
+            dep_density: 0.55,
+            dep_distance: 4.0,
+            l1d_miss: 0.02,
+            l2_miss: 0.1,
+            hot_set_bytes: 16 << 10,
+            cold_set_bytes: 8 << 20,
+            random_branch_frac: 0.08,
+            code_bytes: 16 << 10,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.length == 0 {
+            return Err("phase length must be positive".into());
+        }
+        for (name, p) in [
+            ("dep_density", self.dep_density),
+            ("l1d_miss", self.l1d_miss),
+            ("l2_miss", self.l2_miss),
+            ("random_branch_frac", self.random_branch_frac),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        if self.dep_distance < 1.0 {
+            return Err("dep_distance must be >= 1".into());
+        }
+        if self.hot_set_bytes == 0 || self.cold_set_bytes == 0 || self.code_bytes == 0 {
+            return Err("memory footprints must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete benchmark description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name as in Table 2 (e.g. `"gcc"`).
+    pub name: String,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// The paper's simulated instruction window, for documentation.
+    pub paper_window: String,
+    /// Phases, executed cyclically in order.
+    pub phases: Vec<PhaseSpec>,
+    /// Salt mixed into the workload RNG so two benchmarks with equal
+    /// parameters still produce distinct streams.
+    pub seed_salt: u64,
+}
+
+impl BenchmarkProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase fails validation.
+    pub fn new(
+        name: impl Into<String>,
+        suite: Suite,
+        paper_window: impl Into<String>,
+        phases: Vec<PhaseSpec>,
+    ) -> Self {
+        assert!(!phases.is_empty(), "a benchmark needs at least one phase");
+        for (i, p) in phases.iter().enumerate() {
+            if let Err(e) = p.validate() {
+                panic!("phase {i} invalid: {e}");
+            }
+        }
+        let name = name.into();
+        let seed_salt = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        BenchmarkProfile { name, suite, paper_window: paper_window.into(), phases, seed_salt }
+    }
+
+    /// Total instructions in one full cycle through the phases.
+    pub fn cycle_length(&self) -> u64 {
+        self.phases.iter().map(|p| p.length).sum()
+    }
+
+    /// Dynamic-weighted average FP fraction (useful for sanity checks).
+    pub fn avg_fp_fraction(&self) -> f64 {
+        let total = self.cycle_length() as f64;
+        self.phases
+            .iter()
+            .map(|p| p.mix.fp_fraction() * p.length as f64 / total)
+            .sum()
+    }
+
+    /// Dynamic-weighted average L1D miss probability.
+    pub fn avg_l1d_miss(&self) -> f64 {
+        let total = self.cycle_length() as f64;
+        self.phases
+            .iter()
+            .map(|p| p.l1d_miss * p.length as f64 / total)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_normalizes() {
+        let m = Mix::from_weights([2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert!((m.fraction(OpClass::IntAlu) - 0.5).abs() < 1e-12);
+        assert!((m.mem_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_sample_covers_all_mass() {
+        let m = Mix::integer_heavy();
+        // Sampling at quantiles reproduces the mixture CDF ordering.
+        assert_eq!(m.sample(0.0), OpClass::IntAlu);
+        assert_eq!(m.sample(0.999_999), OpClass::Branch);
+    }
+
+    #[test]
+    fn fp_heavy_mix_has_fp_mass() {
+        assert!(Mix::fp_heavy().fp_fraction() > 0.3);
+        assert_eq!(Mix::integer_heavy().fp_fraction(), 0.0);
+    }
+
+    #[test]
+    fn phase_validation_catches_bad_probabilities() {
+        let mut p = PhaseSpec::compute(1000, Mix::integer_heavy());
+        assert!(p.validate().is_ok());
+        p.l1d_miss = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn profile_cycle_length_sums_phases() {
+        let p = BenchmarkProfile::new(
+            "toy",
+            Suite::Olden,
+            "n/a",
+            vec![
+                PhaseSpec::compute(100, Mix::integer_heavy()),
+                PhaseSpec::compute(50, Mix::fp_heavy()),
+            ],
+        );
+        assert_eq!(p.cycle_length(), 150);
+        assert!(p.avg_fp_fraction() > 0.0);
+    }
+
+    #[test]
+    fn seed_salt_distinguishes_names() {
+        let a = BenchmarkProfile::new("a", Suite::Olden, "", vec![PhaseSpec::compute(1, Mix::integer_heavy())]);
+        let b = BenchmarkProfile::new("b", Suite::Olden, "", vec![PhaseSpec::compute(1, Mix::integer_heavy())]);
+        assert_ne!(a.seed_salt, b.seed_salt);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_profile_rejected() {
+        let _ = BenchmarkProfile::new("x", Suite::Olden, "", vec![]);
+    }
+}

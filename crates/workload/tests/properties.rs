@@ -1,0 +1,113 @@
+//! Property-based tests for the workload generator.
+
+use proptest::prelude::*;
+
+use mcd_workload::{BenchmarkProfile, Mix, OpClass, PhaseSpec, Suite, WorkloadGenerator};
+
+/// Strategy producing a valid single-phase profile with arbitrary knobs.
+fn arbitrary_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.0f64..0.9,        // dep_density
+        1.0f64..8.0,        // dep_distance
+        0.0f64..0.3,        // l1d_miss
+        0.0f64..0.8,        // l2_miss
+        0.0f64..0.4,        // random_branch_frac
+        1u64..64,           // code KB
+        0.0f64..0.5,        // fp weight
+    )
+        .prop_map(|(dep, dist, l1, l2, rb, code_kb, fp)| {
+            let mix = Mix::from_weights([
+                0.4,
+                0.02,
+                0.0,
+                fp,
+                fp * 0.7,
+                0.0,
+                0.0,
+                0.25,
+                0.1,
+                0.15,
+            ]);
+            BenchmarkProfile::new(
+                "prop",
+                Suite::Olden,
+                "n/a",
+                vec![PhaseSpec {
+                    length: 5_000,
+                    mix,
+                    dep_density: dep,
+                    dep_distance: dist,
+                    l1d_miss: l1,
+                    l2_miss: l2,
+                    hot_set_bytes: 16 << 10,
+                    cold_set_bytes: 8 << 20,
+                    random_branch_frac: rb,
+                    code_bytes: code_kb << 10,
+                }],
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_is_deterministic_for_any_profile(
+        profile in arbitrary_profile(),
+        seed in any::<u64>(),
+    ) {
+        let mut a = WorkloadGenerator::new(profile.clone(), seed);
+        let mut b = WorkloadGenerator::new(profile, seed);
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.next_instruction(), b.next_instruction());
+        }
+    }
+
+    #[test]
+    fn instructions_are_always_well_formed(
+        profile in arbitrary_profile(),
+        seed in any::<u64>(),
+    ) {
+        let mut generator = WorkloadGenerator::new(profile, seed);
+        for _ in 0..2_000 {
+            let i = generator.next_instruction();
+            // Memory payload iff memory class; branch payload iff branch.
+            prop_assert_eq!(i.mem.is_some(), i.op.is_mem());
+            prop_assert_eq!(i.branch.is_some(), i.op == OpClass::Branch);
+            prop_assert_eq!(i.dest.is_some(), i.op.has_dest());
+            // FP ops read/write FP registers.
+            if i.op.is_fp() {
+                prop_assert!(i.dest.expect("fp ops have dests").is_fp());
+            }
+            prop_assert!(i.pc >= 0x0040_0000);
+        }
+    }
+
+    #[test]
+    fn branch_targets_are_stable_per_site(
+        profile in arbitrary_profile(),
+        seed in any::<u64>(),
+    ) {
+        let mut generator = WorkloadGenerator::new(profile, seed);
+        let mut targets = std::collections::HashMap::new();
+        for _ in 0..3_000 {
+            let i = generator.next_instruction();
+            if let Some(b) = i.branch {
+                if let Some(prev) = targets.insert(i.pc, b.target) {
+                    prop_assert_eq!(prev, b.target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_sample_is_a_valid_class(weights in proptest::collection::vec(0.01f64..10.0, 10), u in 0.0f64..1.0) {
+        let mut w = [0.0; 10];
+        w.copy_from_slice(&weights);
+        let mix = Mix::from_weights(w);
+        let class = mix.sample(u);
+        prop_assert!(OpClass::ALL.contains(&class));
+        let total: f64 = OpClass::ALL.iter().map(|&c| mix.fraction(c)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

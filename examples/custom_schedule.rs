@@ -1,0 +1,66 @@
+//! Driving the MCD machine with a hand-written reconfiguration schedule —
+//! the API a user would build an *on-line* control algorithm on top of (the
+//! paper's future work).
+//!
+//! The example scales the floating-point domain down while a pure-integer
+//! benchmark runs, then brings it back, and serializes the schedule to JSON
+//! (the simulator's interchange format for reconfiguration logs).
+//!
+//! ```sh
+//! cargo run --release --example custom_schedule
+//! ```
+
+use mcd::pipeline::{simulate, DomainId, FrequencySchedule, MachineConfig, ScheduleEntry};
+use mcd::power::PowerModel;
+use mcd::time::{DvfsModel, Femtos, Frequency};
+use mcd::workload::suites;
+
+fn main() {
+    let profile = suites::by_name("bzip2").expect("known benchmark");
+    let instructions = 120_000;
+    let power = PowerModel::paper_calibrated();
+
+    // Scale FP to the floor immediately, nudge the load/store domain down a
+    // notch mid-run, and restore it near the end.
+    let schedule = FrequencySchedule::from_entries(vec![
+        ScheduleEntry {
+            at: Femtos::ZERO,
+            domain: DomainId::FloatingPoint,
+            frequency: Frequency::MIN_SCALED,
+        },
+        ScheduleEntry {
+            at: Femtos::from_micros(30),
+            domain: DomainId::LoadStore,
+            frequency: Frequency::from_mhz(900),
+        },
+        ScheduleEntry {
+            at: Femtos::from_micros(90),
+            domain: DomainId::LoadStore,
+            frequency: Frequency::GHZ,
+        },
+    ]);
+    println!("schedule as JSON:\n{}\n", schedule.to_json().expect("serializable"));
+
+    let baseline = simulate(&MachineConfig::baseline_mcd(7), &profile, instructions);
+    let machine = MachineConfig::dynamic(7, DvfsModel::XScale, schedule);
+    let run = simulate(&machine, &profile, instructions);
+
+    let e_base = power.energy_of(&baseline).total();
+    let e_run = power.energy_of(&run).total();
+    println!("bzip2, {instructions} instructions, custom schedule vs static MCD:");
+    println!(
+        "  time   {} -> {} ({:+.2}%)",
+        baseline.total_time,
+        run.total_time,
+        100.0 * (run.slowdown_vs(&baseline) - 1.0)
+    );
+    println!("  energy {:+.2}%", 100.0 * (e_run / e_base - 1.0));
+    for d in DomainId::ALL {
+        println!(
+            "  {:<16} mean {:>7.0} MHz, {} transitions",
+            d.label(),
+            run.avg_frequency_hz[d.index()] / 1e6,
+            run.domain_transitions[d.index()]
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! XScale vs Transmeta: how the DVFS transition model changes what the
+//! off-line tool can exploit.
+//!
+//! The XScale-like model slews voltage in fine steps and executes through
+//! the change; the Transmeta-like model idles the domain for a 10–20 µs PLL
+//! re-lock on every frequency change. The paper found the Transmeta model
+//! "far less promising" because short-term behaviour cannot be tracked —
+//! this example reproduces that comparison on one benchmark.
+//!
+//! ```sh
+//! cargo run --release --example dvfs_comparison [benchmark] [instructions]
+//! ```
+
+use mcd::offline::{derive_schedule, OfflineConfig};
+use mcd::pipeline::{simulate, MachineConfig};
+use mcd::power::PowerModel;
+use mcd::time::DvfsModel;
+use mcd::workload::suites;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "art".into());
+    let instructions: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120_000);
+
+    let Some(profile) = suites::by_name(&name) else {
+        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        std::process::exit(2);
+    };
+
+    let power = PowerModel::paper_calibrated();
+    let baseline = simulate(&MachineConfig::baseline(5), &profile, instructions);
+    let e_base = power.energy_of(&baseline).total();
+
+    println!("{name}: dynamic-5% under both transition models\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "model", "reconfs", "perf deg", "energy", "ED improve", "PLL idle"
+    );
+    for model in [DvfsModel::XScale, DvfsModel::Transmeta] {
+        let cfg = OfflineConfig::paper(0.05, model);
+        let (analysis, _) = derive_schedule(5, &profile, instructions, &cfg);
+        let machine = MachineConfig::dynamic(5, model, analysis.schedule.clone());
+        let run = simulate(&machine, &profile, instructions);
+        let e = power.energy_of(&run).total();
+        let deg = run.slowdown_vs(&baseline) - 1.0;
+        let savings = 1.0 - e / e_base;
+        let ed = 1.0 - (e / e_base) * (1.0 + deg);
+        let idle: mcd::time::Femtos = run.domain_idle.iter().copied().sum();
+        println!(
+            "{:<10} {:>8} {:>9.2}% {:>9.2}% {:>11.2}% {:>10}",
+            format!("{model:?}"),
+            analysis.schedule.len(),
+            100.0 * deg,
+            100.0 * savings,
+            100.0 * ed,
+            idle
+        );
+    }
+    println!("\nexpected: XScale schedules more changes and achieves better energy-delay.");
+    println!("At this window scale the Transmeta model usually schedules *nothing*: a");
+    println!("single 10-20 us PLL re-lock would blow the pooled dilation budget — the");
+    println!("mechanism behind the paper's finding that Transmeta results were far less");
+    println!("promising (its Fig. 8 shows only a handful of changes across 30 ms).");
+}

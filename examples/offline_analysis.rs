@@ -1,0 +1,56 @@
+//! The paper's two-phase methodology end to end: trace a full-speed run,
+//! derive a per-domain reconfiguration schedule with the off-line tool,
+//! replay it in a dynamic run, and compare energy-delay against the
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release --example offline_analysis [benchmark] [instructions]
+//! ```
+
+use mcd::core::{run_benchmark, ExperimentConfig};
+use mcd::pipeline::DomainId;
+use mcd::time::DvfsModel;
+use mcd::workload::suites;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "art".into());
+    let instructions: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120_000);
+
+    let Some(profile) = suites::by_name(&name) else {
+        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        std::process::exit(2);
+    };
+
+    println!("running the five-configuration experiment for {name} ({instructions} instructions)…");
+    let cfg = ExperimentConfig::paper(5, instructions, DvfsModel::XScale);
+    let results = run_benchmark(&profile, &cfg);
+
+    let labels = ["baseline MCD", "dynamic-1%", "dynamic-5%", "global"];
+    let perf = results.perf_degradation();
+    let energy = results.energy_savings();
+    let ed = results.energy_delay_improvement();
+    println!("\n{:<14} {:>10} {:>10} {:>12}", "config", "perf deg", "energy", "energy-delay");
+    for i in 0..4 {
+        println!(
+            "{:<14} {:>9.2}% {:>9.2}% {:>11.2}%",
+            labels[i],
+            100.0 * perf[i],
+            100.0 * energy[i],
+            100.0 * ed[i]
+        );
+    }
+    println!("\nglobal scaling settled on {}", results.global_frequency);
+    println!("\ndynamic-5% schedule summary (the off-line tool's plan):");
+    for d in &DomainId::ALL[1..] {
+        let s = results.domain_summary5[d.index()];
+        println!(
+            "  {:<16} mean {:>7.0} MHz, range {:>4.0}-{:<4.0} MHz, {:.1} reconfigs/1M instr",
+            d.label(),
+            s.mean_frequency_hz / 1e6,
+            s.min_frequency_hz as f64 / 1e6,
+            s.max_frequency_hz as f64 / 1e6,
+            s.reconfigs_per_mi
+        );
+    }
+}

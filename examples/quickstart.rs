@@ -1,0 +1,55 @@
+//! Quickstart: simulate one benchmark on the baseline and MCD machines and
+//! report performance and energy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark] [instructions]
+//! ```
+
+use mcd::pipeline::{simulate, DomainId, MachineConfig};
+use mcd::power::PowerModel;
+use mcd::workload::suites;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gcc".into());
+    let instructions: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+
+    let Some(profile) = suites::by_name(&name) else {
+        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        std::process::exit(2);
+    };
+    println!(
+        "benchmark {name} ({}, paper window: {})",
+        profile.suite.label(),
+        profile.paper_window
+    );
+
+    let power = PowerModel::paper_calibrated();
+    let baseline = simulate(&MachineConfig::baseline(1), &profile, instructions);
+    let mcd = simulate(&MachineConfig::baseline_mcd(1), &profile, instructions);
+
+    let e_base = power.energy_of(&baseline);
+    let e_mcd = power.energy_of(&mcd);
+
+    println!("\nsingle-clock 1 GHz baseline:");
+    println!("  time          {}", baseline.total_time);
+    println!("  IPC           {:.3}", baseline.ipc());
+    println!("  L1D miss      {:.2}%", 100.0 * baseline.l1d.miss_rate());
+    println!("  bpred miss    {:.2}%", 100.0 * baseline.mispredict_rate());
+    println!("  energy        {:.0} units", e_base.total());
+    for d in DomainId::ALL {
+        println!("    {:<16} {:>5.1}%", d.label(), 100.0 * e_base.domain_share(d));
+    }
+
+    println!("\nfour-domain MCD at a static 1 GHz:");
+    println!("  time          {}", mcd.total_time);
+    println!(
+        "  sync overhead {:+.2}% time, {:+.2}% energy",
+        100.0 * (mcd.slowdown_vs(&baseline) - 1.0),
+        100.0 * (e_mcd.total() / e_base.total() - 1.0)
+    );
+    println!(
+        "\nthe MCD machine pays for inter-domain synchronization; run the\n\
+         offline_analysis example to see per-domain scaling win it back."
+    );
+}

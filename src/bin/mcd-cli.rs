@@ -1,0 +1,190 @@
+//! Command-line front end for the MCD-DVFS simulator.
+//!
+//! ```text
+//! mcd-cli list
+//! mcd-cli run        <benchmark> [--config base|mcd|global:<mhz>] [--instructions N] [--seed S]
+//! mcd-cli analyze    <benchmark> [--theta PCT] [--model xscale|transmeta] [--instructions N]
+//! mcd-cli experiment <benchmark> [--instructions N] [--seed S] [--json]
+//! ```
+
+use mcd::core::{run_benchmark, ExperimentConfig};
+use mcd::offline::{derive_schedule, OfflineConfig};
+use mcd::pipeline::{simulate, DomainId, MachineConfig};
+use mcd::power::PowerModel;
+use mcd::time::{DvfsModel, Frequency};
+use mcd::workload::suites;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mcd-cli list\n  mcd-cli run <benchmark> [--config base|mcd|global:<mhz>] \
+         [--instructions N] [--seed S]\n  mcd-cli analyze <benchmark> [--theta PCT] \
+         [--model xscale|transmeta] [--instructions N]\n  mcd-cli experiment <benchmark> \
+         [--instructions N] [--seed S] [--json]"
+    );
+    std::process::exit(2)
+}
+
+struct Opts {
+    benchmark: String,
+    instructions: u64,
+    seed: u64,
+    config: String,
+    theta: f64,
+    model: DvfsModel,
+    json: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        benchmark: String::new(),
+        instructions: 120_000,
+        seed: 5,
+        config: "base".into(),
+        theta: 0.05,
+        model: DvfsModel::XScale,
+        json: false,
+    };
+    let mut it = args.iter();
+    match it.next() {
+        Some(b) => opts.benchmark = b.clone(),
+        None => usage(),
+    }
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            }).clone()
+        };
+        match flag.as_str() {
+            "--instructions" => {
+                opts.instructions = value("--instructions").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--config" => opts.config = value("--config"),
+            "--theta" => {
+                opts.theta = value("--theta").parse::<f64>().unwrap_or_else(|_| usage()) / 100.0
+            }
+            "--model" => {
+                opts.model = match value("--model").as_str() {
+                    "xscale" => DvfsModel::XScale,
+                    "transmeta" => DvfsModel::Transmeta,
+                    _ => usage(),
+                }
+            }
+            "--json" => opts.json = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    match command.as_str() {
+        "list" => {
+            println!("{:<9} {:<14} {}", "name", "suite", "paper window");
+            for p in suites::all() {
+                println!("{:<9} {:<14} {}", p.name, p.suite.label(), p.paper_window);
+            }
+        }
+        "run" => cmd_run(parse_opts(&args[1..])),
+        "analyze" => cmd_analyze(parse_opts(&args[1..])),
+        "experiment" => cmd_experiment(parse_opts(&args[1..])),
+        _ => usage(),
+    }
+}
+
+fn machine_for(opts: &Opts) -> MachineConfig {
+    match opts.config.as_str() {
+        "base" => MachineConfig::baseline(opts.seed),
+        "mcd" => MachineConfig::baseline_mcd(opts.seed),
+        other => match other.strip_prefix("global:") {
+            Some(mhz) => MachineConfig::global(
+                opts.seed,
+                Frequency::from_mhz(mhz.parse().unwrap_or_else(|_| usage())),
+            ),
+            None => usage(),
+        },
+    }
+}
+
+fn profile_for(opts: &Opts) -> mcd::workload::BenchmarkProfile {
+    suites::by_name(&opts.benchmark).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {:?}; try `mcd-cli list`", opts.benchmark);
+        std::process::exit(2)
+    })
+}
+
+fn cmd_run(opts: Opts) {
+    let profile = profile_for(&opts);
+    let machine = machine_for(&opts);
+    let run = simulate(&machine, &profile, opts.instructions);
+    let energy = PowerModel::paper_calibrated().energy_of(&run);
+    println!("benchmark      {}", profile.name);
+    println!("configuration  {}", opts.config);
+    println!("instructions   {}", run.committed);
+    println!("time           {}", run.total_time);
+    println!("IPC            {:.3}", run.ipc());
+    println!("L1D miss       {:.2}%", 100.0 * run.l1d.miss_rate());
+    println!("L1I miss       {:.2}%", 100.0 * run.l1i.miss_rate());
+    println!("L2 miss        {:.2}%", 100.0 * run.l2.miss_rate());
+    println!("bpred miss     {:.2}%", 100.0 * run.mispredict_rate());
+    println!("energy         {:.0} units", energy.total());
+    for d in DomainId::ALL {
+        println!("  {:<16} {:>5.1}%", d.label(), 100.0 * energy.domain_share(d));
+    }
+}
+
+fn cmd_analyze(opts: Opts) {
+    let profile = profile_for(&opts);
+    let cfg = OfflineConfig::paper(opts.theta, opts.model);
+    let (analysis, run) = derive_schedule(opts.seed, &profile, opts.instructions, &cfg);
+    println!(
+        "analyzed {} instructions ({}) at θ = {:.1}%, {:?} model",
+        opts.instructions,
+        run.total_time,
+        100.0 * opts.theta,
+        opts.model
+    );
+    println!("reconfigurations: {}", analysis.schedule.len());
+    for d in &DomainId::ALL[1..] {
+        let s = &analysis.stats[d.index()];
+        println!(
+            "  {:<16} mean {:>7.0} MHz, range {:>4.0}-{:<4.0} MHz, {} changes",
+            d.label(),
+            s.mean_frequency_hz / 1e6,
+            s.min_frequency.as_mhz_f64(),
+            s.max_frequency.as_mhz_f64(),
+            s.reconfigurations
+        );
+    }
+    println!("\nschedule (JSON):");
+    println!("{}", analysis.schedule.to_json().expect("serializable"));
+}
+
+fn cmd_experiment(opts: Opts) {
+    let profile = profile_for(&opts);
+    let cfg = ExperimentConfig::paper(opts.seed, opts.instructions, opts.model);
+    let results = run_benchmark(&profile, &cfg);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&results).expect("serializable"));
+        return;
+    }
+    let labels = ["baseline MCD", "dynamic-1%", "dynamic-5%", "global"];
+    let perf = results.perf_degradation();
+    let energy = results.energy_savings();
+    let ed = results.energy_delay_improvement();
+    println!("benchmark {}; global settled on {}", results.name, results.global_frequency);
+    println!("{:<14} {:>10} {:>10} {:>12}", "config", "perf deg", "energy", "energy-delay");
+    for i in 0..4 {
+        println!(
+            "{:<14} {:>9.2}% {:>9.2}% {:>11.2}%",
+            labels[i],
+            100.0 * perf[i],
+            100.0 * energy[i],
+            100.0 * ed[i]
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration of the clocking substrate with the pipeline: sync windows,
+//! jitter, DVFS transitions and schedules observed end to end.
+
+use mcd::pipeline::{simulate, DomainId, FrequencySchedule, MachineConfig, ScheduleEntry};
+use mcd::time::{DvfsModel, Femtos, Frequency, JitterModel, SyncParams};
+use mcd::workload::suites;
+
+#[test]
+fn wider_sync_window_costs_more() {
+    let profile = suites::by_name("adpcm").expect("known benchmark");
+    let mut times = Vec::new();
+    for frac in [0.0, 0.3, 0.6] {
+        let mut m = MachineConfig::baseline_mcd(4);
+        m.sync = SyncParams::new(frac);
+        m.jitter = JitterModel::disabled();
+        times.push(simulate(&m, &profile, 20_000).total_time);
+    }
+    assert!(times[0] <= times[1], "Ts=0 ({}) vs Ts=0.3 ({})", times[0], times[1]);
+    assert!(times[1] <= times[2], "Ts=0.3 ({}) vs Ts=0.6 ({})", times[1], times[2]);
+}
+
+#[test]
+fn single_clock_machine_pays_no_sync() {
+    // With a single clock, the sync parameters are irrelevant by
+    // construction: changing them must not change anything.
+    let profile = suites::by_name("epic").expect("known benchmark");
+    let mut a = MachineConfig::baseline(4);
+    a.sync = SyncParams::free();
+    let mut b = MachineConfig::baseline(4);
+    b.sync = SyncParams::new(0.5);
+    let ra = simulate(&a, &profile, 10_000);
+    let rb = simulate(&b, &profile, 10_000);
+    assert_eq!(ra.total_time, rb.total_time);
+}
+
+#[test]
+fn transmeta_transitions_idle_the_domain_xscale_does_not() {
+    let profile = suites::by_name("g721").expect("known benchmark");
+    let sched = FrequencySchedule::from_entries(vec![ScheduleEntry {
+        at: Femtos::from_micros(2),
+        domain: DomainId::Integer,
+        frequency: Frequency::from_mhz(800),
+    }]);
+    let xs = simulate(
+        &MachineConfig::dynamic(4, DvfsModel::XScale, sched.clone()),
+        &profile,
+        20_000,
+    );
+    let tm = simulate(&MachineConfig::dynamic(4, DvfsModel::Transmeta, sched), &profile, 20_000);
+    let xs_idle: Femtos = xs.domain_idle.iter().copied().sum();
+    let tm_idle: Femtos = tm.domain_idle.iter().copied().sum();
+    assert_eq!(xs_idle, Femtos::ZERO, "XScale executes through changes");
+    assert!(tm_idle >= Femtos::from_micros(10), "Transmeta re-lock idles: {tm_idle}");
+}
+
+#[test]
+fn voltage_tracks_frequency_on_the_operating_curve() {
+    // Under XScale the voltage slews with the frequency (~55 µs across the
+    // full range), so a run several times that long must show the FP
+    // domain's V²-weighted cycles approaching the 0.65 V floor.
+    let profile = suites::by_name("mst").expect("known benchmark");
+    let sched = FrequencySchedule::from_entries(vec![ScheduleEntry {
+        at: Femtos::ZERO,
+        domain: DomainId::FloatingPoint,
+        frequency: Frequency::MIN_SCALED,
+    }]);
+    let m = MachineConfig::dynamic(4, DvfsModel::XScale, sched);
+    let run = simulate(&m, &profile, 100_000);
+    let fp = DomainId::FloatingPoint.index();
+    let avg_v2 = run.domain_v2_cycles[fp] / run.domain_cycles[fp] as f64;
+    assert!(
+        avg_v2 < 0.9,
+        "FP average V² should fall well below nominal 1.44: {avg_v2}"
+    );
+}
+
+#[test]
+fn transmeta_voltage_trails_frequency() {
+    // The Transmeta model drops frequency right after the re-lock but walks
+    // the voltage down at 20 µs per step — on a short window the energy
+    // benefit is therefore nearly nil even though the clock already runs at
+    // a quarter speed. (This asymmetry is why the paper found the Transmeta
+    // model far less effective.)
+    let profile = suites::by_name("mst").expect("known benchmark");
+    let sched = FrequencySchedule::from_entries(vec![ScheduleEntry {
+        at: Femtos::ZERO,
+        domain: DomainId::FloatingPoint,
+        frequency: Frequency::MIN_SCALED,
+    }]);
+    let m = MachineConfig::dynamic(4, DvfsModel::Transmeta, sched);
+    let run = simulate(&m, &profile, 30_000);
+    let fp = DomainId::FloatingPoint.index();
+    let avg_v2 = run.domain_v2_cycles[fp] / run.domain_cycles[fp] as f64;
+    let int = DomainId::Integer.index();
+    assert!(
+        run.avg_frequency_hz[fp] < 0.6 * run.avg_frequency_hz[int],
+        "frequency drops promptly"
+    );
+    assert!(avg_v2 > 1.3, "voltage has barely moved yet: {avg_v2}");
+}
+
+#[test]
+fn jitter_perturbs_but_does_not_dominate() {
+    let profile = suites::by_name("tsp").expect("known benchmark");
+    let with = simulate(&MachineConfig::baseline_mcd(4), &profile, 20_000);
+    let mut quiet_cfg = MachineConfig::baseline_mcd(4);
+    quiet_cfg.jitter = JitterModel::disabled();
+    let without = simulate(&quiet_cfg, &profile, 20_000);
+    let rel = (with.total_time.as_femtos() as f64 - without.total_time.as_femtos() as f64).abs()
+        / without.total_time.as_femtos() as f64;
+    // Jitter also reshuffles every edge alignment, so the comparison carries
+    // phase luck on top of the direct effect; it must stay second-order.
+    assert!(rel < 0.15, "110 ps jitter should be a second-order effect: {rel}");
+}

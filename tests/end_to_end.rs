@@ -1,0 +1,66 @@
+//! Cross-crate integration: the full paper methodology on a small window.
+
+use mcd::core::{run_benchmark, ExperimentConfig};
+use mcd::pipeline::DomainId;
+use mcd::time::DvfsModel;
+use mcd::workload::suites;
+
+#[test]
+fn five_configurations_hold_their_invariants() {
+    let cfg = ExperimentConfig::paper(5, 20_000, DvfsModel::XScale);
+    let profile = suites::by_name("gcc").expect("known benchmark");
+    let r = run_benchmark(&profile, &cfg);
+
+    let perf = r.perf_degradation();
+    let energy = r.energy_savings();
+    let ed = r.energy_delay_improvement();
+
+    // Baseline MCD pays for synchronization in both time and energy.
+    assert!(perf[0] > 0.0, "MCD must be slower: {:?}", perf);
+    assert!(energy[0] < 0.01, "MCD can't save energy: {:?}", energy);
+    assert!(ed[0] < 0.0, "MCD ED must be worse: {:?}", ed);
+
+    // Dynamic configurations save energy; θ=5% at least as much as θ=1%.
+    assert!(energy[2] > 0.0, "dynamic-5% saves energy: {:?}", energy);
+    assert!(energy[2] >= energy[1] - 0.03, "5% >= 1% (tolerance): {:?}", energy);
+
+    // gcc is the paper's showcase for integer-domain scaling: per-domain
+    // scaling must beat global voltage scaling on energy-delay.
+    assert!(ed[2] > ed[3], "dynamic-5% ED {:.3} vs global {:.3}", ed[2], ed[3]);
+
+    // The front end never scales; the FP domain bottoms out for a benchmark
+    // with almost no floating point.
+    let fe = r.domain_summary5[DomainId::FrontEnd.index()];
+    assert_eq!(fe.min_frequency_hz, 1_000_000_000);
+    let fp = r.domain_summary5[DomainId::FloatingPoint.index()];
+    assert!(fp.mean_frequency_hz < 600e6, "FP should scale deep: {:.3e}", fp.mean_frequency_hz);
+}
+
+#[test]
+fn memory_bound_benchmark_is_the_best_case_for_mcd() {
+    let cfg = ExperimentConfig::paper(5, 30_000, DvfsModel::XScale);
+    let mcf = run_benchmark(&suites::by_name("mcf").expect("known"), &cfg);
+    let ed = mcf.energy_delay_improvement();
+    // mcf's misses leave slack everywhere: the dynamic configuration must
+    // post a clearly positive ED improvement and at least match global
+    // scaling (at full experiment scale it wins by ~2x; this small window
+    // carries warm-up transients, so allow a one-point band).
+    assert!(ed[2] > 0.05, "mcf dynamic-5% ED {:.3}", ed[2]);
+    assert!(ed[2] > ed[3] - 0.01, "mcf dynamic-5% {:.3} vs global {:.3}", ed[2], ed[3]);
+}
+
+#[test]
+fn global_frequency_matches_dynamic_slowdown_band() {
+    let cfg = ExperimentConfig::paper(5, 20_000, DvfsModel::XScale);
+    let r = run_benchmark(&suites::by_name("bzip2").expect("known"), &cfg);
+    let perf = r.perf_degradation();
+    // The global run's degradation tracks dynamic-5%'s within the
+    // 32-point-grid quantization.
+    assert!(
+        (perf[3] - perf[2]).abs() < 0.08,
+        "global {:.3} should track dynamic-5% {:.3}",
+        perf[3],
+        perf[2]
+    );
+    assert!(r.global_frequency.as_hz() < 1_000_000_000);
+}
