@@ -34,12 +34,18 @@ fn main() {
 
     // 2 & 3. Off-line tool variants on gcc, dynamic-5%.
     println!("A2.2/3: off-line tool variants (gcc, dynamic-5%)");
-    println!("{:<28} {:>10} {:>10} {:>8}", "variant", "perf deg", "energy", "reconf");
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}",
+        "variant", "perf deg", "energy", "reconf"
+    );
     let profile = suites::by_name("gcc").expect("known benchmark");
     let base = simulate(&MachineConfig::baseline(mcd_bench::SEED), &profile, n);
     let e_base = power.energy_of(&base).total();
     let mut variants: Vec<(&str, OfflineConfig)> = Vec::new();
-    variants.push(("paper configuration", OfflineConfig::paper(0.05, DvfsModel::XScale)));
+    variants.push((
+        "paper configuration",
+        OfflineConfig::paper(0.05, DvfsModel::XScale),
+    ));
     let mut fe = OfflineConfig::paper(0.05, DvfsModel::XScale);
     fe.scale_front_end = true;
     // The analytic dilation model is least reliable for the front end (its
@@ -53,7 +59,11 @@ fn main() {
     variants.push(("- LS->Int histogram coupling", uncoupled));
     for (label, cfg) in variants {
         let (analysis, _) = derive_schedule(mcd_bench::SEED, &profile, n, &cfg);
-        let machine = MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, analysis.schedule.clone());
+        let machine = MachineConfig::dynamic(
+            mcd_bench::SEED,
+            DvfsModel::XScale,
+            analysis.schedule.clone(),
+        );
         let run = simulate(&machine, &profile, n);
         let e = power.energy_of(&run).total();
         println!(

@@ -10,7 +10,10 @@ fn main() {
     let n = (mcd_bench::instructions() / 4).max(40_000);
     let names = ["adpcm", "g721", "gcc", "art"];
     println!("Ablation: baseline-MCD performance cost vs sync window T_s ({n} instructions)");
-    println!("{:<9} {:>8} {:>8} {:>8} {:>8}", "bench", "Ts=0%", "Ts=15%", "Ts=30%", "Ts=50%");
+    println!(
+        "{:<9} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "Ts=0%", "Ts=15%", "Ts=30%", "Ts=50%"
+    );
     for name in names {
         let profile = suites::by_name(name).expect("known benchmark");
         let base = simulate(&MachineConfig::baseline(mcd_bench::SEED), &profile, n);

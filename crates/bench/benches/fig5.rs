@@ -15,7 +15,10 @@ fn main() {
         })
         .collect();
     rows.push(average(&rows));
-    print!("{}", format_percent_table("Figure 5: Performance degradation results", &rows));
+    print!(
+        "{}",
+        format_percent_table("Figure 5: Performance degradation results", &rows)
+    );
     println!();
     println!("paper averages: baseline MCD < 4%, dynamic-5% ~ 10%, global matched to dynamic-5%");
 }

@@ -14,7 +14,10 @@ fn main() {
         })
         .collect();
     rows.push(average(&rows));
-    print!("{}", format_percent_table("Figure 6: Energy savings results", &rows));
+    print!(
+        "{}",
+        format_percent_table("Figure 6: Energy savings results", &rows)
+    );
     println!();
     println!("paper averages: baseline MCD ~ -1.5%, dynamic-5% ~ 27%, global < 12%");
 }

@@ -17,12 +17,17 @@ fn main() {
     let avg = average(&rows);
     let (dyn5, global) = (avg.values[2], avg.values[3]);
     rows.push(avg);
-    print!("{}", format_percent_table("Figure 7: Energy-delay improvement results", &rows));
+    print!(
+        "{}",
+        format_percent_table("Figure 7: Energy-delay improvement results", &rows)
+    );
     println!();
     println!("paper averages: dynamic-5% ~ 20%, dynamic-1% ~ 13%, global ~ 3%");
     if dyn5 > global {
         println!("headline ordering holds: dynamic-5% ({dyn5:.1}%) > global ({global:.1}%)");
     } else {
-        println!("WARNING: headline ordering violated: dynamic-5% ({dyn5:.1}%) <= global ({global:.1}%)");
+        println!(
+            "WARNING: headline ordering violated: dynamic-5% ({dyn5:.1}%) <= global ({global:.1}%)"
+        );
     }
 }

@@ -19,7 +19,10 @@ fn main() {
         let cfg = OfflineConfig::paper(0.01, model);
         let (analysis, _) = derive_schedule(mcd_bench::SEED, &art, n, &cfg);
         println!("art ({model:?}), dynamic-1%: frequency vs time");
-        println!("{:<16} {:>12} {:>12} {:>12}", "t (ms)", "Int (GHz)", "LS (GHz)", "FP (GHz)");
+        println!(
+            "{:<16} {:>12} {:>12} {:>12}",
+            "t (ms)", "Int (GHz)", "LS (GHz)", "FP (GHz)"
+        );
         // Sample the cluster plans on a uniform grid for a plottable series.
         let end = analysis.trace_end;
         let steps = 40u64;

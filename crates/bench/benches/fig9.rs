@@ -15,7 +15,14 @@ fn main() {
         println!("{model:?} reconfiguration data (dynamic-5%)");
         println!(
             "{:<9} {:>12} | {:>9} {:>9} {:>9} | {:>17} {:>17} {:>17}",
-            "bench", "reconf/1M", "Int MHz", "LS MHz", "FP MHz", "Int range", "LS range", "FP range"
+            "bench",
+            "reconf/1M",
+            "Int MHz",
+            "LS MHz",
+            "FP MHz",
+            "Int range",
+            "LS range",
+            "FP range"
         );
         let mut total_reconf = 0.0;
         for profile in suites::all() {

@@ -60,5 +60,11 @@ fn bench_shaker(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_cache, bench_bpred, bench_shaker);
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_cache,
+    bench_bpred,
+    bench_shaker
+);
 criterion_main!(benches);

@@ -18,7 +18,9 @@ fn main() {
         "", "off deg", "off en", "off ED", "on deg", "on en", "on ED"
     );
     let (mut sums_off, mut sums_on) = ([0.0f64; 3], [0.0f64; 3]);
-    let names = ["adpcm", "gcc", "mcf", "em3d", "bzip2", "art", "swim", "g721"];
+    let names = [
+        "adpcm", "gcc", "mcf", "em3d", "bzip2", "art", "swim", "g721",
+    ];
     for name in names {
         let profile = suites::by_name(name).expect("known benchmark");
         let mcd = simulate(&MachineConfig::baseline_mcd(mcd_bench::SEED), &profile, n);

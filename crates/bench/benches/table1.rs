@@ -10,15 +10,35 @@ fn main() {
     println!("Table 1: Architectural parameters for simulated processor");
     println!("{:<44} {:>12} {:>8}", "parameter", "this repo", "paper");
     let rows: Vec<(&str, String, &str)> = vec![
-        ("Branch mispredict penalty", c.mispredict_penalty.to_string(), "7"),
+        (
+            "Branch mispredict penalty",
+            c.mispredict_penalty.to_string(),
+            "7",
+        ),
         ("Decode width", c.decode_width.to_string(), "4"),
-        ("Issue width", (c.issue_width_int + c.issue_width_fp).to_string(), "6"),
+        (
+            "Issue width",
+            (c.issue_width_int + c.issue_width_fp).to_string(),
+            "6",
+        ),
         ("Retire width", c.retire_width.to_string(), "11"),
-        ("L1 data cache (KB)", (c.l1d.size_bytes >> 10).to_string(), "64"),
+        (
+            "L1 data cache (KB)",
+            (c.l1d.size_bytes >> 10).to_string(),
+            "64",
+        ),
         ("L1 data cache ways", c.l1d.ways.to_string(), "2"),
-        ("L1 instruction cache (KB)", (c.l1i.size_bytes >> 10).to_string(), "64"),
+        (
+            "L1 instruction cache (KB)",
+            (c.l1i.size_bytes >> 10).to_string(),
+            "64",
+        ),
         ("L1 instruction cache ways", c.l1i.ways.to_string(), "2"),
-        ("L2 unified cache (MB)", (c.l2.size_bytes >> 20).to_string(), "1"),
+        (
+            "L2 unified cache (MB)",
+            (c.l2.size_bytes >> 20).to_string(),
+            "1",
+        ),
         ("L2 ways (direct mapped)", c.l2.ways.to_string(), "1"),
         ("L1 cache latency (cycles)", c.l1_latency.to_string(), "2"),
         ("L2 cache latency (cycles)", c.l2_latency.to_string(), "12"),
@@ -32,11 +52,27 @@ fn main() {
         ("Physical registers (int)", c.phys_int.to_string(), "72"),
         ("Physical registers (fp)", c.phys_fp.to_string(), "72"),
         ("Reorder buffer size", c.rob_size.to_string(), "80"),
-        ("Bimodal predictor size", c.bpred.bimodal_entries.to_string(), "1024"),
-        ("PAg level-1 entries", c.bpred.l1_entries.to_string(), "1024"),
+        (
+            "Bimodal predictor size",
+            c.bpred.bimodal_entries.to_string(),
+            "1024",
+        ),
+        (
+            "PAg level-1 entries",
+            c.bpred.l1_entries.to_string(),
+            "1024",
+        ),
         ("PAg history bits", c.bpred.history_bits.to_string(), "10"),
-        ("PAg level-2 entries", c.bpred.l2_entries.to_string(), "1024"),
-        ("Combining predictor size", c.bpred.chooser_entries.to_string(), "4096"),
+        (
+            "PAg level-2 entries",
+            c.bpred.l2_entries.to_string(),
+            "1024",
+        ),
+        (
+            "Combining predictor size",
+            c.bpred.chooser_entries.to_string(),
+            "4096",
+        ),
         ("BTB sets", c.bpred.btb_sets.to_string(), "4096"),
         ("BTB ways", c.bpred.btb_ways.to_string(), "2"),
     ];

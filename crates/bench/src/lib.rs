@@ -2,17 +2,17 @@
 //!
 //! Figures 5, 6, 7 and the headline summary all consume the same
 //! five-configuration experiment over the sixteen benchmarks, which takes
-//! minutes at full scale; results are therefore cached as JSON under
-//! `target/` keyed by instruction count, seed and DVFS model, so running
-//! `cargo bench` regenerates every artifact while executing the expensive
-//! suite only once.
+//! minutes at full scale; the suite therefore runs as an `mcd-harness`
+//! campaign — cells execute in parallel across cores and land in the
+//! content-addressed cache under `target/mcd-campaign-cache`, so running
+//! `cargo bench` regenerates every artifact while executing each
+//! (benchmark, seed, model, window) cell at most once, ever.
 
-use std::fs;
 use std::path::PathBuf;
 
-use mcd_core::{run_benchmark, BenchmarkResults, ExperimentConfig};
+use mcd_core::BenchmarkResults;
+use mcd_harness::{Campaign, CampaignSpec, ResultCache, Telemetry};
 use mcd_time::DvfsModel;
-use mcd_workload::suites;
 
 /// Default committed-instruction count per simulation run.
 pub const DEFAULT_INSTRUCTIONS: u64 = 240_000;
@@ -28,44 +28,36 @@ pub fn instructions() -> u64 {
         .unwrap_or(DEFAULT_INSTRUCTIONS)
 }
 
-fn cache_path(n: u64, model: DvfsModel) -> PathBuf {
-    let tag = match model {
-        DvfsModel::XScale => "xscale",
-        DvfsModel::Transmeta => "transmeta",
-    };
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target")
-        .join(format!("mcd-suite-{tag}-s{SEED}-n{n}.json"))
+/// The campaign cache shared by every bench and by `mcd-cli campaign`.
+pub fn suite_cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/mcd-campaign-cache")
 }
 
 /// Runs (or loads from cache) the full five-configuration experiment for all
 /// sixteen benchmarks under `model`.
 pub fn full_suite(n: u64, model: DvfsModel) -> Vec<BenchmarkResults> {
-    let path = cache_path(n, model);
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Ok(results) = serde_json::from_str::<Vec<BenchmarkResults>>(&text) {
-            if results.len() == suites::names().len() {
-                eprintln!("[mcd-bench] loaded cached suite from {}", path.display());
-                return results;
-            }
-        }
-    }
+    let spec = CampaignSpec::paper(SEED, n, model);
+    let cache = ResultCache::open(suite_cache_dir()).expect("create suite cache dir");
     eprintln!(
-        "[mcd-bench] running full suite ({n} instructions/run, {model:?}); this takes a few minutes…"
+        "[mcd-bench] campaign: 16 benchmarks × {n} instructions, {model:?} model \
+         (cache: {})",
+        cache.dir().display()
     );
-    let cfg = ExperimentConfig::paper(SEED, n, model);
-    let results: Vec<BenchmarkResults> = suites::all()
-        .iter()
-        .map(|p| {
-            eprintln!("[mcd-bench]   {}", p.name);
-            run_benchmark(p, &cfg)
-        })
-        .collect();
-    if let Ok(json) = serde_json::to_string(&results) {
-        let _ = fs::create_dir_all(path.parent().expect("has parent"));
-        let _ = fs::write(&path, json);
-    }
-    results
+    let report = Campaign::new(spec)
+        .run(&cache, &Telemetry::disabled())
+        .expect("paper campaign spec is valid");
+    eprintln!(
+        "[mcd-bench] campaign done: {} computed, {} cached, {:.1}s",
+        report.computed(),
+        report.cached(),
+        report.wall.as_secs_f64()
+    );
+    report
+        .results()
+        .expect("all cells succeeded")
+        .into_iter()
+        .cloned()
+        .collect()
 }
 
 /// Formats a hertz value the way the paper's figures label frequencies.
@@ -78,8 +70,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn cache_paths_distinguish_models() {
-        assert_ne!(cache_path(1000, DvfsModel::XScale), cache_path(1000, DvfsModel::Transmeta));
-        assert_ne!(cache_path(1000, DvfsModel::XScale), cache_path(2000, DvfsModel::XScale));
+    fn suite_cache_dir_is_under_target() {
+        assert!(suite_cache_dir().to_string_lossy().contains("target"));
     }
 }

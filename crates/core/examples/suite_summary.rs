@@ -14,17 +14,29 @@ use mcd_time::DvfsModel;
 use mcd_workload::suites;
 
 fn main() {
-    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
     let mut sums = [[0.0f64; 4]; 3];
     let names = suites::names();
-    println!("{:8} | {:^28} | {:^28} | {:^28}", "", "perf degradation %", "energy savings %", "ED improvement %");
-    println!("{:8} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}",
-        "bench", "mcd", "d1", "d5", "glob", "mcd", "d1", "d5", "glob", "mcd", "d1", "d5", "glob");
+    println!(
+        "{:8} | {:^28} | {:^28} | {:^28}",
+        "", "perf degradation %", "energy savings %", "ED improvement %"
+    );
+    println!(
+        "{:8} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}",
+        "bench", "mcd", "d1", "d5", "glob", "mcd", "d1", "d5", "glob", "mcd", "d1", "d5", "glob"
+    );
     for name in &names {
         let cfg = ExperimentConfig::paper(5, n, DvfsModel::XScale);
         let p = suites::by_name(name).unwrap();
         let r = run_benchmark(&p, &cfg);
-        let rows = [r.perf_degradation(), r.energy_savings(), r.energy_delay_improvement()];
+        let rows = [
+            r.perf_degradation(),
+            r.energy_savings(),
+            r.energy_delay_improvement(),
+        ];
         print!("{name:8} |");
         for (k, row) in rows.iter().enumerate() {
             for (j, v) in row.iter().enumerate() {
@@ -36,9 +48,9 @@ fn main() {
         println!();
     }
     print!("{:8} |", "AVG");
-    for k in 0..3 {
-        for j in 0..4 {
-            print!(" {:>6.1}", sums[k][j] / names.len() as f64);
+    for group in &sums {
+        for total in group {
+            print!(" {:>6.1}", total / names.len() as f64);
         }
         print!(" |");
     }

@@ -1,0 +1,410 @@
+//! Cell-level experiment API: one (benchmark × machine configuration) run.
+//!
+//! The paper's five configurations are not independent — `dynamic-θ` needs
+//! the traced baseline-MCD run, and `global` needs the dynamic-5 % execution
+//! time to match its slowdown against. [`BenchmarkSession`] owns those
+//! shared intermediates and memoizes them, so any subset of cells can be
+//! computed in any order while every expensive product (the traced run, the
+//! shaker's slack profile, each refined schedule) is built exactly once.
+//! Both the serial driver ([`crate::run_benchmark`]) and the parallel
+//! campaign harness go through this one code path.
+
+use mcd_offline::{cluster_schedule, prepare_slack, AnalysisOutput, SlackProfile};
+use mcd_pipeline::{simulate, DomainId, MachineConfig, PipelineConfig, RunResult};
+use mcd_time::{Femtos, Frequency, FrequencyGrid, VfTable};
+use mcd_workload::BenchmarkProfile;
+
+use crate::experiment::ExperimentConfig;
+use crate::metrics::Metrics;
+
+/// One of the paper's machine configurations, as an independent cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellConfig {
+    /// Single 1 GHz clock, no scaling.
+    Baseline,
+    /// Four domains statically at 1 GHz (pure synchronization cost).
+    BaselineMcd,
+    /// MCD with the off-line schedule at dilation target θ.
+    Dynamic { theta: f64 },
+    /// Single clock scaled so its slowdown matches dynamic-5 %.
+    GlobalMatched,
+}
+
+impl CellConfig {
+    /// The paper's five configurations in figure order.
+    pub const PAPER: [CellConfig; 5] = [
+        CellConfig::Baseline,
+        CellConfig::BaselineMcd,
+        CellConfig::Dynamic { theta: 0.01 },
+        CellConfig::Dynamic { theta: 0.05 },
+        CellConfig::GlobalMatched,
+    ];
+
+    /// Human-readable configuration name.
+    pub fn label(&self) -> String {
+        match self {
+            CellConfig::Baseline => "baseline".into(),
+            CellConfig::BaselineMcd => "baseline-mcd".into(),
+            CellConfig::Dynamic { theta } => format!("dynamic-{:.0}%", theta * 100.0),
+            CellConfig::GlobalMatched => "global".into(),
+        }
+    }
+}
+
+/// What one cell produced.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Configuration name (see [`CellConfig::label`]).
+    pub label: String,
+    /// Time/energy metrics of the run.
+    pub metrics: Metrics,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Instructions per cycle (per base-frequency cycle).
+    pub ipc: f64,
+    /// The frequency the global search settled on (global cells only).
+    pub frequency: Option<Frequency>,
+    /// Scheduled reconfigurations (dynamic cells only).
+    pub reconfigurations: Option<usize>,
+}
+
+pub(crate) fn metrics_of(cfg: &ExperimentConfig, run: &RunResult) -> Metrics {
+    Metrics::new(run.total_time, cfg.power.energy_of(run).total())
+}
+
+/// Memoizing executor for one benchmark under one experiment configuration.
+pub struct BenchmarkSession<'a> {
+    profile: &'a BenchmarkProfile,
+    cfg: &'a ExperimentConfig,
+    baseline: Option<RunResult>,
+    mcd: Option<(PipelineConfig, RunResult)>,
+    slack: Option<SlackProfile>,
+    /// Refined dynamic runs, keyed by θ's bit pattern.
+    dynamic: Vec<(u64, AnalysisOutput, RunResult)>,
+    global: Option<(Frequency, RunResult)>,
+}
+
+impl<'a> BenchmarkSession<'a> {
+    /// Creates a lazy session; nothing is simulated until a cell is asked
+    /// for.
+    pub fn new(profile: &'a BenchmarkProfile, cfg: &'a ExperimentConfig) -> Self {
+        BenchmarkSession {
+            profile,
+            cfg,
+            baseline: None,
+            mcd: None,
+            slack: None,
+            dynamic: Vec::new(),
+            global: None,
+        }
+    }
+
+    /// The benchmark this session runs.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        self.profile
+    }
+
+    /// Computes (or returns the memoized) result for one cell.
+    pub fn cell(&mut self, cell: CellConfig) -> CellResult {
+        let label = cell.label();
+        let cfg = self.cfg;
+        match cell {
+            CellConfig::Baseline => {
+                let run = self.baseline_run();
+                CellResult {
+                    label,
+                    metrics: metrics_of(cfg, run),
+                    committed: run.committed,
+                    ipc: run.ipc(),
+                    frequency: None,
+                    reconfigurations: None,
+                }
+            }
+            CellConfig::BaselineMcd => {
+                let run = self.mcd_run();
+                CellResult {
+                    label,
+                    metrics: metrics_of(cfg, run),
+                    committed: run.committed,
+                    ipc: run.ipc(),
+                    frequency: None,
+                    reconfigurations: None,
+                }
+            }
+            CellConfig::Dynamic { theta } => {
+                let i = self.ensure_dynamic(theta);
+                let (_, analysis, run) = &self.dynamic[i];
+                CellResult {
+                    label,
+                    metrics: metrics_of(cfg, run),
+                    committed: run.committed,
+                    ipc: run.ipc(),
+                    frequency: None,
+                    reconfigurations: Some(analysis.schedule.len()),
+                }
+            }
+            CellConfig::GlobalMatched => {
+                let (frequency, run) = self.global_run();
+                let (frequency, metrics, committed, ipc) =
+                    (*frequency, metrics_of(cfg, run), run.committed, run.ipc());
+                CellResult {
+                    label,
+                    metrics,
+                    committed,
+                    ipc,
+                    frequency: Some(frequency),
+                    reconfigurations: None,
+                }
+            }
+        }
+    }
+
+    /// The single-clock 1 GHz baseline run.
+    pub fn baseline_run(&mut self) -> &RunResult {
+        if self.baseline.is_none() {
+            let machine = MachineConfig::baseline(self.cfg.seed);
+            self.baseline = Some(simulate(&machine, self.profile, self.cfg.instructions));
+        }
+        self.baseline.as_ref().expect("just computed")
+    }
+
+    /// The traced baseline-MCD run.
+    pub fn mcd_run(&mut self) -> &RunResult {
+        self.ensure_mcd();
+        &self.mcd.as_ref().expect("just computed").1
+    }
+
+    /// The analysis behind the dynamic-θ schedule (Figure-9 statistics).
+    pub fn analysis(&mut self, theta: f64) -> &AnalysisOutput {
+        let i = self.ensure_dynamic(theta);
+        &self.dynamic[i].1
+    }
+
+    /// The frequency the global search settled on, with its run.
+    pub fn global_run(&mut self) -> &(Frequency, RunResult) {
+        if self.global.is_none() {
+            let i = self.ensure_dynamic(0.05);
+            let target_time = self.dynamic[i].2.total_time;
+            let baseline_time = self.baseline_run().total_time;
+            self.global = Some(search_global(
+                self.profile,
+                self.cfg,
+                target_time,
+                baseline_time,
+            ));
+        }
+        self.global.as_ref().expect("just computed")
+    }
+
+    fn ensure_mcd(&mut self) {
+        if self.mcd.is_none() {
+            let mut machine = MachineConfig::baseline_mcd(self.cfg.seed);
+            machine.collect_trace = true;
+            let run = simulate(&machine, self.profile, self.cfg.instructions);
+            self.mcd = Some((machine.pipeline, run));
+        }
+    }
+
+    fn ensure_slack(&mut self) {
+        self.ensure_mcd();
+        if self.slack.is_none() {
+            let (pipeline, run) = self.mcd.as_ref().expect("just ensured");
+            let trace = run.trace.as_ref().expect("trace requested");
+            let slack = prepare_slack(trace, pipeline, &self.cfg.offline);
+            self.slack = Some(slack);
+        }
+    }
+
+    fn ensure_dynamic(&mut self, theta: f64) -> usize {
+        let key = theta.to_bits();
+        if let Some(i) = self.dynamic.iter().position(|(k, ..)| *k == key) {
+            return i;
+        }
+        self.ensure_slack();
+        let mcd_time = self.mcd.as_ref().expect("ensured").1.total_time;
+        let slack = self.slack.as_ref().expect("ensured");
+        let (analysis, run) = refine_dynamic(self.profile, self.cfg, slack, theta, mcd_time);
+        self.dynamic.push((key, analysis, run));
+        self.dynamic.len() - 1
+    }
+}
+
+/// Runs a single cell standalone (a fresh session computes exactly the
+/// dependencies this cell needs and nothing else).
+///
+/// # Example
+///
+/// ```no_run
+/// use mcd_core::{run_cell, CellConfig, ExperimentConfig};
+/// use mcd_time::DvfsModel;
+/// use mcd_workload::suites;
+///
+/// let cfg = ExperimentConfig::paper(1, 100_000, DvfsModel::XScale);
+/// let art = suites::by_name("art").expect("known benchmark");
+/// let cell = run_cell(&art, &cfg, CellConfig::Dynamic { theta: 0.05 });
+/// println!("{}: {} reconfigurations", cell.label, cell.reconfigurations.unwrap());
+/// ```
+pub fn run_cell(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    cell: CellConfig,
+) -> CellResult {
+    BenchmarkSession::new(profile, cfg).cell(cell)
+}
+
+/// Derives a schedule for dilation target θ and refines the per-domain
+/// budgets until the dynamic run's measured degradation (over the baseline
+/// MCD run) is close to θ.
+///
+/// Only the cheap clustering pass re-runs per refinement iteration; the
+/// shaker's slack profile is shared across iterations *and* across θ
+/// targets.
+fn refine_dynamic(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    slack: &SlackProfile,
+    theta: f64,
+    mcd_time: Femtos,
+) -> (AnalysisOutput, RunResult) {
+    let mut off = cfg.offline.clone();
+    off.dilation_target = theta;
+    off.model = cfg.model;
+    let base_safety = off.budget_safety;
+    // Share of the degradation budget granted to each domain. Scaling each
+    // domain's budget against its *measured* cost redistributes slack toward
+    // domains that are cheap to slow on this particular benchmark.
+    let weights = [0.0, 0.40, 0.25, 0.35];
+    let mut scale = [1.0f64; DomainId::COUNT];
+    let mut best: Option<(AnalysisOutput, RunResult)> = None;
+    for iter in 0..3 {
+        for (i, s) in off.budget_safety.iter_mut().enumerate() {
+            *s = (base_safety[i] * scale[i]).clamp(0.02, 5.0);
+        }
+        let analysis = cluster_schedule(slack, &off);
+        let machine = MachineConfig::dynamic(cfg.seed, cfg.model, analysis.schedule.clone());
+        let run = simulate(&machine, profile, cfg.instructions);
+        best = Some((analysis, run));
+        if iter == 2 {
+            break;
+        }
+        // Measure each domain's isolated degradation and rescale its budget
+        // toward its share of θ.
+        let analysis_ref = &best.as_ref().expect("just set").0;
+        let mut adjusted = false;
+        for d in &DomainId::ALL[1..] {
+            let entries: Vec<_> = analysis_ref
+                .schedule
+                .entries()
+                .iter()
+                .filter(|e| e.domain == *d)
+                .copied()
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let machine = MachineConfig::dynamic(
+                cfg.seed,
+                cfg.model,
+                mcd_pipeline::FrequencySchedule::from_entries(entries),
+            );
+            let run_d = simulate(&machine, profile, cfg.instructions);
+            let deg_d = run_d.total_time.as_femtos() as f64 / mcd_time.as_femtos() as f64 - 1.0;
+            let target_d = theta * weights[d.index()];
+            if deg_d > target_d * 1.35 + 0.003 || deg_d < target_d * 0.5 {
+                let ratio = (target_d / deg_d.max(1e-4)).clamp(0.3, 2.5);
+                scale[d.index()] = (scale[d.index()] * ratio).clamp(0.02, 8.0);
+                adjusted = true;
+            }
+        }
+        if !adjusted {
+            break;
+        }
+    }
+    best.expect("at least one iteration ran")
+}
+
+/// Finds the 32-point-grid frequency whose single-clock run time is closest
+/// to `target_time` (the dynamic-5 % execution time), by bisection.
+fn search_global(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    target_time: Femtos,
+    baseline_time: Femtos,
+) -> (Frequency, RunResult) {
+    let grid = FrequencyGrid::new(VfTable::paper(), 32);
+    if target_time <= baseline_time {
+        // Dynamic-5 % was not slower: global cannot scale at all.
+        let f = grid.points().last().expect("non-empty grid").frequency;
+        let run = simulate(
+            &MachineConfig::global(cfg.seed, f),
+            profile,
+            cfg.instructions,
+        );
+        return (f, run);
+    }
+    // Run time decreases monotonically with frequency: bisect the grid.
+    let mut lo = 0usize;
+    let mut hi = grid.len() - 1;
+    let mut best: Option<(u64, Frequency, RunResult)> = None;
+    let consider = |i: usize, best: &mut Option<(u64, Frequency, RunResult)>| -> bool {
+        let f = grid.point(i).frequency;
+        let run = simulate(
+            &MachineConfig::global(cfg.seed, f),
+            profile,
+            cfg.instructions,
+        );
+        let err = run.total_time.as_femtos().abs_diff(target_time.as_femtos());
+        let slower = run.total_time > target_time;
+        if best.as_ref().map(|(e, _, _)| err < *e).unwrap_or(true) {
+            *best = Some((err, f, run));
+        }
+        slower
+    };
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if consider(mid, &mut best) {
+            // Too slow: need a higher frequency.
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    consider(lo, &mut best);
+    let (_, f, run) = best.expect("at least one probe ran");
+    (f, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_time::DvfsModel;
+    use mcd_workload::suites;
+
+    #[test]
+    fn standalone_cell_matches_session_cell() {
+        let cfg = ExperimentConfig::paper(7, 20_000, DvfsModel::XScale);
+        let profile = suites::by_name("gcc").expect("known benchmark");
+        let standalone = run_cell(&profile, &cfg, CellConfig::Baseline);
+        let mut session = BenchmarkSession::new(&profile, &cfg);
+        let from_session = session.cell(CellConfig::Baseline);
+        assert_eq!(standalone.metrics, from_session.metrics);
+        assert_eq!(standalone.committed, from_session.committed);
+    }
+
+    #[test]
+    fn cells_are_memoized() {
+        let cfg = ExperimentConfig::paper(7, 15_000, DvfsModel::XScale);
+        let profile = suites::by_name("swim").expect("known benchmark");
+        let mut session = BenchmarkSession::new(&profile, &cfg);
+        let a = session.cell(CellConfig::BaselineMcd);
+        let b = session.cell(CellConfig::BaselineMcd);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CellConfig::Baseline.label(), "baseline");
+        assert_eq!(CellConfig::Dynamic { theta: 0.05 }.label(), "dynamic-5%");
+        assert_eq!(CellConfig::GlobalMatched.label(), "global");
+    }
+}

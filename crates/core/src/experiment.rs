@@ -9,12 +9,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcd_offline::{analyze, AnalysisOutput, OfflineConfig};
-use mcd_pipeline::{simulate, DomainId, MachineConfig, RunResult};
+use mcd_offline::OfflineConfig;
+use mcd_pipeline::DomainId;
 use mcd_power::PowerModel;
-use mcd_time::{DvfsModel, Frequency, FrequencyGrid, VfTable};
+use mcd_time::{DvfsModel, Frequency};
 use mcd_workload::BenchmarkProfile;
 
+use crate::cell::{BenchmarkSession, CellConfig};
 use crate::metrics::Metrics;
 
 /// Experiment parameters shared by all benchmarks.
@@ -110,16 +111,13 @@ impl BenchmarkResults {
     /// Energy-delay improvement versus baseline, same order.
     pub fn energy_delay_improvement(&self) -> [f64; 4] {
         [
-            self.baseline_mcd.energy_delay_improvement_vs(&self.baseline),
+            self.baseline_mcd
+                .energy_delay_improvement_vs(&self.baseline),
             self.dynamic1.energy_delay_improvement_vs(&self.baseline),
             self.dynamic5.energy_delay_improvement_vs(&self.baseline),
             self.global.energy_delay_improvement_vs(&self.baseline),
         ]
     }
-}
-
-fn metrics_of(power: &PowerModel, run: &RunResult) -> Metrics {
-    Metrics::new(run.total_time, power.energy_of(run).total())
 }
 
 /// Runs the full experiment (all five configurations) for one benchmark.
@@ -138,36 +136,43 @@ fn metrics_of(power: &PowerModel, run: &RunResult) -> Metrics {
 ///          100.0 * results.energy_delay_improvement()[2]);
 /// ```
 pub fn run_benchmark(profile: &BenchmarkProfile, cfg: &ExperimentConfig) -> BenchmarkResults {
-    // 1. Single-clock baseline.
-    let base_machine = MachineConfig::baseline(cfg.seed);
-    let base_run = simulate(&base_machine, profile, cfg.instructions);
-    let baseline = metrics_of(&cfg.power, &base_run);
+    run_benchmark_observed(profile, cfg, [0.01, 0.05], &mut |_, _| {})
+}
 
-    // 2. Baseline MCD, traced for the off-line tool.
-    let mut mcd_machine = MachineConfig::baseline_mcd(cfg.seed);
-    mcd_machine.collect_trace = true;
-    let mcd_run = simulate(&mcd_machine, profile, cfg.instructions);
-    let baseline_mcd = metrics_of(&cfg.power, &mcd_run);
-    let trace = mcd_run.trace.as_ref().expect("trace requested");
+/// [`run_benchmark`] with an explicit pair of dilation targets and a stage
+/// observer.
+///
+/// `observe` is called once per configuration cell with its label and wall
+/// time (a cell's span includes any shared intermediates it was the first
+/// to need — e.g. the first dynamic cell pays for the traced run and the
+/// shaker pass). The campaign harness uses this for per-cell stage spans;
+/// the plain driver passes a no-op.
+pub fn run_benchmark_observed(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    thetas: [f64; 2],
+    observe: &mut dyn FnMut(&str, std::time::Duration),
+) -> BenchmarkResults {
+    let mut session = BenchmarkSession::new(profile, cfg);
+    let mut timed = |session: &mut BenchmarkSession, cell: CellConfig| {
+        let start = std::time::Instant::now();
+        let result = session.cell(cell);
+        observe(&result.label, start.elapsed());
+        result
+    };
 
-    // 3 & 4. Off-line analysis at both dilation targets, each refined in a
-    // closed loop: the analytic dilation model cannot see every structural
-    // effect of slowing a domain, so the tool replays its own schedule and
-    // tightens (or relaxes) the per-domain budgets until the measured
-    // degradation lands near θ — the paper's figures show exactly this
-    // property ("performance degradation … roughly in keeping with θ").
-    let (_analysis1, dyn1_run) =
-        refined_dynamic(profile, cfg, trace, &mcd_machine.pipeline, 0.01, mcd_run.total_time);
-    let dynamic1 = metrics_of(&cfg.power, &dyn1_run);
-    let (analysis5, dyn5_run) =
-        refined_dynamic(profile, cfg, trace, &mcd_machine.pipeline, 0.05, mcd_run.total_time);
-    let dynamic5 = metrics_of(&cfg.power, &dyn5_run);
+    // The five configurations share intermediates through the session: the
+    // traced baseline-MCD run feeds the off-line analysis (whose expensive
+    // shaker pass runs once for both dilation targets), and the dynamic-5 %
+    // execution time anchors the global-scaling search.
+    let baseline = timed(&mut session, CellConfig::Baseline).metrics;
+    let baseline_mcd = timed(&mut session, CellConfig::BaselineMcd).metrics;
+    let dynamic1 = timed(&mut session, CellConfig::Dynamic { theta: thetas[0] }).metrics;
+    let dyn5 = timed(&mut session, CellConfig::Dynamic { theta: thetas[1] });
+    let global_cell = timed(&mut session, CellConfig::GlobalMatched);
 
-    // 5. Global scaling matched to the dynamic-5 % degradation.
-    let (global_frequency, global_run) =
-        search_global(profile, cfg, dyn5_run.total_time, base_run.total_time);
-    let global = metrics_of(&cfg.power, &global_run);
-
+    let baseline_ipc = session.baseline_run().ipc();
+    let analysis5 = session.analysis(thetas[1]);
     let domain_summary5 = DomainId::ALL.map(|d| {
         let s = &analysis5.stats[d.index()];
         DomainSummary {
@@ -183,125 +188,17 @@ pub fn run_benchmark(profile: &BenchmarkProfile, cfg: &ExperimentConfig) -> Benc
         baseline,
         baseline_mcd,
         dynamic1,
-        dynamic5,
-        global,
-        global_frequency,
+        dynamic5: dyn5.metrics,
+        global: global_cell.metrics,
+        global_frequency: global_cell
+            .frequency
+            .expect("global cell reports its frequency"),
         domain_summary5,
-        reconfigurations5: analysis5.schedule.len(),
-        baseline_ipc: base_run.ipc(),
+        reconfigurations5: dyn5
+            .reconfigurations
+            .expect("dynamic cell reports reconfigurations"),
+        baseline_ipc,
     }
-}
-
-/// Derives a schedule for dilation target θ and refines the per-domain
-/// budgets until the dynamic run's measured degradation (over the baseline
-/// MCD run) is close to θ.
-fn refined_dynamic(
-    profile: &BenchmarkProfile,
-    cfg: &ExperimentConfig,
-    trace: &[mcd_pipeline::InstrTrace],
-    pcfg: &mcd_pipeline::PipelineConfig,
-    theta: f64,
-    mcd_time: mcd_time::Femtos,
-) -> (AnalysisOutput, RunResult) {
-    let mut off = cfg.offline.clone();
-    off.dilation_target = theta;
-    off.model = cfg.model;
-    let base_safety = off.budget_safety;
-    // Share of the degradation budget granted to each domain. Scaling each
-    // domain's budget against its *measured* cost redistributes slack toward
-    // domains that are cheap to slow on this particular benchmark.
-    let weights = [0.0, 0.40, 0.25, 0.35];
-    let mut scale = [1.0f64; DomainId::COUNT];
-    let mut best: Option<(AnalysisOutput, RunResult)> = None;
-    for iter in 0..3 {
-        for (i, s) in off.budget_safety.iter_mut().enumerate() {
-            *s = (base_safety[i] * scale[i]).clamp(0.02, 5.0);
-        }
-        let analysis = analyze(trace, pcfg, &off);
-        let machine = MachineConfig::dynamic(cfg.seed, cfg.model, analysis.schedule.clone());
-        let run = simulate(&machine, profile, cfg.instructions);
-        best = Some((analysis, run));
-        if iter == 2 {
-            break;
-        }
-        // Measure each domain's isolated degradation and rescale its budget
-        // toward its share of θ.
-        let analysis_ref = &best.as_ref().expect("just set").0;
-        let mut adjusted = false;
-        for d in &DomainId::ALL[1..] {
-            let entries: Vec<_> = analysis_ref
-                .schedule
-                .entries()
-                .iter()
-                .filter(|e| e.domain == *d)
-                .copied()
-                .collect();
-            if entries.is_empty() {
-                continue;
-            }
-            let machine = MachineConfig::dynamic(
-                cfg.seed,
-                cfg.model,
-                mcd_pipeline::FrequencySchedule::from_entries(entries),
-            );
-            let run_d = simulate(&machine, profile, cfg.instructions);
-            let deg_d =
-                run_d.total_time.as_femtos() as f64 / mcd_time.as_femtos() as f64 - 1.0;
-            let target_d = theta * weights[d.index()];
-            if deg_d > target_d * 1.35 + 0.003 || deg_d < target_d * 0.5 {
-                let ratio = (target_d / deg_d.max(1e-4)).clamp(0.3, 2.5);
-                scale[d.index()] = (scale[d.index()] * ratio).clamp(0.02, 8.0);
-                adjusted = true;
-            }
-        }
-        if !adjusted {
-            break;
-        }
-    }
-    best.expect("at least one iteration ran")
-}
-
-/// Finds the 32-point-grid frequency whose single-clock run time is closest
-/// to `target_time` (the dynamic-5 % execution time), by bisection.
-fn search_global(
-    profile: &BenchmarkProfile,
-    cfg: &ExperimentConfig,
-    target_time: mcd_time::Femtos,
-    baseline_time: mcd_time::Femtos,
-) -> (Frequency, RunResult) {
-    let grid = FrequencyGrid::new(VfTable::paper(), 32);
-    if target_time <= baseline_time {
-        // Dynamic-5 % was not slower: global cannot scale at all.
-        let f = grid.points().last().expect("non-empty grid").frequency;
-        let run = simulate(&MachineConfig::global(cfg.seed, f), profile, cfg.instructions);
-        return (f, run);
-    }
-    // Run time decreases monotonically with frequency: bisect the grid.
-    let mut lo = 0usize;
-    let mut hi = grid.len() - 1;
-    let mut best: Option<(u64, Frequency, RunResult)> = None;
-    let consider = |i: usize, best: &mut Option<(u64, Frequency, RunResult)>| -> bool {
-        let f = grid.point(i).frequency;
-        let run = simulate(&MachineConfig::global(cfg.seed, f), profile, cfg.instructions);
-        let err = run.total_time.as_femtos().abs_diff(target_time.as_femtos());
-        let slower = run.total_time > target_time;
-        if best.as_ref().map(|(e, _, _)| err < *e).unwrap_or(true) {
-            *best = Some((err, f, run));
-        }
-        slower
-    };
-    while lo < hi {
-        let mid = (lo + hi) / 2;
-        if consider(mid, &mut best) {
-            // Too slow: need a higher frequency.
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    consider(lo, &mut best);
-    let (_, f, run) = best.expect("at least one probe ran");
-    (f, run)
 }
 
 #[cfg(test)]
@@ -321,9 +218,18 @@ mod tests {
         assert!(perf[0] > 0.0, "MCD overhead {:.3}", perf[0]);
         assert!(perf[0] < 0.15, "MCD overhead too large {:.3}", perf[0]);
         // Dynamic-5 % saves real energy.
-        assert!(energy[2] > 0.06, "dynamic-5% energy savings {:.3}", energy[2]);
+        assert!(
+            energy[2] > 0.06,
+            "dynamic-5% energy savings {:.3}",
+            energy[2]
+        );
         // Dynamic-5 % saves at least as much energy as dynamic-1 %.
-        assert!(energy[2] >= energy[1] - 0.02, "5% {:.3} vs 1% {:.3}", energy[2], energy[1]);
+        assert!(
+            energy[2] >= energy[1] - 0.02,
+            "5% {:.3} vs 1% {:.3}",
+            energy[2],
+            energy[1]
+        );
         // Dynamic ED must recover well above the baseline-MCD ED cost.
         assert!(
             ed[2] > ed[0] + 0.03,

@@ -9,10 +9,14 @@
 //! reproduces the comparison of §4: baseline vs. baseline-MCD vs.
 //! dynamic-1 % vs. dynamic-5 % vs. global voltage scaling.
 
+pub mod cell;
 pub mod experiment;
 pub mod metrics;
 pub mod report;
 
-pub use experiment::{run_benchmark, BenchmarkResults, DomainSummary, ExperimentConfig};
+pub use cell::{run_cell, BenchmarkSession, CellConfig, CellResult};
+pub use experiment::{
+    run_benchmark, run_benchmark_observed, BenchmarkResults, DomainSummary, ExperimentConfig,
+};
 pub use metrics::Metrics;
 pub use report::{average, format_percent_table, to_csv, PercentRow};

@@ -21,7 +21,10 @@ impl Metrics {
     /// Panics if `energy` is non-finite or negative, or `time` is zero.
     pub fn new(time: Femtos, energy: f64) -> Self {
         assert!(time > Femtos::ZERO, "execution time must be positive");
-        assert!(energy.is_finite() && energy >= 0.0, "invalid energy: {energy}");
+        assert!(
+            energy.is_finite() && energy >= 0.0,
+            "invalid energy: {energy}"
+        );
         Metrics { time, energy }
     }
 

@@ -21,7 +21,10 @@ pub fn average(rows: &[PercentRow]) -> PercentRow {
         }
     }
     let n = rows.len().max(1) as f64;
-    PercentRow { label: "average".into(), values: sums.map(|s| s / n) }
+    PercentRow {
+        label: "average".into(),
+        values: sums.map(|s| s / n),
+    }
 }
 
 /// Renders rows as CSV (benchmark, baseline MCD, dynamic-1%, dynamic-5%,
@@ -61,8 +64,14 @@ mod tests {
     #[test]
     fn average_is_columnwise_mean() {
         let rows = vec![
-            PercentRow { label: "a".into(), values: [1.0, 2.0, 3.0, 4.0] },
-            PercentRow { label: "b".into(), values: [3.0, 2.0, 1.0, 0.0] },
+            PercentRow {
+                label: "a".into(),
+                values: [1.0, 2.0, 3.0, 4.0],
+            },
+            PercentRow {
+                label: "b".into(),
+                values: [3.0, 2.0, 1.0, 0.0],
+            },
         ];
         let avg = average(&rows);
         assert_eq!(avg.values, [2.0, 2.0, 2.0, 2.0]);
@@ -71,7 +80,10 @@ mod tests {
 
     #[test]
     fn table_contains_all_rows_and_headers() {
-        let rows = vec![PercentRow { label: "gcc".into(), values: [1.5, 2.5, 3.5, 4.5] }];
+        let rows = vec![PercentRow {
+            label: "gcc".into(),
+            values: [1.5, 2.5, 3.5, 4.5],
+        }];
         let t = format_percent_table("Figure 5", &rows);
         assert!(t.contains("Figure 5"));
         assert!(t.contains("gcc"));
@@ -87,8 +99,14 @@ mod tests {
     #[test]
     fn csv_has_header_and_one_line_per_row() {
         let rows = vec![
-            PercentRow { label: "mcf".into(), values: [2.6, 3.6, 5.4, 4.9] },
-            PercentRow { label: "art".into(), values: [2.9, 4.5, 9.3, 9.0] },
+            PercentRow {
+                label: "mcf".into(),
+                values: [2.6, 3.6, 5.4, 4.9],
+            },
+            PercentRow {
+                label: "art".into(),
+                values: [2.9, 4.5, 9.3, 9.0],
+            },
         ];
         let csv = to_csv(&rows);
         let lines: Vec<&str> = csv.lines().collect();

@@ -1,0 +1,307 @@
+//! Content-addressed result cache.
+//!
+//! A cell's cache key is the SHA-256 digest of the *canonical compact JSON*
+//! of its key material: a format-version tag, the cell parameters (seed,
+//! instruction window, DVFS model, dilation targets) and the full benchmark
+//! profile the cell runs. The JSON layer serializes objects through
+//! `BTreeMap`, so keys are emitted in sorted order and the digest is
+//! independent of struct field declaration order — renaming or reordering
+//! fields with the same values hashes identically, while any change to a
+//! parameter *value* (or to the profile definition itself) produces a new
+//! key and forces recomputation.
+//!
+//! Entries are plain JSON files named `<hex-digest>.json` under the cache
+//! directory, written atomically (temp file + rename) so a crashed or
+//! concurrent writer can never leave a truncated entry behind. Reads are
+//! tolerant: any unreadable or unparsable entry is treated as a miss.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+use serde_json::Value;
+
+use mcd_core::BenchmarkResults;
+
+use crate::spec::CellSpec;
+
+/// Bumped whenever the meaning of a cached result changes (simulator
+/// semantics, result schema), invalidating all prior entries.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// A cell's content hash: 64 lowercase hex characters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// Derives the key for a cell.
+    pub fn of(cell: &CellSpec) -> CacheKey {
+        // Assemble the key material as a JSON object. BTreeMap-backed
+        // objects mean the serialized bytes are canonical: field order in
+        // the source structs cannot influence the digest.
+        let mut material = serde_json::Map::new();
+        material.insert("format".to_string(), CACHE_FORMAT_VERSION.to_value());
+        material.insert("cell".to_string(), cell.to_value());
+        material.insert("profile".to_string(), cell.profile().to_value());
+        let canonical =
+            serde_json::to_string(&Value::Object(material)).expect("JSON writing is infallible");
+        CacheKey(sha256::hex_digest(canonical.as_bytes()))
+    }
+
+    /// The 64-character hex digest.
+    pub fn hex(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// On-disk store of finished cell results, addressed by [`CacheKey`].
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Whether an entry exists for `key` (without parsing it).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entry_path(key).is_file()
+    }
+
+    /// Loads the cached result for `key`, or `None` on a miss.
+    ///
+    /// Corrupt entries (unreadable, unparsable, or recorded under a
+    /// different key) are misses, not errors — the campaign recomputes and
+    /// overwrites them.
+    pub fn load(&self, key: &CacheKey) -> Option<BenchmarkResults> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let entry: Value = serde_json::from_str(&text).ok()?;
+        let recorded = entry.get("key")?.as_str()?;
+        if recorded != key.hex() {
+            return None;
+        }
+        serde_json::from_value(entry.get("result")?).ok()
+    }
+
+    /// Stores `result` under `key`, recording the cell spec alongside it so
+    /// entries are self-describing for `campaign status` and humans.
+    pub fn store(
+        &self,
+        key: &CacheKey,
+        cell: &CellSpec,
+        result: &BenchmarkResults,
+    ) -> io::Result<()> {
+        let mut entry = serde_json::Map::new();
+        entry.insert("key".to_string(), Value::String(key.hex().to_string()));
+        entry.insert("cell".to_string(), cell.to_value());
+        entry.insert("result".to_string(), result.to_value());
+        let text = serde_json::to_string_pretty(&Value::Object(entry))
+            .expect("JSON writing is infallible");
+
+        // Atomic publish: never expose a partially written entry. The temp
+        // name includes the key, so concurrent writers of the *same* cell
+        // race benignly (they write identical bytes).
+        let tmp = self.dir.join(format!(".{}.tmp", key.hex()));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+}
+
+/// Minimal SHA-256 (FIPS 180-4). Self-contained because the build
+/// environment has no access to crates.io.
+mod sha256 {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    const H0: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    fn compress(state: &mut [u32; 8], block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    /// SHA-256 of `data` as 64 lowercase hex characters.
+    pub fn hex_digest(data: &[u8]) -> String {
+        let mut state = H0;
+        let mut blocks = data.chunks_exact(64);
+        for block in blocks.by_ref() {
+            compress(&mut state, block);
+        }
+
+        // Padding: 0x80, zeros, then the bit length as a big-endian u64.
+        let mut tail = [0u8; 128];
+        let rem = blocks.remainder();
+        tail[..rem.len()].copy_from_slice(rem);
+        tail[rem.len()] = 0x80;
+        let tail_len = if rem.len() < 56 { 64 } else { 128 };
+        let bits = (data.len() as u64) * 8;
+        tail[tail_len - 8..tail_len].copy_from_slice(&bits.to_be_bytes());
+        for block in tail[..tail_len].chunks_exact(64) {
+            compress(&mut state, block);
+        }
+
+        let mut hex = String::with_capacity(64);
+        for word in state {
+            use std::fmt::Write;
+            write!(hex, "{word:08x}").expect("writing to a String cannot fail");
+        }
+        hex
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::hex_digest;
+
+        #[test]
+        fn fips_180_4_vectors() {
+            assert_eq!(
+                hex_digest(b""),
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+            );
+            assert_eq!(
+                hex_digest(b"abc"),
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+            );
+            assert_eq!(
+                hex_digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+            );
+            // 56-byte message: padding spills into a second block.
+            assert_eq!(
+                hex_digest(&[0x61u8; 56]),
+                "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"
+            );
+            // One full block exactly.
+            assert_eq!(
+                hex_digest(&[0u8; 64]),
+                "f5a5fd42d16a20302798ef6ed309979b43003d2320d9f0e8ea9831a92759fb4b"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_time::DvfsModel;
+
+    fn cell() -> CellSpec {
+        CellSpec {
+            benchmark: "gcc".to_string(),
+            seed: 5,
+            instructions: 1_000,
+            model: DvfsModel::XScale,
+            thetas: [0.01, 0.05],
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_parameter_sensitive() {
+        let base = CacheKey::of(&cell());
+        assert_eq!(base, CacheKey::of(&cell()), "same cell, same key");
+        assert_eq!(base.hex().len(), 64);
+
+        let mut other = cell();
+        other.seed = 6;
+        assert_ne!(base, CacheKey::of(&other), "seed must change the key");
+
+        let mut other = cell();
+        other.model = DvfsModel::Transmeta;
+        assert_ne!(base, CacheKey::of(&other), "model must change the key");
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mcd-cache-test-{}", std::process::id()));
+        let cache = ResultCache::open(&dir).expect("create cache dir");
+        let cell = cell();
+        let key = CacheKey::of(&cell);
+        assert!(!cache.contains(&key));
+        assert!(cache.load(&key).is_none());
+
+        let result = cell.run();
+        cache.store(&key, &cell, &result).expect("store entry");
+        assert!(cache.contains(&key));
+        let loaded = cache.load(&key).expect("entry is loadable");
+        assert_eq!(
+            serde_json::to_string(&loaded).unwrap(),
+            serde_json::to_string(&result).unwrap(),
+            "cached bytes reproduce the computed result exactly"
+        );
+
+        // Corrupt entries degrade to a miss.
+        std::fs::write(dir.join(format!("{}.json", key.hex())), "{not json").unwrap();
+        assert!(cache.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

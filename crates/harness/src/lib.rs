@@ -1,0 +1,346 @@
+//! Parallel experiment campaign engine for the MCD-DVFS workspace.
+//!
+//! A *campaign* is a sweep — benchmarks × seeds × DVFS models — expanded
+//! into independent cells ([`spec`]), executed on a fixed-size worker pool
+//! ([`pool`]) with per-cell fault isolation and bounded retry ([`retry`]),
+//! memoized in a content-addressed result cache ([`cache`]), and narrated
+//! as JSONL structured telemetry ([`telemetry`]).
+//!
+//! Determinism is the design invariant: a cell's result depends only on
+//! its [`CellSpec`] (the simulator derives all randomness from the spec's
+//! seed), results are assembled by cell index rather than completion
+//! order, and JSON objects serialize with sorted keys — so a campaign's
+//! result bytes are identical for 1, 2 or N workers and identical to the
+//! serial driver ([`mcd_core::run_benchmark`]) run cell by cell. That
+//! invariant is also what makes the cache sound: a key collision can only
+//! come from identical inputs, which produce identical results.
+//!
+//! ```no_run
+//! use mcd_harness::{CampaignSpec, Campaign, ResultCache, Telemetry};
+//! use mcd_time::DvfsModel;
+//!
+//! let spec = CampaignSpec::paper(5, 240_000, DvfsModel::XScale);
+//! let cache = ResultCache::open("target/mcd-campaign-cache").unwrap();
+//! let report = Campaign::new(spec).workers(4).run(&cache, &Telemetry::stderr()).unwrap();
+//! println!("{} computed, {} cached", report.computed(), report.cached());
+//! ```
+
+pub mod cache;
+pub mod pool;
+pub mod retry;
+pub mod spec;
+pub mod telemetry;
+
+use std::time::{Duration, Instant};
+
+use mcd_core::BenchmarkResults;
+
+pub use cache::{CacheKey, ResultCache, CACHE_FORMAT_VERSION};
+pub use retry::{CellFailure, RetryPolicy};
+pub use spec::{parse_model, CampaignSpec, CellSpec, SpecError};
+pub use telemetry::{CellSource, Telemetry};
+
+/// How one cell of a finished campaign was produced.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// Result served from the cache.
+    Cached(BenchmarkResults),
+    /// Result computed this run (with the attempt count that succeeded).
+    Computed {
+        /// The computed result.
+        result: BenchmarkResults,
+        /// 1 = first try.
+        attempts: u32,
+    },
+    /// All attempts panicked.
+    Failed(CellFailure),
+}
+
+impl CellOutcome {
+    /// The result, unless the cell failed.
+    pub fn result(&self) -> Option<&BenchmarkResults> {
+        match self {
+            CellOutcome::Cached(r) | CellOutcome::Computed { result: r, .. } => Some(r),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// One cell's record in a [`CampaignReport`].
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The cell's parameters.
+    pub cell: CellSpec,
+    /// Its content-addressed cache key.
+    pub key: CacheKey,
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Wall time spent on this cell (cache probe included).
+    pub elapsed: Duration,
+}
+
+/// Everything a finished campaign produced, in cell (spec-expansion) order.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-cell records, in the order [`CampaignSpec::expand`] produced.
+    pub cells: Vec<CellReport>,
+    /// Total wall time.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// Number of cells served from the cache.
+    pub fn cached(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Cached(_)))
+            .count()
+    }
+
+    /// Number of cells computed this run.
+    pub fn computed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Computed { .. }))
+            .count()
+    }
+
+    /// Number of cells that failed all attempts.
+    pub fn failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Failed(_)))
+            .count()
+    }
+
+    /// All results in cell order, or `None` if any cell failed.
+    pub fn results(&self) -> Option<Vec<&BenchmarkResults>> {
+        self.cells.iter().map(|c| c.outcome.result()).collect()
+    }
+
+    /// The campaign's canonical result document: the JSON array of results
+    /// in cell order. This is the byte-stable artifact — identical across
+    /// worker counts and cache states. `None` if any cell failed.
+    pub fn to_json(&self) -> Option<String> {
+        let results: Vec<BenchmarkResults> = self
+            .cells
+            .iter()
+            .map(|c| c.outcome.result().cloned())
+            .collect::<Option<Vec<_>>>()?;
+        Some(serde_json::to_string_pretty(&results).expect("JSON writing is infallible"))
+    }
+}
+
+/// A configured, ready-to-run campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: CampaignSpec,
+    workers: usize,
+    retry: RetryPolicy,
+}
+
+impl Campaign {
+    /// A campaign over `spec` with default worker count (one per core) and
+    /// retry policy.
+    pub fn new(spec: CampaignSpec) -> Campaign {
+        Campaign {
+            spec,
+            workers: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Sets the worker count (`0` = one per available core).
+    pub fn workers(mut self, workers: usize) -> Campaign {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Campaign {
+        self.retry = retry;
+        self
+    }
+
+    /// The spec this campaign will run.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Runs the campaign: expand, probe the cache, compute misses on the
+    /// pool, store what was computed, and report per-cell outcomes in
+    /// spec-expansion order.
+    pub fn run(
+        &self,
+        cache: &ResultCache,
+        telemetry: &Telemetry,
+    ) -> Result<CampaignReport, SpecError> {
+        let start = Instant::now();
+        let cells = self.spec.expand()?;
+        let keys: Vec<CacheKey> = cells.iter().map(CacheKey::of).collect();
+        let workers = pool::resolve_workers(self.workers);
+        telemetry.campaign_started(cells.len(), workers);
+
+        let outcomes = pool::run_indexed(workers, cells.len(), |i| {
+            let cell = &cells[i];
+            let key = &keys[i];
+            let cell_start = Instant::now();
+            telemetry.cell_started(i, cell);
+
+            if let Some(result) = cache.load(key) {
+                let elapsed = cell_start.elapsed();
+                telemetry.cell_finished(i, CellSource::Cached, elapsed);
+                return (CellOutcome::Cached(result), elapsed);
+            }
+
+            let attempt =
+                || cell.run_observed(&mut |stage, span| telemetry.cell_stage(i, stage, span));
+            let outcome = match retry::run_isolated(
+                self.retry,
+                |n, message| telemetry.cell_retry(i, n, message),
+                attempt,
+            ) {
+                Ok((result, attempts)) => {
+                    // A cache write failure only costs a recomputation next
+                    // run; the in-memory result is still good.
+                    let _ = cache.store(key, cell, &result);
+                    telemetry.cell_finished(
+                        i,
+                        CellSource::Computed { attempts },
+                        cell_start.elapsed(),
+                    );
+                    CellOutcome::Computed { result, attempts }
+                }
+                Err(failure) => {
+                    telemetry.cell_failed(i, failure.attempts, &failure.message);
+                    CellOutcome::Failed(failure)
+                }
+            };
+            (outcome, cell_start.elapsed())
+        });
+
+        let cells: Vec<CellReport> = cells
+            .into_iter()
+            .zip(keys)
+            .zip(outcomes)
+            .map(|((cell, key), (outcome, elapsed))| CellReport {
+                cell,
+                key,
+                outcome,
+                elapsed,
+            })
+            .collect();
+        let report = CampaignReport {
+            cells,
+            wall: start.elapsed(),
+        };
+        telemetry.campaign_finished(
+            report.computed(),
+            report.cached(),
+            report.failed(),
+            report.wall,
+        );
+        Ok(report)
+    }
+
+    /// Expands the spec and probes the cache without running anything:
+    /// `(cell, key, cached?)` per cell, for `campaign status`.
+    pub fn status(
+        &self,
+        cache: &ResultCache,
+    ) -> Result<Vec<(CellSpec, CacheKey, bool)>, SpecError> {
+        Ok(self
+            .spec
+            .expand()?
+            .into_iter()
+            .map(|cell| {
+                let key = CacheKey::of(&cell);
+                let cached = cache.contains(&key);
+                (cell, key, cached)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_time::DvfsModel;
+    use std::path::PathBuf;
+
+    fn scratch_cache(tag: &str) -> (ResultCache, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("mcd-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ResultCache::open(&dir).expect("create cache"), dir)
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            benchmarks: vec!["adpcm".into(), "mst".into(), "gcc".into()],
+            seeds: vec![5],
+            instructions: 4_000,
+            models: vec![DvfsModel::XScale],
+            thetas: [0.01, 0.05],
+        }
+    }
+
+    #[test]
+    fn second_run_is_fully_cached_and_byte_identical() {
+        let (cache, dir) = scratch_cache("rerun");
+        let campaign = Campaign::new(tiny_spec()).workers(2);
+
+        let first = campaign
+            .run(&cache, &Telemetry::disabled())
+            .expect("first run");
+        assert_eq!(first.computed(), 3);
+        assert_eq!(first.cached(), 0);
+        assert_eq!(first.failed(), 0);
+
+        let second = campaign
+            .run(&cache, &Telemetry::disabled())
+            .expect("second run");
+        assert_eq!(
+            second.computed(),
+            0,
+            "unchanged campaign must recompute nothing"
+        );
+        assert_eq!(second.cached(), 3);
+        assert_eq!(first.to_json(), second.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_matches_serial_driver_per_cell() {
+        let (cache, dir) = scratch_cache("serial");
+        let spec = tiny_spec();
+        let report = Campaign::new(spec.clone())
+            .workers(2)
+            .run(&cache, &Telemetry::disabled())
+            .unwrap();
+        for (cell, record) in spec.expand().unwrap().iter().zip(&report.cells) {
+            let serial = cell.run();
+            let parallel = record.outcome.result().expect("cell succeeded");
+            assert_eq!(
+                serde_json::to_string(parallel).unwrap(),
+                serde_json::to_string(&serial).unwrap(),
+                "cell {} differs from the serial driver",
+                cell.label()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_reflects_cache_population() {
+        let (cache, dir) = scratch_cache("status");
+        let campaign = Campaign::new(tiny_spec());
+        let before = campaign.status(&cache).unwrap();
+        assert!(before.iter().all(|(_, _, cached)| !cached));
+
+        campaign.run(&cache, &Telemetry::disabled()).unwrap();
+        let after = campaign.status(&cache).unwrap();
+        assert!(after.iter().all(|(_, _, cached)| *cached));
+        assert_eq!(after.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,104 @@
+//! Fixed-size worker pool over an indexed job list.
+//!
+//! The pool hands out job indices from a shared atomic counter and writes
+//! each job's output into the slot with the same index, so the output order
+//! is the *job* order — which thread ran which job, and with how many
+//! workers, is unobservable in the results. Combined with per-cell seeding
+//! (every cell derives its randomness from its own spec, never from shared
+//! mutable state), this is what makes campaign output bit-identical across
+//! worker counts.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Resolves a requested worker count: `0` means "one per available core".
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `jobs` jobs on `workers` threads, returning the outputs in job
+/// order. `run(i)` computes job `i`; jobs are claimed dynamically, so
+/// uneven cell costs load-balance across the pool.
+///
+/// A panic inside `run` is not caught here — callers wanting fault
+/// isolation wrap the job body with [`crate::retry::run_isolated`]. If a
+/// job does panic anyway, the panic is resurfaced on the calling thread
+/// after the pool drains.
+pub fn run_indexed<T, F>(workers: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_workers(workers).min(jobs.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = run(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            }));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index below `jobs` was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_in_job_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed(workers, 100, |i| i * i);
+            let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<u32> = run_indexed(4, 0, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_indexed(5, 64, |i| ran[i].fetch_add(1, Ordering::Relaxed));
+        assert!(ran.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_requested_workers_resolves_to_parallelism() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+}

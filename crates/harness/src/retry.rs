@@ -1,0 +1,142 @@
+//! Per-cell fault isolation.
+//!
+//! A panicking cell must not take down the campaign (or its worker
+//! thread): the cell body runs under [`std::panic::catch_unwind`], the
+//! panic payload is captured as text, and the cell is retried up to a
+//! bounded number of attempts before being reported as failed. The
+//! simulator is deterministic, so a panic normally repeats — the retry
+//! budget exists for environmental failures (and keeps one flaky cell from
+//! silently producing a partial campaign).
+
+use std::panic::{self, AssertUnwindSafe};
+
+/// How persistently to rerun a failing cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 2 }
+    }
+}
+
+/// A cell that failed all its attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// How many attempts were made.
+    pub attempts: u32,
+    /// The last attempt's panic payload, as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed after {} attempt(s): {}",
+            self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for CellFailure {}
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as text.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    }
+}
+
+/// Runs `body`, catching panics and retrying per `policy`. Returns the
+/// successful value and the number of attempts it took, or the last
+/// failure. `on_retry(attempt, message)` is called after each failed
+/// attempt that will be retried, for telemetry.
+pub fn run_isolated<T>(
+    policy: RetryPolicy,
+    mut on_retry: impl FnMut(u32, &str),
+    body: impl Fn() -> T,
+) -> Result<(T, u32), CellFailure> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 1..=max_attempts {
+        match panic::catch_unwind(AssertUnwindSafe(&body)) {
+            Ok(value) => return Ok((value, attempt)),
+            Err(payload) => {
+                last = payload_text(payload.as_ref());
+                if attempt < max_attempts {
+                    on_retry(attempt, &last);
+                }
+            }
+        }
+    }
+    Err(CellFailure {
+        attempts: max_attempts,
+        message: last,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn success_passes_through_on_first_attempt() {
+        let out = run_isolated(RetryPolicy::default(), |_, _| {}, || 7);
+        assert_eq!(out, Ok((7, 1)));
+    }
+
+    #[test]
+    fn deterministic_panic_exhausts_the_budget() {
+        let retries = Cell::new(0);
+        let out: Result<(u32, u32), _> = run_isolated(
+            RetryPolicy { max_attempts: 3 },
+            |_, _| retries.set(retries.get() + 1),
+            || panic!("boom {}", 42),
+        );
+        assert_eq!(
+            out,
+            Err(CellFailure {
+                attempts: 3,
+                message: "boom 42".to_string()
+            })
+        );
+        assert_eq!(
+            retries.get(),
+            2,
+            "on_retry fires between attempts, not after the last"
+        );
+    }
+
+    #[test]
+    fn transient_panic_recovers() {
+        let calls = Cell::new(0);
+        let out = run_isolated(
+            RetryPolicy { max_attempts: 2 },
+            |_, _| {},
+            || {
+                calls.set(calls.get() + 1);
+                if calls.get() == 1 {
+                    panic!("flaky");
+                }
+                "ok"
+            },
+        );
+        assert_eq!(out, Ok(("ok", 2)));
+    }
+
+    #[test]
+    fn zero_attempt_policy_still_runs_once() {
+        let out = run_isolated(RetryPolicy { max_attempts: 0 }, |_, _| {}, || 1);
+        assert_eq!(out, Ok((1, 1)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Structured campaign telemetry as JSON Lines.
+//!
+//! Every event is one JSON object per line with an `"event"` tag and a
+//! monotonic `"t_us"` timestamp (microseconds since the sink was created).
+//! Telemetry goes to its own stream (a file, stderr, or nowhere) and never
+//! mixes with result bytes, so machine consumers of campaign output parse
+//! results without filtering progress noise — and the result bytes stay
+//! identical whether telemetry is on or off.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Map, Serialize, Value};
+
+use crate::spec::CellSpec;
+
+/// Where a finished cell's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// Served from the result cache.
+    Cached,
+    /// Computed by a worker (with the attempt count that succeeded).
+    Computed {
+        /// 1 = first try.
+        attempts: u32,
+    },
+}
+
+impl CellSource {
+    fn tag(&self) -> &'static str {
+        match self {
+            CellSource::Cached => "cached",
+            CellSource::Computed { .. } => "computed",
+        }
+    }
+}
+
+/// A thread-safe JSONL event sink.
+///
+/// Cloneable handles are not needed: the campaign shares one `Telemetry`
+/// by reference across workers; the line writer is mutex-guarded so events
+/// from concurrent cells interleave at line granularity, never mid-line.
+pub struct Telemetry {
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+    start: Instant,
+}
+
+/// Microseconds as a JSON number (u64 — a campaign outlives u32, not u64).
+fn micros(d: Duration) -> Value {
+    (d.as_micros() as u64).to_value()
+}
+
+impl Telemetry {
+    /// Discards all events.
+    pub fn disabled() -> Telemetry {
+        Telemetry {
+            sink: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Appends events to standard error.
+    pub fn stderr() -> Telemetry {
+        Telemetry {
+            sink: Some(Mutex::new(Box::new(io::stderr()))),
+            start: Instant::now(),
+        }
+    }
+
+    /// Writes events to a file (truncating any previous contents).
+    pub fn to_file(path: &Path) -> io::Result<Telemetry> {
+        let file = BufWriter::new(File::create(path)?);
+        Ok(Telemetry {
+            sink: Some(Mutex::new(Box::new(file))),
+            start: Instant::now(),
+        })
+    }
+
+    fn emit(&self, event: &'static str, fields: Map) {
+        let Some(sink) = &self.sink else { return };
+        let mut obj = fields;
+        obj.insert("event".to_string(), Value::String(event.to_string()));
+        obj.insert("t_us".to_string(), micros(self.start.elapsed()));
+        let line = serde_json::to_string(&Value::Object(obj)).expect("JSON writing is infallible");
+        let mut sink = sink.lock().expect("telemetry sink poisoned");
+        // Telemetry is best-effort: a full disk must not fail the campaign.
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
+    }
+
+    /// Campaign kicked off: total cell count and how many were already
+    /// cached at probe time.
+    pub fn campaign_started(&self, total: usize, workers: usize) {
+        let mut f = Map::new();
+        f.insert("cells".to_string(), total.to_value());
+        f.insert("workers".to_string(), workers.to_value());
+        self.emit("campaign_started", f);
+    }
+
+    /// A worker picked up a cell.
+    pub fn cell_started(&self, index: usize, cell: &CellSpec) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("label".to_string(), Value::String(cell.label()));
+        self.emit("cell_started", f);
+    }
+
+    /// One configuration stage of a computed cell finished (stage spans).
+    pub fn cell_stage(&self, index: usize, stage: &str, elapsed: Duration) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("stage".to_string(), Value::String(stage.to_string()));
+        f.insert("us".to_string(), micros(elapsed));
+        self.emit("cell_stage", f);
+    }
+
+    /// A cell attempt panicked and will be retried.
+    pub fn cell_retry(&self, index: usize, attempt: u32, message: &str) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("attempt".to_string(), attempt.to_value());
+        f.insert("message".to_string(), Value::String(message.to_string()));
+        self.emit("cell_retry", f);
+    }
+
+    /// A cell finished (from cache or computed).
+    pub fn cell_finished(&self, index: usize, source: CellSource, elapsed: Duration) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert(
+            "source".to_string(),
+            Value::String(source.tag().to_string()),
+        );
+        if let CellSource::Computed { attempts } = source {
+            f.insert("attempts".to_string(), attempts.to_value());
+        }
+        f.insert("us".to_string(), micros(elapsed));
+        self.emit("cell_finished", f);
+    }
+
+    /// A cell exhausted its retry budget.
+    pub fn cell_failed(&self, index: usize, attempts: u32, message: &str) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("attempts".to_string(), attempts.to_value());
+        f.insert("message".to_string(), Value::String(message.to_string()));
+        self.emit("cell_failed", f);
+    }
+
+    /// Campaign summary: counts by outcome plus wall time.
+    pub fn campaign_finished(&self, computed: usize, cached: usize, failed: usize, wall: Duration) {
+        let mut f = Map::new();
+        f.insert("computed".to_string(), computed.to_value());
+        f.insert("cached".to_string(), cached.to_value());
+        f.insert("failed".to_string(), failed.to_value());
+        f.insert("wall_us".to_string(), micros(wall));
+        self.emit("campaign_finished", f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_time::DvfsModel;
+    use std::fs;
+
+    fn sample_cell() -> CellSpec {
+        CellSpec {
+            benchmark: "art".to_string(),
+            seed: 1,
+            instructions: 500,
+            model: DvfsModel::Transmeta,
+            thetas: [0.01, 0.05],
+        }
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let path = std::env::temp_dir().join(format!("mcd-telemetry-{}.jsonl", std::process::id()));
+        let telemetry = Telemetry::to_file(&path).expect("create telemetry file");
+        telemetry.campaign_started(4, 2);
+        telemetry.cell_started(0, &sample_cell());
+        telemetry.cell_stage(0, "dynamic-5%", Duration::from_micros(1200));
+        telemetry.cell_retry(0, 1, "synthetic panic");
+        telemetry.cell_finished(
+            0,
+            CellSource::Computed { attempts: 2 },
+            Duration::from_millis(3),
+        );
+        telemetry.cell_finished(1, CellSource::Cached, Duration::from_micros(80));
+        telemetry.cell_failed(2, 2, "still broken");
+        telemetry.campaign_finished(1, 1, 1, Duration::from_millis(5));
+        drop(telemetry);
+
+        let text = fs::read_to_string(&path).expect("read telemetry back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("each line is valid JSON");
+            assert!(v.get("event").is_some(), "line missing event tag: {line}");
+            assert!(v.get("t_us").is_some(), "line missing timestamp: {line}");
+        }
+        assert!(lines[0].contains("campaign_started"));
+        let finished: Value = serde_json::from_str(lines[4]).unwrap();
+        assert_eq!(
+            finished.get("source").and_then(Value::as_str),
+            Some("computed")
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_sink_swallows_everything() {
+        let telemetry = Telemetry::disabled();
+        telemetry.campaign_started(1, 1);
+        telemetry.campaign_finished(1, 0, 0, Duration::ZERO);
+    }
+}

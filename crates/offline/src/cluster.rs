@@ -107,8 +107,7 @@ pub fn cluster_domain(
 
 fn budget_for(start: Femtos, end: Femtos, cfg: &ClusterConfig) -> Femtos {
     Femtos::from_femtos(
-        ((end - start).as_femtos() as f64 * cfg.dilation_target * cfg.budget_safety).round()
-            as u64,
+        ((end - start).as_femtos() as f64 * cfg.dilation_target * cfg.budget_safety).round() as u64,
     )
 }
 
@@ -205,7 +204,11 @@ pub fn emit_schedule(
             continue; // cannot reach the target in time: skip
         }
         let at = c.start.saturating_sub(latency);
-        entries.push(ScheduleEntry { at, domain, frequency: c.frequency });
+        entries.push(ScheduleEntry {
+            at,
+            domain,
+            frequency: c.frequency,
+        });
         current = c.frequency;
         relock_pool = relock_pool.saturating_sub(relock);
     }
@@ -336,7 +339,10 @@ mod tests {
     fn schedule_requests_lead_their_targets() {
         let mut very_busy = FreqHistogram::new(Frequency::GHZ);
         very_busy.add(Frequency::GHZ, 480_000.0); // 480 µs of work in 500 µs
-        let intervals = vec![(us(0), us(500), very_busy), (us(500), us(1000), idle_hist())];
+        let intervals = vec![
+            (us(0), us(500), very_busy),
+            (us(500), us(1000), idle_hist()),
+        ];
         let clusters = cluster_domain(&intervals, &cfg(DvfsModel::XScale));
         assert_eq!(clusters.len(), 2);
         let entries = emit_schedule(
@@ -350,7 +356,11 @@ mod tests {
         let last = entries.last().expect("idle cluster needs a request");
         assert_eq!(last.frequency, Frequency::MIN_SCALED);
         assert!(last.at < us(500));
-        assert!(us(500) - last.at >= us(40), "lead time too small: {}", last.at);
+        assert!(
+            us(500) - last.at >= us(40),
+            "lead time too small: {}",
+            last.at
+        );
     }
 
     #[test]
@@ -360,8 +370,18 @@ mod tests {
         let mut h_fast = FreqHistogram::new(Frequency::GHZ);
         h_fast.add(Frequency::GHZ, 900.0); // needs full speed in 1 µs
         let clusters = vec![
-            Cluster { start: us(0), end: us(600), frequency: Frequency::MIN_SCALED, cycles: 1.0 },
-            Cluster { start: us(600), end: us(601), frequency: Frequency::GHZ, cycles: 900.0 },
+            Cluster {
+                start: us(0),
+                end: us(600),
+                frequency: Frequency::MIN_SCALED,
+                cycles: 1.0,
+            },
+            Cluster {
+                start: us(600),
+                end: us(601),
+                frequency: Frequency::GHZ,
+                cycles: 900.0,
+            },
         ];
         let entries = emit_schedule(
             DomainId::Integer,
@@ -382,8 +402,12 @@ mod tests {
             frequency: Frequency::GHZ,
             cycles: 10.0,
         }];
-        let entries =
-            emit_schedule(DomainId::Integer, &clusters, &cfg(DvfsModel::XScale), Frequency::GHZ);
+        let entries = emit_schedule(
+            DomainId::Integer,
+            &clusters,
+            &cfg(DvfsModel::XScale),
+            Frequency::GHZ,
+        );
         assert!(entries.is_empty());
     }
 

@@ -117,7 +117,9 @@ impl Default for PowerFactors {
     fn default() -> Self {
         // Relative per-event power, loosely following the calibrated power
         // model (integer events are the most expensive to keep fast).
-        PowerFactors { by_domain: [0.8, 1.0, 0.9, 0.95] }
+        PowerFactors {
+            by_domain: [0.8, 1.0, 0.9, 0.95],
+        }
     }
 }
 
@@ -150,11 +152,17 @@ pub fn build_interval_dags(
     // Interval length is `interval_cycles` base periods, so the base period
     // is recoverable without threading the frequency through.
     let base_period_fs: f64 = 1_000_000.0; // 1 GHz trace runs (asserted below)
-    assert!(interval_len > Femtos::ZERO, "interval length must be positive");
+    assert!(
+        interval_len > Femtos::ZERO,
+        "interval length must be positive"
+    );
     if trace.is_empty() {
         return Vec::new();
     }
-    let total_end = trace.iter().map(|t| t.commit).fold(Femtos::ZERO, Femtos::max);
+    let total_end = trace
+        .iter()
+        .map(|t| t.commit)
+        .fold(Femtos::ZERO, Femtos::max);
     let n_intervals = (total_end.as_femtos() / interval_len.as_femtos() + 1) as usize;
     let mut dags: Vec<IntervalDag> = (0..n_intervals)
         .map(|k| IntervalDag {
@@ -224,8 +232,20 @@ pub fn build_interval_dags(
             (dag.nodes.len() - 1) as u32
         };
 
-        let f = push(dag, EventKind::Fetch, DomainId::FrontEnd, t.fetch.start, t.fetch.end);
-        let d = push(dag, EventKind::Dispatch, DomainId::FrontEnd, t.dispatch.start, t.dispatch.end);
+        let f = push(
+            dag,
+            EventKind::Fetch,
+            DomainId::FrontEnd,
+            t.fetch.start,
+            t.fetch.end,
+        );
+        let d = push(
+            dag,
+            EventKind::Dispatch,
+            DomainId::FrontEnd,
+            t.dispatch.start,
+            t.dispatch.end,
+        );
         edges[k].push((f, d));
         let mut compute_entry = d; // node that register sources feed
         let mut last = d;
@@ -246,7 +266,13 @@ pub fn build_interval_dags(
             last = an;
         }
         if let Some(m) = t.mem_access {
-            let mn = push(dag, EventKind::MemAccess, DomainId::LoadStore, m.start, m.end);
+            let mn = push(
+                dag,
+                EventKind::MemAccess,
+                DomainId::LoadStore,
+                m.start,
+                m.end,
+            );
             edges[k].push((last, mn));
             if q_units.mem_access.len() >= pcfg.issue_width_mem {
                 let prev = q_units.mem_access[q_units.mem_access.len() - pcfg.issue_width_mem];
@@ -277,7 +303,13 @@ pub fn build_interval_dags(
             compute_entry = xn;
             last = xn;
         }
-        let c = push(dag, EventKind::Commit, DomainId::FrontEnd, t.commit, t.commit);
+        let c = push(
+            dag,
+            EventKind::Commit,
+            DomainId::FrontEnd,
+            t.commit,
+            t.commit,
+        );
         edges[k].push((last, c));
 
         // Data dependences (only within the interval).

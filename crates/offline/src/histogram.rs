@@ -37,7 +37,10 @@ pub struct FreqHistogram {
 impl FreqHistogram {
     /// Creates an empty histogram over `250 MHz .. base`.
     pub fn new(base: Frequency) -> Self {
-        FreqHistogram { bins: vec![0.0; HISTOGRAM_BINS], base }
+        FreqHistogram {
+            bins: vec![0.0; HISTOGRAM_BINS],
+            base,
+        }
     }
 
     /// The frequency at the center of bin `i`.
@@ -163,7 +166,10 @@ mod tests {
         let mut h = FreqHistogram::new(Frequency::GHZ);
         h.add(Frequency::MIN_SCALED, 1_000_000.0);
         let grid = FrequencyGrid::paper32();
-        assert_eq!(h.choose_frequency(&grid, Femtos::ZERO), Frequency::MIN_SCALED);
+        assert_eq!(
+            h.choose_frequency(&grid, Femtos::ZERO),
+            Frequency::MIN_SCALED
+        );
     }
 
     #[test]
@@ -182,6 +188,9 @@ mod tests {
         let h = FreqHistogram::new(Frequency::GHZ);
         assert!(h.is_empty());
         let grid = FrequencyGrid::paper32();
-        assert_eq!(h.choose_frequency(&grid, Femtos::ZERO), Frequency::MIN_SCALED);
+        assert_eq!(
+            h.choose_frequency(&grid, Femtos::ZERO),
+            Frequency::MIN_SCALED
+        );
     }
 }

@@ -35,4 +35,7 @@ pub use cluster::{Cluster, ClusterConfig, DomainPlanStats};
 pub use dag::{build_interval_dags, IntervalDag, Node, PowerFactors};
 pub use histogram::{FreqHistogram, HISTOGRAM_BINS};
 pub use shaker::{run_shaker, ShakerConfig};
-pub use tool::{analyze, derive_schedule, AnalysisOutput, OfflineConfig};
+pub use tool::{
+    analyze, cluster_schedule, derive_schedule, prepare_slack, AnalysisOutput, OfflineConfig,
+    SlackProfile,
+};

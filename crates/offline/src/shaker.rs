@@ -30,7 +30,10 @@ pub struct ShakerConfig {
 
 impl Default for ShakerConfig {
     fn default() -> Self {
-        ShakerConfig { max_scale: 4.0, passes: 10 }
+        ShakerConfig {
+            max_scale: 4.0,
+            passes: 10,
+        }
     }
 }
 

@@ -12,7 +12,9 @@ use mcd_pipeline::{
 use mcd_time::{DvfsModel, Femtos, Frequency, PllModel, VfTable};
 use mcd_workload::BenchmarkProfile;
 
-use crate::cluster::{cluster_domain, emit_schedule, plan_stats, Cluster, ClusterConfig, DomainPlanStats};
+use crate::cluster::{
+    cluster_domain, emit_schedule, plan_stats, Cluster, ClusterConfig, DomainPlanStats,
+};
 use crate::dag::{build_interval_dags, PowerFactors};
 use crate::histogram::FreqHistogram;
 use crate::shaker::{run_shaker, ShakerConfig};
@@ -86,12 +88,44 @@ pub struct AnalysisOutput {
     pub instructions: u64,
 }
 
-/// Analyzes a collected trace and derives the reconfiguration schedule.
-pub fn analyze(trace: &[InstrTrace], pcfg: &PipelineConfig, cfg: &OfflineConfig) -> AnalysisOutput {
-    let interval_len = Femtos::from_femtos(
-        cfg.interval_cycles * cfg.base_frequency.period().as_femtos(),
-    );
-    let trace_end = trace.iter().map(|t| t.commit).fold(Femtos::ZERO, Femtos::max);
+/// The θ-independent product of the expensive trace-analysis passes: one
+/// slack histogram per domain per 50 K-cycle interval.
+///
+/// Deriving schedules for several dilation targets (the experiment driver
+/// needs both θ = 1 % and θ = 5 %, each refined over multiple budget
+/// iterations) only requires re-running the cheap clustering pass
+/// ([`cluster_schedule`]) over this shared profile — the DAG construction
+/// and shaker stretching, which dominate analysis time, run once.
+#[derive(Debug, Clone)]
+pub struct SlackProfile {
+    /// Per-domain `(interval start, interval end, frequency histogram)`.
+    pub per_domain: [Vec<(Femtos, Femtos, FreqHistogram)>; DomainId::COUNT],
+    /// End of the analyzed trace.
+    pub trace_end: Femtos,
+    /// Instructions analyzed.
+    pub instructions: u64,
+    /// Whether the front end was included in the shake (ablation only).
+    pub scale_front_end: bool,
+}
+
+/// Runs the θ-independent half of the analysis: trace → interval DAGs →
+/// shaker → per-domain frequency histograms.
+///
+/// Only `interval_cycles`, `base_frequency`, `power`, `shaker`,
+/// `scale_front_end` and `couple_ls_into_int` of `cfg` are consulted here;
+/// the dilation target, budgets and DVFS model enter in
+/// [`cluster_schedule`].
+pub fn prepare_slack(
+    trace: &[InstrTrace],
+    pcfg: &PipelineConfig,
+    cfg: &OfflineConfig,
+) -> SlackProfile {
+    let interval_len =
+        Femtos::from_femtos(cfg.interval_cycles * cfg.base_frequency.period().as_femtos());
+    let trace_end = trace
+        .iter()
+        .map(|t| t.commit)
+        .fold(Femtos::ZERO, Femtos::max);
     let mut dags = build_interval_dags(trace, pcfg, interval_len, cfg.power, cfg.scale_front_end);
 
     // Shake every interval and collect per-domain (start, end, histogram).
@@ -107,7 +141,24 @@ pub fn analyze(trace: &[InstrTrace], pcfg: &PipelineConfig, cfg: &OfflineConfig)
             per_domain[d.index()].push((dag.start, dag.end, hists[d.index()].clone()));
         }
     }
+    SlackProfile {
+        per_domain,
+        trace_end,
+        instructions: trace.len() as u64,
+        scale_front_end: cfg.scale_front_end,
+    }
+}
 
+/// Runs the θ-dependent half of the analysis: clustering the slack
+/// histograms into per-domain plans and emitting the reconfiguration
+/// schedule for `cfg`'s dilation target, budgets and DVFS model.
+pub fn cluster_schedule(slack: &SlackProfile, cfg: &OfflineConfig) -> AnalysisOutput {
+    debug_assert_eq!(
+        slack.scale_front_end, cfg.scale_front_end,
+        "slack profile was prepared under a different front-end policy"
+    );
+    let per_domain = &slack.per_domain;
+    let trace_end = slack.trace_end;
     let mut all_entries = Vec::new();
     let mut clusters: [Vec<Cluster>; DomainId::COUNT] =
         [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
@@ -129,15 +180,23 @@ pub fn analyze(trace: &[InstrTrace], pcfg: &PipelineConfig, cfg: &OfflineConfig)
         clusters[d.index()] = plan;
     }
     let schedule = FrequencySchedule::from_entries(all_entries);
-    let stats = DomainId::ALL
-        .map(|d| plan_stats(d, &schedule, cfg.base_frequency, trace_end));
+    let stats = DomainId::ALL.map(|d| plan_stats(d, &schedule, cfg.base_frequency, trace_end));
     AnalysisOutput {
         schedule,
         clusters,
         stats,
         trace_end,
-        instructions: trace.len() as u64,
+        instructions: slack.instructions,
     }
+}
+
+/// Analyzes a collected trace and derives the reconfiguration schedule.
+///
+/// One-shot composition of [`prepare_slack`] and [`cluster_schedule`];
+/// callers that need several dilation targets over the same trace should
+/// call the two halves separately and reuse the [`SlackProfile`].
+pub fn analyze(trace: &[InstrTrace], pcfg: &PipelineConfig, cfg: &OfflineConfig) -> AnalysisOutput {
+    cluster_schedule(&prepare_slack(trace, pcfg, cfg), cfg)
 }
 
 /// Convenience wrapper: runs the full-speed traced simulation of
@@ -236,7 +295,10 @@ mod tests {
     fn front_end_is_never_scheduled() {
         let cfg = OfflineConfig::paper(0.05, DvfsModel::XScale);
         let (analysis, _) = derive_schedule(11, &profile("mesa"), 40_000, &cfg);
-        assert_eq!(analysis.schedule.counts_per_domain()[DomainId::FrontEnd.index()], 0);
+        assert_eq!(
+            analysis.schedule.counts_per_domain()[DomainId::FrontEnd.index()],
+            0
+        );
         let fe_mean = analysis.stats[DomainId::FrontEnd.index()].mean_frequency_hz;
         assert!((fe_mean - 1e9).abs() < 1e3, "front end mean {fe_mean}");
     }

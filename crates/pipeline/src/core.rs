@@ -11,9 +11,7 @@
 //! dictate. Any value crossing a domain boundary becomes visible at the
 //! first destination edge at least `T_s` after it was produced (§2.2).
 
-use mcd_time::{
-    sync_visible_at, DomainClock, Femtos, SimRng, VoltageController,
-};
+use mcd_time::{sync_visible_at, DomainClock, Femtos, SimRng, VoltageController};
 use mcd_uarch::lsq::LoadStatus;
 use mcd_uarch::{
     BranchPredictor, Cache, CircularQueue, FuKind, FuPool, LoadStoreQueue, LsqEntryId,
@@ -360,7 +358,9 @@ impl Pipeline {
         let n_clocks = self.clocks.len();
         self.next_edge = (0..n_clocks).map(|i| self.clocks[i].next_edge()).collect();
         let mut edges: u64 = 0;
-        let max_edges = target.saturating_mul(MAX_EDGES_PER_INSTRUCTION).max(1_000_000);
+        let max_edges = target
+            .saturating_mul(MAX_EDGES_PER_INSTRUCTION)
+            .max(1_000_000);
         while self.committed < target {
             edges += 1;
             assert!(
@@ -433,11 +433,13 @@ impl Pipeline {
 
     /// Hands the governor a fresh sample and applies its frequency requests.
     fn control_decision(&mut self, now: Femtos) {
-        let Some(mut governor) = self.governor.take() else { return };
+        let Some(mut governor) = self.governor.take() else {
+            return;
+        };
         let mut utilization = [0.0; DomainId::COUNT];
-        for i in 0..DomainId::COUNT {
+        for (i, util) in utilization.iter_mut().enumerate() {
             if self.control.util_samples[i] > 0 {
-                utilization[i] = self.control.util_sum[i] / self.control.util_samples[i] as f64;
+                *util = self.control.util_sum[i] / self.control.util_samples[i] as f64;
             }
         }
         let sample = ControlSample {
@@ -547,7 +549,9 @@ impl Pipeline {
         let fe_period = self.period(DomainId::FrontEnd);
         let v_fe = self.voltage(DomainId::FrontEnd);
         for _ in 0..self.pcfg.decode_width {
-            let Some(front) = self.fetchq.front() else { break };
+            let Some(front) = self.fetchq.front() else {
+                break;
+            };
             if front.fetch_span.end > now {
                 break; // fetched this very edge; dispatch next cycle
             }
@@ -568,7 +572,11 @@ impl Pipeline {
             let needs_dest = front.instr.dest.is_some();
             if needs_dest {
                 let dest = front.instr.dest.expect("checked");
-                let free = if dest.is_fp() { self.rename.free_fp() } else { self.rename.free_int() };
+                let free = if dest.is_fp() {
+                    self.rename.free_fp()
+                } else {
+                    self.rename.free_int()
+                };
                 if free == 0 {
                     break;
                 }
@@ -597,7 +605,11 @@ impl Pipeline {
             let exec_domain = DomainId::executing(op);
             // Queue writes become visible to the consuming scheduler after
             // the synchronization window (§2.2).
-            let sched_domain = if is_mem { DomainId::Integer } else { exec_domain };
+            let sched_domain = if is_mem {
+                DomainId::Integer
+            } else {
+                exec_domain
+            };
             let iq_visible_at = self.vis(now, DomainId::FrontEnd, sched_domain);
             let iq_token = match sched_domain {
                 DomainId::FloatingPoint => {
@@ -612,7 +624,11 @@ impl Pipeline {
                 }
             };
             let lsq_id = if is_mem {
-                let kind = if op == OpClass::Load { MemAccessKind::Load } else { MemAccessKind::Store };
+                let kind = if op == OpClass::Load {
+                    MemAccessKind::Load
+                } else {
+                    MemAccessKind::Store
+                };
                 let v_ls = self.voltage(DomainId::LoadStore);
                 self.ledger.record(Unit::Lsq, v_ls);
                 Some(self.lsq.allocate(kind).expect("capacity checked"))
@@ -700,9 +716,12 @@ impl Pipeline {
                 // Correctly predicted taken branches fetch through (line
                 // prediction); only mispredicts break the stream.
             }
-            let pushed = self
-                .fetchq
-                .push_back(Fetched { seq, instr, fetch_span, mispredicted });
+            let pushed = self.fetchq.push_back(Fetched {
+                seq,
+                instr,
+                fetch_span,
+                mispredicted,
+            });
             assert!(pushed.is_ok(), "fetch-queue fullness was checked");
             if mispredicted {
                 break;
@@ -715,7 +734,10 @@ impl Pipeline {
     // ------------------------------------------------------------------
 
     fn tick_exec(&mut self, domain: DomainId, now: Femtos) {
-        debug_assert!(matches!(domain, DomainId::Integer | DomainId::FloatingPoint));
+        debug_assert!(matches!(
+            domain,
+            DomainId::Integer | DomainId::FloatingPoint
+        ));
         let width = match domain {
             DomainId::Integer => self.pcfg.issue_width_int,
             _ => self.pcfg.issue_width_fp,
@@ -756,11 +778,19 @@ impl Pipeline {
                 return false;
             }
             let busy_until = now + period; // AGU is pipelined
-            if !self.fus.try_acquire(FuKind::IntAlu, now.as_femtos(), busy_until.as_femtos()) {
+            if !self
+                .fus
+                .try_acquire(FuKind::IntAlu, now.as_femtos(), busy_until.as_femtos())
+            {
                 return false;
             }
             let done = now + period * self.pcfg.lat_agu;
-            let addr = self.rob_get(seq).instr.mem.expect("mem op has address").addr;
+            let addr = self
+                .rob_get(seq)
+                .instr
+                .mem
+                .expect("mem op has address")
+                .addr;
             let vis_ls = self.vis(done, DomainId::Integer, DomainId::LoadStore);
             self.pending_addrs.push((vis_ls, seq, addr));
             let v_int = self.voltage(DomainId::Integer);
@@ -795,7 +825,10 @@ impl Pipeline {
         let latency = self.pcfg.latency(op);
         let done = now + period * latency;
         let busy_until = if unpipelined { done } else { now + period };
-        if !self.fus.try_acquire(fu, now.as_femtos(), busy_until.as_femtos()) {
+        if !self
+            .fus
+            .try_acquire(fu, now.as_femtos(), busy_until.as_femtos())
+        {
             return false;
         }
         // Energy: issue-queue read, register-file operands + writeback,
@@ -947,9 +980,7 @@ impl Pipeline {
                     }
                     (done, !l1_hit, l2_miss, false)
                 }
-                LoadStatus::ReadyForwarded { .. } => {
-                    (now + ls_period, false, false, true)
-                }
+                LoadStatus::ReadyForwarded { .. } => (now + ls_period, false, false, true),
                 _ => continue,
             };
             self.ledger.record(Unit::Lsq, v_ls);
@@ -1014,7 +1045,11 @@ impl Pipeline {
             branch_lookups: self.branch_lookups,
             branch_mispredicts: self.branch_mispredicts,
             lsq_forwards: self.lsq.forwards(),
-            trace: if self.cfg.collect_trace { Some(self.trace) } else { None },
+            trace: if self.cfg.collect_trace {
+                Some(self.trace)
+            } else {
+                None
+            },
         }
     }
 }

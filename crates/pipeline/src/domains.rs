@@ -94,7 +94,10 @@ mod tests {
     fn op_classes_map_to_paper_domains() {
         assert_eq!(DomainId::executing(OpClass::IntAlu), DomainId::Integer);
         assert_eq!(DomainId::executing(OpClass::Branch), DomainId::Integer);
-        assert_eq!(DomainId::executing(OpClass::FpSqrt), DomainId::FloatingPoint);
+        assert_eq!(
+            DomainId::executing(OpClass::FpSqrt),
+            DomainId::FloatingPoint
+        );
         assert_eq!(DomainId::executing(OpClass::Load), DomainId::LoadStore);
         assert_eq!(DomainId::executing(OpClass::Store), DomainId::LoadStore);
     }

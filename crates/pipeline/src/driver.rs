@@ -23,7 +23,11 @@ use crate::result::RunResult;
 /// let r = simulate(&MachineConfig::baseline(3), &profile, 1_000);
 /// assert_eq!(r.committed, 1_000);
 /// ```
-pub fn simulate(machine: &MachineConfig, profile: &BenchmarkProfile, instructions: u64) -> RunResult {
+pub fn simulate(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    instructions: u64,
+) -> RunResult {
     let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
     Pipeline::new(machine.clone(), generator).run(instructions)
 }
@@ -158,7 +162,10 @@ mod tests {
         let m = MachineConfig::dynamic(5, DvfsModel::Transmeta, sched);
         let slow = simulate(&m, &profile("bzip2"), 60_000);
         let slowdown = slow.slowdown_vs(&base);
-        assert!(slowdown < 1.05, "FP scaling should be ~free for bzip2: {slowdown}");
+        assert!(
+            slowdown < 1.05,
+            "FP scaling should be ~free for bzip2: {slowdown}"
+        );
     }
 
     #[test]
@@ -227,8 +234,16 @@ mod tests {
     fn gcc_misses_more_than_g721() {
         let gcc = simulate(&MachineConfig::baseline(5), &profile("gcc"), N);
         let g721 = simulate(&MachineConfig::baseline(5), &profile("g721"), N);
-        assert!(gcc.l1d.miss_rate() > 0.05, "gcc L1D miss {}", gcc.l1d.miss_rate());
-        assert!(g721.l1d.miss_rate() < 0.05, "g721 L1D miss {}", g721.l1d.miss_rate());
+        assert!(
+            gcc.l1d.miss_rate() > 0.05,
+            "gcc L1D miss {}",
+            gcc.l1d.miss_rate()
+        );
+        assert!(
+            g721.l1d.miss_rate() < 0.05,
+            "g721 L1D miss {}",
+            g721.l1d.miss_rate()
+        );
     }
 
     #[test]

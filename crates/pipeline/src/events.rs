@@ -117,14 +117,20 @@ impl InstrTrace {
             EventKind::AddrCalc => self.addr_calc,
             EventKind::MemAccess => self.mem_access,
             EventKind::Execute => self.execute,
-            EventKind::Commit => Some(EventSpan { start: self.commit, end: self.commit }),
+            EventKind::Commit => Some(EventSpan {
+                start: self.commit,
+                end: self.commit,
+            }),
         }
     }
 
     /// Completion time of the instruction's last pre-commit event.
     pub fn ready_time(&self) -> Femtos {
         let mut t = self.dispatch.end;
-        for span in [self.addr_calc, self.mem_access, self.execute].into_iter().flatten() {
+        for span in [self.addr_calc, self.mem_access, self.execute]
+            .into_iter()
+            .flatten()
+        {
             t = t.max(span.end);
         }
         t

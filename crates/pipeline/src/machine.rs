@@ -72,7 +72,9 @@ impl MachineConfig {
     pub fn baseline(seed: u64) -> Self {
         MachineConfig {
             pipeline: PipelineConfig::alpha21264(),
-            mode: ClockingMode::SingleDomain { frequency: Frequency::GHZ },
+            mode: ClockingMode::SingleDomain {
+                frequency: Frequency::GHZ,
+            },
             jitter: JitterModel::paper(),
             sync: SyncParams::paper(),
             vf: VfTable::paper(),
@@ -89,7 +91,9 @@ impl MachineConfig {
     /// isolates the cost of inter-domain synchronization.
     pub fn baseline_mcd(seed: u64) -> Self {
         MachineConfig {
-            mode: ClockingMode::Mcd { frequencies: [Frequency::GHZ; DomainId::COUNT] },
+            mode: ClockingMode::Mcd {
+                frequencies: [Frequency::GHZ; DomainId::COUNT],
+            },
             ..MachineConfig::baseline(seed)
         }
     }
@@ -107,7 +111,9 @@ impl MachineConfig {
     /// given DVFS model.
     pub fn dynamic(seed: u64, model: DvfsModel, schedule: FrequencySchedule) -> Self {
         MachineConfig {
-            mode: ClockingMode::Mcd { frequencies: [Frequency::GHZ; DomainId::COUNT] },
+            mode: ClockingMode::Mcd {
+                frequencies: [Frequency::GHZ; DomainId::COUNT],
+            },
             dvfs_model: model,
             schedule,
             ..MachineConfig::baseline(seed)
@@ -153,7 +159,10 @@ mod tests {
     fn global_scales_single_clock() {
         let m = MachineConfig::global(1, Frequency::from_mhz(800));
         assert!(!m.is_mcd());
-        assert_eq!(m.initial_frequency(DomainId::LoadStore), Frequency::from_mhz(800));
+        assert_eq!(
+            m.initial_frequency(DomainId::LoadStore),
+            Frequency::from_mhz(800)
+        );
     }
 
     #[test]

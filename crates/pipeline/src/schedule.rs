@@ -50,7 +50,9 @@ pub struct FrequencySchedule {
 impl FrequencySchedule {
     /// An empty schedule (static frequencies).
     pub fn new() -> Self {
-        FrequencySchedule { entries: Vec::new() }
+        FrequencySchedule {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds from a list of entries, sorting by time.
@@ -138,7 +140,11 @@ mod tests {
             entry(10, DomainId::FloatingPoint, 250),
             entry(30, DomainId::LoadStore, 750),
         ]);
-        let times: Vec<u64> = s.entries().iter().map(|e| e.at.as_micros_f64() as u64).collect();
+        let times: Vec<u64> = s
+            .entries()
+            .iter()
+            .map(|e| e.at.as_micros_f64() as u64)
+            .collect();
         assert_eq!(times, vec![10, 30, 50]);
     }
 

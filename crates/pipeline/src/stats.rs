@@ -79,7 +79,10 @@ impl Unit {
 
     /// Stable index in `0..COUNT`.
     pub fn index(self) -> usize {
-        Unit::ALL.iter().position(|&u| u == self).expect("unit in ALL")
+        Unit::ALL
+            .iter()
+            .position(|&u| u == self)
+            .expect("unit in ALL")
     }
 
     /// The clock domain a unit belongs to (determines its supply voltage).
@@ -120,7 +123,10 @@ pub struct ActivityLedger {
 impl ActivityLedger {
     /// Creates an empty ledger.
     pub fn new() -> Self {
-        ActivityLedger { counts: vec![0; Unit::COUNT], weighted: vec![0.0; Unit::COUNT] }
+        ActivityLedger {
+            counts: vec![0; Unit::COUNT],
+            weighted: vec![0.0; Unit::COUNT],
+        }
     }
 
     /// Records one access to `unit` at supply voltage `volts`.
@@ -177,7 +183,7 @@ mod tests {
 
     #[test]
     fn unit_indices_are_dense_and_distinct() {
-        let mut seen = vec![false; Unit::COUNT];
+        let mut seen = [false; Unit::COUNT];
         for u in Unit::ALL {
             assert!(!seen[u.index()]);
             seen[u.index()] = true;

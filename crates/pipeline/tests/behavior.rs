@@ -1,8 +1,8 @@
 //! Behavioral tests of the pipeline against hand-reasoned expectations.
 
 use mcd_pipeline::{
-    simulate, ClockingMode, DomainId, FrequencySchedule, MachineConfig, PipelineConfig,
-    Pipeline, ScheduleEntry,
+    simulate, ClockingMode, DomainId, FrequencySchedule, MachineConfig, Pipeline, PipelineConfig,
+    ScheduleEntry,
 };
 use mcd_time::{DvfsModel, Femtos, Frequency, JitterModel, SyncParams};
 use mcd_workload::{suites, WorkloadGenerator};
@@ -23,7 +23,11 @@ fn ipc_never_exceeds_decode_width() {
             "{name}: IPC {:.2} exceeds the fetch/decode width",
             run.ipc()
         );
-        assert!(run.ipc() > 0.05, "{name}: IPC {:.2} implausibly low", run.ipc());
+        assert!(
+            run.ipc() > 0.05,
+            "{name}: IPC {:.2} implausibly low",
+            run.ipc()
+        );
     }
 }
 
@@ -89,7 +93,11 @@ fn schedule_entries_beyond_the_run_are_harmless() {
         domain: DomainId::Integer,
         frequency: Frequency::MIN_SCALED,
     }]);
-    let with = simulate(&MachineConfig::dynamic(3, DvfsModel::XScale, late), &profile, 5_000);
+    let with = simulate(
+        &MachineConfig::dynamic(3, DvfsModel::XScale, late),
+        &profile,
+        5_000,
+    );
     let without = simulate(
         &MachineConfig::dynamic(3, DvfsModel::XScale, FrequencySchedule::new()),
         &profile,
@@ -118,8 +126,15 @@ fn repeated_requests_for_the_same_frequency_are_noops_once_settled() {
             frequency: Frequency::from_mhz(500),
         },
     ]);
-    let run = simulate(&MachineConfig::dynamic(3, DvfsModel::XScale, schedule), &profile, 60_000);
-    assert!(run.total_time > Femtos::from_micros(55), "run covers both entries");
+    let run = simulate(
+        &MachineConfig::dynamic(3, DvfsModel::XScale, schedule),
+        &profile,
+        60_000,
+    );
+    assert!(
+        run.total_time > Femtos::from_micros(55),
+        "run covers both entries"
+    );
     assert_eq!(run.domain_transitions[DomainId::FloatingPoint.index()], 1);
 }
 
@@ -147,7 +162,10 @@ fn every_committed_instruction_renames_exactly_once() {
     // not-yet-committed instructions may remain in flight at run end.
     let renames = run.ledger.count(Unit::Rename);
     assert!(renames >= 8_000, "renames {renames}");
-    assert!(renames <= 8_000 + 80, "at most one ROB of in-flight work: {renames}");
+    assert!(
+        renames <= 8_000 + 80,
+        "at most one ROB of in-flight work: {renames}"
+    );
 }
 
 #[test]
@@ -156,11 +174,7 @@ fn loads_hit_the_dcache_stores_write_at_commit() {
     let profile = suites::by_name("treeadd").expect("known benchmark");
     let run = simulate(&quiet_baseline(3), &profile, 20_000);
     // D-cache accesses = load issues + store commits, minus forwarded loads.
-    let mem_ops = run
-        .trace
-        .as_ref()
-        .map(|t| t.len())
-        .unwrap_or(0);
+    let mem_ops = run.trace.as_ref().map(|t| t.len()).unwrap_or(0);
     assert_eq!(mem_ops, 0, "trace off by default");
     let dcache = run.ledger.count(Unit::Dcache);
     assert!(dcache > 4_000, "treeadd is memory-rich: {dcache} accesses");

@@ -10,8 +10,7 @@ fn run_online(name: &str, n: u64) -> mcd_pipeline::RunResult {
         suites::by_name(name).expect("known benchmark"),
         machine.seed,
     );
-    Pipeline::new(machine, generator)
-        .run_with_governor(n, Box::new(AttackDecay::paper_like()))
+    Pipeline::new(machine, generator).run_with_governor(n, Box::new(AttackDecay::paper_like()))
 }
 
 #[test]
@@ -22,7 +21,10 @@ fn governor_scales_idle_fp_domain_for_integer_code() {
     assert_eq!(run.committed, 200_000);
     let fp = run.avg_frequency_hz[DomainId::FloatingPoint.index()];
     let int = run.avg_frequency_hz[DomainId::Integer.index()];
-    assert!(fp < 0.7 * int, "idle FP should be scaled on-line: fp {fp:.3e} vs int {int:.3e}");
+    assert!(
+        fp < 0.7 * int,
+        "idle FP should be scaled on-line: fp {fp:.3e} vs int {int:.3e}"
+    );
     // The front end is untouched by the governor.
     let fe = run.avg_frequency_hz[DomainId::FrontEnd.index()];
     assert!((fe - 1e9).abs() < 2e7, "front end stays at 1 GHz: {fe:.3e}");
@@ -36,8 +38,15 @@ fn governor_keeps_degradation_bounded() {
     let static_run = Pipeline::new(machine.clone(), generator).run(60_000);
     let online = run_online("gcc", 60_000);
     let deg = online.total_time.as_femtos() as f64 / static_run.total_time.as_femtos() as f64 - 1.0;
-    assert!(deg < 0.25, "on-line control degradation out of hand: {:.3}", deg);
-    assert!(online.domain_transitions.iter().sum::<u64>() > 3, "governor actually acted");
+    assert!(
+        deg < 0.25,
+        "on-line control degradation out of hand: {:.3}",
+        deg
+    );
+    assert!(
+        online.domain_transitions.iter().sum::<u64>() > 3,
+        "governor actually acted"
+    );
 }
 
 #[test]
@@ -65,6 +74,9 @@ fn governor_reacts_to_phase_changes() {
     // must produce multiple FP transitions, not a single settling step.
     let run = run_online("art", 120_000);
     let fp_transitions = run.domain_transitions[DomainId::FloatingPoint.index()];
-    assert!(fp_transitions >= 4, "expected repeated FP adaptation, got {fp_transitions}");
+    assert!(
+        fp_transitions >= 4,
+        "expected repeated FP adaptation, got {fp_transitions}"
+    );
     assert!(run.total_time > Femtos::from_micros(50));
 }

@@ -82,7 +82,9 @@ pub struct PowerModel {
 impl PowerModel {
     /// Builds a model with the calibrated default parameters.
     pub fn paper_calibrated() -> Self {
-        PowerModel { params: EnergyParams::wattch_like() }
+        PowerModel {
+            params: EnergyParams::wattch_like(),
+        }
     }
 
     /// Builds a model from explicit parameters.
@@ -120,7 +122,11 @@ impl PowerModel {
             clock[d.index()] = self.params.clock_per_cycle[d.index()] * v2_cycles;
             idle_floor[d.index()] = self.params.idle_floor_per_cycle[d.index()] * v2_cycles;
         }
-        EnergyBreakdown { by_unit, clock, idle_floor }
+        EnergyBreakdown {
+            by_unit,
+            clock,
+            idle_floor,
+        }
     }
 }
 
@@ -163,8 +169,16 @@ mod tests {
         let r = simulate(&MachineConfig::baseline(1), &profile("bzip2"), N);
         let e = model.energy_of(&r);
         let int = e.domain(DomainId::Integer);
-        for d in [DomainId::FrontEnd, DomainId::FloatingPoint, DomainId::LoadStore] {
-            assert!(int > e.domain(d), "integer should dominate, {d} = {}", e.domain(d));
+        for d in [
+            DomainId::FrontEnd,
+            DomainId::FloatingPoint,
+            DomainId::LoadStore,
+        ] {
+            assert!(
+                int > e.domain(d),
+                "integer should dominate, {d} = {}",
+                e.domain(d)
+            );
         }
     }
 
@@ -174,8 +188,14 @@ mod tests {
         let r = simulate(&MachineConfig::baseline(1), &profile("gcc"), N);
         let e = model.energy_of(&r);
         let fp_share = e.domain_share(DomainId::FloatingPoint);
-        assert!(fp_share > 0.02, "clock + idle floor still burn energy: {fp_share}");
-        assert!(fp_share < 0.28, "gated FP must stay below the integer share: {fp_share}");
+        assert!(
+            fp_share > 0.02,
+            "clock + idle floor still burn energy: {fp_share}"
+        );
+        assert!(
+            fp_share < 0.28,
+            "gated FP must stay below the integer share: {fp_share}"
+        );
     }
 
     #[test]
@@ -183,9 +203,16 @@ mod tests {
         let model = PowerModel::paper_calibrated();
         let int_run = simulate(&MachineConfig::baseline(1), &profile("gcc"), N);
         let fp_run = simulate(&MachineConfig::baseline(1), &profile("swim"), N);
-        let int_share = model.energy_of(&int_run).domain_share(DomainId::FloatingPoint);
-        let fp_share = model.energy_of(&fp_run).domain_share(DomainId::FloatingPoint);
-        assert!(fp_share > 1.25 * int_share, "swim {fp_share} vs gcc {int_share}");
+        let int_share = model
+            .energy_of(&int_run)
+            .domain_share(DomainId::FloatingPoint);
+        let fp_share = model
+            .energy_of(&fp_run)
+            .domain_share(DomainId::FloatingPoint);
+        assert!(
+            fp_share > 1.25 * int_share,
+            "swim {fp_share} vs gcc {int_share}"
+        );
     }
 
     #[test]
@@ -202,7 +229,10 @@ mod tests {
         let v = VfTable::paper().voltage_for(freq);
         let analytic = e_base * v.squared_ratio_to(mcd_time::Voltage::NOMINAL);
         let err = (e_scaled - analytic).abs() / analytic;
-        assert!(err < 0.02, "measured {e_scaled}, analytic {analytic}, err {err}");
+        assert!(
+            err < 0.02,
+            "measured {e_scaled}, analytic {analytic}, err {err}"
+        );
     }
 
     #[test]

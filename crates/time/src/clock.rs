@@ -75,11 +75,7 @@ impl DomainClock {
     }
 
     /// Creates a DVFS-capable clock driven by `controller`.
-    pub fn with_controller(
-        controller: VoltageController,
-        jitter: JitterModel,
-        seed: u64,
-    ) -> Self {
+    pub fn with_controller(controller: VoltageController, jitter: JitterModel, seed: u64) -> Self {
         let point = controller.current();
         let mut clk = DomainClock::new(point.frequency, jitter, seed);
         clk.voltage = point.voltage;
@@ -89,7 +85,12 @@ impl DomainClock {
 
     /// Creates a clock whose voltage is looked up from `table` (fixed
     /// frequency, no controller).
-    pub fn fixed_point(frequency: Frequency, table: &VfTable, jitter: JitterModel, seed: u64) -> Self {
+    pub fn fixed_point(
+        frequency: Frequency,
+        table: &VfTable,
+        jitter: JitterModel,
+        seed: u64,
+    ) -> Self {
         let mut clk = DomainClock::new(frequency, jitter, seed);
         clk.voltage = table.voltage_for(frequency);
         clk
@@ -167,7 +168,10 @@ impl DomainClock {
         }
         let period = self.frequency.period_femtos_f64();
         let max_jitter = period * 0.45;
-        let j = self.jitter.sample(&mut self.rng).clamp(-max_jitter, max_jitter);
+        let j = self
+            .jitter
+            .sample(&mut self.rng)
+            .clamp(-max_jitter, max_jitter);
         let advance = (period + j).max(1.0).round() as u64;
         self.last_edge += Femtos::from_femtos(advance);
         self.cycles += 1;
@@ -179,7 +183,10 @@ impl DomainClock {
     /// Produces the next edge together with its cycle index.
     pub fn next_event(&mut self) -> ClockEvent {
         let time = self.next_edge();
-        ClockEvent { time, cycle: self.cycles - 1 }
+        ClockEvent {
+            time,
+            cycle: self.cycles - 1,
+        }
     }
 }
 
@@ -220,7 +227,10 @@ mod tests {
             last = clk.next_edge();
         }
         let mean_period = (last - first).as_femtos() as f64 / n as f64;
-        assert!((mean_period - 1_000_000.0).abs() < 2_000.0, "mean {mean_period}");
+        assert!(
+            (mean_period - 1_000_000.0).abs() < 2_000.0,
+            "mean {mean_period}"
+        );
     }
 
     #[test]

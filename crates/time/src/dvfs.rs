@@ -254,7 +254,12 @@ impl VoltageController {
         let from = self.current;
         let to = self.table.point_for(target);
         if to.frequency == from.frequency {
-            return TransitionPlan { requested_at: now, settled_at: now, idle: Femtos::ZERO, steps: 0 };
+            return TransitionPlan {
+                requested_at: now,
+                settled_at: now,
+                idle: Femtos::ZERO,
+                steps: 0,
+            };
         }
         self.transitions += 1;
         match self.model {
@@ -263,7 +268,12 @@ impl VoltageController {
         }
     }
 
-    fn plan_xscale(&mut self, now: Femtos, from: OperatingPoint, to: OperatingPoint) -> TransitionPlan {
+    fn plan_xscale(
+        &mut self,
+        now: Femtos,
+        from: OperatingPoint,
+        to: OperatingPoint,
+    ) -> TransitionPlan {
         let steps = self
             .model
             .steps_between(&self.table, from.voltage, to.voltage)
@@ -279,7 +289,11 @@ impl VoltageController {
                 frequency: Frequency::from_hz((f0 + (f1 - f0) * t).round() as u64),
                 voltage: Voltage::from_volts(v0 + (v1 - v0) * t),
             };
-            self.plan.push_back(VfSegment { at: now + step_time * k as u64, point, idle_until: None });
+            self.plan.push_back(VfSegment {
+                at: now + step_time * k as u64,
+                point,
+                idle_until: None,
+            });
         }
         TransitionPlan {
             requested_at: now,
@@ -297,14 +311,19 @@ impl VoltageController {
         rng: &mut SimRng,
     ) -> TransitionPlan {
         let step_time = self.model.step_time();
-        let steps = self.model.steps_between(&self.table, from.voltage, to.voltage);
+        let steps = self
+            .model
+            .steps_between(&self.table, from.voltage, to.voltage);
         let lock = self.pll.sample_lock_time(rng);
         if to.frequency < from.frequency {
             // Down: re-lock immediately (idle), run at the lower frequency,
             // then trail the voltage down with no performance effect.
             self.plan.push_back(VfSegment {
                 at: now,
-                point: OperatingPoint { frequency: to.frequency, voltage: from.voltage },
+                point: OperatingPoint {
+                    frequency: to.frequency,
+                    voltage: from.voltage,
+                },
                 idle_until: Some(now + lock),
             });
             let ramp_start = now + lock;

@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 /// let edge = Femtos::from_nanos(3);
 /// assert_eq!(edge + Femtos::from_picos(500), Femtos::from_femtos(3_500_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Femtos(u64);
 

@@ -31,12 +31,18 @@ pub struct JitterModel {
 impl JitterModel {
     /// The paper's model: 100 ps external + 10 ps internal.
     pub fn paper() -> Self {
-        JitterModel { external_fs: 100_000.0, internal_fs: 10_000.0 }
+        JitterModel {
+            external_fs: 100_000.0,
+            internal_fs: 10_000.0,
+        }
     }
 
     /// No jitter — useful for deterministic unit tests and ablations.
     pub fn disabled() -> Self {
-        JitterModel { external_fs: 0.0, internal_fs: 0.0 }
+        JitterModel {
+            external_fs: 0.0,
+            internal_fs: 0.0,
+        }
     }
 
     /// A custom model from explicit standard deviations (in femtoseconds).
@@ -53,7 +59,10 @@ impl JitterModel {
             internal_fs.is_finite() && internal_fs >= 0.0,
             "invalid internal jitter: {internal_fs}"
         );
-        JitterModel { external_fs, internal_fs }
+        JitterModel {
+            external_fs,
+            internal_fs,
+        }
     }
 
     /// Combined standard deviation in femtoseconds.

@@ -62,7 +62,12 @@ impl VfTable {
     pub fn new(f_min: Frequency, f_max: Frequency, v_min: Voltage, v_max: Voltage) -> Self {
         assert!(f_min < f_max, "need f_min < f_max");
         assert!(v_min < v_max, "need v_min < v_max");
-        VfTable { f_min, f_max, v_min, v_max }
+        VfTable {
+            f_min,
+            f_max,
+            v_min,
+            v_max,
+        }
     }
 
     /// Lowest frequency of the region.
@@ -96,14 +101,16 @@ impl VfTable {
 
     /// The operating point for `f`.
     pub fn point_for(&self, f: Frequency) -> OperatingPoint {
-        OperatingPoint { frequency: f, voltage: self.voltage_for(f) }
+        OperatingPoint {
+            frequency: f,
+            voltage: self.voltage_for(f),
+        }
     }
 
     /// The highest grid frequency whose fraction-of-max is at most `scale`
     /// (e.g. `scale = 0.5` → 500 MHz on the paper table).
     pub fn frequency_at_scale(&self, scale: f64) -> Frequency {
-        let hz = (self.f_max.as_hz() as f64 * scale.clamp(0.0, 1.0))
-            .max(self.f_min.as_hz() as f64);
+        let hz = (self.f_max.as_hz() as f64 * scale.clamp(0.0, 1.0)).max(self.f_min.as_hz() as f64);
         Frequency::from_hz(hz.round() as u64)
     }
 }
@@ -193,11 +200,7 @@ impl FrequencyGrid {
     /// This is how a target frequency computed by the off-line tool is
     /// quantized: rounding *up* guarantees the dilation bound still holds.
     pub fn quantize_up(&self, f: Frequency) -> OperatingPoint {
-        match self
-            .points
-            .iter()
-            .find(|p| p.frequency >= f)
-        {
+        match self.points.iter().find(|p| p.frequency >= f) {
             Some(p) => *p,
             None => *self.points.last().expect("grid is non-empty"),
         }
@@ -253,8 +256,7 @@ mod tests {
     fn grid32_matches_paper_spacing() {
         let g = FrequencyGrid::paper32();
         assert_eq!(g.len(), 32);
-        let step =
-            g.point(1).frequency.as_hz() as f64 - g.point(0).frequency.as_hz() as f64;
+        let step = g.point(1).frequency.as_hz() as f64 - g.point(0).frequency.as_hz() as f64;
         // 750 MHz span over 31 intervals ≈ 24.19 MHz.
         assert!((step - 750e6 / 31.0).abs() < 1.0);
     }

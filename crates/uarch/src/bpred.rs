@@ -115,7 +115,12 @@ impl BranchPredictor {
             chooser: vec![2; config.chooser_entries],
             btb: vec![
                 vec![
-                    BtbEntry { tag: 0, target: 0, valid: false, lru: 0 };
+                    BtbEntry {
+                        tag: 0,
+                        target: 0,
+                        valid: false,
+                        lru: 0
+                    };
                     config.btb_ways
                 ];
                 config.btb_sets
@@ -177,7 +182,10 @@ impl BranchPredictor {
         self.lookups += 1;
         let (bimodal, pag, use_pag) = self.components(pc);
         let taken = if use_pag { pag } else { bimodal };
-        Prediction { taken, target: self.btb_lookup(pc) }
+        Prediction {
+            taken,
+            target: self.btb_lookup(pc),
+        }
     }
 
     fn btb_lookup(&self, pc: u64) -> Option<u64> {
@@ -231,15 +239,19 @@ impl BranchPredictor {
         }
         let victim = match ways.iter().position(|e| !e.valid) {
             Some(i) => i,
-            None => {
-                ways.iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways non-empty")
-            }
+            None => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("ways non-empty"),
         };
-        ways[victim] = BtbEntry { tag, target, valid: true, lru: self.tick };
+        ways[victim] = BtbEntry {
+            tag,
+            target,
+            valid: true,
+            lru: self.tick,
+        };
     }
 }
 
@@ -286,7 +298,10 @@ mod tests {
             bp.update(0x108, taken, 0x300);
             taken = !taken;
         }
-        assert!(wrong_late < 20, "PAg should nail the pattern, wrong {wrong_late}");
+        assert!(
+            wrong_late < 20,
+            "PAg should nail the pattern, wrong {wrong_late}"
+        );
     }
 
     #[test]
@@ -295,7 +310,9 @@ mod tests {
         let mut bp = predictor();
         let mut x = 0x12345678u64;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 63) != 0;
             bp.predict(0x10c);
             bp.update(0x10c, taken, 0x400);
@@ -309,7 +326,9 @@ mod tests {
         let mut bp = predictor();
         let mut x = 7u64;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x % 100) < 95; // 95 % taken
             bp.predict(0x110);
             bp.update(0x110, taken, 0x500);

@@ -20,17 +20,29 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's L1 data cache: 64 KB, 2-way.
     pub fn l1d_paper() -> Self {
-        CacheConfig { size_bytes: 64 << 10, ways: 2, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 64 << 10,
+            ways: 2,
+            line_bytes: 64,
+        }
     }
 
     /// The paper's L1 instruction cache: 64 KB, 2-way.
     pub fn l1i_paper() -> Self {
-        CacheConfig { size_bytes: 64 << 10, ways: 2, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 64 << 10,
+            ways: 2,
+            line_bytes: 64,
+        }
     }
 
     /// The paper's unified L2: 1 MB, direct mapped.
     pub fn l2_paper() -> Self {
-        CacheConfig { size_bytes: 1 << 20, ways: 1, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 1 << 20,
+            ways: 1,
+            line_bytes: 64,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -108,7 +120,15 @@ impl Cache {
         Cache {
             config,
             sets: vec![
-                vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; config.ways as usize];
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    config.ways as usize
+                ];
                 sets as usize
             ],
             stats: CacheStats::default(),
@@ -162,7 +182,12 @@ impl Cache {
         if ways[victim].valid && ways[victim].dirty {
             self.stats.writebacks += 1;
         }
-        ways[victim] = Line { tag, valid: true, dirty: is_write, lru: self.tick };
+        ways[victim] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.tick,
+        };
         false
     }
 

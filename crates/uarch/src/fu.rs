@@ -52,7 +52,13 @@ pub struct FuPoolConfig {
 impl FuPoolConfig {
     /// Table 1 of the paper.
     pub fn paper() -> Self {
-        FuPoolConfig { int_alu: 4, int_muldiv: 1, fp_alu: 2, fp_muldiv: 1, mem_ports: 2 }
+        FuPoolConfig {
+            int_alu: 4,
+            int_muldiv: 1,
+            fp_alu: 2,
+            fp_muldiv: 1,
+            mem_ports: 2,
+        }
     }
 
     fn count(&self, kind: FuKind) -> usize {
@@ -100,7 +106,11 @@ impl FuPool {
             assert!(n > 0, "unit count for {k:?} must be positive");
             vec![0u64; n]
         });
-        FuPool { config, busy_until, acquisitions: [0; 5] }
+        FuPool {
+            config,
+            busy_until,
+            acquisitions: [0; 5],
+        }
     }
 
     /// The pool configuration.
@@ -109,7 +119,10 @@ impl FuPool {
     }
 
     fn kind_index(kind: FuKind) -> usize {
-        FuKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+        FuKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL")
     }
 
     /// Attempts to reserve a unit of `kind` at time `now`, holding it until

@@ -134,15 +134,18 @@ impl LoadStoreQueue {
         }
         let id = LsqEntryId(self.next_id);
         self.next_id += 1;
-        self.entries.push_back(Entry { id, kind, addr: None, issued: false });
+        self.entries.push_back(Entry {
+            id,
+            kind,
+            addr: None,
+            issued: false,
+        });
         Some(id)
     }
 
     fn position(&self, id: LsqEntryId) -> Option<usize> {
         // Entries are ordered by id; binary search by sequence.
-        self.entries
-            .binary_search_by_key(&id.0, |e| e.id.0)
-            .ok()
+        self.entries.binary_search_by_key(&id.0, |e| e.id.0).ok()
     }
 
     /// Records the computed effective address of an entry.
@@ -266,7 +269,10 @@ mod tests {
         lsq.set_address(st1, 0x200);
         lsq.set_address(st2, 0x200);
         lsq.set_address(ld, 0x204); // same 8-byte word as 0x200? No: 0x204 & !7 = 0x200.
-        assert_eq!(lsq.load_status(ld), LoadStatus::ReadyForwarded { store: st2 });
+        assert_eq!(
+            lsq.load_status(ld),
+            LoadStatus::ReadyForwarded { store: st2 }
+        );
         lsq.mark_issued(ld, true);
         assert_eq!(lsq.forwards(), 1);
         assert_eq!(lsq.load_status(ld), LoadStatus::AlreadyIssued);

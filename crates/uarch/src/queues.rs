@@ -31,7 +31,10 @@ impl<T> CircularQueue<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        CircularQueue { items: std::collections::VecDeque::with_capacity(capacity), capacity }
+        CircularQueue {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Maximum number of items.
@@ -194,7 +197,9 @@ impl<T> SlotPool<T> {
     /// Panics if the token does not name an occupied slot (tokens are
     /// single-use).
     pub fn remove(&mut self, token: SlotToken) -> T {
-        let item = self.slots[token.0].take().expect("token names an occupied slot");
+        let item = self.slots[token.0]
+            .take()
+            .expect("token names an occupied slot");
         self.free.push(token.0);
         self.len -= 1;
         item

@@ -102,8 +102,17 @@ impl RenameUnit {
             map.push(PhysReg(int_phys + i));
         }
         let free_int = (32..int_phys).rev().map(PhysReg).collect();
-        let free_fp = (int_phys + 32..int_phys + fp_phys).rev().map(PhysReg).collect();
-        RenameUnit { map, free_int, free_fp, int_phys, fp_phys }
+        let free_fp = (int_phys + 32..int_phys + fp_phys)
+            .rev()
+            .map(PhysReg)
+            .collect();
+        RenameUnit {
+            map,
+            free_int,
+            free_fp,
+            int_phys,
+            fp_phys,
+        }
     }
 
     /// Total physical registers (both classes).
@@ -198,7 +207,11 @@ mod tests {
         let mut rn = RenameUnit::paper();
         let mut prevs = Vec::new();
         for i in 0..40 {
-            prevs.push(rn.allocate(Reg::int((i % 24) as u8)).expect("free regs").prev);
+            prevs.push(
+                rn.allocate(Reg::int((i % 24) as u8))
+                    .expect("free regs")
+                    .prev,
+            );
         }
         assert_eq!(rn.allocate(Reg::int(0)), Err(RenameError::OutOfIntRegs));
         rn.free(prevs[0]);

@@ -37,7 +37,9 @@ impl GenRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        GenRng { state: [next(), next(), next(), next()] }
+        GenRng {
+            state: [next(), next(), next(), next()],
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -166,7 +168,10 @@ impl PhaseCode {
                             break c;
                         }
                     };
-                    StaticOp { class, branch: None }
+                    StaticOp {
+                        class,
+                        branch: None,
+                    }
                 }
             })
             .collect();
@@ -300,7 +305,11 @@ impl WorkloadGenerator {
         let spec = self.spec();
         let dep_density = spec.dep_density;
         let dep_distance = spec.dep_distance;
-        let recent = if fp { &self.recent_fp } else { &self.recent_int };
+        let recent = if fp {
+            &self.recent_fp
+        } else {
+            &self.recent_int
+        };
         if !recent.is_empty() && self.rng.chance(dep_density) {
             // Short-distance dependence: distance ~ exponential with the
             // configured mean, capped by history length.
@@ -406,14 +415,22 @@ impl WorkloadGenerator {
                 };
                 let target = code_base(phase) + sb.target_slot as u64 * 4;
                 let i = Instruction::branch(pc, cond_src, taken, target);
-                self.slot = if taken { sb.target_slot } else { (slot + 1) % n_slots };
+                self.slot = if taken {
+                    sb.target_slot
+                } else {
+                    (slot + 1) % n_slots
+                };
                 self.advance_position();
                 return i;
             }
             class => {
                 let fp = class.is_fp();
                 let s1 = self.pick_source(fp);
-                let s2 = if self.rng.chance(0.7) { self.pick_source(fp) } else { None };
+                let s2 = if self.rng.chance(0.7) {
+                    self.pick_source(fp)
+                } else {
+                    None
+                };
                 let dest = self.pick_dest(fp);
                 Instruction::alu(pc, class, Some(dest), [s1, s2])
             }
@@ -546,7 +563,11 @@ mod tests {
         let mut g = WorkloadGenerator::new(toy_profile(), 6);
         for _ in 0..2_000 {
             let i = g.next_instruction();
-            let base = if i.pc >= code_base(1) { code_base(1) } else { code_base(0) };
+            let base = if i.pc >= code_base(1) {
+                code_base(1)
+            } else {
+                code_base(0)
+            };
             assert!(i.pc >= base && i.pc < base + (16 << 10) + 4);
         }
     }

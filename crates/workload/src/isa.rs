@@ -32,7 +32,10 @@ impl Reg {
     ///
     /// Panics if `i >= 32`.
     pub fn int(i: u8) -> Reg {
-        assert!(i < Self::NUM_INT, "integer register index out of range: {i}");
+        assert!(
+            i < Self::NUM_INT,
+            "integer register index out of range: {i}"
+        );
         Reg(i)
     }
 
@@ -173,8 +176,18 @@ impl Instruction {
     ///
     /// Panics if `op` is a memory or branch class.
     pub fn alu(pc: u64, op: OpClass, dest: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
-        assert!(!op.is_mem() && !op.is_branch(), "use load/store/branch constructors");
-        Instruction { pc, op, dest, srcs, mem: None, branch: None }
+        assert!(
+            !op.is_mem() && !op.is_branch(),
+            "use load/store/branch constructors"
+        );
+        Instruction {
+            pc,
+            op,
+            dest,
+            srcs,
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Builds a load.

@@ -234,7 +234,13 @@ impl BenchmarkProfile {
         let seed_salt = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
         });
-        BenchmarkProfile { name, suite, paper_window: paper_window.into(), phases, seed_salt }
+        BenchmarkProfile {
+            name,
+            suite,
+            paper_window: paper_window.into(),
+            phases,
+            seed_salt,
+        }
     }
 
     /// Total instructions in one full cycle through the phases.
@@ -311,8 +317,18 @@ mod tests {
 
     #[test]
     fn seed_salt_distinguishes_names() {
-        let a = BenchmarkProfile::new("a", Suite::Olden, "", vec![PhaseSpec::compute(1, Mix::integer_heavy())]);
-        let b = BenchmarkProfile::new("b", Suite::Olden, "", vec![PhaseSpec::compute(1, Mix::integer_heavy())]);
+        let a = BenchmarkProfile::new(
+            "a",
+            Suite::Olden,
+            "",
+            vec![PhaseSpec::compute(1, Mix::integer_heavy())],
+        );
+        let b = BenchmarkProfile::new(
+            "b",
+            Suite::Olden,
+            "",
+            vec![PhaseSpec::compute(1, Mix::integer_heavy())],
+        );
         assert_ne!(a.seed_salt, b.seed_salt);
     }
 

@@ -79,8 +79,8 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
 /// Names of all benchmarks in figure order.
 pub fn names() -> Vec<&'static str> {
     vec![
-        "adpcm", "epic", "g721", "mesa", "em3d", "health", "mst", "power", "treeadd",
-        "tsp", "bzip2", "gcc", "mcf", "parser", "art", "swim",
+        "adpcm", "epic", "g721", "mesa", "em3d", "health", "mst", "power", "treeadd", "tsp",
+        "bzip2", "gcc", "mcf", "parser", "art", "swim",
     ]
 }
 
@@ -544,7 +544,9 @@ mod tests {
 
     #[test]
     fn integer_benchmarks_have_no_fp() {
-        for name in ["adpcm", "gcc", "mcf", "bzip2", "parser", "treeadd", "health", "mst"] {
+        for name in [
+            "adpcm", "gcc", "mcf", "bzip2", "parser", "treeadd", "health", "mst",
+        ] {
             let p = by_name(name).unwrap();
             assert!(p.avg_fp_fraction() < 0.01, "{name} should be integer-only");
         }

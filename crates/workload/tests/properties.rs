@@ -7,27 +7,16 @@ use mcd_workload::{BenchmarkProfile, Mix, OpClass, PhaseSpec, Suite, WorkloadGen
 /// Strategy producing a valid single-phase profile with arbitrary knobs.
 fn arbitrary_profile() -> impl Strategy<Value = BenchmarkProfile> {
     (
-        0.0f64..0.9,        // dep_density
-        1.0f64..8.0,        // dep_distance
-        0.0f64..0.3,        // l1d_miss
-        0.0f64..0.8,        // l2_miss
-        0.0f64..0.4,        // random_branch_frac
-        1u64..64,           // code KB
-        0.0f64..0.5,        // fp weight
+        0.0f64..0.9, // dep_density
+        1.0f64..8.0, // dep_distance
+        0.0f64..0.3, // l1d_miss
+        0.0f64..0.8, // l2_miss
+        0.0f64..0.4, // random_branch_frac
+        1u64..64,    // code KB
+        0.0f64..0.5, // fp weight
     )
         .prop_map(|(dep, dist, l1, l2, rb, code_kb, fp)| {
-            let mix = Mix::from_weights([
-                0.4,
-                0.02,
-                0.0,
-                fp,
-                fp * 0.7,
-                0.0,
-                0.0,
-                0.25,
-                0.1,
-                0.15,
-            ]);
+            let mix = Mix::from_weights([0.4, 0.02, 0.0, fp, fp * 0.7, 0.0, 0.0, 0.25, 0.1, 0.15]);
             BenchmarkProfile::new(
                 "prop",
                 Suite::Olden,

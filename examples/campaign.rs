@@ -1,0 +1,61 @@
+//! Running a parameter sweep as an `mcd-harness` campaign.
+//!
+//! A campaign expands a sweep spec — benchmarks × seeds × DVFS models —
+//! into independent cells, runs them on a worker pool, and memoizes every
+//! finished cell in a content-addressed cache. Re-running the example (or
+//! overlapping sweeps that share cells) recomputes nothing: the second run
+//! below reports every cell as cached and produces byte-identical JSON.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+
+use mcd::harness::{Campaign, CampaignSpec, ResultCache, Telemetry};
+use mcd::time::DvfsModel;
+
+fn main() {
+    // Three benchmarks under both DVFS transition models: 6 cells.
+    let spec = CampaignSpec {
+        benchmarks: vec!["adpcm".into(), "gcc".into(), "art".into()],
+        seeds: vec![5],
+        instructions: 40_000,
+        models: vec![DvfsModel::XScale, DvfsModel::Transmeta],
+        thetas: [0.01, 0.05],
+    };
+    let cache = ResultCache::open("target/mcd-campaign-cache").expect("create cache dir");
+    let campaign = Campaign::new(spec).workers(0); // 0 = one worker per core
+
+    // First pass computes misses; progress streams to stderr as JSONL.
+    let report = campaign
+        .run(&cache, &Telemetry::stderr())
+        .expect("valid spec");
+    println!(
+        "first pass:  {} computed, {} cached, {:.1}s",
+        report.computed(),
+        report.cached(),
+        report.wall.as_secs_f64()
+    );
+
+    for record in &report.cells {
+        let result = record.outcome.result().expect("cell succeeded");
+        let ed = result.energy_delay_improvement();
+        println!(
+            "  {:<26} dynamic-5% energy-delay improvement {:>5.1}%  (global {:>5.1}%)",
+            record.cell.label(),
+            100.0 * ed[2],
+            100.0 * ed[3],
+        );
+    }
+
+    // Second pass: everything is served from the cache, and the campaign's
+    // canonical JSON document is byte-identical.
+    let rerun = campaign
+        .run(&cache, &Telemetry::disabled())
+        .expect("valid spec");
+    println!(
+        "second pass: {} computed, {} cached, byte-identical: {}",
+        rerun.computed(),
+        rerun.cached(),
+        report.to_json() == rerun.to_json()
+    );
+}

@@ -39,7 +39,10 @@ fn main() {
             frequency: Frequency::GHZ,
         },
     ]);
-    println!("schedule as JSON:\n{}\n", schedule.to_json().expect("serializable"));
+    println!(
+        "schedule as JSON:\n{}\n",
+        schedule.to_json().expect("serializable")
+    );
 
     let baseline = simulate(&MachineConfig::baseline_mcd(7), &profile, instructions);
     let machine = MachineConfig::dynamic(7, DvfsModel::XScale, schedule);

@@ -23,7 +23,10 @@ fn main() {
     let instructions: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120_000);
 
     let Some(profile) = suites::by_name(&name) else {
-        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        eprintln!(
+            "unknown benchmark {name:?}; available: {:?}",
+            suites::names()
+        );
         std::process::exit(2);
     };
 

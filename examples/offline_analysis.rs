@@ -18,7 +18,10 @@ fn main() {
     let instructions: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120_000);
 
     let Some(profile) = suites::by_name(&name) else {
-        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        eprintln!(
+            "unknown benchmark {name:?}; available: {:?}",
+            suites::names()
+        );
         std::process::exit(2);
     };
 
@@ -30,7 +33,10 @@ fn main() {
     let perf = results.perf_degradation();
     let energy = results.energy_savings();
     let ed = results.energy_delay_improvement();
-    println!("\n{:<14} {:>10} {:>10} {:>12}", "config", "perf deg", "energy", "energy-delay");
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>12}",
+        "config", "perf deg", "energy", "energy-delay"
+    );
     for i in 0..4 {
         println!(
             "{:<14} {:>9.2}% {:>9.2}% {:>11.2}%",

@@ -20,7 +20,10 @@ fn main() {
     let name = args.next().unwrap_or_else(|| "gcc".into());
     let instructions: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(240_000);
     let Some(profile) = suites::by_name(&name) else {
-        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        eprintln!(
+            "unknown benchmark {name:?}; available: {:?}",
+            suites::names()
+        );
         std::process::exit(2);
     };
 
@@ -58,7 +61,12 @@ fn main() {
             100.0 * ed
         );
     };
-    report("off-line (oracle)", offline.total_time, e_off, analysis.schedule.len() as u64);
+    report(
+        "off-line (oracle)",
+        offline.total_time,
+        e_off,
+        analysis.schedule.len() as u64,
+    );
     report(
         "on-line attack/decay",
         online.total_time,

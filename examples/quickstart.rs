@@ -15,7 +15,10 @@ fn main() {
     let instructions: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
 
     let Some(profile) = suites::by_name(&name) else {
-        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        eprintln!(
+            "unknown benchmark {name:?}; available: {:?}",
+            suites::names()
+        );
         std::process::exit(2);
     };
     println!(
@@ -38,7 +41,11 @@ fn main() {
     println!("  bpred miss    {:.2}%", 100.0 * baseline.mispredict_rate());
     println!("  energy        {:.0} units", e_base.total());
     for d in DomainId::ALL {
-        println!("    {:<16} {:>5.1}%", d.label(), 100.0 * e_base.domain_share(d));
+        println!(
+            "    {:<16} {:>5.1}%",
+            d.label(),
+            100.0 * e_base.domain_share(d)
+        );
     }
 
     println!("\nfour-domain MCD at a static 1 GHz:");

@@ -14,7 +14,10 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "adpcm".into());
     let instructions = 60_000;
     let Some(profile) = suites::by_name(&name) else {
-        eprintln!("unknown benchmark {name:?}; available: {:?}", suites::names());
+        eprintln!(
+            "unknown benchmark {name:?}; available: {:?}",
+            suites::names()
+        );
         std::process::exit(2);
     };
 
@@ -28,7 +31,10 @@ fn main() {
             machine.sync = SyncParams::new(frac);
             machine.jitter = jitter;
             let run = simulate(&machine, &profile, instructions);
-            row.push_str(&format!(" {:>13.2}%", 100.0 * (run.slowdown_vs(&base) - 1.0)));
+            row.push_str(&format!(
+                " {:>13.2}%",
+                100.0 * (run.slowdown_vs(&base) - 1.0)
+            ));
         }
         println!("{row}");
     }

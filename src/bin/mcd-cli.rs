@@ -5,9 +5,13 @@
 //! mcd-cli run        <benchmark> [--config base|mcd|global:<mhz>] [--instructions N] [--seed S]
 //! mcd-cli analyze    <benchmark> [--theta PCT] [--model xscale|transmeta] [--instructions N]
 //! mcd-cli experiment <benchmark> [--instructions N] [--seed S] [--json]
+//! mcd-cli campaign   run|status [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N]
+//!                    [--models xscale,transmeta] [--workers W] [--cache-dir DIR]
+//!                    [--telemetry FILE|-] [--json]
 //! ```
 
 use mcd::core::{run_benchmark, ExperimentConfig};
+use mcd::harness::{parse_model, Campaign, CampaignSpec, CellOutcome, ResultCache, Telemetry};
 use mcd::offline::{derive_schedule, OfflineConfig};
 use mcd::pipeline::{simulate, DomainId, MachineConfig};
 use mcd::power::PowerModel;
@@ -19,7 +23,10 @@ fn usage() -> ! {
         "usage:\n  mcd-cli list\n  mcd-cli run <benchmark> [--config base|mcd|global:<mhz>] \
          [--instructions N] [--seed S]\n  mcd-cli analyze <benchmark> [--theta PCT] \
          [--model xscale|transmeta] [--instructions N]\n  mcd-cli experiment <benchmark> \
-         [--instructions N] [--seed S] [--json]"
+         [--instructions N] [--seed S] [--json]\n  mcd-cli campaign run|status \
+         [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N] \
+         [--models xscale,transmeta] [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
+         [--json]"
     );
     std::process::exit(2)
 }
@@ -51,10 +58,12 @@ fn parse_opts(args: &[String]) -> Opts {
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            }).clone()
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
         };
         match flag.as_str() {
             "--instructions" => {
@@ -84,7 +93,7 @@ fn main() {
     let Some(command) = args.first() else { usage() };
     match command.as_str() {
         "list" => {
-            println!("{:<9} {:<14} {}", "name", "suite", "paper window");
+            println!("{:<9} {:<14} paper window", "name", "suite");
             for p in suites::all() {
                 println!("{:<9} {:<14} {}", p.name, p.suite.label(), p.paper_window);
             }
@@ -92,6 +101,153 @@ fn main() {
         "run" => cmd_run(parse_opts(&args[1..])),
         "analyze" => cmd_analyze(parse_opts(&args[1..])),
         "experiment" => cmd_experiment(parse_opts(&args[1..])),
+        "campaign" => cmd_campaign(&args[1..]),
+        _ => usage(),
+    }
+}
+
+struct CampaignOpts {
+    spec: CampaignSpec,
+    workers: usize,
+    cache_dir: String,
+    telemetry: Option<String>,
+    json: bool,
+}
+
+fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
+    let mut opts = CampaignOpts {
+        spec: CampaignSpec::paper(5, 120_000, DvfsModel::XScale),
+        workers: 0,
+        cache_dir: "target/mcd-campaign-cache".into(),
+        telemetry: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--benchmarks" => {
+                opts.spec.benchmarks = value("--benchmarks")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--seeds" => {
+                opts.spec.seeds = value("--seeds")
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--instructions" => {
+                opts.spec.instructions = value("--instructions").parse().unwrap_or_else(|_| usage())
+            }
+            "--models" => {
+                opts.spec.models = value("--models")
+                    .split(',')
+                    .map(|m| {
+                        parse_model(m).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            usage()
+                        })
+                    })
+                    .collect()
+            }
+            "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--cache-dir" => opts.cache_dir = value("--cache-dir"),
+            "--telemetry" => opts.telemetry = Some(value("--telemetry")),
+            "--json" => opts.json = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn cmd_campaign(args: &[String]) {
+    let Some(verb) = args.first() else { usage() };
+    let opts = parse_campaign_opts(&args[1..]);
+    let cache = ResultCache::open(&opts.cache_dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache dir {}: {e}", opts.cache_dir);
+        std::process::exit(1)
+    });
+    let campaign = Campaign::new(opts.spec.clone()).workers(opts.workers);
+    match verb.as_str() {
+        "run" => {
+            let telemetry = match opts.telemetry.as_deref() {
+                None => Telemetry::disabled(),
+                Some("-") => Telemetry::stderr(),
+                Some(path) => Telemetry::to_file(path.as_ref()).unwrap_or_else(|e| {
+                    eprintln!("cannot open telemetry file {path}: {e}");
+                    std::process::exit(1)
+                }),
+            };
+            let report = campaign.run(&cache, &telemetry).unwrap_or_else(|e| {
+                eprintln!("invalid campaign: {e}");
+                std::process::exit(2)
+            });
+            if opts.json {
+                match report.to_json() {
+                    Some(json) => println!("{json}"),
+                    None => {
+                        eprintln!("campaign had failed cells; no result document");
+                    }
+                }
+            } else {
+                println!("{:<28} {:>9}  outcome", "cell", "elapsed");
+                for record in &report.cells {
+                    let outcome = match &record.outcome {
+                        CellOutcome::Cached(_) => "cached".to_string(),
+                        CellOutcome::Computed { attempts: 1, .. } => "computed".to_string(),
+                        CellOutcome::Computed { attempts, .. } => {
+                            format!("computed (attempt {attempts})")
+                        }
+                        CellOutcome::Failed(f) => format!("FAILED: {f}"),
+                    };
+                    println!(
+                        "{:<28} {:>8.2}s  {}",
+                        record.cell.label(),
+                        record.elapsed.as_secs_f64(),
+                        outcome
+                    );
+                }
+            }
+            eprintln!(
+                "campaign: {} computed, {} cached, {} failed in {:.1}s",
+                report.computed(),
+                report.cached(),
+                report.failed(),
+                report.wall.as_secs_f64()
+            );
+            if report.failed() > 0 {
+                std::process::exit(1);
+            }
+        }
+        "status" => {
+            let rows = campaign.status(&cache).unwrap_or_else(|e| {
+                eprintln!("invalid campaign: {e}");
+                std::process::exit(2)
+            });
+            let cached = rows.iter().filter(|(_, _, hit)| *hit).count();
+            for (cell, key, hit) in &rows {
+                println!(
+                    "{:<28} {}  {}",
+                    cell.label(),
+                    &key.hex()[..12],
+                    if *hit { "cached" } else { "missing" }
+                );
+            }
+            println!(
+                "{cached}/{} cells cached in {}",
+                rows.len(),
+                cache.dir().display()
+            );
+        }
         _ => usage(),
     }
 }
@@ -133,7 +289,11 @@ fn cmd_run(opts: Opts) {
     println!("bpred miss     {:.2}%", 100.0 * run.mispredict_rate());
     println!("energy         {:.0} units", energy.total());
     for d in DomainId::ALL {
-        println!("  {:<16} {:>5.1}%", d.label(), 100.0 * energy.domain_share(d));
+        println!(
+            "  {:<16} {:>5.1}%",
+            d.label(),
+            100.0 * energy.domain_share(d)
+        );
     }
 }
 
@@ -169,15 +329,24 @@ fn cmd_experiment(opts: Opts) {
     let cfg = ExperimentConfig::paper(opts.seed, opts.instructions, opts.model);
     let results = run_benchmark(&profile, &cfg);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("serializable")
+        );
         return;
     }
     let labels = ["baseline MCD", "dynamic-1%", "dynamic-5%", "global"];
     let perf = results.perf_degradation();
     let energy = results.energy_savings();
     let ed = results.energy_delay_improvement();
-    println!("benchmark {}; global settled on {}", results.name, results.global_frequency);
-    println!("{:<14} {:>10} {:>10} {:>12}", "config", "perf deg", "energy", "energy-delay");
+    println!(
+        "benchmark {}; global settled on {}",
+        results.name, results.global_frequency
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "config", "perf deg", "energy", "energy-delay"
+    );
     for i in 0..4 {
         println!(
             "{:<14} {:>9.2}% {:>9.2}% {:>11.2}%",

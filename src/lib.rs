@@ -16,7 +16,9 @@
 //! * [`pipeline`] — the four-domain cycle-level simulator;
 //! * [`power`] — the energy model;
 //! * [`offline`] — the shaker / clustering analysis tool;
-//! * [`core`] — the five machine configurations and the experiment driver.
+//! * [`core`] — the five machine configurations and the experiment driver;
+//! * [`harness`] — the parallel campaign engine (sweeps, result cache,
+//!   worker pool, fault isolation, JSONL telemetry).
 //!
 //! # Quickstart
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 pub use mcd_core as core;
+pub use mcd_harness as harness;
 pub use mcd_offline as offline;
 pub use mcd_pipeline as pipeline;
 pub use mcd_power as power;

@@ -15,8 +15,18 @@ fn wider_sync_window_costs_more() {
         m.jitter = JitterModel::disabled();
         times.push(simulate(&m, &profile, 20_000).total_time);
     }
-    assert!(times[0] <= times[1], "Ts=0 ({}) vs Ts=0.3 ({})", times[0], times[1]);
-    assert!(times[1] <= times[2], "Ts=0.3 ({}) vs Ts=0.6 ({})", times[1], times[2]);
+    assert!(
+        times[0] <= times[1],
+        "Ts=0 ({}) vs Ts=0.3 ({})",
+        times[0],
+        times[1]
+    );
+    assert!(
+        times[1] <= times[2],
+        "Ts=0.3 ({}) vs Ts=0.6 ({})",
+        times[1],
+        times[2]
+    );
 }
 
 #[test]
@@ -46,11 +56,18 @@ fn transmeta_transitions_idle_the_domain_xscale_does_not() {
         &profile,
         20_000,
     );
-    let tm = simulate(&MachineConfig::dynamic(4, DvfsModel::Transmeta, sched), &profile, 20_000);
+    let tm = simulate(
+        &MachineConfig::dynamic(4, DvfsModel::Transmeta, sched),
+        &profile,
+        20_000,
+    );
     let xs_idle: Femtos = xs.domain_idle.iter().copied().sum();
     let tm_idle: Femtos = tm.domain_idle.iter().copied().sum();
     assert_eq!(xs_idle, Femtos::ZERO, "XScale executes through changes");
-    assert!(tm_idle >= Femtos::from_micros(10), "Transmeta re-lock idles: {tm_idle}");
+    assert!(
+        tm_idle >= Femtos::from_micros(10),
+        "Transmeta re-lock idles: {tm_idle}"
+    );
 }
 
 #[test]
@@ -110,5 +127,8 @@ fn jitter_perturbs_but_does_not_dominate() {
         / without.total_time.as_femtos() as f64;
     // Jitter also reshuffles every edge alignment, so the comparison carries
     // phase luck on top of the direct effect; it must stay second-order.
-    assert!(rel < 0.15, "110 ps jitter should be a second-order effect: {rel}");
+    assert!(
+        rel < 0.15,
+        "110 ps jitter should be a second-order effect: {rel}"
+    );
 }

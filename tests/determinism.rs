@@ -57,5 +57,9 @@ fn different_seeds_give_statistically_similar_but_distinct_runs() {
     let b = simulate(&MachineConfig::baseline(2), &profile, 20_000);
     assert_ne!(a.total_time, b.total_time);
     let rel = (a.ipc() - b.ipc()).abs() / a.ipc();
-    assert!(rel < 0.15, "seeds should not change IPC by {:.1}%", rel * 100.0);
+    assert!(
+        rel < 0.15,
+        "seeds should not change IPC by {:.1}%",
+        rel * 100.0
+    );
 }

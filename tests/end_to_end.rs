@@ -22,18 +22,31 @@ fn five_configurations_hold_their_invariants() {
 
     // Dynamic configurations save energy; θ=5% at least as much as θ=1%.
     assert!(energy[2] > 0.0, "dynamic-5% saves energy: {:?}", energy);
-    assert!(energy[2] >= energy[1] - 0.03, "5% >= 1% (tolerance): {:?}", energy);
+    assert!(
+        energy[2] >= energy[1] - 0.03,
+        "5% >= 1% (tolerance): {:?}",
+        energy
+    );
 
     // gcc is the paper's showcase for integer-domain scaling: per-domain
     // scaling must beat global voltage scaling on energy-delay.
-    assert!(ed[2] > ed[3], "dynamic-5% ED {:.3} vs global {:.3}", ed[2], ed[3]);
+    assert!(
+        ed[2] > ed[3],
+        "dynamic-5% ED {:.3} vs global {:.3}",
+        ed[2],
+        ed[3]
+    );
 
     // The front end never scales; the FP domain bottoms out for a benchmark
     // with almost no floating point.
     let fe = r.domain_summary5[DomainId::FrontEnd.index()];
     assert_eq!(fe.min_frequency_hz, 1_000_000_000);
     let fp = r.domain_summary5[DomainId::FloatingPoint.index()];
-    assert!(fp.mean_frequency_hz < 600e6, "FP should scale deep: {:.3e}", fp.mean_frequency_hz);
+    assert!(
+        fp.mean_frequency_hz < 600e6,
+        "FP should scale deep: {:.3e}",
+        fp.mean_frequency_hz
+    );
 }
 
 #[test]
@@ -46,7 +59,12 @@ fn memory_bound_benchmark_is_the_best_case_for_mcd() {
     // scaling (at full experiment scale it wins by ~2x; this small window
     // carries warm-up transients, so allow a one-point band).
     assert!(ed[2] > 0.05, "mcf dynamic-5% ED {:.3}", ed[2]);
-    assert!(ed[2] > ed[3] - 0.01, "mcf dynamic-5% {:.3} vs global {:.3}", ed[2], ed[3]);
+    assert!(
+        ed[2] > ed[3] - 0.01,
+        "mcf dynamic-5% {:.3} vs global {:.3}",
+        ed[2],
+        ed[3]
+    );
 }
 
 #[test]

@@ -24,7 +24,11 @@ fn averages(n: u64) -> ([f64; 4], [f64; 4], [f64; 4]) {
         }
     }
     let count = profiles.len() as f64;
-    (perf.map(|v| v / count), energy.map(|v| v / count), ed.map(|v| v / count))
+    (
+        perf.map(|v| v / count),
+        energy.map(|v| v / count),
+        ed.map(|v| v / count),
+    )
 }
 
 #[test]
@@ -33,13 +37,25 @@ fn headline_claims_reproduce_in_shape() {
     let (perf, energy, ed) = averages(120_000);
 
     // Baseline MCD: small cost in both time and energy (paper: <4%, ~1.5%).
-    assert!(perf[0] > 0.0 && perf[0] < 0.08, "MCD perf cost {:.3}", perf[0]);
-    assert!(energy[0] < 0.0 && energy[0] > -0.05, "MCD energy cost {:.3}", energy[0]);
+    assert!(
+        perf[0] > 0.0 && perf[0] < 0.08,
+        "MCD perf cost {:.3}",
+        perf[0]
+    );
+    assert!(
+        energy[0] < 0.0 && energy[0] > -0.05,
+        "MCD energy cost {:.3}",
+        energy[0]
+    );
 
     // Dynamic-5%: degradation roughly tracking θ above the MCD baseline
     // (paper: ~10%), with positive energy savings well above global's V²
     // share of the same slowdown.
-    assert!(perf[2] > 0.05 && perf[2] < 0.16, "dyn-5% degradation {:.3}", perf[2]);
+    assert!(
+        perf[2] > 0.05 && perf[2] < 0.16,
+        "dyn-5% degradation {:.3}",
+        perf[2]
+    );
     assert!(energy[2] > 0.10, "dyn-5% energy {:.3}", energy[2]);
 
     // Monotonicity in θ.
@@ -49,9 +65,24 @@ fn headline_claims_reproduce_in_shape() {
     // The paper's headline ordering on energy-delay:
     // dynamic-5% > dynamic-1% > 0, and dynamic-5% beats global scaling.
     assert!(ed[1] > 0.0, "dyn-1% ED {:.3}", ed[1]);
-    assert!(ed[2] > ed[1], "dyn-5% ({:.3}) > dyn-1% ({:.3})", ed[2], ed[1]);
-    assert!(ed[2] > ed[3], "dyn-5% ({:.3}) > global ({:.3})", ed[2], ed[3]);
+    assert!(
+        ed[2] > ed[1],
+        "dyn-5% ({:.3}) > dyn-1% ({:.3})",
+        ed[2],
+        ed[1]
+    );
+    assert!(
+        ed[2] > ed[3],
+        "dyn-5% ({:.3}) > global ({:.3})",
+        ed[2],
+        ed[3]
+    );
 
     // Global matches the dynamic-5% degradation by construction.
-    assert!((perf[3] - perf[2]).abs() < 0.04, "global {:.3} vs dyn-5% {:.3}", perf[3], perf[2]);
+    assert!(
+        (perf[3] - perf[2]).abs() < 0.04,
+        "global {:.3} vs dyn-5% {:.3}",
+        perf[3],
+        perf[2]
+    );
 }
