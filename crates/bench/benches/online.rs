@@ -41,8 +41,8 @@ fn main() {
         let on_machine =
             MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, Default::default());
         let generator = WorkloadGenerator::new(profile.clone(), on_machine.seed);
-        let on = Pipeline::new(on_machine, generator)
-            .run_with_governor(n, Box::new(AttackDecay::paper_like()));
+        let on =
+            Pipeline::new(on_machine, generator).run_with_governor(n, AttackDecay::paper_like());
         let m_on = metrics(on.total_time, power.energy_of(&on).total());
 
         for i in 0..3 {

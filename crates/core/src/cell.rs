@@ -9,8 +9,10 @@
 //! Both the serial driver ([`crate::run_benchmark`]) and the parallel
 //! campaign harness go through this one code path.
 
+use std::collections::HashMap;
+
 use mcd_offline::{cluster_schedule, prepare_slack, AnalysisOutput, SlackProfile};
-use mcd_pipeline::{simulate, DomainId, MachineConfig, PipelineConfig, RunResult};
+use mcd_pipeline::{simulate, DomainId, MachineConfig, PipelineConfig, RunResult, ScheduleEntry};
 use mcd_time::{Femtos, Frequency, FrequencyGrid, VfTable};
 use mcd_workload::BenchmarkProfile;
 
@@ -276,13 +278,28 @@ fn refine_dynamic(
     let weights = [0.0, 0.40, 0.25, 0.35];
     let mut scale = [1.0f64; DomainId::COUNT];
     let mut best: Option<(AnalysisOutput, RunResult)> = None;
+    // Budget clamps saturate, so successive iterations regularly regenerate
+    // a schedule (full or per-domain probe) already simulated this call.
+    // A run is a pure function of its schedule here — seed, model, workload
+    // and length are fixed — so identical schedules are simulated once.
+    let mut run_memo: HashMap<Vec<ScheduleEntry>, RunResult> = HashMap::new();
+    let mut probe_memo: HashMap<Vec<ScheduleEntry>, Femtos> = HashMap::new();
     for iter in 0..3 {
         for (i, s) in off.budget_safety.iter_mut().enumerate() {
             *s = (base_safety[i] * scale[i]).clamp(0.02, 5.0);
         }
         let analysis = cluster_schedule(slack, &off);
-        let machine = MachineConfig::dynamic(cfg.seed, cfg.model, analysis.schedule.clone());
-        let run = simulate(&machine, profile, cfg.instructions);
+        let key = analysis.schedule.entries().to_vec();
+        let run = match run_memo.get(&key) {
+            Some(run) => run.clone(),
+            None => {
+                let machine =
+                    MachineConfig::dynamic(cfg.seed, cfg.model, analysis.schedule.clone());
+                let run = simulate(&machine, profile, cfg.instructions);
+                run_memo.insert(key, run.clone());
+                run
+            }
+        };
         best = Some((analysis, run));
         if iter == 2 {
             break;
@@ -302,13 +319,20 @@ fn refine_dynamic(
             if entries.is_empty() {
                 continue;
             }
-            let machine = MachineConfig::dynamic(
-                cfg.seed,
-                cfg.model,
-                mcd_pipeline::FrequencySchedule::from_entries(entries),
-            );
-            let run_d = simulate(&machine, profile, cfg.instructions);
-            let deg_d = run_d.total_time.as_femtos() as f64 / mcd_time.as_femtos() as f64 - 1.0;
+            let probe_time = match probe_memo.get(&entries) {
+                Some(t) => *t,
+                None => {
+                    let machine = MachineConfig::dynamic(
+                        cfg.seed,
+                        cfg.model,
+                        mcd_pipeline::FrequencySchedule::from_entries(entries.clone()),
+                    );
+                    let run_d = simulate(&machine, profile, cfg.instructions);
+                    probe_memo.insert(entries, run_d.total_time);
+                    run_d.total_time
+                }
+            };
+            let deg_d = probe_time.as_femtos() as f64 / mcd_time.as_femtos() as f64 - 1.0;
             let target_d = theta * weights[d.index()];
             if deg_d > target_d * 1.35 + 0.003 || deg_d < target_d * 0.5 {
                 let ratio = (target_d / deg_d.max(1e-4)).clamp(0.3, 2.5);
@@ -345,6 +369,7 @@ fn search_global(
     // Run time decreases monotonically with frequency: bisect the grid.
     let mut lo = 0usize;
     let mut hi = grid.len() - 1;
+    let mut probed = Vec::new();
     let mut best: Option<(u64, Frequency, RunResult)> = None;
     let consider = |i: usize, best: &mut Option<(u64, Frequency, RunResult)>| -> bool {
         let f = grid.point(i).frequency;
@@ -362,6 +387,7 @@ fn search_global(
     };
     while lo < hi {
         let mid = (lo + hi) / 2;
+        probed.push(mid);
         if consider(mid, &mut best) {
             // Too slow: need a higher frequency.
             lo = mid + 1;
@@ -369,7 +395,12 @@ fn search_global(
             hi = mid;
         }
     }
-    consider(lo, &mut best);
+    // Bisection often converges onto an index it already probed (`hi = mid`
+    // on the last step); a repeat probe is an identical run whose error
+    // cannot beat its own strict minimum, so skip it.
+    if !probed.contains(&lo) {
+        consider(lo, &mut best);
+    }
     let (_, f, run) = best.expect("at least one probe ran");
     (f, run)
 }

@@ -28,6 +28,7 @@
 pub mod cache;
 pub mod pool;
 pub mod retry;
+pub mod snapshot;
 pub mod spec;
 pub mod telemetry;
 
@@ -37,6 +38,7 @@ use mcd_core::BenchmarkResults;
 
 pub use cache::{CacheKey, ResultCache, CACHE_FORMAT_VERSION};
 pub use retry::{CellFailure, RetryPolicy};
+pub use snapshot::{BenchSnapshot, CellTiming, SNAPSHOT_SCHEMA};
 pub use spec::{parse_model, CampaignSpec, CellSpec, SpecError};
 pub use telemetry::{CellSource, Telemetry};
 

@@ -1,0 +1,122 @@
+//! Wall-clock performance snapshots of campaign runs.
+//!
+//! A [`BenchSnapshot`] freezes the per-cell and total wall times of one
+//! campaign into a JSON document (`BENCH_*.json` at the repo root). Paired
+//! with a cold cache it measures raw simulator throughput; committed
+//! snapshots let performance PRs carry their evidence, and later sessions
+//! compare like against like by re-running the same spec.
+
+use serde::Serialize;
+
+use crate::{CampaignReport, CampaignSpec, CellOutcome};
+
+/// Schema tag embedded in every snapshot document.
+pub const SNAPSHOT_SCHEMA: &str = "mcd-bench-snapshot/1";
+
+/// One cell's wall time within a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellTiming {
+    /// Human-readable cell label (`benchmark/seed/model`).
+    pub cell: String,
+    /// Wall time spent on the cell, seconds.
+    pub elapsed_s: f64,
+    /// `computed`, `cached`, or `failed`.
+    pub outcome: String,
+}
+
+/// A campaign wall-clock snapshot, serializable to `BENCH_*.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSnapshot {
+    /// Document format tag ([`SNAPSHOT_SCHEMA`]).
+    pub schema: String,
+    /// Committed instructions per simulation run.
+    pub instructions: u64,
+    /// Seeds swept.
+    pub seeds: Vec<u64>,
+    /// DVFS models swept.
+    pub models: Vec<String>,
+    /// Benchmarks run (the empty-means-all default already applied).
+    pub benchmarks: Vec<String>,
+    /// Cells computed this run (a cold cache makes this every cell).
+    pub computed: usize,
+    /// Cells served from the cache (non-zero means the snapshot does NOT
+    /// measure raw simulator throughput).
+    pub cached: usize,
+    /// Cells that failed every attempt.
+    pub failed: usize,
+    /// Total campaign wall time, seconds.
+    pub wall_s: f64,
+    /// Slowest single cell, seconds.
+    pub max_cell_s: f64,
+    /// Per-cell wall times, in spec-expansion order.
+    pub cells: Vec<CellTiming>,
+}
+
+impl BenchSnapshot {
+    /// Builds a snapshot from a finished campaign.
+    pub fn from_report(spec: &CampaignSpec, report: &CampaignReport) -> BenchSnapshot {
+        let cells: Vec<CellTiming> = report
+            .cells
+            .iter()
+            .map(|c| CellTiming {
+                cell: c.cell.label(),
+                elapsed_s: c.elapsed.as_secs_f64(),
+                outcome: match &c.outcome {
+                    CellOutcome::Cached(_) => "cached".to_string(),
+                    CellOutcome::Computed { .. } => "computed".to_string(),
+                    CellOutcome::Failed(_) => "failed".to_string(),
+                },
+            })
+            .collect();
+        BenchSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            instructions: spec.instructions,
+            seeds: spec.seeds.clone(),
+            models: spec.models.iter().map(|m| format!("{m:?}")).collect(),
+            benchmarks: spec.benchmark_names(),
+            computed: report.computed(),
+            cached: report.cached(),
+            failed: report.failed(),
+            wall_s: report.wall.as_secs_f64(),
+            max_cell_s: cells.iter().map(|c| c.elapsed_s).fold(0.0, f64::max),
+            cells,
+        }
+    }
+
+    /// Pretty JSON for the `BENCH_*.json` file (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self).expect("snapshot serializes");
+        json.push('\n');
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Campaign, ResultCache, Telemetry};
+    use mcd_time::DvfsModel;
+
+    #[test]
+    fn snapshot_captures_cold_campaign_timing() {
+        let mut spec = CampaignSpec::paper(1, 400, DvfsModel::XScale);
+        spec.benchmarks = vec!["adpcm".to_string(), "gcc".to_string()];
+        let dir = std::env::temp_dir().join(format!("mcd-snapshot-test-{}", std::process::id()));
+        let cache = ResultCache::open(&dir).expect("create cache dir");
+        let report = Campaign::new(spec.clone())
+            .run(&cache, &Telemetry::disabled())
+            .expect("valid spec");
+        let snap = BenchSnapshot::from_report(&spec, &report);
+        assert_eq!(snap.schema, SNAPSHOT_SCHEMA);
+        assert_eq!(snap.cells.len(), 2);
+        assert_eq!(snap.computed + snap.cached, 2);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.benchmarks, vec!["adpcm", "gcc"]);
+        assert!(snap.wall_s > 0.0);
+        assert!(snap.max_cell_s <= snap.wall_s + 1e-9);
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"mcd-bench-snapshot/1\""));
+        assert!(json.ends_with('\n'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

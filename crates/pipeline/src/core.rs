@@ -11,21 +11,23 @@
 //! dictate. Any value crossing a domain boundary becomes visible at the
 //! first destination edge at least `T_s` after it was produced (§2.2).
 
-use mcd_time::{sync_visible_at, DomainClock, Femtos, SimRng, VoltageController};
+use mcd_time::{DomainClock, Femtos, Frequency, SimRng, SyncWindowCache, VoltageController};
 use mcd_uarch::lsq::LoadStatus;
 use mcd_uarch::{
     BranchPredictor, Cache, CircularQueue, FuKind, FuPool, LoadStoreQueue, LsqEntryId,
-    MemAccessKind, PhysReg, RenameUnit, SlotToken,
+    MemAccessKind, PhysReg, RenameUnit,
 };
 use mcd_workload::{Instruction, OpClass, WorkloadGenerator};
 
 use crate::config::PipelineConfig;
 use crate::domains::DomainId;
 use crate::events::{EventSpan, InstrTrace};
-use crate::governor::{ControlSample, Governor};
+use crate::governor::{ControlSample, Governor, NoGovernor};
 use crate::machine::{ClockingMode, MachineConfig};
 use crate::result::RunResult;
+use crate::sched::EdgeScheduler;
 use crate::stats::{ActivityLedger, Unit};
+use crate::warm::{self, WarmState};
 
 /// A fetched-but-not-dispatched instruction.
 #[derive(Debug, Clone)]
@@ -45,7 +47,6 @@ struct InFlight {
     prev_phys: Option<PhysReg>,
     src_phys: [Option<PhysReg>; 2],
     src_producers: [Option<u64>; 2],
-    iq_token: Option<SlotToken>,
     lsq_id: Option<LsqEntryId>,
     /// When the backend scheduler first sees this IQ entry.
     iq_visible_at: Femtos,
@@ -113,10 +114,24 @@ pub struct Pipeline {
     pcfg: PipelineConfig,
     gen: WorkloadGenerator,
     clocks: Vec<DomainClock>,
-    /// Next pending edge per clock.
-    next_edge: Vec<Femtos>,
+    /// Earliest-pending-edge index over the clocks.
+    sched: EdgeScheduler,
     /// Schedule cursor.
     schedule_pos: usize,
+    /// One physical clock serving all four logical domains?
+    single_clock: bool,
+    /// Run the naive edge-by-edge loop (no fast-forward); validation only.
+    reference_mode: bool,
+
+    // Cached per-clock operating points (refreshed after each edge).
+    clock_freq: [Frequency; DomainId::COUNT],
+    clock_volt: [f64; DomainId::COUNT],
+    // Cached per-*domain* period/voltage derived from the clocks.
+    periods: [Femtos; DomainId::COUNT],
+    volts: [f64; DomainId::COUNT],
+    /// §2.2 synchronization windows per (src, dst) domain pair, refreshed
+    /// only when a domain's period changes.
+    sync_win: SyncWindowCache<{ DomainId::COUNT }>,
 
     // Front end.
     bpred: BranchPredictor,
@@ -134,24 +149,34 @@ pub struct Pipeline {
     rob_head_seq: u64,
 
     // Backend.
-    iq_int: mcd_uarch::SlotPool<u64>,
-    iq_fp: mcd_uarch::SlotPool<u64>,
+    iq_int: mcd_uarch::AgeQueue,
+    iq_fp: mcd_uarch::AgeQueue,
     lsq: LoadStoreQueue,
     fus: FuPool,
     l1d: Cache,
     l2: Cache,
     /// (visible_at, seq, addr): effective addresses in flight to the LSQ.
     pending_addrs: Vec<(Femtos, u64, u64)>,
+    /// Stores with addresses applied but memory work outstanding,
+    /// ascending seq. Dense mirror of the ROB predicate
+    /// `op == Store && addr_applied && !mem_done`.
+    ls_stores: Vec<u64>,
+    /// Loads with addresses applied but not yet issued, ascending seq.
+    ls_loads: Vec<u64>,
 
-    /// Per-physical-register visibility time in each domain.
-    ready_at: Vec<[Femtos; DomainId::COUNT]>,
+    /// Per-physical-register visibility time in each domain, flattened as
+    /// `phys.index() * DomainId::COUNT + domain.index()`.
+    ready_at: Vec<Femtos>,
     /// Which in-flight instruction wrote each physical register.
     writer_of: Vec<Option<u64>>,
 
-    // On-line control (None when driven by a static schedule only).
-    governor: Option<Box<dyn Governor>>,
+    // On-line control accumulators (governor itself is a run parameter).
     control: ControlState,
     control_next: Femtos,
+
+    // Per-run scratch buffers, hoisted out of the per-edge hot path.
+    exec_scratch: Vec<u64>,
+    addr_scratch: Vec<(u64, u64)>,
 
     // Accounting.
     ledger: ActivityLedger,
@@ -199,6 +224,21 @@ impl Pipeline {
                 })
                 .collect(),
         };
+        let single_clock = clocks.len() == 1;
+        let mut clock_freq = [Frequency::GHZ; DomainId::COUNT];
+        let mut clock_volt = [0.0f64; DomainId::COUNT];
+        for (i, c) in clocks.iter().enumerate() {
+            clock_freq[i] = c.frequency();
+            clock_volt[i] = c.voltage().as_volts();
+        }
+        let mut periods = [Femtos::ZERO; DomainId::COUNT];
+        let mut volts = [0.0f64; DomainId::COUNT];
+        for d in 0..DomainId::COUNT {
+            let ci = if single_clock { 0 } else { d };
+            periods[d] = clocks[ci].period();
+            volts[d] = clock_volt[ci];
+        }
+        let sync_win = SyncWindowCache::new(cfg.sync, &periods);
         let total_phys = (pcfg.phys_int + pcfg.phys_fp) as usize;
         Pipeline {
             bpred: BranchPredictor::new(pcfg.bpred),
@@ -213,14 +253,15 @@ impl Pipeline {
             rename: RenameUnit::new(pcfg.phys_int, pcfg.phys_fp),
             rob: std::collections::VecDeque::with_capacity(pcfg.rob_size),
             rob_head_seq: 0,
-            iq_int: mcd_uarch::SlotPool::new(pcfg.iq_int),
-            iq_fp: mcd_uarch::SlotPool::new(pcfg.iq_fp),
+            iq_int: mcd_uarch::AgeQueue::new(pcfg.iq_int),
+            iq_fp: mcd_uarch::AgeQueue::new(pcfg.iq_fp),
             lsq: LoadStoreQueue::new(pcfg.lsq_size),
             fus: FuPool::new(pcfg.fus),
             pending_addrs: Vec::new(),
-            ready_at: vec![[Femtos::ZERO; DomainId::COUNT]; total_phys],
+            ls_stores: Vec::with_capacity(pcfg.lsq_size),
+            ls_loads: Vec::with_capacity(pcfg.lsq_size),
+            ready_at: vec![Femtos::ZERO; total_phys * DomainId::COUNT],
             writer_of: vec![None; total_phys],
-            governor: None,
             control: ControlState::default(),
             control_next: Femtos::MAX,
             ledger: ActivityLedger::new(),
@@ -230,8 +271,17 @@ impl Pipeline {
             branch_lookups: 0,
             branch_mispredicts: 0,
             trace: Vec::new(),
-            next_edge: Vec::new(),
+            sched: EdgeScheduler::new(clocks.len()),
             schedule_pos: 0,
+            single_clock,
+            reference_mode: false,
+            clock_freq,
+            clock_volt,
+            periods,
+            volts,
+            sync_win,
+            exec_scratch: Vec::with_capacity(pcfg.iq_int.max(pcfg.iq_fp)),
+            addr_scratch: Vec::with_capacity(pcfg.lsq_size),
             clocks,
             gen,
             cfg,
@@ -239,28 +289,88 @@ impl Pipeline {
         }
     }
 
+    /// Forces the naive edge-by-edge run loop (no idle-cycle fast-forward).
+    ///
+    /// Results are identical either way — this exists so tests can prove
+    /// that claim by diffing the two paths.
+    pub fn reference_mode(mut self, on: bool) -> Self {
+        self.reference_mode = on;
+        self
+    }
+
     fn clock_index(&self, d: DomainId) -> usize {
-        if self.clocks.len() == 1 {
+        if self.single_clock {
             0
         } else {
             d.index()
         }
     }
 
+    #[inline]
     fn voltage(&self, d: DomainId) -> f64 {
-        self.clocks[self.clock_index(d)].voltage().as_volts()
+        self.volts[d.index()]
     }
 
+    #[inline]
     fn period(&self, d: DomainId) -> Femtos {
-        self.clocks[self.clock_index(d)].period()
+        self.periods[d.index()]
     }
 
     /// When a value produced at `t` in `src` becomes usable in `dst`.
+    #[inline]
     fn vis(&self, t: Femtos, src: DomainId, dst: DomainId) -> Femtos {
-        if self.clocks.len() == 1 || src == dst {
+        if self.single_clock || src == dst {
             return t;
         }
-        sync_visible_at(&self.cfg.sync, t, self.period(src), self.period(dst))
+        self.sync_win.visible_at(t, src.index(), dst.index())
+    }
+
+    /// Refreshes the cached operating point of clock `ci` after it produced
+    /// an edge (the only moment a clock's frequency or voltage can move).
+    #[inline]
+    fn note_clock_advanced(&mut self, ci: usize) {
+        let c = &self.clocks[ci];
+        let f = c.frequency();
+        let v = c.voltage().as_volts();
+        if f == self.clock_freq[ci] && v == self.clock_volt[ci] {
+            return;
+        }
+        self.clock_freq[ci] = f;
+        self.clock_volt[ci] = v;
+        let p = f.period();
+        if self.single_clock {
+            self.periods = [p; DomainId::COUNT];
+            self.volts = [v; DomainId::COUNT];
+        } else {
+            self.volts[ci] = v;
+            if self.periods[ci] != p {
+                self.periods[ci] = p;
+                self.sync_win.refresh_domain(ci, &self.periods);
+            }
+        }
+    }
+
+    /// Whether the domain of clock `ci` can have no effect when ticked:
+    /// its tick machinery would observe no schedulable work and mutate no
+    /// state. Such edges only need their clock advanced.
+    ///
+    /// The conditions are *stable under this domain's own ticks*: work can
+    /// only appear via another domain (dispatch inserts IQ/LSQ entries from
+    /// the front end, address µops arrive from the integer domain), so
+    /// idleness holds for as long as this clock's edges keep preceding every
+    /// other clock's.
+    #[inline]
+    fn domain_idle(&self, ci: usize) -> bool {
+        match DomainId::ALL[ci] {
+            DomainId::FrontEnd => false,
+            DomainId::Integer => self.iq_int.is_empty(),
+            DomainId::FloatingPoint => self.iq_fp.is_empty(),
+            DomainId::LoadStore => {
+                self.pending_addrs.is_empty()
+                    && self.ls_stores.is_empty()
+                    && self.ls_loads.is_empty()
+            }
+        }
     }
 
     fn rob_get(&self, seq: u64) -> &InFlight {
@@ -272,20 +382,27 @@ impl Pipeline {
     }
 
     /// Marks `phys` written at `t` by domain `src`: consumers in each domain
-    /// see it after the synchronization window.
+    /// see it after the synchronization window (the cached window row makes
+    /// this a flat four-element write; the zero diagonal covers `src`).
     fn set_ready(&mut self, phys: PhysReg, t: Femtos, src: DomainId) {
-        let mut times = [t; DomainId::COUNT];
-        if self.clocks.len() > 1 {
-            for d in DomainId::ALL {
-                times[d.index()] = self.vis(t, src, d);
+        let base = phys.index() * DomainId::COUNT;
+        if self.single_clock {
+            self.ready_at[base..base + DomainId::COUNT].fill(t);
+        } else {
+            let row = *self.sync_win.row(src.index());
+            for (slot, w) in self.ready_at[base..base + DomainId::COUNT]
+                .iter_mut()
+                .zip(row)
+            {
+                *slot = t + w;
             }
         }
-        self.ready_at[phys.index()] = times;
     }
 
+    #[inline]
     fn src_ready_at(&self, phys: Option<PhysReg>, d: DomainId) -> Femtos {
         match phys {
-            Some(p) => self.ready_at[p.index()][d.index()],
+            Some(p) => self.ready_at[p.index() * DomainId::COUNT + d.index()],
             None => Femtos::ZERO,
         }
     }
@@ -294,40 +411,74 @@ impl Pipeline {
     /// without timing, then clears their statistics. This stands in for the
     /// paper's practice of simulating a window deep inside execution, where
     /// long-lived structures are already warm.
+    ///
+    /// The warm-up stream depends only on the workload, the seed, the stream
+    /// length and the structures' geometry — not on the clocking mode under
+    /// measurement — so the result is shared process-wide (see [`warm`]) and
+    /// cloned into this pipeline; repeated cells in a campaign pay for it
+    /// once.
     fn warm_structures(&mut self, n: u64) {
-        let mut warm_gen = WorkloadGenerator::new(self.gen.profile().clone(), self.cfg.seed);
-        // Pre-touch the long-reuse-distance warm sets into the L2 (they are
-        // deliberately L1-hostile, so only the L2 is touched).
-        for line in warm_gen.warm_footprint() {
-            self.l2.access(line, false);
-        }
         // Cover at least one full pass over the program's phases so that no
         // phase starts cold inside the measured window.
         let n = n.max(self.gen.profile().cycle_length() + 10_000);
-        for _ in 0..n {
-            let instr = warm_gen.next_instruction();
-            if !self.l1i.access(instr.pc, false) {
-                self.l2.access(instr.pc, false);
+        let key = format!(
+            "{}|{}|{}|{}|{}|{}|{}",
+            serde_json::to_string(self.gen.profile()).expect("profile serializes"),
+            self.cfg.seed,
+            n,
+            serde_json::to_string(&self.pcfg.l1i).expect("config serializes"),
+            serde_json::to_string(&self.pcfg.l1d).expect("config serializes"),
+            serde_json::to_string(&self.pcfg.l2).expect("config serializes"),
+            serde_json::to_string(&self.pcfg.bpred).expect("config serializes"),
+        );
+        let state = warm::get_or_build(&key, || {
+            // Build on fresh structures — identical to this pipeline's own,
+            // which have seen no accesses before warm-up.
+            let mut l1i = Cache::new(self.pcfg.l1i);
+            let mut l1d = Cache::new(self.pcfg.l1d);
+            let mut l2 = Cache::new(self.pcfg.l2);
+            let mut bpred = BranchPredictor::new(self.pcfg.bpred);
+            let mut warm_gen = WorkloadGenerator::new(self.gen.profile().clone(), self.cfg.seed);
+            // Pre-touch the long-reuse-distance warm sets into the L2 (they
+            // are deliberately L1-hostile, so only the L2 is touched).
+            for line in warm_gen.warm_footprint() {
+                l2.access(line, false);
             }
-            if let Some(mem) = instr.mem {
-                // Skip the streaming region: the timed run re-generates the
-                // same address sequence, and pre-touching it would turn
-                // compulsory misses into false hits.
-                if mem.addr < 0x8000_0000 {
-                    let is_write = instr.op == OpClass::Store;
-                    if !self.l1d.access(mem.addr, is_write) {
-                        self.l2.access(mem.addr, is_write);
+            for _ in 0..n {
+                let instr = warm_gen.next_instruction();
+                if !l1i.access(instr.pc, false) {
+                    l2.access(instr.pc, false);
+                }
+                if let Some(mem) = instr.mem {
+                    // Skip the streaming region: the timed run re-generates
+                    // the same address sequence, and pre-touching it would
+                    // turn compulsory misses into false hits.
+                    if mem.addr < 0x8000_0000 {
+                        let is_write = instr.op == OpClass::Store;
+                        if !l1d.access(mem.addr, is_write) {
+                            l2.access(mem.addr, is_write);
+                        }
                     }
                 }
+                if let Some(b) = instr.branch {
+                    bpred.update(instr.pc, b.taken, b.target);
+                }
             }
-            if let Some(b) = instr.branch {
-                self.bpred.update(instr.pc, b.taken, b.target);
+            l1i.reset_stats();
+            l1d.reset_stats();
+            l2.reset_stats();
+            bpred.reset_stats();
+            WarmState {
+                l1i,
+                l1d,
+                l2,
+                bpred,
             }
-        }
-        self.l1i.reset_stats();
-        self.l1d.reset_stats();
-        self.l2.reset_stats();
-        self.bpred.reset_stats();
+        });
+        self.l1i = state.l1i.clone();
+        self.l1d = state.l1d.clone();
+        self.l2 = state.l2.clone();
+        self.bpred = state.bpred.clone();
     }
 
     /// Runs under an on-line DVFS governor until `target` instructions
@@ -335,13 +486,16 @@ impl Pipeline {
     /// per-domain utilization statistics and its frequency requests go
     /// through the machine's normal DVFS transition model.
     ///
+    /// The run loop is monomorphized over the governor type — pass the
+    /// policy by value for static dispatch (boxed governors still work
+    /// through the blanket `impl Governor for Box<_>`).
+    ///
     /// # Panics
     ///
     /// Panics if the machine deadlocks (internal invariant violation).
-    pub fn run_with_governor(mut self, target: u64, governor: Box<dyn Governor>) -> RunResult {
+    pub fn run_with_governor<G: Governor>(mut self, target: u64, mut governor: G) -> RunResult {
         self.control_next = governor.interval();
-        self.governor = Some(governor);
-        self.run(target)
+        self.run_impl(target, Some(&mut governor))
     }
 
     /// Runs until `target` instructions commit; consumes the pipeline.
@@ -349,18 +503,33 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if the machine deadlocks (internal invariant violation).
-    pub fn run(mut self, target: u64) -> RunResult {
+    pub fn run(self, target: u64) -> RunResult {
+        self.run_impl::<NoGovernor>(target, None)
+    }
+
+    /// The run loop, monomorphized over the governor type.
+    ///
+    /// Always advances the clock with the earliest pending edge (lowest
+    /// clock index on ties). Edges of an idle domain are batch-consumed by
+    /// [`Pipeline::fast_forward`]; every other edge runs the full tick
+    /// machinery.
+    fn run_impl<G: Governor>(mut self, target: u64, mut governor: Option<&mut G>) -> RunResult {
         assert!(target > 0, "target instruction count must be positive");
         self.target = target;
         if self.cfg.warmup_instructions > 0 {
             self.warm_structures(self.cfg.warmup_instructions);
         }
         let n_clocks = self.clocks.len();
-        self.next_edge = (0..n_clocks).map(|i| self.clocks[i].next_edge()).collect();
+        for i in 0..n_clocks {
+            let t = self.clocks[i].next_edge();
+            self.sched.set(i, t);
+            self.note_clock_advanced(i);
+        }
         let mut edges: u64 = 0;
         let max_edges = target
             .saturating_mul(MAX_EDGES_PER_INSTRUCTION)
             .max(1_000_000);
+        let fast_forward_allowed = n_clocks > 1 && !self.reference_mode;
         while self.committed < target {
             edges += 1;
             assert!(
@@ -371,18 +540,23 @@ impl Pipeline {
                 edges
             );
             // Earliest pending clock edge wins.
-            let (ci, _) = self
-                .next_edge
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, t)| **t)
-                .expect("at least one clock");
-            let now = self.next_edge[ci];
+            let ci = self.sched.earliest();
+            if fast_forward_allowed && self.domain_idle(ci) {
+                let k = self.fast_forward(ci, governor.is_some(), max_edges - edges);
+                if k > 0 {
+                    // The batch includes the edge this iteration selected.
+                    edges += k - 1;
+                    continue;
+                }
+                // Blocked by a limit before consuming anything: fall through
+                // and process this edge on the slow path.
+            }
+            let now = self.sched.time(ci);
             self.apply_schedule(now);
-            if self.governor.is_some() {
+            if let Some(g) = governor.as_mut() {
                 self.sample_utilization(ci, n_clocks);
                 if now >= self.control_next {
-                    self.control_decision(now);
+                    self.control_decision(now, &mut **g);
                 }
             }
             if n_clocks == 1 {
@@ -399,9 +573,71 @@ impl Pipeline {
                     DomainId::LoadStore => self.tick_loadstore(now),
                 }
             }
-            self.next_edge[ci] = self.clocks[ci].next_edge();
+            let t = self.clocks[ci].next_edge();
+            self.sched.set(ci, t);
+            self.note_clock_advanced(ci);
         }
         self.into_result()
+    }
+
+    /// Batch-consumes pending edges of the idle domain of clock `ci`,
+    /// advancing only its clock (same per-cycle jitter and DVFS draws as the
+    /// naive loop — the edge stream is bit-identical) while skipping the
+    /// tick machinery those edges cannot need.
+    ///
+    /// An edge is only consumed while it would win the earliest-edge
+    /// selection (strictly precede every other clock's pending edge, or tie
+    /// with a higher-indexed one) *and* the slow path would do nothing but
+    /// tick on it: no static-schedule entry due, no governor decision due.
+    /// Governor utilization sampling is replicated per consumed edge; the
+    /// sampled occupancy cannot change while only this domain's clock
+    /// advances, so it is hoisted out of the loop.
+    ///
+    /// Returns the number of edges consumed (0 when a limit blocks the very
+    /// first edge; the caller then takes the slow path).
+    fn fast_forward(&mut self, ci: usize, governor_active: bool, max_batch: u64) -> u64 {
+        let (other_idx, other_t) = self.sched.earliest_excluding(ci);
+        // First static-schedule entry not yet applied: the slow path applies
+        // it at the first edge with `now >= at`, so stop short of that.
+        let schedule_due = if !self.single_clock && self.schedule_pos < self.cfg.schedule.len() {
+            self.cfg.schedule.entries()[self.schedule_pos].at
+        } else {
+            Femtos::MAX
+        };
+        let control_due = if governor_active {
+            self.control_next
+        } else {
+            Femtos::MAX
+        };
+        let domain = DomainId::ALL[ci];
+        let occupancy = if governor_active {
+            match domain {
+                DomainId::FrontEnd => unreachable!("front end never fast-forwards"),
+                DomainId::Integer => self.iq_int.len() as f64 / self.iq_int.capacity() as f64,
+                DomainId::FloatingPoint => self.iq_fp.len() as f64 / self.iq_fp.capacity() as f64,
+                DomainId::LoadStore => self.lsq.len() as f64 / self.lsq.capacity() as f64,
+            }
+        } else {
+            0.0
+        };
+        let d = domain.index();
+        let mut consumed: u64 = 0;
+        while consumed < max_batch {
+            let t = self.sched.time(ci);
+            let wins = t < other_t || (t == other_t && ci < other_idx);
+            if !wins || t >= schedule_due || t >= control_due {
+                break;
+            }
+            if governor_active {
+                self.control.util_sum[d] += occupancy;
+                self.control.util_samples[d] += 1;
+            }
+            let next = self.clocks[ci].next_edge();
+            self.sched.set(ci, next);
+            self.note_clock_advanced(ci);
+            consumed += 1;
+        }
+        consumed
     }
 
     /// Samples queue occupancy for the domain(s) ticking on this edge.
@@ -410,32 +646,31 @@ impl Pipeline {
             state.util_sum[d.index()] += frac;
             state.util_samples[d.index()] += 1;
         };
-        let fetchq = self.fetchq.len() as f64 / self.fetchq.capacity() as f64;
-        let iq_int = self.iq_int.len() as f64 / self.iq_int.capacity() as f64;
-        let iq_fp = self.iq_fp.len() as f64 / self.iq_fp.capacity() as f64;
-        let lsq = self.lsq.len() as f64 / self.lsq.capacity() as f64;
         if n_clocks == 1 {
+            let fetchq = self.fetchq.len() as f64 / self.fetchq.capacity() as f64;
+            let iq_int = self.iq_int.len() as f64 / self.iq_int.capacity() as f64;
+            let iq_fp = self.iq_fp.len() as f64 / self.iq_fp.capacity() as f64;
+            let lsq = self.lsq.len() as f64 / self.lsq.capacity() as f64;
             record(&mut self.control, DomainId::FrontEnd, fetchq);
             record(&mut self.control, DomainId::Integer, iq_int);
             record(&mut self.control, DomainId::FloatingPoint, iq_fp);
             record(&mut self.control, DomainId::LoadStore, lsq);
         } else {
+            // Only the ticking domain is sampled; computing the other three
+            // occupancies would be wasted work on every edge.
             let d = DomainId::ALL[ci];
             let frac = match d {
-                DomainId::FrontEnd => fetchq,
-                DomainId::Integer => iq_int,
-                DomainId::FloatingPoint => iq_fp,
-                DomainId::LoadStore => lsq,
+                DomainId::FrontEnd => self.fetchq.len() as f64 / self.fetchq.capacity() as f64,
+                DomainId::Integer => self.iq_int.len() as f64 / self.iq_int.capacity() as f64,
+                DomainId::FloatingPoint => self.iq_fp.len() as f64 / self.iq_fp.capacity() as f64,
+                DomainId::LoadStore => self.lsq.len() as f64 / self.lsq.capacity() as f64,
             };
             record(&mut self.control, d, frac);
         }
     }
 
     /// Hands the governor a fresh sample and applies its frequency requests.
-    fn control_decision(&mut self, now: Femtos) {
-        let Some(mut governor) = self.governor.take() else {
-            return;
-        };
+    fn control_decision<G: Governor>(&mut self, now: Femtos, governor: &mut G) {
         let mut utilization = [0.0; DomainId::COUNT];
         for (i, util) in utilization.iter_mut().enumerate() {
             if self.control.util_samples[i] > 0 {
@@ -462,11 +697,10 @@ impl Pipeline {
             ..ControlState::default()
         };
         self.control_next = now + governor.interval();
-        self.governor = Some(governor);
     }
 
     fn apply_schedule(&mut self, now: Femtos) {
-        if self.clocks.len() == 1 {
+        if self.single_clock {
             return; // schedules only drive MCD machines
         }
         while self.schedule_pos < self.cfg.schedule.len() {
@@ -596,7 +830,8 @@ impl Pipeline {
             let (dest_phys, prev_phys) = match fetched.instr.dest {
                 Some(reg) => {
                     let renamed = self.rename.allocate(reg).expect("free list checked");
-                    self.ready_at[renamed.new.index()] = [Femtos::MAX; DomainId::COUNT];
+                    let base = renamed.new.index() * DomainId::COUNT;
+                    self.ready_at[base..base + DomainId::COUNT].fill(Femtos::MAX);
                     self.writer_of[renamed.new.index()] = Some(fetched.seq);
                     (Some(renamed.new), Some(renamed.prev))
                 }
@@ -611,18 +846,18 @@ impl Pipeline {
                 exec_domain
             };
             let iq_visible_at = self.vis(now, DomainId::FrontEnd, sched_domain);
-            let iq_token = match sched_domain {
+            match sched_domain {
                 DomainId::FloatingPoint => {
                     let v_fp = self.voltage(DomainId::FloatingPoint);
                     self.ledger.record(Unit::IqFp, v_fp);
-                    Some(self.iq_fp.insert(fetched.seq).expect("capacity checked"))
+                    self.iq_fp.push(fetched.seq).expect("capacity checked");
                 }
                 _ => {
                     let v_int = self.voltage(DomainId::Integer);
                     self.ledger.record(Unit::IqInt, v_int);
-                    Some(self.iq_int.insert(fetched.seq).expect("capacity checked"))
+                    self.iq_int.push(fetched.seq).expect("capacity checked");
                 }
-            };
+            }
             let lsq_id = if is_mem {
                 let kind = if op == OpClass::Load {
                     MemAccessKind::Load
@@ -644,7 +879,6 @@ impl Pipeline {
                 prev_phys,
                 src_phys,
                 src_producers,
-                iq_token,
                 lsq_id,
                 iq_visible_at,
                 agu_issued: false,
@@ -738,19 +972,21 @@ impl Pipeline {
             domain,
             DomainId::Integer | DomainId::FloatingPoint
         ));
-        let width = match domain {
-            DomainId::Integer => self.pcfg.issue_width_int,
-            _ => self.pcfg.issue_width_fp,
+        let (width, iq) = match domain {
+            DomainId::Integer => (self.pcfg.issue_width_int, &self.iq_int),
+            _ => (self.pcfg.issue_width_fp, &self.iq_fp),
         };
-        // Collect schedulable entries oldest-first (the paper's scheduler
-        // issues by age among ready entries).
-        let mut candidates: Vec<u64> = match domain {
-            DomainId::Integer => self.iq_int.iter().map(|(_, s)| *s).collect(),
-            _ => self.iq_fp.iter().map(|(_, s)| *s).collect(),
-        };
-        candidates.sort_unstable();
+        if iq.is_empty() {
+            return;
+        }
+        // Snapshot the queue (already oldest-first — the paper's scheduler
+        // issues by age among ready entries) into the reusable scratch
+        // buffer so issuing may remove entries mid-walk.
+        let mut candidates = std::mem::take(&mut self.exec_scratch);
+        candidates.clear();
+        candidates.extend_from_slice(iq.as_slice());
         let mut issued = 0;
-        for seq in candidates {
+        for &seq in &candidates {
             if issued >= width {
                 break;
             }
@@ -758,6 +994,7 @@ impl Pipeline {
                 issued += 1;
             }
         }
+        self.exec_scratch = candidates;
     }
 
     /// Attempts to issue one IQ entry; returns whether it issued.
@@ -798,11 +1035,9 @@ impl Pipeline {
             self.ledger.record(Unit::RegInt, v_int);
             self.ledger.record(Unit::BusInt, v_int);
             self.control.issued[DomainId::Integer.index()] += 1;
-            let token = self.rob_get(seq).iq_token.expect("in IQ");
-            self.iq_int.remove(token);
+            self.iq_int.remove(seq);
             let e = self.rob_get_mut(seq);
             e.agu_issued = true;
-            e.iq_token = None;
             e.addr_span = Some(EventSpan::new(now, done));
             return true;
         }
@@ -879,18 +1114,16 @@ impl Pipeline {
             }
         }
         let completion_visible_fe = self.vis(done, domain, DomainId::FrontEnd);
-        let token = self.rob_get(seq).iq_token.expect("in IQ");
         match domain {
             DomainId::Integer => {
-                self.iq_int.remove(token);
+                self.iq_int.remove(seq);
             }
             _ => {
-                self.iq_fp.remove(token);
+                self.iq_fp.remove(seq);
             }
         }
         let e = self.rob_get_mut(seq);
         e.exec_issued = true;
-        e.iq_token = None;
         e.exec_span = Some(EventSpan::new(now, done));
         e.completed = true;
         e.completion_visible_fe = completion_visible_fe;
@@ -902,53 +1135,72 @@ impl Pipeline {
     // ------------------------------------------------------------------
 
     fn tick_loadstore(&mut self, now: Femtos) {
-        // 1. Apply effective addresses that have crossed into this domain.
-        let mut applied = Vec::new();
-        self.pending_addrs.retain(|(vis, seq, addr)| {
-            if *vis <= now {
-                applied.push((*seq, *addr));
-                false
-            } else {
-                true
+        // 1. Apply effective addresses that have crossed into this domain,
+        //    registering each mem op in the dense store/load work lists
+        //    (kept in ascending seq order — the same order a scan of the
+        //    seq-ordered ROB would yield).
+        if !self.pending_addrs.is_empty() {
+            let mut applied = std::mem::take(&mut self.addr_scratch);
+            applied.clear();
+            self.pending_addrs.retain(|(vis, seq, addr)| {
+                if *vis <= now {
+                    applied.push((*seq, *addr));
+                    false
+                } else {
+                    true
+                }
+            });
+            let any_applied = !applied.is_empty();
+            for &(seq, addr) in &applied {
+                let id = self.rob_get(seq).lsq_id.expect("mem op in LSQ");
+                self.lsq.set_address(id, addr);
+                let e = self.rob_get_mut(seq);
+                e.addr_applied = true;
+                if e.instr.op == OpClass::Store {
+                    self.ls_stores.push(seq);
+                } else {
+                    self.ls_loads.push(seq);
+                }
             }
-        });
-        for (seq, addr) in applied {
-            let id = self.rob_get(seq).lsq_id.expect("mem op in LSQ");
-            self.lsq.set_address(id, addr);
-            self.rob_get_mut(seq).addr_applied = true;
+            self.addr_scratch = applied;
+            if any_applied {
+                self.ls_stores.sort_unstable();
+                self.ls_loads.sort_unstable();
+            }
+        }
+        if self.ls_stores.is_empty() && self.ls_loads.is_empty() {
+            return;
         }
 
         // 2. Complete stores whose address and data are both present.
         let v_ls = self.voltage(DomainId::LoadStore);
-        let store_seqs: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.instr.op == OpClass::Store && e.addr_applied && !e.mem_done)
-            .map(|e| e.seq)
-            .collect();
-        for seq in store_seqs {
-            let data_src = self.rob_get(seq).src_phys[0];
-            if self.src_ready_at(data_src, DomainId::LoadStore) > now {
-                continue;
+        if !self.ls_stores.is_empty() {
+            let mut stores = std::mem::take(&mut self.ls_stores);
+            let mut completed_any = false;
+            for &seq in &stores {
+                let data_src = self.rob_get(seq).src_phys[0];
+                if self.src_ready_at(data_src, DomainId::LoadStore) > now {
+                    continue;
+                }
+                self.ledger.record(Unit::Lsq, v_ls);
+                let completion_visible_fe = self.vis(now, DomainId::LoadStore, DomainId::FrontEnd);
+                let e = self.rob_get_mut(seq);
+                e.mem_done = true;
+                e.completed = true;
+                e.completion_visible_fe = completion_visible_fe;
+                completed_any = true;
             }
-            self.ledger.record(Unit::Lsq, v_ls);
-            let completion_visible_fe = self.vis(now, DomainId::LoadStore, DomainId::FrontEnd);
-            let e = self.rob_get_mut(seq);
-            e.mem_done = true;
-            e.completed = true;
-            e.completion_visible_fe = completion_visible_fe;
+            if completed_any {
+                stores.retain(|&seq| !self.rob_get(seq).mem_done);
+            }
+            self.ls_stores = stores;
         }
 
         // 3. Issue ready loads, oldest first, up to the port width.
-        let mut load_seqs: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.instr.op == OpClass::Load && e.addr_applied && !e.mem_done)
-            .map(|e| e.seq)
-            .collect();
-        load_seqs.sort_unstable();
+        let loads = std::mem::take(&mut self.ls_loads);
+        let mut completed_any = false;
         let mut issued = 0;
-        for seq in load_seqs {
+        for &seq in &loads {
             if issued >= self.pcfg.issue_width_mem {
                 break;
             }
@@ -998,8 +1250,14 @@ impl Pipeline {
             e.l2_miss = l2_miss;
             e.completed = true;
             e.completion_visible_fe = completion_visible_fe;
+            completed_any = true;
             issued += 1;
         }
+        let mut loads = loads;
+        if completed_any {
+            loads.retain(|&seq| !self.rob_get(seq).mem_done);
+        }
+        self.ls_loads = loads;
     }
 
     fn into_result(self) -> RunResult {

@@ -28,15 +28,17 @@ pub mod events;
 pub mod governor;
 pub mod machine;
 pub mod result;
+pub(crate) mod sched;
 pub mod schedule;
 pub mod stats;
+pub(crate) mod warm;
 
 pub use config::PipelineConfig;
 pub use core::Pipeline;
 pub use domains::DomainId;
 pub use driver::simulate;
 pub use events::{EventKind, EventSpan, InstrTrace};
-pub use governor::{AttackDecay, ControlSample, Governor};
+pub use governor::{AttackDecay, ControlSample, Governor, NoGovernor};
 pub use machine::{ClockingMode, MachineConfig};
 pub use result::RunResult;
 pub use schedule::{FrequencySchedule, ScheduleEntry};

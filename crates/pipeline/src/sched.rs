@@ -1,0 +1,172 @@
+//! Indexed earliest-edge scheduling for the run loop.
+//!
+//! The run loop repeatedly asks "which clock has the earliest pending
+//! edge?". With at most [`DomainId::COUNT`] clocks a heap is overkill; what
+//! matters is that the answer is maintained incrementally instead of being
+//! recomputed with an iterator chain (enumerate + `min_by_key`) on every
+//! edge, and that the fast-forward path can ask the complementary question
+//! "what is the earliest edge *excluding* this clock?" without re-scanning.
+//!
+//! Tie-breaking is part of the simulator's determinism contract: like
+//! `Iterator::min_by_key`, the *lowest-indexed* clock wins among equal edge
+//! times, so results stay byte-identical with the scan it replaces.
+
+use mcd_time::Femtos;
+
+use crate::domains::DomainId;
+
+/// Earliest-pending-edge index over up to [`DomainId::COUNT`] clocks.
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeScheduler {
+    times: [Femtos; DomainId::COUNT],
+    n: usize,
+    min_idx: usize,
+}
+
+impl EdgeScheduler {
+    /// Builds a scheduler for `n` clocks with all edges pending "never".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= DomainId::COUNT`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (1..=DomainId::COUNT).contains(&n),
+            "clock count out of range: {n}"
+        );
+        EdgeScheduler {
+            times: [Femtos::MAX; DomainId::COUNT],
+            n,
+            min_idx: 0,
+        }
+    }
+
+    /// The pending edge time of clock `i`.
+    #[inline]
+    pub fn time(&self, i: usize) -> Femtos {
+        self.times[i]
+    }
+
+    /// Records clock `i`'s next pending edge, maintaining the minimum.
+    #[inline]
+    pub fn set(&mut self, i: usize, t: Femtos) {
+        debug_assert!(i < self.n);
+        self.times[i] = t;
+        if i == self.min_idx {
+            // The current winner moved (later); rescan all n slots.
+            self.recompute();
+        } else if t < self.times[self.min_idx]
+            || (t == self.times[self.min_idx] && i < self.min_idx)
+        {
+            self.min_idx = i;
+        }
+    }
+
+    /// Index of the clock with the earliest pending edge (lowest index wins
+    /// ties).
+    #[inline]
+    pub fn earliest(&self) -> usize {
+        self.min_idx
+    }
+
+    /// Earliest pending edge among clocks other than `excl`, as
+    /// `(index, time)`. With a single clock there is no "other", so the
+    /// result is `(excl, Femtos::MAX)` — callers must not fast-forward then.
+    pub fn earliest_excluding(&self, excl: usize) -> (usize, Femtos) {
+        let mut best = (excl, Femtos::MAX);
+        for i in 0..self.n {
+            if i != excl && self.times[i] < best.1 {
+                best = (i, self.times[i]);
+            }
+        }
+        best
+    }
+
+    fn recompute(&mut self) {
+        let mut best = 0;
+        for i in 1..self.n {
+            if self.times[i] < self.times[best] {
+                best = i;
+            }
+        }
+        self.min_idx = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(v: u64) -> Femtos {
+        Femtos::from_femtos(v)
+    }
+
+    /// Reference semantics: the scan the scheduler replaces.
+    fn naive_min(times: &[Femtos]) -> usize {
+        times
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("non-empty")
+            .0
+    }
+
+    #[test]
+    fn tracks_minimum_like_the_scan_it_replaces() {
+        let mut sched = EdgeScheduler::new(4);
+        let mut shadow = [fs(3), fs(1), fs(4), fs(1)];
+        for (i, t) in shadow.iter().enumerate() {
+            sched.set(i, *t);
+        }
+        // A deterministic pseudo-random update sequence, advancing the
+        // current minimum each step exactly like the run loop does.
+        let mut x: u64 = 0x9e37_79b9;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = sched.earliest();
+            assert_eq!(i, naive_min(&shadow), "min mismatch");
+            let t = shadow[i] + fs(1 + (x >> 56));
+            sched.set(i, t);
+            shadow[i] = t;
+        }
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_index() {
+        let mut sched = EdgeScheduler::new(4);
+        for i in 0..4 {
+            sched.set(i, fs(100));
+        }
+        assert_eq!(sched.earliest(), 0);
+        sched.set(0, fs(200));
+        assert_eq!(sched.earliest(), 1);
+        // Setting a higher index to the same value must not steal the win.
+        sched.set(3, fs(100));
+        assert_eq!(sched.earliest(), 1);
+        // But a lower index at the same value does.
+        sched.set(0, fs(100));
+        assert_eq!(sched.earliest(), 0);
+    }
+
+    #[test]
+    fn excluding_finds_the_runner_up() {
+        let mut sched = EdgeScheduler::new(4);
+        sched.set(0, fs(50));
+        sched.set(1, fs(10));
+        sched.set(2, fs(30));
+        sched.set(3, fs(20));
+        assert_eq!(sched.earliest(), 1);
+        assert_eq!(sched.earliest_excluding(1), (3, fs(20)));
+        assert_eq!(sched.earliest_excluding(3), (1, fs(10)));
+    }
+
+    #[test]
+    fn single_clock_has_no_runner_up() {
+        let mut sched = EdgeScheduler::new(1);
+        sched.set(0, fs(5));
+        assert_eq!(sched.earliest(), 0);
+        assert_eq!(sched.earliest_excluding(0), (0, Femtos::MAX));
+    }
+}

@@ -13,7 +13,7 @@ use mcd_time::{Femtos, Frequency};
 use crate::domains::DomainId;
 
 /// One reconfiguration request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ScheduleEntry {
     /// When the request is issued.
     pub at: Femtos,

@@ -77,12 +77,31 @@ impl Unit {
     /// Number of units.
     pub const COUNT: usize = 18;
 
-    /// Stable index in `0..COUNT`.
+    /// Stable index in `0..COUNT`, matching the position in [`Unit::ALL`]
+    /// (asserted by a test). A direct match, not a search — the ledger
+    /// indexes on every recorded access, several times per instruction.
+    #[inline]
     pub fn index(self) -> usize {
-        Unit::ALL
-            .iter()
-            .position(|&u| u == self)
-            .expect("unit in ALL")
+        match self {
+            Unit::Bpred => 0,
+            Unit::ICache => 1,
+            Unit::Rename => 2,
+            Unit::Rob => 3,
+            Unit::IqInt => 4,
+            Unit::IqFp => 5,
+            Unit::Lsq => 6,
+            Unit::RegInt => 7,
+            Unit::RegFp => 8,
+            Unit::AluInt => 9,
+            Unit::MulInt => 10,
+            Unit::AluFp => 11,
+            Unit::MulFp => 12,
+            Unit::Dcache => 13,
+            Unit::L2 => 14,
+            Unit::BusInt => 15,
+            Unit::BusFp => 16,
+            Unit::BusLs => 17,
+        }
     }
 
     /// The clock domain a unit belongs to (determines its supply voltage).

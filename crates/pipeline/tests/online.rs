@@ -10,7 +10,7 @@ fn run_online(name: &str, n: u64) -> mcd_pipeline::RunResult {
         suites::by_name(name).expect("known benchmark"),
         machine.seed,
     );
-    Pipeline::new(machine, generator).run_with_governor(n, Box::new(AttackDecay::paper_like()))
+    Pipeline::new(machine, generator).run_with_governor(n, AttackDecay::paper_like())
 }
 
 #[test]

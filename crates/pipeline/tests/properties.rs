@@ -3,10 +3,38 @@
 use proptest::prelude::*;
 
 use mcd_pipeline::{
-    simulate, ActivityLedger, DomainId, FrequencySchedule, MachineConfig, ScheduleEntry, Unit,
+    simulate, ActivityLedger, AttackDecay, DomainId, FrequencySchedule, MachineConfig, Pipeline,
+    ScheduleEntry, Unit,
 };
 use mcd_time::{DvfsModel, Femtos, Frequency};
-use mcd_workload::suites;
+use mcd_workload::{suites, WorkloadGenerator};
+
+/// Benchmarks with distinct domain-idleness shapes: integer-heavy (FP idle),
+/// FP-heavy, memory-bound, and compute-bound — each exercising different
+/// fast-forward windows.
+const FF_BENCHES: [&str; 4] = ["gcc", "swim", "mcf", "adpcm"];
+
+/// Runs `machine` twice — the production loop (with idle-cycle
+/// fast-forward) and the naive edge-by-edge reference — and returns both
+/// results serialized, for byte-level comparison.
+fn run_fast_and_reference(machine: &MachineConfig, bench: &str, n: u64) -> (String, String) {
+    let profile = suites::by_name(bench).expect("known benchmark");
+    let fast = Pipeline::new(
+        machine.clone(),
+        WorkloadGenerator::new(profile.clone(), machine.seed),
+    )
+    .run(n);
+    let reference = Pipeline::new(
+        machine.clone(),
+        WorkloadGenerator::new(profile, machine.seed),
+    )
+    .reference_mode(true)
+    .run(n);
+    (
+        serde_json::to_string(&fast).expect("result serializes"),
+        serde_json::to_string(&reference).expect("result serializes"),
+    )
+}
 
 fn arbitrary_schedule() -> impl Strategy<Value = FrequencySchedule> {
     proptest::collection::vec((0u64..200, 1usize..4, 250u64..1000), 0..6).prop_map(|entries| {
@@ -58,6 +86,50 @@ proptest! {
         let json = schedule.to_json().expect("serializable");
         let back = FrequencySchedule::from_json(&json).expect("parses");
         prop_assert_eq!(schedule, back);
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical_to_reference(
+        schedule in arbitrary_schedule(),
+        model_is_xscale in any::<bool>(),
+        seed in 0u64..1_000,
+        bench_idx in 0usize..FF_BENCHES.len(),
+        trace in any::<bool>(),
+    ) {
+        // The idle-cycle fast-forward must be invisible: any seed, DVFS
+        // model and reconfiguration schedule must produce a RunResult
+        // byte-identical to the naive edge-by-edge loop's.
+        let model = if model_is_xscale { DvfsModel::XScale } else { DvfsModel::Transmeta };
+        let mut machine = MachineConfig::dynamic(seed, model, schedule);
+        machine.collect_trace = trace;
+        let (fast, reference) = run_fast_and_reference(&machine, FF_BENCHES[bench_idx], 4_000);
+        prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical_under_a_governor(
+        seed in 0u64..1_000,
+        bench_idx in 0usize..FF_BENCHES.len(),
+    ) {
+        // Same invariant with an on-line governor in the loop: control
+        // decisions must land on exactly the same edges in both modes.
+        let machine = MachineConfig::baseline_mcd(seed);
+        let profile = suites::by_name(FF_BENCHES[bench_idx]).expect("known benchmark");
+        let n = 4_000;
+        let fast = Pipeline::new(
+            machine.clone(),
+            WorkloadGenerator::new(profile.clone(), machine.seed),
+        )
+        .run_with_governor(n, AttackDecay::paper_like());
+        let reference = Pipeline::new(
+            machine.clone(),
+            WorkloadGenerator::new(profile, machine.seed),
+        )
+        .reference_mode(true)
+        .run_with_governor(n, AttackDecay::paper_like());
+        let fast = serde_json::to_string(&fast).expect("result serializes");
+        let reference = serde_json::to_string(&reference).expect("result serializes");
+        prop_assert_eq!(fast, reference);
     }
 
     #[test]

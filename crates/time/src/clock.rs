@@ -51,6 +51,11 @@ pub struct DomainClock {
     cycles: u64,
     v2_cycle_sum: f64,
     idle_total: Femtos,
+    // Derived from `frequency`, cached so the per-edge path avoids a divide;
+    // refreshed on every frequency assignment (same operands, so the cached
+    // values are bit-identical to recomputing them each edge).
+    period_f: f64,
+    max_jitter: f64,
 }
 
 impl DomainClock {
@@ -61,6 +66,7 @@ impl DomainClock {
     pub fn new(frequency: Frequency, jitter: JitterModel, seed: u64) -> Self {
         let mut rng = SimRng::seed_from_u64(seed);
         let phase = rng.below(frequency.period().as_femtos().max(1));
+        let period_f = frequency.period_femtos_f64();
         DomainClock {
             jitter,
             rng,
@@ -71,6 +77,8 @@ impl DomainClock {
             cycles: 0,
             v2_cycle_sum: 0.0,
             idle_total: Femtos::ZERO,
+            period_f,
+            max_jitter: period_f * 0.45,
         }
     }
 
@@ -155,24 +163,27 @@ impl DomainClock {
     /// skipping PLL re-lock idle windows.
     pub fn next_edge(&mut self) -> Femtos {
         // Apply controller steps that came due at or before the last edge.
-        if let Some(mut ctl) = self.controller.take() {
+        // (Borrowed in place: this runs once per simulated clock edge, so it
+        // must not shuffle the controller through an `Option` round-trip.)
+        if let Some(ctl) = self.controller.as_mut() {
             if let Some(idle_until) = ctl.advance_to(self.last_edge) {
                 self.idle_total += idle_until - self.last_edge;
                 self.last_edge = idle_until;
                 ctl.advance_to(self.last_edge);
             }
             let point = ctl.current();
-            self.frequency = point.frequency;
+            if point.frequency != self.frequency {
+                self.frequency = point.frequency;
+                self.period_f = point.frequency.period_femtos_f64();
+                self.max_jitter = self.period_f * 0.45;
+            }
             self.voltage = point.voltage;
-            self.controller = Some(ctl);
         }
-        let period = self.frequency.period_femtos_f64();
-        let max_jitter = period * 0.45;
         let j = self
             .jitter
             .sample(&mut self.rng)
-            .clamp(-max_jitter, max_jitter);
-        let advance = (period + j).max(1.0).round() as u64;
+            .clamp(-self.max_jitter, self.max_jitter);
+        let advance = (self.period_f + j).max(1.0).round() as u64;
         self.last_edge += Femtos::from_femtos(advance);
         self.cycles += 1;
         let v = self.voltage.as_volts();

@@ -45,5 +45,5 @@ pub use freq::{Frequency, Voltage};
 pub use jitter::JitterModel;
 pub use pll::PllModel;
 pub use rng::SimRng;
-pub use sync::{sync_headroom_entries, sync_latency, sync_visible_at, SyncParams};
+pub use sync::{sync_headroom_entries, sync_latency, sync_visible_at, SyncParams, SyncWindowCache};
 pub use vf::{FrequencyGrid, OperatingPoint, VfTable};

@@ -74,6 +74,83 @@ impl SyncParams {
     }
 }
 
+/// Precomputed synchronization windows for every (source, destination)
+/// domain pair.
+///
+/// [`SyncParams::window`] costs a floating-point multiply and round per
+/// crossing; a pipeline simulator evaluates it on *every* cross-domain
+/// message, while the periods it depends on change only on DVFS micro-steps.
+/// This cache holds the full `N × N` window matrix (diagonal zero, so
+/// same-domain visibility is the identity) and is refreshed only when a
+/// domain's period actually changes.
+///
+/// # Example
+///
+/// ```
+/// use mcd_time::{Femtos, SyncParams, SyncWindowCache};
+///
+/// let periods = [Femtos::from_nanos(1), Femtos::from_nanos(4)];
+/// let cache = SyncWindowCache::<2>::new(SyncParams::paper(), &periods);
+/// assert_eq!(cache.window(0, 1), SyncParams::paper().window(periods[0], periods[1]));
+/// assert_eq!(cache.window(1, 1), Femtos::ZERO); // same domain: no window
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SyncWindowCache<const N: usize> {
+    params: SyncParams,
+    windows: [[Femtos; N]; N],
+}
+
+impl<const N: usize> SyncWindowCache<N> {
+    /// Builds the cache from the current per-domain periods.
+    pub fn new(params: SyncParams, periods: &[Femtos; N]) -> Self {
+        let mut cache = SyncWindowCache {
+            params,
+            windows: [[Femtos::ZERO; N]; N],
+        };
+        for d in 0..N {
+            cache.refresh_domain(d, periods);
+        }
+        cache
+    }
+
+    /// Recomputes the row and column of domain `d` after its period changed.
+    ///
+    /// Off-diagonal entries reproduce [`SyncParams::window`] bit-for-bit;
+    /// the diagonal stays zero (a value never pays `T_s` to reach its own
+    /// domain).
+    pub fn refresh_domain(&mut self, d: usize, periods: &[Femtos; N]) {
+        for other in 0..N {
+            if other == d {
+                continue;
+            }
+            let w = self.params.window(periods[d], periods[other]);
+            self.windows[d][other] = w;
+            self.windows[other][d] = w;
+        }
+    }
+
+    /// The cached window for a `src → dst` crossing (zero when `src == dst`).
+    #[inline]
+    pub fn window(&self, src: usize, dst: usize) -> Femtos {
+        self.windows[src][dst]
+    }
+
+    /// The full window row of a source domain — `row(src)[dst]` is the
+    /// `src → dst` window. Lets a broadcast to all destinations run as one
+    /// flat array walk.
+    #[inline]
+    pub fn row(&self, src: usize) -> &[Femtos; N] {
+        &self.windows[src]
+    }
+
+    /// The earliest visibility time of a value produced at `t` in `src` for
+    /// consumers in `dst` — the cached equivalent of [`sync_visible_at`].
+    #[inline]
+    pub fn visible_at(&self, t: Femtos, src: usize, dst: usize) -> Femtos {
+        t + self.windows[src][dst]
+    }
+}
+
 /// The earliest time at which a signal produced at source edge `t` may be
 /// latched in the destination domain.
 ///
@@ -167,6 +244,43 @@ mod tests {
     #[should_panic(expected = "sync window fraction")]
     fn full_period_window_rejected() {
         let _ = SyncParams::new(1.0);
+    }
+
+    #[test]
+    fn window_cache_matches_direct_computation() {
+        let p = SyncParams::paper();
+        let mut periods = [
+            Femtos::from_nanos(1),
+            Femtos::from_femtos(1_234_567),
+            Femtos::from_nanos(4),
+            Femtos::from_picos(1500),
+        ];
+        let mut cache = SyncWindowCache::<4>::new(p, &periods);
+        for src in 0..4 {
+            for dst in 0..4 {
+                let expect = if src == dst {
+                    Femtos::ZERO
+                } else {
+                    p.window(periods[src], periods[dst])
+                };
+                assert_eq!(cache.window(src, dst), expect, "({src},{dst})");
+                let t = Femtos::from_nanos(17);
+                assert_eq!(cache.visible_at(t, src, dst), t + expect);
+            }
+        }
+        // A frequency change refreshes exactly that domain's row and column.
+        periods[2] = Femtos::from_femtos(2_718_281);
+        cache.refresh_domain(2, &periods);
+        for src in 0..4 {
+            for dst in 0..4 {
+                let expect = if src == dst {
+                    Femtos::ZERO
+                } else {
+                    p.window(periods[src], periods[dst])
+                };
+                assert_eq!(cache.window(src, dst), expect, "({src},{dst})");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Dumps serialized [`RunResult`](mcd::pipeline::RunResult)s for a fixed
+//! matrix of configurations.
+//!
+//! The output is the fixture consumed by `tests/golden_runresult.rs`: the
+//! simulator's results must stay byte-identical across performance work, so
+//! the fixture is regenerated only when a PR deliberately changes simulated
+//! behaviour (and the diff is then part of the review).
+//!
+//! ```text
+//! cargo run --release --example golden_dump > tests/fixtures/golden_runresults.json
+//! ```
+
+fn main() {
+    print!("{}", mcd::golden::render());
+}

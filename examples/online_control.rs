@@ -42,7 +42,7 @@ fn main() {
     let online_machine = MachineConfig::dynamic(5, DvfsModel::XScale, Default::default());
     let generator = WorkloadGenerator::new(profile.clone(), online_machine.seed);
     let online = Pipeline::new(online_machine, generator)
-        .run_with_governor(instructions, Box::new(AttackDecay::paper_like()));
+        .run_with_governor(instructions, AttackDecay::paper_like());
     let e_on = power.energy_of(&online).total();
 
     println!("{name}, {instructions} instructions, relative to static baseline MCD:\n");

@@ -8,10 +8,14 @@
 //! mcd-cli campaign   run|status [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N]
 //!                    [--models xscale,transmeta] [--workers W] [--cache-dir DIR]
 //!                    [--telemetry FILE|-] [--json]
+//! mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] [--instructions N]
+//!                    [--model xscale|transmeta]
 //! ```
 
 use mcd::core::{run_benchmark, ExperimentConfig};
-use mcd::harness::{parse_model, Campaign, CampaignSpec, CellOutcome, ResultCache, Telemetry};
+use mcd::harness::{
+    parse_model, BenchSnapshot, Campaign, CampaignSpec, CellOutcome, ResultCache, Telemetry,
+};
 use mcd::offline::{derive_schedule, OfflineConfig};
 use mcd::pipeline::{simulate, DomainId, MachineConfig};
 use mcd::power::PowerModel;
@@ -26,7 +30,8 @@ fn usage() -> ! {
          [--instructions N] [--seed S] [--json]\n  mcd-cli campaign run|status \
          [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N] \
          [--models xscale,transmeta] [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
-         [--json]"
+         [--json]\n  mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] \
+         [--instructions N] [--model xscale|transmeta]"
     );
     std::process::exit(2)
 }
@@ -102,7 +107,82 @@ fn main() {
         "analyze" => cmd_analyze(parse_opts(&args[1..])),
         "experiment" => cmd_experiment(parse_opts(&args[1..])),
         "campaign" => cmd_campaign(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn cmd_bench(args: &[String]) {
+    let Some(verb) = args.first() else { usage() };
+    if verb != "snapshot" {
+        usage()
+    }
+    let mut spec = CampaignSpec::paper(5, 240_000, DvfsModel::XScale);
+    let mut out = String::from("BENCH_pr2.json");
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--out" => out = value("--out"),
+            "--benchmarks" => {
+                spec.benchmarks = value("--benchmarks")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--seed" => spec.seeds = vec![value("--seed").parse().unwrap_or_else(|_| usage())],
+            "--instructions" => {
+                spec.instructions = value("--instructions").parse().unwrap_or_else(|_| usage())
+            }
+            "--model" => {
+                spec.models = vec![parse_model(&value("--model")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })]
+            }
+            _ => usage(),
+        }
+    }
+    // A snapshot measures raw simulator throughput, so every cell must be
+    // computed this run: use a private cold cache and discard it after.
+    let cache_dir = std::env::temp_dir().join(format!("mcd-bench-snapshot-{}", std::process::id()));
+    let cache = ResultCache::open(&cache_dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache dir {}: {e}", cache_dir.display());
+        std::process::exit(1)
+    });
+    eprintln!(
+        "bench snapshot: {} benchmarks x {} instructions (cold cache)",
+        spec.benchmark_names().len(),
+        spec.instructions
+    );
+    let report = Campaign::new(spec.clone())
+        .run(&cache, &Telemetry::stderr())
+        .unwrap_or_else(|e| {
+            eprintln!("invalid campaign: {e}");
+            std::process::exit(2)
+        });
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let snapshot = BenchSnapshot::from_report(&spec, &report);
+    std::fs::write(&out, snapshot.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1)
+    });
+    eprintln!(
+        "bench snapshot: {} cells in {:.1}s (slowest {:.1}s) -> {out}",
+        snapshot.cells.len(),
+        snapshot.wall_s,
+        snapshot.max_cell_s
+    );
+    if report.failed() > 0 {
+        eprintln!("bench snapshot: {} cells FAILED", report.failed());
+        std::process::exit(1);
     }
 }
 

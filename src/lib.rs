@@ -33,6 +33,8 @@
 //! println!("IPC {:.2}, energy {:.0} units", run.ipc(), energy.total());
 //! ```
 
+pub mod golden;
+
 pub use mcd_core as core;
 pub use mcd_harness as harness;
 pub use mcd_offline as offline;

@@ -1,0 +1,36 @@
+//! Byte-identity regression gate for the simulation kernel.
+//!
+//! Re-runs the golden configuration matrix and compares the serialized
+//! results against the committed fixture, byte for byte. Performance work on
+//! the kernel (edge scheduling, fast-forward, sync-window caching, queue
+//! layout) must leave this fixture untouched; a mismatch means simulated
+//! behaviour changed. To change behaviour deliberately, regenerate with
+//!
+//! ```text
+//! cargo run --release --example golden_dump > tests/fixtures/golden_runresults.json
+//! ```
+//!
+//! and let the fixture diff be part of the review.
+
+#[test]
+fn run_results_match_committed_fixture() {
+    let fixture = include_str!("fixtures/golden_runresults.json");
+    let rendered = mcd::golden::render();
+    if rendered != fixture {
+        // A full-file assert_eq! dump is unreadable; report the first
+        // configuration that diverged instead.
+        for (got, want) in rendered.lines().zip(fixture.lines()) {
+            assert_eq!(
+                got, want,
+                "RunResult diverged from tests/fixtures/golden_runresults.json \
+                 (regenerate with `cargo run --release --example golden_dump` \
+                 only if the behaviour change is intended)"
+            );
+        }
+        panic!(
+            "golden fixture length mismatch: rendered {} bytes, fixture {} bytes",
+            rendered.len(),
+            fixture.len()
+        );
+    }
+}
