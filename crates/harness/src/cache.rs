@@ -1,4 +1,4 @@
-//! Content-addressed result cache.
+//! Content-addressed result cache with corruption quarantine.
 //!
 //! A cell's cache key is the SHA-256 digest of the *canonical compact JSON*
 //! of its key material: a format-version tag, the cell parameters (seed,
@@ -12,8 +12,14 @@
 //!
 //! Entries are plain JSON files named `<hex-digest>.json` under the cache
 //! directory, written atomically (temp file + rename) so a crashed or
-//! concurrent writer can never leave a truncated entry behind. Reads are
-//! tolerant: any unreadable or unparsable entry is treated as a miss.
+//! concurrent writer can never leave a truncated entry at the published
+//! name. Each entry additionally records the SHA-256 of its result's
+//! canonical JSON, so *any* byte damage to the result — torn flush, bit
+//! rot, hand edits — is detected on load. [`ResultCache::probe`] reports a
+//! damaged entry as [`CacheProbe::Corrupt`]; the supervisor then moves it
+//! to `quarantine/` (preserving the evidence) and recomputes. A corrupt
+//! entry is never returned as a hit. Stale `.{key}.tmp` files left by a
+//! crash between write and rename are swept on [`ResultCache::open`].
 
 use std::fmt;
 use std::fs;
@@ -25,11 +31,16 @@ use serde_json::Value;
 
 use mcd_core::BenchmarkResults;
 
+use crate::error::CorruptKind;
 use crate::spec::CellSpec;
 
 /// Bumped whenever the meaning of a cached result changes (simulator
-/// semantics, result schema), invalidating all prior entries.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// semantics, result schema, entry format), invalidating all prior
+/// entries. v2: entries carry a result digest.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
+/// Name of the quarantine subdirectory under the cache root.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// A cell's content hash: 64 lowercase hex characters.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -62,6 +73,31 @@ impl fmt::Display for CacheKey {
     }
 }
 
+/// SHA-256 of arbitrary bytes as lowercase hex — the digest the cache uses
+/// for keys and entry integrity, shared with the checkpoint manifest.
+pub(crate) fn sha256_hex(data: &[u8]) -> String {
+    sha256::hex_digest(data)
+}
+
+/// Canonical compact JSON of a result — the bytes the entry digest covers.
+fn result_canonical_json(result: &BenchmarkResults) -> String {
+    serde_json::to_string(&result.to_value()).expect("JSON writing is infallible")
+}
+
+/// What a validated cache lookup found.
+// Probes happen once per cell (hundreds of milliseconds apart), so the
+// size skew between Hit and the tag-only variants costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum CacheProbe {
+    /// No entry on disk.
+    Miss,
+    /// A valid entry whose result digest checks out.
+    Hit(BenchmarkResults),
+    /// An entry exists but failed validation and must not be trusted.
+    Corrupt(CorruptKind),
+}
+
 /// On-disk store of finished cell results, addressed by [`CacheKey`].
 #[derive(Debug, Clone)]
 pub struct ResultCache {
@@ -69,16 +105,42 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir`, sweeping any
+    /// stale `.{key}.tmp` files a crashed writer left behind (a crash
+    /// between `fs::write` and `fs::rename` would otherwise leak them
+    /// forever).
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        let cache = ResultCache { dir: dir.into() };
+        fs::create_dir_all(&cache.dir)?;
+        cache.sweep_stale_tmp()?;
+        Ok(cache)
+    }
+
+    /// Removes leftover temp files from interrupted stores, returning how
+    /// many were swept. Safe because a temp file is only meaningful to the
+    /// store call that created it — once that call is gone (crashed), the
+    /// file is garbage by construction.
+    pub fn sweep_stale_tmp(&self) -> io::Result<usize> {
+        let mut swept = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_file() && name.starts_with('.') && name.ends_with(".tmp") {
+                fs::remove_file(&path)?;
+                swept += 1;
+            }
+        }
+        Ok(swept)
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The quarantine directory (not created until first used).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
     }
 
     fn entry_path(&self, key: &CacheKey) -> PathBuf {
@@ -90,42 +152,119 @@ impl ResultCache {
         self.entry_path(key).is_file()
     }
 
+    /// Looks up `key` with full validation: presence, JSON shape, recorded
+    /// key, and the result digest. Distinguishes a clean miss from a
+    /// corrupt entry so the caller can quarantine the latter.
+    pub fn probe(&self, key: &CacheKey) -> CacheProbe {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheProbe::Miss,
+            Err(_) => return CacheProbe::Corrupt(CorruptKind::Unreadable),
+        };
+        let Ok(entry) = serde_json::from_str::<Value>(&text) else {
+            return CacheProbe::Corrupt(CorruptKind::Malformed);
+        };
+        let (Some(recorded), Some(digest), Some(result)) = (
+            entry.get("key").and_then(Value::as_str),
+            entry.get("digest").and_then(Value::as_str),
+            entry.get("result"),
+        ) else {
+            return CacheProbe::Corrupt(CorruptKind::MissingField);
+        };
+        if recorded != key.hex() {
+            return CacheProbe::Corrupt(CorruptKind::KeyMismatch);
+        }
+        let Ok(result) = serde_json::from_value::<BenchmarkResults>(result) else {
+            return CacheProbe::Corrupt(CorruptKind::Malformed);
+        };
+        // The digest covers the result's canonical JSON: any mutation that
+        // survives parsing still changes these bytes and is caught here.
+        if sha256::hex_digest(result_canonical_json(&result).as_bytes()) != digest {
+            return CacheProbe::Corrupt(CorruptKind::DigestMismatch);
+        }
+        CacheProbe::Hit(result)
+    }
+
     /// Loads the cached result for `key`, or `None` on a miss.
     ///
-    /// Corrupt entries (unreadable, unparsable, or recorded under a
-    /// different key) are misses, not errors — the campaign recomputes and
-    /// overwrites them.
+    /// Corrupt entries degrade to a miss here; use [`ResultCache::probe`]
+    /// to tell them apart (and quarantine them).
     pub fn load(&self, key: &CacheKey) -> Option<BenchmarkResults> {
-        let text = fs::read_to_string(self.entry_path(key)).ok()?;
-        let entry: Value = serde_json::from_str(&text).ok()?;
-        let recorded = entry.get("key")?.as_str()?;
-        if recorded != key.hex() {
-            return None;
+        match self.probe(key) {
+            CacheProbe::Hit(result) => Some(result),
+            CacheProbe::Miss | CacheProbe::Corrupt(_) => None,
         }
-        serde_json::from_value(entry.get("result")?).ok()
+    }
+
+    /// Moves the entry for `key` into `quarantine/`, preserving the bytes
+    /// as evidence, and returns the quarantined path. The entry slot is
+    /// then free for an honest recomputation.
+    pub fn quarantine(&self, key: &CacheKey) -> io::Result<PathBuf> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir)?;
+        let dest = qdir.join(format!("{}.json", key.hex()));
+        fs::rename(self.entry_path(key), &dest)?;
+        Ok(dest)
+    }
+
+    fn entry_json(&self, key: &CacheKey, cell: &CellSpec, result: &BenchmarkResults) -> String {
+        let mut entry = serde_json::Map::new();
+        entry.insert("key".to_string(), Value::String(key.hex().to_string()));
+        entry.insert("cell".to_string(), cell.to_value());
+        entry.insert(
+            "digest".to_string(),
+            Value::String(sha256::hex_digest(result_canonical_json(result).as_bytes())),
+        );
+        entry.insert("result".to_string(), result.to_value());
+        serde_json::to_string_pretty(&Value::Object(entry)).expect("JSON writing is infallible")
     }
 
     /// Stores `result` under `key`, recording the cell spec alongside it so
-    /// entries are self-describing for `campaign status` and humans.
+    /// entries are self-describing for `campaign status` and humans, plus
+    /// the result digest that [`ResultCache::probe`] verifies.
     pub fn store(
         &self,
         key: &CacheKey,
         cell: &CellSpec,
         result: &BenchmarkResults,
     ) -> io::Result<()> {
-        let mut entry = serde_json::Map::new();
-        entry.insert("key".to_string(), Value::String(key.hex().to_string()));
-        entry.insert("cell".to_string(), cell.to_value());
-        entry.insert("result".to_string(), result.to_value());
-        let text = serde_json::to_string_pretty(&Value::Object(entry))
-            .expect("JSON writing is infallible");
-
+        let text = self.entry_json(key, cell, result);
         // Atomic publish: never expose a partially written entry. The temp
         // name includes the key, so concurrent writers of the *same* cell
         // race benignly (they write identical bytes).
         let tmp = self.dir.join(format!(".{}.tmp", key.hex()));
         fs::write(&tmp, text)?;
         fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Publishes a deliberately torn entry — the first `keep` bytes only —
+    /// at the final path, simulating a crash mid-flush. Test-only fault
+    /// injection for the chaos suite; never part of a correct store path.
+    #[doc(hidden)]
+    pub fn store_torn(
+        &self,
+        key: &CacheKey,
+        cell: &CellSpec,
+        result: &BenchmarkResults,
+        keep: usize,
+    ) -> io::Result<()> {
+        let text = self.entry_json(key, cell, result);
+        let keep = keep.min(text.len());
+        fs::write(self.entry_path(key), &text.as_bytes()[..keep])
+    }
+
+    /// Overwrites the published entry for `key` with arbitrary bytes —
+    /// test-only corruption for the chaos suite.
+    #[doc(hidden)]
+    pub fn corrupt_with(&self, key: &CacheKey, bytes: &[u8]) -> io::Result<()> {
+        fs::write(self.entry_path(key), bytes)
+    }
+
+    /// Reads the raw published bytes of an entry, if present (test support).
+    #[doc(hidden)]
+    pub fn raw_entry(&self, key: &CacheKey) -> Option<Vec<u8>> {
+        fs::read(self.entry_path(key)).ok()
     }
 }
 
@@ -265,6 +404,12 @@ mod tests {
         }
     }
 
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcd-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn key_is_stable_and_parameter_sensitive() {
         let base = CacheKey::of(&cell());
@@ -282,12 +427,13 @@ mod tests {
 
     #[test]
     fn store_then_load_round_trips() {
-        let dir = std::env::temp_dir().join(format!("mcd-cache-test-{}", std::process::id()));
+        let dir = scratch("roundtrip");
         let cache = ResultCache::open(&dir).expect("create cache dir");
         let cell = cell();
         let key = CacheKey::of(&cell);
         assert!(!cache.contains(&key));
         assert!(cache.load(&key).is_none());
+        assert!(matches!(cache.probe(&key), CacheProbe::Miss));
 
         let result = cell.run();
         cache.store(&key, &cell, &result).expect("store entry");
@@ -299,9 +445,87 @@ mod tests {
             "cached bytes reproduce the computed result exactly"
         );
 
-        // Corrupt entries degrade to a miss.
-        std::fs::write(dir.join(format!("{}.json", key.hex())), "{not json").unwrap();
+        // Corrupt entries degrade to a miss through `load`...
+        fs::write(dir.join(format!("{}.json", key.hex())), "{not json").unwrap();
         assert!(cache.load(&key).is_none());
-        let _ = std::fs::remove_dir_all(&dir);
+        // ...and are named corrupt by `probe`.
+        assert!(matches!(
+            cache.probe(&key),
+            CacheProbe::Corrupt(CorruptKind::Malformed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn value_mutations_that_stay_valid_json_are_caught_by_the_digest() {
+        let dir = scratch("digest");
+        let cache = ResultCache::open(&dir).expect("create cache dir");
+        let cell = cell();
+        let key = CacheKey::of(&cell);
+        cache.store(&key, &cell, &cell.run()).expect("store entry");
+
+        // Flip one digit inside the result payload: still valid JSON, still
+        // the right key — only the digest can catch it.
+        let raw = String::from_utf8(cache.raw_entry(&key).unwrap()).unwrap();
+        let result_at = raw.find("\"result\"").expect("entry has a result field");
+        let digit_at = raw[result_at..]
+            .find(|c: char| c.is_ascii_digit())
+            .map(|i| result_at + i)
+            .expect("result has a digit");
+        let mut bytes = raw.into_bytes();
+        bytes[digit_at] = if bytes[digit_at] == b'9' { b'8' } else { b'9' };
+        cache.corrupt_with(&key, &bytes).unwrap();
+
+        assert!(matches!(
+            cache.probe(&key),
+            CacheProbe::Corrupt(CorruptKind::DigestMismatch)
+        ));
+        assert!(
+            cache.load(&key).is_none(),
+            "a tampered result is never a hit"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_store_is_detected_and_quarantined() {
+        let dir = scratch("torn");
+        let cache = ResultCache::open(&dir).expect("create cache dir");
+        let cell = cell();
+        let key = CacheKey::of(&cell);
+        cache
+            .store_torn(&key, &cell, &cell.run(), 120)
+            .expect("publish torn entry");
+        assert!(cache.contains(&key), "the torn entry is on disk");
+        assert!(matches!(
+            cache.probe(&key),
+            CacheProbe::Corrupt(CorruptKind::Malformed)
+        ));
+
+        let evidence = cache.quarantine(&key).expect("quarantine entry");
+        assert!(evidence.starts_with(cache.quarantine_dir()));
+        assert!(evidence.is_file(), "evidence preserved");
+        assert!(!cache.contains(&key), "slot is free for recomputation");
+        assert!(matches!(cache.probe(&key), CacheProbe::Miss));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = scratch("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join(format!(".{}.tmp", "ab".repeat(32)));
+        fs::write(&stale, "half-written").unwrap();
+        // A published entry and a quarantine dir must survive the sweep.
+        let keeper = dir.join("keeper.json");
+        fs::write(&keeper, "{}").unwrap();
+        fs::create_dir_all(dir.join(QUARANTINE_DIR)).unwrap();
+
+        let cache = ResultCache::open(&dir).expect("open sweeps");
+        assert!(!stale.exists(), "stale tmp swept on open");
+        assert!(keeper.exists(), "real entries untouched");
+        assert!(cache.quarantine_dir().exists(), "quarantine dir untouched");
+        assert_eq!(cache.sweep_stale_tmp().unwrap(), 0, "nothing left to sweep");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,308 @@
+//! Crash-safe campaign checkpoint manifest.
+//!
+//! A manifest records which cells of a campaign have a published, trusted
+//! result, plus a digest of the spec that produced them. It is rewritten
+//! atomically (temp file + rename) after every cell completes, so a killed
+//! campaign always leaves either the previous or the next consistent
+//! manifest on disk — never a torn one. `mcd-cli campaign resume` rebuilds
+//! the whole campaign from the manifest alone: the spec is embedded, and
+//! completed cells are re-verified against the result cache rather than
+//! trusted blindly (the cache, not the manifest, is the source of truth
+//! for result bytes — the manifest only says where to look first).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Map, Number, Serialize, Value};
+
+use crate::cache::sha256_hex;
+use crate::error::HarnessError;
+use crate::spec::CampaignSpec;
+
+/// Schema tag embedded in every manifest.
+pub const CHECKPOINT_SCHEMA: &str = "mcd-campaign-checkpoint/1";
+
+/// Digest binding a manifest to one exact campaign: the SHA-256 of the
+/// spec's canonical JSON. Any change to any sweep axis changes the digest,
+/// so a manifest can never silently resume a different campaign.
+pub fn spec_digest(spec: &CampaignSpec) -> String {
+    sha256_hex(
+        serde_json::to_string(&spec.to_value())
+            .expect("JSON writing is infallible")
+            .as_bytes(),
+    )
+}
+
+/// Progress record of one campaign, persisted across process deaths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointManifest {
+    spec: CampaignSpec,
+    digest: String,
+    total: usize,
+    completed: BTreeSet<usize>,
+}
+
+impl CheckpointManifest {
+    /// A fresh manifest for `spec` with nothing completed.
+    pub fn new(spec: CampaignSpec, total: usize) -> CheckpointManifest {
+        let digest = spec_digest(&spec);
+        CheckpointManifest {
+            spec,
+            digest,
+            total,
+            completed: BTreeSet::new(),
+        }
+    }
+
+    /// The embedded campaign spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The spec digest this manifest is bound to.
+    pub fn digest(&self) -> &str {
+        &self.digest
+    }
+
+    /// Total cell count of the campaign.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Cells recorded as completed (result published to the cache).
+    pub fn completed(&self) -> &BTreeSet<usize> {
+        &self.completed
+    }
+
+    /// Cells not yet completed.
+    pub fn pending(&self) -> usize {
+        self.total - self.completed.len()
+    }
+
+    /// Whether every cell is completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.total
+    }
+
+    /// Records cell `index` as completed. Returns `true` if it was new.
+    pub fn mark_done(&mut self, index: usize) -> bool {
+        self.completed.insert(index)
+    }
+
+    /// Serializes the manifest to its canonical JSON document.
+    pub fn to_json(&self) -> String {
+        let mut doc = Map::new();
+        doc.insert(
+            "schema".to_string(),
+            Value::String(CHECKPOINT_SCHEMA.to_string()),
+        );
+        doc.insert("spec".to_string(), self.spec.to_value());
+        doc.insert(
+            "spec_digest".to_string(),
+            Value::String(self.digest.clone()),
+        );
+        doc.insert("total".to_string(), self.total.to_value());
+        doc.insert(
+            "completed".to_string(),
+            Value::Array(self.completed.iter().map(|i| i.to_value()).collect()),
+        );
+        serde_json::to_string_pretty(&Value::Object(doc)).expect("JSON writing is infallible")
+    }
+
+    /// Writes the manifest atomically to `path` (temp file + rename in the
+    /// same directory, so a crash leaves the old manifest intact).
+    pub fn save(&self, path: &Path) -> Result<(), HarnessError> {
+        let io_err = |source: io::Error| HarnessError::CheckpointIo {
+            path: path.to_path_buf(),
+            source,
+        };
+        let tmp = tmp_path(path);
+        fs::write(&tmp, self.to_json()).map_err(io_err)?;
+        fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Loads and validates a manifest from `path`.
+    pub fn load(path: &Path) -> Result<CheckpointManifest, HarnessError> {
+        let invalid = |reason: String| HarnessError::CheckpointInvalid {
+            path: path.to_path_buf(),
+            reason,
+        };
+        let text = fs::read_to_string(path).map_err(|source| HarnessError::CheckpointIo {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let doc: Value =
+            serde_json::from_str(&text).map_err(|e| invalid(format!("not valid JSON: {e:?}")))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| invalid("missing schema tag".to_string()))?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(invalid(format!(
+                "schema {schema:?}, expected {CHECKPOINT_SCHEMA:?}"
+            )));
+        }
+        let spec: CampaignSpec = doc
+            .get("spec")
+            .cloned()
+            .ok_or_else(|| invalid("missing spec".to_string()))
+            .and_then(|v| {
+                serde_json::from_value(&v).map_err(|e| invalid(format!("bad spec: {e:?}")))
+            })?;
+        let recorded = doc
+            .get("spec_digest")
+            .and_then(Value::as_str)
+            .ok_or_else(|| invalid("missing spec_digest".to_string()))?;
+        let actual = spec_digest(&spec);
+        if recorded != actual {
+            // The embedded spec and its digest disagree: the manifest was
+            // hand-edited or corrupted. Refuse rather than guess.
+            return Err(HarnessError::CheckpointMismatch {
+                expected: recorded.to_string(),
+                found: actual,
+            });
+        }
+        let total = doc
+            .get("total")
+            .and_then(Value::as_number)
+            .and_then(Number::as_u64)
+            .ok_or_else(|| invalid("missing total".to_string()))? as usize;
+        let mut completed = BTreeSet::new();
+        for v in doc
+            .get("completed")
+            .and_then(Value::as_array)
+            .ok_or_else(|| invalid("missing completed list".to_string()))?
+        {
+            let i = v
+                .as_number()
+                .and_then(Number::as_u64)
+                .ok_or_else(|| invalid("non-integer completed index".to_string()))?
+                as usize;
+            if i >= total {
+                return Err(invalid(format!("completed index {i} out of range {total}")));
+            }
+            completed.insert(i);
+        }
+        Ok(CheckpointManifest {
+            spec,
+            digest: actual,
+            total,
+            completed,
+        })
+    }
+
+    /// Checks that this manifest belongs to `spec` (same digest).
+    pub fn verify_spec(&self, spec: &CampaignSpec) -> Result<(), HarnessError> {
+        let found = spec_digest(spec);
+        if found == self.digest {
+            Ok(())
+        } else {
+            Err(HarnessError::CheckpointMismatch {
+                expected: self.digest.clone(),
+                found,
+            })
+        }
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    name.push_str(".tmp");
+    path.with_file_name(format!(".{name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_time::DvfsModel;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            benchmarks: vec!["gcc".into(), "art".into()],
+            seeds: vec![5],
+            instructions: 1_000,
+            models: vec![DvfsModel::XScale],
+            thetas: [0.01, 0.05],
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mcd-ckpt-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trips_with_progress() {
+        let path = scratch("roundtrip");
+        let mut m = CheckpointManifest::new(spec(), 2);
+        assert_eq!(m.pending(), 2);
+        assert!(m.mark_done(1));
+        assert!(!m.mark_done(1), "marking twice is idempotent");
+        m.save(&path).expect("save manifest");
+
+        let back = CheckpointManifest::load(&path).expect("load manifest");
+        assert_eq!(back, m);
+        assert_eq!(back.pending(), 1);
+        assert!(back.completed().contains(&1));
+        assert!(!back.is_complete());
+        back.verify_spec(&spec()).expect("same spec verifies");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resuming_a_different_spec_is_refused() {
+        let m = CheckpointManifest::new(spec(), 2);
+        let mut other = spec();
+        other.seeds = vec![6];
+        let err = m.verify_spec(&other).unwrap_err();
+        assert!(matches!(err, HarnessError::CheckpointMismatch { .. }));
+    }
+
+    #[test]
+    fn torn_or_tampered_manifests_are_rejected() {
+        let path = scratch("torn");
+        let m = CheckpointManifest::new(spec(), 2);
+        let json = m.to_json();
+
+        // Torn write: truncated JSON.
+        fs::write(&path, &json[..json.len() / 2]).unwrap();
+        assert!(matches!(
+            CheckpointManifest::load(&path),
+            Err(HarnessError::CheckpointInvalid { .. })
+        ));
+
+        // Tampered spec under a stale digest.
+        let tampered = json.replace("\"instructions\": 1000", "\"instructions\": 2000");
+        assert_ne!(tampered, json, "replacement must hit");
+        fs::write(&path, tampered).unwrap();
+        assert!(matches!(
+            CheckpointManifest::load(&path),
+            Err(HarnessError::CheckpointMismatch { .. })
+        ));
+
+        // Out-of-range completed index.
+        let bad = json.replace("\"completed\": []", "\"completed\": [9]");
+        fs::write(&path, bad).unwrap();
+        assert!(matches!(
+            CheckpointManifest::load(&path),
+            Err(HarnessError::CheckpointInvalid { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn digest_tracks_every_spec_axis() {
+        let base = spec_digest(&spec());
+        let mut s = spec();
+        s.instructions += 1;
+        assert_ne!(base, spec_digest(&s));
+        let mut s = spec();
+        s.models = vec![DvfsModel::Transmeta];
+        assert_ne!(base, spec_digest(&s));
+        assert_eq!(base, spec_digest(&spec()), "digest is stable");
+    }
+}

@@ -1,0 +1,264 @@
+//! Structured failure taxonomy for the campaign harness.
+//!
+//! Every way a campaign can go wrong — a panicking cell, a hung worker, a
+//! corrupt or unwritable cache entry, a torn telemetry log, a checkpoint
+//! that does not match the spec being resumed — is one variant of
+//! [`HarnessError`], so callers (the supervisor, the CLI, tests) branch on
+//! *kind* rather than scraping panic strings. The display form is stable
+//! enough to log but the enum is the contract.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::spec::SpecError;
+
+/// Which cache operation an IO failure interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// Reading an entry.
+    Load,
+    /// Writing the temp file or renaming it into place.
+    Store,
+    /// Moving a corrupt entry into quarantine.
+    Quarantine,
+    /// Creating or sweeping the cache directory.
+    Open,
+}
+
+impl CacheOp {
+    /// Stable lowercase tag for telemetry.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CacheOp::Load => "load",
+            CacheOp::Store => "store",
+            CacheOp::Quarantine => "quarantine",
+            CacheOp::Open => "open",
+        }
+    }
+}
+
+/// Why a cache entry failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The entry file exists but could not be read.
+    Unreadable,
+    /// The bytes are not valid JSON (torn write, truncation, bit rot).
+    Malformed,
+    /// The entry parses but is missing a required field.
+    MissingField,
+    /// The recorded key does not match the entry's file name.
+    KeyMismatch,
+    /// The result bytes do not hash to the recorded digest.
+    DigestMismatch,
+}
+
+impl CorruptKind {
+    /// Stable lowercase tag for telemetry.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CorruptKind::Unreadable => "unreadable",
+            CorruptKind::Malformed => "malformed",
+            CorruptKind::MissingField => "missing-field",
+            CorruptKind::KeyMismatch => "key-mismatch",
+            CorruptKind::DigestMismatch => "digest-mismatch",
+        }
+    }
+}
+
+/// A structured harness failure.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The campaign spec itself is invalid.
+    Spec(SpecError),
+    /// An IO failure in the result cache.
+    CacheIo {
+        /// Which operation failed.
+        op: CacheOp,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A cache entry exists but failed validation.
+    CacheCorrupt {
+        /// The entry's hex key.
+        key: String,
+        /// What validation failed.
+        kind: CorruptKind,
+    },
+    /// A cell attempt panicked.
+    CellPanic {
+        /// The panic payload rendered as text.
+        message: String,
+        /// `true` when consecutive attempts produced identical payloads —
+        /// the panic is deterministic and further retries are pointless.
+        deterministic: bool,
+    },
+    /// A cell ran past its watchdog deadline and was abandoned.
+    CellStalled {
+        /// How long the supervisor waited before giving up.
+        waited: Duration,
+    },
+    /// A checkpoint manifest could not be read or written.
+    CheckpointIo {
+        /// The manifest path.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A checkpoint manifest parsed but is not usable.
+    CheckpointInvalid {
+        /// The manifest path.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A checkpoint manifest describes a different campaign than the one
+    /// being resumed (the spec digest changed).
+    CheckpointMismatch {
+        /// Digest recorded in the manifest.
+        expected: String,
+        /// Digest of the spec being resumed.
+        found: String,
+    },
+    /// A telemetry log ends mid-line (torn tail after a crash).
+    TelemetryTorn {
+        /// The log path.
+        path: PathBuf,
+        /// Bytes of partial final line that were (or must be) dropped.
+        tail_bytes: usize,
+    },
+    /// A telemetry log has an unparseable line *before* the tail — real
+    /// corruption, not a crash artifact (a line-buffered writer can only
+    /// tear the final line).
+    TelemetryCorrupt {
+        /// The log path.
+        path: PathBuf,
+        /// 1-based line number of the first bad line.
+        line: usize,
+    },
+    /// A telemetry IO failure that could not be absorbed.
+    TelemetryIo {
+        /// The log path, when known.
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Spec(e) => write!(f, "invalid campaign spec: {e}"),
+            HarnessError::CacheIo { op, path, source } => {
+                write!(
+                    f,
+                    "cache {} failed at {}: {source}",
+                    op.tag(),
+                    path.display()
+                )
+            }
+            HarnessError::CacheCorrupt { key, kind } => {
+                write!(f, "cache entry {key} is corrupt ({})", kind.tag())
+            }
+            HarnessError::CellPanic {
+                message,
+                deterministic,
+            } => {
+                let kind = if *deterministic {
+                    "deterministic panic"
+                } else {
+                    "panic"
+                };
+                write!(f, "cell {kind}: {message}")
+            }
+            HarnessError::CellStalled { waited } => {
+                write!(
+                    f,
+                    "cell stalled past its {:.1}s deadline",
+                    waited.as_secs_f64()
+                )
+            }
+            HarnessError::CheckpointIo { path, source } => {
+                write!(f, "checkpoint IO failed at {}: {source}", path.display())
+            }
+            HarnessError::CheckpointInvalid { path, reason } => {
+                write!(f, "checkpoint {} is invalid: {reason}", path.display())
+            }
+            HarnessError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint describes a different campaign (manifest spec digest {expected}, \
+                 resumed spec digest {found})"
+            ),
+            HarnessError::TelemetryTorn { path, tail_bytes } => write!(
+                f,
+                "telemetry log {} has a torn final line ({tail_bytes} bytes)",
+                path.display()
+            ),
+            HarnessError::TelemetryCorrupt { path, line } => write!(
+                f,
+                "telemetry log {} has corrupt line {line}",
+                path.display()
+            ),
+            HarnessError::TelemetryIo { path, source } => match path {
+                Some(p) => write!(f, "telemetry IO failed at {}: {source}", p.display()),
+                None => write!(f, "telemetry IO failed: {source}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Spec(e) => Some(e),
+            HarnessError::CacheIo { source, .. }
+            | HarnessError::CheckpointIo { source, .. }
+            | HarnessError::TelemetryIo { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for HarnessError {
+    fn from(e: SpecError) -> Self {
+        HarnessError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_name_the_failure_kind() {
+        let e = HarnessError::CacheCorrupt {
+            key: "ab12".into(),
+            kind: CorruptKind::DigestMismatch,
+        };
+        assert_eq!(
+            e.to_string(),
+            "cache entry ab12 is corrupt (digest-mismatch)"
+        );
+
+        let e = HarnessError::CellPanic {
+            message: "boom".into(),
+            deterministic: true,
+        };
+        assert!(e.to_string().contains("deterministic panic"));
+
+        let e = HarnessError::CheckpointMismatch {
+            expected: "aa".into(),
+            found: "bb".into(),
+        };
+        assert!(e.to_string().contains("different campaign"));
+    }
+
+    #[test]
+    fn spec_errors_convert() {
+        let e: HarnessError = SpecError::Empty("seeds").into();
+        assert!(matches!(e, HarnessError::Spec(SpecError::Empty("seeds"))));
+    }
+}

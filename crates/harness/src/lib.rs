@@ -2,9 +2,14 @@
 //!
 //! A *campaign* is a sweep — benchmarks × seeds × DVFS models — expanded
 //! into independent cells ([`spec`]), executed on a fixed-size worker pool
-//! ([`pool`]) with per-cell fault isolation and bounded retry ([`retry`]),
-//! memoized in a content-addressed result cache ([`cache`]), and narrated
-//! as JSONL structured telemetry ([`telemetry`]).
+//! ([`pool`]) under a supervisor ([`supervisor`]) that owns every failure
+//! mode around a cell: panic retry with deterministic fail-fast
+//! ([`retry`]), watchdog deadlines for hung cells, exponential backoff for
+//! transient cache IO, and quarantine of corrupt cache entries. Results
+//! are memoized in a content-addressed result cache ([`cache`]), progress
+//! is persisted in a crash-safe checkpoint manifest ([`checkpoint`]), and
+//! the run is narrated as JSONL structured telemetry ([`telemetry`]).
+//! Deterministic fault injection for all of the above lives in [`chaos`].
 //!
 //! Determinism is the design invariant: a cell's result depends only on
 //! its [`CellSpec`] (the simulator derives all randomness from the spec's
@@ -12,8 +17,10 @@
 //! order, and JSON objects serialize with sorted keys — so a campaign's
 //! result bytes are identical for 1, 2 or N workers and identical to the
 //! serial driver ([`mcd_core::run_benchmark`]) run cell by cell. That
-//! invariant is also what makes the cache sound: a key collision can only
-//! come from identical inputs, which produce identical results.
+//! invariant is also what makes the cache sound (a key collision can only
+//! come from identical inputs, which produce identical results) and what
+//! makes recovery sound: a campaign interrupted and resumed produces the
+//! same bytes as one that never failed.
 //!
 //! ```no_run
 //! use mcd_harness::{CampaignSpec, Campaign, ResultCache, Telemetry};
@@ -26,21 +33,34 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
+pub mod checkpoint;
+pub mod error;
 pub mod pool;
 pub mod retry;
 pub mod snapshot;
 pub mod spec;
+pub mod supervisor;
 pub mod telemetry;
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mcd_core::BenchmarkResults;
 
-pub use cache::{CacheKey, ResultCache, CACHE_FORMAT_VERSION};
+pub use cache::{CacheKey, CacheProbe, ResultCache, CACHE_FORMAT_VERSION, QUARANTINE_DIR};
+pub use chaos::{Fault, FaultPlan};
+pub use checkpoint::{spec_digest, CheckpointManifest, CHECKPOINT_SCHEMA};
+pub use error::{CacheOp, CorruptKind, HarnessError};
 pub use retry::{CellFailure, RetryPolicy};
 pub use snapshot::{BenchSnapshot, CellTiming, SNAPSHOT_SCHEMA};
 pub use spec::{parse_model, CampaignSpec, CellSpec, SpecError};
+pub use supervisor::BackoffPolicy;
 pub use telemetry::{CellSource, Telemetry};
+
+use pool::JobSlot;
 
 /// How one cell of a finished campaign was produced.
 #[derive(Debug, Clone)]
@@ -56,14 +76,21 @@ pub enum CellOutcome {
     },
     /// All attempts panicked.
     Failed(CellFailure),
+    /// The cell blew its watchdog deadline and was abandoned.
+    Stalled {
+        /// How long the supervisor waited before giving up.
+        waited: Duration,
+    },
+    /// The campaign was interrupted before any worker claimed this cell.
+    Skipped,
 }
 
 impl CellOutcome {
-    /// The result, unless the cell failed.
+    /// The result, unless the cell failed, stalled, or was skipped.
     pub fn result(&self) -> Option<&BenchmarkResults> {
         match self {
             CellOutcome::Cached(r) | CellOutcome::Computed { result: r, .. } => Some(r),
-            CellOutcome::Failed(_) => None,
+            CellOutcome::Failed(_) | CellOutcome::Stalled { .. } | CellOutcome::Skipped => None,
         }
     }
 }
@@ -88,41 +115,51 @@ pub struct CampaignReport {
     pub cells: Vec<CellReport>,
     /// Total wall time.
     pub wall: Duration,
+    /// Whether the campaign was interrupted (SIGINT or an injected fault)
+    /// and drained instead of finishing. An interrupted campaign with a
+    /// checkpoint can be resumed.
+    pub interrupted: bool,
 }
 
 impl CampaignReport {
+    fn count(&self, pred: impl Fn(&CellOutcome) -> bool) -> usize {
+        self.cells.iter().filter(|c| pred(&c.outcome)).count()
+    }
+
     /// Number of cells served from the cache.
     pub fn cached(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| matches!(c.outcome, CellOutcome::Cached(_)))
-            .count()
+        self.count(|o| matches!(o, CellOutcome::Cached(_)))
     }
 
     /// Number of cells computed this run.
     pub fn computed(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| matches!(c.outcome, CellOutcome::Computed { .. }))
-            .count()
+        self.count(|o| matches!(o, CellOutcome::Computed { .. }))
     }
 
     /// Number of cells that failed all attempts.
     pub fn failed(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| matches!(c.outcome, CellOutcome::Failed(_)))
-            .count()
+        self.count(|o| matches!(o, CellOutcome::Failed(_)))
     }
 
-    /// All results in cell order, or `None` if any cell failed.
+    /// Number of cells abandoned past their watchdog deadline.
+    pub fn stalled(&self) -> usize {
+        self.count(|o| matches!(o, CellOutcome::Stalled { .. }))
+    }
+
+    /// Number of cells skipped because the campaign was interrupted.
+    pub fn skipped(&self) -> usize {
+        self.count(|o| matches!(o, CellOutcome::Skipped))
+    }
+
+    /// All results in cell order, or `None` if any cell is unfinished.
     pub fn results(&self) -> Option<Vec<&BenchmarkResults>> {
         self.cells.iter().map(|c| c.outcome.result()).collect()
     }
 
     /// The campaign's canonical result document: the JSON array of results
     /// in cell order. This is the byte-stable artifact — identical across
-    /// worker counts and cache states. `None` if any cell failed.
+    /// worker counts, cache states, and interrupt/resume histories. `None`
+    /// if any cell is unfinished.
     pub fn to_json(&self) -> Option<String> {
         let results: Vec<BenchmarkResults> = self
             .cells
@@ -139,17 +176,37 @@ pub struct Campaign {
     spec: CampaignSpec,
     workers: usize,
     retry: RetryPolicy,
+    backoff: BackoffPolicy,
+    deadline: Option<Duration>,
+    checkpoint: Option<PathBuf>,
+    chaos: Arc<FaultPlan>,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Campaign {
-    /// A campaign over `spec` with default worker count (one per core) and
-    /// retry policy.
+    /// A campaign over `spec` with default worker count (one per core),
+    /// retry and backoff policies, no deadline, and no checkpoint.
     pub fn new(spec: CampaignSpec) -> Campaign {
         Campaign {
             spec,
             workers: 0,
             retry: RetryPolicy::default(),
+            backoff: BackoffPolicy::default(),
+            deadline: None,
+            checkpoint: None,
+            chaos: Arc::new(FaultPlan::none()),
+            interrupt: None,
         }
+    }
+
+    /// Rebuilds a campaign from a checkpoint manifest: the spec is embedded
+    /// in the manifest, and the returned campaign persists its progress
+    /// back to the same path. Completed cells are re-verified against the
+    /// result cache when the campaign runs — the manifest says where to
+    /// look first, the cache is the source of truth for bytes.
+    pub fn from_checkpoint(path: &Path) -> Result<Campaign, HarnessError> {
+        let manifest = CheckpointManifest::load(path)?;
+        Ok(Campaign::new(manifest.spec().clone()).checkpoint(path))
     }
 
     /// Sets the worker count (`0` = one per available core).
@@ -158,9 +215,47 @@ impl Campaign {
         self
     }
 
-    /// Sets the retry policy.
+    /// Sets the panic retry policy.
     pub fn retry(mut self, retry: RetryPolicy) -> Campaign {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the backoff policy for transient cache IO failures.
+    pub fn backoff(mut self, backoff: BackoffPolicy) -> Campaign {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets a per-attempt watchdog deadline: a cell attempt that runs
+    /// longer is abandoned and reported as [`CellOutcome::Stalled`]
+    /// (instead of hanging its worker forever).
+    pub fn deadline(mut self, deadline: Duration) -> Campaign {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Persists progress to a checkpoint manifest at `path` (rewritten
+    /// atomically after every completed cell). If the file already exists
+    /// it is loaded and verified against this campaign's spec, so a
+    /// restarted run continues where the last one stopped.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Installs a deterministic fault plan (chaos testing only).
+    pub fn chaos(mut self, plan: FaultPlan) -> Campaign {
+        self.chaos = Arc::new(plan);
+        self
+    }
+
+    /// Installs an external interrupt flag (e.g. raised by a SIGINT
+    /// handler). When it becomes `true`, workers finish their in-flight
+    /// cells, skip everything unclaimed, and the campaign returns a
+    /// resumable report instead of aborting.
+    pub fn interrupt(mut self, flag: Arc<AtomicBool>) -> Campaign {
+        self.interrupt = Some(flag);
         self
     }
 
@@ -169,73 +264,117 @@ impl Campaign {
         &self.spec
     }
 
-    /// Runs the campaign: expand, probe the cache, compute misses on the
-    /// pool, store what was computed, and report per-cell outcomes in
+    /// Runs the campaign: expand, probe the cache (quarantining corrupt
+    /// entries), compute misses on the pool under supervision, store what
+    /// was computed, checkpoint progress, and report per-cell outcomes in
     /// spec-expansion order.
     pub fn run(
         &self,
         cache: &ResultCache,
         telemetry: &Telemetry,
-    ) -> Result<CampaignReport, SpecError> {
+    ) -> Result<CampaignReport, HarnessError> {
         let start = Instant::now();
         let cells = self.spec.expand()?;
         let keys: Vec<CacheKey> = cells.iter().map(CacheKey::of).collect();
         let workers = pool::resolve_workers(self.workers);
-        telemetry.campaign_started(cells.len(), workers);
 
-        let outcomes = pool::run_indexed(workers, cells.len(), |i| {
-            let cell = &cells[i];
-            let key = &keys[i];
-            let cell_start = Instant::now();
-            telemetry.cell_started(i, cell);
-
-            if let Some(result) = cache.load(key) {
-                let elapsed = cell_start.elapsed();
-                telemetry.cell_finished(i, CellSource::Cached, elapsed);
-                return (CellOutcome::Cached(result), elapsed);
+        let manifest: Mutex<Option<CheckpointManifest>> = Mutex::new(match &self.checkpoint {
+            Some(path) if path.exists() => {
+                let m = CheckpointManifest::load(path)?;
+                m.verify_spec(&self.spec)?;
+                if m.total() != cells.len() {
+                    return Err(HarnessError::CheckpointInvalid {
+                        path: path.clone(),
+                        reason: format!(
+                            "manifest records {} cells, campaign expands to {}",
+                            m.total(),
+                            cells.len()
+                        ),
+                    });
+                }
+                Some(m)
             }
-
-            let attempt =
-                || cell.run_observed(&mut |stage, span| telemetry.cell_stage(i, stage, span));
-            let outcome = match retry::run_isolated(
-                self.retry,
-                |n, message| telemetry.cell_retry(i, n, message),
-                attempt,
-            ) {
-                Ok((result, attempts)) => {
-                    // A cache write failure only costs a recomputation next
-                    // run; the in-memory result is still good.
-                    let _ = cache.store(key, cell, &result);
-                    telemetry.cell_finished(
-                        i,
-                        CellSource::Computed { attempts },
-                        cell_start.elapsed(),
-                    );
-                    CellOutcome::Computed { result, attempts }
-                }
-                Err(failure) => {
-                    telemetry.cell_failed(i, failure.attempts, &failure.message);
-                    CellOutcome::Failed(failure)
-                }
-            };
-            (outcome, cell_start.elapsed())
+            Some(_) => Some(CheckpointManifest::new(self.spec.clone(), cells.len())),
+            None => None,
         });
 
+        telemetry.campaign_started(cells.len(), workers);
+        let stop = self
+            .interrupt
+            .clone()
+            .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+
+        let slots = pool::run_indexed_until(workers, cells.len(), &stop, |i| {
+            let ctx = supervisor::CellContext {
+                index: i,
+                cell: &cells[i],
+                key: &keys[i],
+                cache,
+                telemetry,
+                chaos: &self.chaos,
+                retry: self.retry,
+                backoff: self.backoff,
+                deadline: self.deadline,
+                stop: &stop,
+            };
+            let (outcome, elapsed) = supervisor::run_cell(&ctx);
+            if outcome.result().is_some() {
+                if let Some(path) = &self.checkpoint {
+                    let mut guard = manifest.lock().expect("checkpoint manifest poisoned");
+                    if let Some(m) = guard.as_mut() {
+                        if m.mark_done(i) {
+                            // Atomic rewrite per cell: a crash at any moment
+                            // leaves a consistent manifest. A failed save
+                            // only costs resume granularity, never results.
+                            let _ = m.save(path);
+                        }
+                    }
+                }
+            }
+            (outcome, elapsed)
+        });
+
+        let interrupted = stop.load(Ordering::SeqCst);
         let cells: Vec<CellReport> = cells
             .into_iter()
             .zip(keys)
-            .zip(outcomes)
-            .map(|((cell, key), (outcome, elapsed))| CellReport {
-                cell,
-                key,
-                outcome,
-                elapsed,
+            .zip(slots)
+            .enumerate()
+            .map(|(i, ((cell, key), slot))| {
+                let (outcome, elapsed) = match slot {
+                    JobSlot::Done((outcome, elapsed)) => (outcome, elapsed),
+                    JobSlot::Panicked(message) => {
+                        // A panic that escaped the supervisor itself —
+                        // contained to this cell, reported as a failure.
+                        telemetry.cell_failed(i, 1, &message, false);
+                        (
+                            CellOutcome::Failed(CellFailure {
+                                attempts: 1,
+                                message,
+                                deterministic: false,
+                            }),
+                            Duration::ZERO,
+                        )
+                    }
+                    JobSlot::Unclaimed => (CellOutcome::Skipped, Duration::ZERO),
+                };
+                CellReport {
+                    cell,
+                    key,
+                    outcome,
+                    elapsed,
+                }
             })
             .collect();
+
         let report = CampaignReport {
             cells,
             wall: start.elapsed(),
+            interrupted,
         };
+        if interrupted {
+            telemetry.campaign_interrupted(report.cached() + report.computed(), report.skipped());
+        }
         telemetry.campaign_finished(
             report.computed(),
             report.cached(),
@@ -297,6 +436,7 @@ mod tests {
         assert_eq!(first.computed(), 3);
         assert_eq!(first.cached(), 0);
         assert_eq!(first.failed(), 0);
+        assert!(!first.interrupted);
 
         let second = campaign
             .run(&cache, &Telemetry::disabled())
@@ -343,6 +483,48 @@ mod tests {
         let after = campaign.status(&cache).unwrap();
         assert!(after.iter().all(|(_, _, cached)| *cached));
         assert_eq!(after.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_run_records_every_cell_and_resumes_complete() {
+        let (cache, dir) = scratch_cache("ckpt");
+        let ckpt = dir.join("campaign.checkpoint.json");
+        let campaign = Campaign::new(tiny_spec()).workers(2).checkpoint(&ckpt);
+        let report = campaign.run(&cache, &Telemetry::disabled()).expect("run");
+        assert_eq!(report.computed(), 3);
+
+        let manifest = CheckpointManifest::load(&ckpt).expect("manifest written");
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.total(), 3);
+
+        // Rebuilding from the manifest alone reproduces the same bytes,
+        // fully from cache.
+        let resumed = Campaign::from_checkpoint(&ckpt)
+            .expect("manifest round-trips")
+            .run(&cache, &Telemetry::disabled())
+            .expect("resume");
+        assert_eq!(resumed.cached(), 3);
+        assert_eq!(resumed.to_json(), report.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_for_a_different_spec_is_refused() {
+        let (cache, dir) = scratch_cache("ckpt-mismatch");
+        let ckpt = dir.join("campaign.checkpoint.json");
+        Campaign::new(tiny_spec())
+            .checkpoint(&ckpt)
+            .run(&cache, &Telemetry::disabled())
+            .expect("seed the checkpoint");
+
+        let mut other = tiny_spec();
+        other.seeds = vec![6];
+        let err = Campaign::new(other)
+            .checkpoint(&ckpt)
+            .run(&cache, &Telemetry::disabled())
+            .expect_err("mismatched spec must refuse to resume");
+        assert!(matches!(err, HarnessError::CheckpointMismatch { .. }));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -7,11 +7,22 @@
 //! (every cell derives its randomness from its own spec, never from shared
 //! mutable state), this is what makes campaign output bit-identical across
 //! worker counts.
+//!
+//! Panic containment: a panic escaping a job body is caught *per job* and
+//! recorded in that job's slot; the worker keeps claiming, so one bad job
+//! can never abort its sibling cells mid-campaign or discard their
+//! finished results. [`run_indexed`] resurfaces the lowest-indexed escaped
+//! panic only after the whole pool has drained; [`run_indexed_until`]
+//! instead reports it in the slot, for callers (the campaign supervisor)
+//! that translate escapes into per-cell failures.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+
+use crate::retry::payload_text;
 
 /// Resolves a requested worker count: `0` means "one per available core".
 pub fn resolve_workers(requested: usize) -> usize {
@@ -24,39 +35,86 @@ pub fn resolve_workers(requested: usize) -> usize {
     }
 }
 
+/// One job's slot after the pool drains.
+#[derive(Debug)]
+pub enum JobSlot<T> {
+    /// The job ran to completion.
+    Done(T),
+    /// A panic escaped the job body (payload rendered as text).
+    Panicked(String),
+    /// The stop flag was raised before any worker claimed this job.
+    Unclaimed,
+}
+
+impl<T> JobSlot<T> {
+    /// The completed value, if any.
+    pub fn into_done(self) -> Option<T> {
+        match self {
+            JobSlot::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
 /// Runs `jobs` jobs on `workers` threads, returning the outputs in job
 /// order. `run(i)` computes job `i`; jobs are claimed dynamically, so
 /// uneven cell costs load-balance across the pool.
 ///
-/// A panic inside `run` is not caught here — callers wanting fault
-/// isolation wrap the job body with [`crate::retry::run_isolated`]. If a
-/// job does panic anyway, the panic is resurfaced on the calling thread
-/// after the pool drains.
+/// An escaped panic fails only its own job at first: every sibling job
+/// still runs to completion, and the panic (the lowest-indexed one, for
+/// determinism) is resurfaced on the calling thread after the pool drains.
 pub fn run_indexed<T, F>(workers: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let never = AtomicBool::new(false);
+    let slots = run_indexed_until(workers, jobs, &never, run);
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            JobSlot::Done(v) => v,
+            JobSlot::Panicked(message) => panic::panic_any(message),
+            JobSlot::Unclaimed => unreachable!("the stop flag is never raised"),
+        })
+        .collect()
+}
+
+/// Like [`run_indexed`], but cooperative and panic-reporting: workers stop
+/// claiming new jobs once `stop` is raised (jobs already claimed run to
+/// completion — drain, don't abort), and escaped panics are reported in
+/// their slot instead of resurfacing. The output always has one slot per
+/// job, in job order.
+pub fn run_indexed_until<T, F>(
+    workers: usize,
+    jobs: usize,
+    stop: &AtomicBool,
+    run: F,
+) -> Vec<JobSlot<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let workers = resolve_workers(workers).min(jobs.max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<JobSlot<T>>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
 
     thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            handles.push(scope.spawn(|| loop {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
-                let out = run(i);
+                let out = match panic::catch_unwind(AssertUnwindSafe(|| run(i))) {
+                    Ok(v) => JobSlot::Done(v),
+                    Err(payload) => JobSlot::Panicked(payload_text(payload.as_ref())),
+                };
                 *slots[i].lock().expect("result slot poisoned") = Some(out);
-            }));
-        }
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
-            }
+            });
         }
     });
 
@@ -65,7 +123,7 @@ where
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot poisoned")
-                .expect("every job index below `jobs` was claimed and completed")
+                .unwrap_or(JobSlot::Unclaimed)
         })
         .collect()
 }
@@ -100,5 +158,76 @@ mod tests {
     fn zero_requested_workers_resolves_to_parallelism() {
         assert!(resolve_workers(0) >= 1);
         assert_eq!(resolve_workers(3), 3);
+    }
+
+    #[test]
+    fn escaped_panic_fails_its_job_without_aborting_siblings() {
+        let ran: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        let never = AtomicBool::new(false);
+        let slots = run_indexed_until(4, 32, &never, |i| {
+            ran[i].fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                panic!("job 3 exploded");
+            }
+            i
+        });
+        assert!(
+            ran.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+            "every sibling still ran exactly once"
+        );
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                JobSlot::Done(v) => assert_eq!(*v, i),
+                JobSlot::Panicked(msg) => {
+                    assert_eq!(i, 3);
+                    assert_eq!(msg, "job 3 exploded");
+                }
+                JobSlot::Unclaimed => panic!("no job should be unclaimed"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_indexed_resurfaces_the_lowest_indexed_panic_after_draining() {
+        let ran: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(3, 16, |i| {
+                ran[i].fetch_add(1, Ordering::Relaxed);
+                if i == 5 || i == 11 {
+                    panic!("job {i} exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("the panic must resurface");
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("job 5 exploded"),
+            "the lowest-indexed panic wins deterministically"
+        );
+        assert!(
+            ran.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+            "all jobs ran before the panic resurfaced"
+        );
+    }
+
+    #[test]
+    fn raised_stop_flag_drains_instead_of_finishing() {
+        let stop = AtomicBool::new(false);
+        let slots = run_indexed_until(1, 8, &stop, |i| {
+            if i == 2 {
+                stop.store(true, Ordering::SeqCst);
+            }
+            i
+        });
+        // Single worker: jobs 0..=2 ran (2 raised the flag mid-run and
+        // still completed), everything after is unclaimed.
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                JobSlot::Done(v) if i <= 2 => assert_eq!(*v, i),
+                JobSlot::Unclaimed if i > 2 => {}
+                other => panic!("job {i}: unexpected slot {other:?}"),
+            }
+        }
     }
 }

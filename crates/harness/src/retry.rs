@@ -1,43 +1,82 @@
-//! Per-cell fault isolation.
+//! Per-cell fault isolation with deterministic-panic classification.
 //!
 //! A panicking cell must not take down the campaign (or its worker
 //! thread): the cell body runs under [`std::panic::catch_unwind`], the
 //! panic payload is captured as text, and the cell is retried up to a
 //! bounded number of attempts before being reported as failed. The
-//! simulator is deterministic, so a panic normally repeats — the retry
-//! budget exists for environmental failures (and keeps one flaky cell from
-//! silently producing a partial campaign).
+//! simulator is deterministic, so a panic normally repeats — when two
+//! consecutive attempts produce byte-identical payloads the failure is
+//! classified *deterministic* and (by default) the remaining retry budget
+//! is not burned on a guaranteed repeat. The budget exists for
+//! environmental failures, whose payloads vary run to run.
 
 use std::panic::{self, AssertUnwindSafe};
+
+use crate::error::HarnessError;
 
 /// How persistently to rerun a failing cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (≥ 1).
     pub max_attempts: u32,
+    /// Stop early once two consecutive attempts panic with identical
+    /// payloads — the panic is deterministic and will repeat forever.
+    pub fail_fast_deterministic: bool,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 2 }
+        RetryPolicy {
+            max_attempts: 2,
+            fail_fast_deterministic: true,
+        }
     }
 }
 
-/// A cell that failed all its attempts.
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and deterministic fail-fast.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// A cell that failed all its attempts (or failed fast).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellFailure {
     /// How many attempts were made.
     pub attempts: u32,
     /// The last attempt's panic payload, as text.
     pub message: String,
+    /// `true` when consecutive attempts produced identical payloads: the
+    /// panic is a pure function of the cell and retrying cannot help.
+    pub deterministic: bool,
+}
+
+impl CellFailure {
+    /// The structured form of this failure.
+    pub fn to_error(&self) -> HarnessError {
+        HarnessError::CellPanic {
+            message: self.message.clone(),
+            deterministic: self.deterministic,
+        }
+    }
 }
 
 impl std::fmt::Display for CellFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "failed after {} attempt(s): {}",
-            self.attempts, self.message
+            "failed after {} attempt(s){}: {}",
+            self.attempts,
+            if self.deterministic {
+                " (deterministic)"
+            } else {
+                ""
+            },
+            self.message
         )
     }
 }
@@ -45,7 +84,7 @@ impl std::fmt::Display for CellFailure {
 impl std::error::Error for CellFailure {}
 
 /// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as text.
-fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else {
@@ -62,26 +101,52 @@ fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
 /// attempt that will be retried, for telemetry.
 pub fn run_isolated<T>(
     policy: RetryPolicy,
-    mut on_retry: impl FnMut(u32, &str),
+    on_retry: impl FnMut(u32, &str),
     body: impl Fn() -> T,
 ) -> Result<(T, u32), CellFailure> {
+    run_attempts(policy, on_retry, |_attempt| {
+        panic::catch_unwind(AssertUnwindSafe(&body)).map_err(|p| payload_text(p.as_ref()))
+    })
+}
+
+/// The retry loop itself, over an attempt function that reports failure as
+/// a rendered payload. Factored out so the supervisor can run attempts on
+/// watchdog-monitored threads while reusing the same budget/fail-fast
+/// logic (and so the logic is testable without real panics).
+pub fn run_attempts<T>(
+    policy: RetryPolicy,
+    mut on_retry: impl FnMut(u32, &str),
+    mut attempt_fn: impl FnMut(u32) -> Result<T, String>,
+) -> Result<(T, u32), CellFailure> {
     let max_attempts = policy.max_attempts.max(1);
-    let mut last = String::new();
+    let mut previous: Option<String> = None;
     for attempt in 1..=max_attempts {
-        match panic::catch_unwind(AssertUnwindSafe(&body)) {
+        match attempt_fn(attempt) {
             Ok(value) => return Ok((value, attempt)),
-            Err(payload) => {
-                last = payload_text(payload.as_ref());
-                if attempt < max_attempts {
-                    on_retry(attempt, &last);
+            Err(message) => {
+                let repeats = previous.as_deref() == Some(message.as_str());
+                if repeats && policy.fail_fast_deterministic {
+                    // Two identical payloads in a row: the failure is a pure
+                    // function of the cell. Spend no more of the budget.
+                    return Err(CellFailure {
+                        attempts: attempt,
+                        message,
+                        deterministic: true,
+                    });
                 }
+                if attempt == max_attempts {
+                    return Err(CellFailure {
+                        attempts: max_attempts,
+                        message,
+                        deterministic: repeats,
+                    });
+                }
+                on_retry(attempt, &message);
+                previous = Some(message);
             }
         }
     }
-    Err(CellFailure {
-        attempts: max_attempts,
-        message: last,
-    })
+    unreachable!("the loop returns on the final attempt")
 }
 
 #[cfg(test)]
@@ -96,10 +161,34 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_panic_exhausts_the_budget() {
+    fn deterministic_panic_fails_fast_instead_of_burning_the_budget() {
         let retries = Cell::new(0);
         let out: Result<(u32, u32), _> = run_isolated(
-            RetryPolicy { max_attempts: 3 },
+            RetryPolicy::attempts(5),
+            |_, _| retries.set(retries.get() + 1),
+            || panic!("boom {}", 42),
+        );
+        assert_eq!(
+            out,
+            Err(CellFailure {
+                attempts: 2,
+                message: "boom 42".to_string(),
+                deterministic: true,
+            }),
+            "identical consecutive payloads stop the retry loop early"
+        );
+        assert_eq!(retries.get(), 1, "only the first failure schedules a retry");
+    }
+
+    #[test]
+    fn fail_fast_off_exhausts_the_budget() {
+        let retries = Cell::new(0);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            fail_fast_deterministic: false,
+        };
+        let out: Result<(u32, u32), _> = run_isolated(
+            policy,
             |_, _| retries.set(retries.get() + 1),
             || panic!("boom {}", 42),
         );
@@ -107,7 +196,8 @@ mod tests {
             out,
             Err(CellFailure {
                 attempts: 3,
-                message: "boom 42".to_string()
+                message: "boom 42".to_string(),
+                deterministic: true,
             })
         );
         assert_eq!(
@@ -118,10 +208,27 @@ mod tests {
     }
 
     #[test]
+    fn varying_payloads_are_not_classified_deterministic() {
+        let calls = Cell::new(0u32);
+        let out: Result<(u32, u32), _> = run_isolated(
+            RetryPolicy::attempts(3),
+            |_, _| {},
+            || {
+                calls.set(calls.get() + 1);
+                panic!("transient failure #{}", calls.get());
+            },
+        );
+        let failure = out.unwrap_err();
+        assert_eq!(failure.attempts, 3, "varying payloads use the whole budget");
+        assert!(!failure.deterministic);
+        assert_eq!(failure.message, "transient failure #3");
+    }
+
+    #[test]
     fn transient_panic_recovers() {
         let calls = Cell::new(0);
         let out = run_isolated(
-            RetryPolicy { max_attempts: 2 },
+            RetryPolicy::attempts(2),
             |_, _| {},
             || {
                 calls.set(calls.get() + 1);
@@ -136,7 +243,27 @@ mod tests {
 
     #[test]
     fn zero_attempt_policy_still_runs_once() {
-        let out = run_isolated(RetryPolicy { max_attempts: 0 }, |_, _| {}, || 1);
+        let out = run_isolated(RetryPolicy::attempts(0), |_, _| {}, || 1);
         assert_eq!(out, Ok((1, 1)));
+    }
+
+    #[test]
+    fn failure_converts_to_structured_error() {
+        let failure = CellFailure {
+            attempts: 2,
+            message: "boom".into(),
+            deterministic: true,
+        };
+        match failure.to_error() {
+            HarnessError::CellPanic {
+                message,
+                deterministic,
+            } => {
+                assert_eq!(message, "boom");
+                assert!(deterministic);
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+        assert!(failure.to_string().contains("(deterministic)"));
     }
 }

@@ -65,6 +65,8 @@ impl BenchSnapshot {
                     CellOutcome::Cached(_) => "cached".to_string(),
                     CellOutcome::Computed { .. } => "computed".to_string(),
                     CellOutcome::Failed(_) => "failed".to_string(),
+                    CellOutcome::Stalled { .. } => "stalled".to_string(),
+                    CellOutcome::Skipped => "skipped".to_string(),
                 },
             })
             .collect();

@@ -1,0 +1,546 @@
+//! Supervised execution of one campaign cell.
+//!
+//! The supervisor is the layer between the worker pool and the simulator:
+//! it owns everything that can go wrong around a cell and turns each
+//! failure mode into a structured, recoverable outcome.
+//!
+//! - **Cache probe with quarantine**: a corrupt entry (torn write, bit
+//!   rot, tampering — anything [`ResultCache::probe`] flags) is moved to
+//!   `quarantine/` as evidence and the cell is recomputed. A corrupt
+//!   entry is *never* served as a hit.
+//! - **Watchdog deadline**: with a deadline set, each attempt runs on a
+//!   monitored thread; if it does not finish in time the supervisor
+//!   abandons it and reports [`CellOutcome::Stalled`] — the worker slot
+//!   survives a hung simulator and moves on to the next cell.
+//! - **Retry with deterministic fail-fast**: panics are retried per
+//!   [`RetryPolicy`]; byte-identical consecutive payloads stop early
+//!   ([`crate::retry`]).
+//! - **Backoff on store failures**: transient cache IO errors are retried
+//!   with exponential backoff; a store that still fails only costs a
+//!   recomputation next run (the in-memory result is still good).
+//!
+//! Chaos faults from a [`FaultPlan`] are injected at exactly these seams,
+//! so the chaos suite exercises the same code paths real failures take.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mcd_core::BenchmarkResults;
+
+use crate::cache::{CacheKey, CacheProbe, ResultCache};
+use crate::chaos::FaultPlan;
+use crate::retry::{payload_text, CellFailure, RetryPolicy};
+use crate::spec::CellSpec;
+use crate::telemetry::{CellSource, Telemetry};
+use crate::CellOutcome;
+
+/// Exponential backoff for transient IO failures (distinct from the
+/// deterministic-panic retry budget: IO errors are environmental and
+/// waiting genuinely helps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Delay before the second attempt.
+    pub base: Duration,
+    /// Multiplier applied per further attempt.
+    pub multiplier: u32,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            multiplier: 4,
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay after failed attempt `attempt` (1-based):
+    /// `base · multiplier^(attempt-1)`, capped.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = self.multiplier.saturating_pow(attempt.saturating_sub(1));
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+/// Everything the supervisor needs to run one cell.
+pub struct CellContext<'a> {
+    /// Cell index in spec-expansion order.
+    pub index: usize,
+    /// The cell to run.
+    pub cell: &'a CellSpec,
+    /// Its content-addressed key.
+    pub key: &'a CacheKey,
+    /// The result cache.
+    pub cache: &'a ResultCache,
+    /// The telemetry sink.
+    pub telemetry: &'a Telemetry,
+    /// The fault plan ([`FaultPlan::none`] outside chaos tests).
+    pub chaos: &'a Arc<FaultPlan>,
+    /// Panic retry policy.
+    pub retry: RetryPolicy,
+    /// IO backoff policy.
+    pub backoff: BackoffPolicy,
+    /// Per-attempt watchdog deadline (`None` = wait forever, no monitor
+    /// thread).
+    pub deadline: Option<Duration>,
+    /// Campaign interrupt flag (raised by SIGINT or an injected fault).
+    pub stop: &'a Arc<AtomicBool>,
+}
+
+/// One attempt's fate.
+// Constructed once per attempt; the Ok/Panicked size skew is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Attempt {
+    Ok(BenchmarkResults),
+    Panicked(String),
+    Stalled(Duration),
+}
+
+/// Runs one cell under full supervision, returning its outcome and wall
+/// time (cache probe included).
+pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration) {
+    let cell_start = Instant::now();
+    ctx.telemetry.cell_started(ctx.index, ctx.cell);
+
+    match ctx.cache.probe(ctx.key) {
+        CacheProbe::Hit(result) => {
+            let elapsed = cell_start.elapsed();
+            ctx.telemetry
+                .cell_finished(ctx.index, CellSource::Cached, elapsed);
+            return (CellOutcome::Cached(result), elapsed);
+        }
+        CacheProbe::Corrupt(kind) => {
+            // Preserve the evidence, free the slot, recompute. If the move
+            // itself fails the recomputation's store still overwrites the
+            // bad entry atomically.
+            let _ = ctx.cache.quarantine(ctx.key);
+            ctx.telemetry
+                .cache_quarantined(ctx.index, ctx.key.hex(), kind);
+        }
+        CacheProbe::Miss => {}
+    }
+
+    let outcome = compute_with_retry(ctx);
+    if matches!(outcome, CellOutcome::Computed { .. }) && ctx.chaos.record_computed() {
+        // An injected interrupt takes the same path a SIGINT does.
+        ctx.stop.store(true, Ordering::SeqCst);
+    }
+    let elapsed = cell_start.elapsed();
+    match &outcome {
+        CellOutcome::Computed { attempts, .. } => {
+            ctx.telemetry.cell_finished(
+                ctx.index,
+                CellSource::Computed {
+                    attempts: *attempts,
+                },
+                elapsed,
+            );
+        }
+        CellOutcome::Failed(f) => {
+            ctx.telemetry
+                .cell_failed(ctx.index, f.attempts, &f.message, f.deterministic);
+        }
+        CellOutcome::Stalled { waited } => {
+            ctx.telemetry.cell_stalled(ctx.index, *waited);
+        }
+        CellOutcome::Cached(_) | CellOutcome::Skipped => {}
+    }
+    (outcome, elapsed)
+}
+
+/// The retry loop over monitored attempts.
+fn compute_with_retry(ctx: &CellContext<'_>) -> CellOutcome {
+    let max_attempts = ctx.retry.max_attempts.max(1);
+    let mut previous: Option<String> = None;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match execute_attempt(ctx, attempt) {
+            Attempt::Ok(result) => {
+                store_with_backoff(ctx, &result);
+                return CellOutcome::Computed {
+                    result,
+                    attempts: attempt,
+                };
+            }
+            Attempt::Stalled(waited) => {
+                // A stall is not retried: the watchdog already waited the
+                // full deadline, and a deterministic simulator would stall
+                // again. Resume recomputes it later.
+                return CellOutcome::Stalled { waited };
+            }
+            Attempt::Panicked(message) => {
+                let repeats = previous.as_deref() == Some(message.as_str());
+                if (repeats && ctx.retry.fail_fast_deterministic) || attempt >= max_attempts {
+                    return CellOutcome::Failed(CellFailure {
+                        attempts: attempt,
+                        message,
+                        deterministic: repeats,
+                    });
+                }
+                ctx.telemetry.cell_retry(ctx.index, attempt, &message);
+                previous = Some(message);
+            }
+        }
+    }
+}
+
+/// Runs the cell body once: inline when no deadline is set, else on a
+/// watchdog-monitored thread that can be abandoned.
+fn execute_attempt(ctx: &CellContext<'_>, attempt: u32) -> Attempt {
+    let Some(deadline) = ctx.deadline else {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cell_body(
+                ctx.cell,
+                ctx.chaos,
+                ctx.index,
+                attempt,
+                &mut |stage, span| ctx.telemetry.cell_stage(ctx.index, stage, span),
+            )
+        }));
+        return match out {
+            Ok(result) => Attempt::Ok(result),
+            Err(payload) => Attempt::Panicked(payload_text(payload.as_ref())),
+        };
+    };
+
+    // One Done message per attempt; the Stage/Done size skew is irrelevant.
+    #[allow(clippy::large_enum_variant)]
+    enum Msg {
+        Stage(String, Duration),
+        Done(Result<BenchmarkResults, String>),
+    }
+
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let cell = ctx.cell.clone();
+    let chaos = Arc::clone(ctx.chaos);
+    let index = ctx.index;
+    let spawned = thread::Builder::new()
+        .name(format!("mcd-cell-{index}-a{attempt}"))
+        .spawn(move || {
+            let stage_tx = tx.clone();
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cell_body(&cell, &chaos, index, attempt, &mut |stage, span| {
+                    // The supervisor may have abandoned us; a closed
+                    // channel just means nobody is listening any more.
+                    let _ = stage_tx.send(Msg::Stage(stage.to_string(), span));
+                })
+            }));
+            let _ = tx.send(Msg::Done(
+                out.map_err(|payload| payload_text(payload.as_ref())),
+            ));
+        });
+    if spawned.is_err() {
+        // Could not spawn the monitor thread (resource exhaustion): run
+        // inline rather than fail the cell — losing the watchdog for one
+        // attempt beats losing the result.
+        let saved = ctx.deadline;
+        let inline_ctx = CellContext {
+            deadline: None,
+            ..*ctx
+        };
+        let out = execute_attempt(&inline_ctx, attempt);
+        debug_assert!(saved.is_some());
+        return out;
+    }
+
+    let started = Instant::now();
+    loop {
+        let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
+            return Attempt::Stalled(started.elapsed());
+        };
+        match rx.recv_timeout(remaining) {
+            Ok(Msg::Stage(stage, span)) => ctx.telemetry.cell_stage(ctx.index, &stage, span),
+            Ok(Msg::Done(Ok(result))) => return Attempt::Ok(result),
+            Ok(Msg::Done(Err(message))) => return Attempt::Panicked(message),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Deadline blown: abandon the attempt thread (it keeps the
+                // dead channel, we keep the worker slot).
+                return Attempt::Stalled(started.elapsed());
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The attempt thread died without reporting — catch_unwind
+                // should make this impossible, but degrade to a failure
+                // rather than hang or crash the campaign.
+                return Attempt::Panicked("attempt thread terminated without a result".to_string());
+            }
+        }
+    }
+}
+
+/// The actual cell computation, with chaos injection at the front so an
+/// injected panic or stall flows through exactly the paths a real one
+/// would.
+fn cell_body(
+    cell: &CellSpec,
+    chaos: &FaultPlan,
+    index: usize,
+    attempt: u32,
+    observe: &mut dyn FnMut(&str, Duration),
+) -> BenchmarkResults {
+    if let Some(message) = chaos.panic_message(index, attempt) {
+        std::panic::panic_any(message);
+    }
+    if let Some(stall) = chaos.stall(index) {
+        thread::sleep(stall);
+    }
+    cell.run_observed(observe)
+}
+
+/// Publishes a computed result, retrying transient IO failures with
+/// exponential backoff. A store that still fails after the budget is
+/// logged and absorbed — the in-memory result is good, and the cache will
+/// recompute the cell next run.
+fn store_with_backoff(ctx: &CellContext<'_>, result: &BenchmarkResults) {
+    if let Some(keep) = ctx.chaos.torn_store(ctx.index) {
+        // Injected crash-mid-flush: publish a torn entry. The *next* run's
+        // probe must detect and quarantine it.
+        let _ = ctx.cache.store_torn(ctx.key, ctx.cell, result, keep);
+        return;
+    }
+    let max_attempts = ctx.backoff.max_attempts.max(1);
+    for attempt in 1..=max_attempts {
+        let stored = if ctx.chaos.take_store_io_error(ctx.index) {
+            Err(std::io::Error::other("chaos: injected store failure"))
+        } else {
+            ctx.cache.store(ctx.key, ctx.cell, result)
+        };
+        match stored {
+            Ok(()) => return,
+            Err(e) => {
+                if attempt == max_attempts {
+                    return;
+                }
+                ctx.telemetry
+                    .io_retry(ctx.index, "store", attempt, &e.to_string());
+                thread::sleep(ctx.backoff.delay(attempt));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::Fault;
+    use mcd_time::DvfsModel;
+    use std::path::PathBuf;
+
+    fn cell() -> CellSpec {
+        CellSpec {
+            benchmark: "adpcm".to_string(),
+            seed: 3,
+            instructions: 600,
+            model: DvfsModel::XScale,
+            thetas: [0.01, 0.05],
+        }
+    }
+
+    fn scratch(tag: &str) -> (ResultCache, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("mcd-super-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ResultCache::open(&dir).expect("create cache"), dir)
+    }
+
+    struct Fixture {
+        cell: CellSpec,
+        key: CacheKey,
+        cache: ResultCache,
+        dir: PathBuf,
+        telemetry: Telemetry,
+        chaos: Arc<FaultPlan>,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl Fixture {
+        fn new(tag: &str, chaos: FaultPlan) -> Fixture {
+            let (cache, dir) = scratch(tag);
+            let cell = cell();
+            let key = CacheKey::of(&cell);
+            Fixture {
+                cell,
+                key,
+                cache,
+                dir,
+                telemetry: Telemetry::disabled(),
+                chaos: Arc::new(chaos),
+                stop: Arc::new(AtomicBool::new(false)),
+            }
+        }
+
+        fn ctx(&self) -> CellContext<'_> {
+            CellContext {
+                index: 0,
+                cell: &self.cell,
+                key: &self.key,
+                cache: &self.cache,
+                telemetry: &self.telemetry,
+                chaos: &self.chaos,
+                retry: RetryPolicy::default(),
+                backoff: BackoffPolicy {
+                    base: Duration::from_millis(1),
+                    ..BackoffPolicy::default()
+                },
+                deadline: None,
+                stop: &self.stop,
+            }
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    #[test]
+    fn backoff_delays_grow_exponentially_and_cap() {
+        let b = BackoffPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            multiplier: 4,
+            cap: Duration::from_millis(100),
+        };
+        assert_eq!(b.delay(1), Duration::from_millis(10));
+        assert_eq!(b.delay(2), Duration::from_millis(40));
+        assert_eq!(b.delay(3), Duration::from_millis(100), "capped");
+        assert_eq!(b.delay(4), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn clean_cell_computes_then_caches() {
+        let fx = Fixture::new("clean", FaultPlan::none());
+        let (outcome, _) = run_cell(&fx.ctx());
+        assert!(matches!(outcome, CellOutcome::Computed { attempts: 1, .. }));
+        let (outcome, _) = run_cell(&fx.ctx());
+        assert!(matches!(outcome, CellOutcome::Cached(_)));
+    }
+
+    #[test]
+    fn deadline_turns_an_injected_stall_into_a_stalled_outcome() {
+        let fx = Fixture::new(
+            "stall",
+            FaultPlan::new(vec![Fault::Stall {
+                cell: 0,
+                by: Duration::from_millis(400),
+            }]),
+        );
+        let mut ctx = fx.ctx();
+        ctx.deadline = Some(Duration::from_millis(40));
+        let start = Instant::now();
+        let (outcome, _) = run_cell(&ctx);
+        assert!(
+            matches!(outcome, CellOutcome::Stalled { waited } if waited >= Duration::from_millis(40)),
+            "outcome: {outcome:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "the stalled attempt was abandoned, not awaited"
+        );
+    }
+
+    #[test]
+    fn deadline_leaves_fast_cells_untouched() {
+        let fx = Fixture::new("fast", FaultPlan::none());
+        let mut ctx = fx.ctx();
+        ctx.deadline = Some(Duration::from_secs(60));
+        let (outcome, _) = run_cell(&ctx);
+        let CellOutcome::Computed { result, .. } = outcome else {
+            panic!("expected computed, got {outcome:?}");
+        };
+        assert_eq!(
+            serde_json::to_string(&result).unwrap(),
+            serde_json::to_string(&fx.cell.run()).unwrap(),
+            "monitored attempt is byte-identical to an inline run"
+        );
+    }
+
+    #[test]
+    fn transient_store_errors_are_absorbed_by_backoff() {
+        let fx = Fixture::new(
+            "backoff",
+            FaultPlan::new(vec![Fault::StoreIoError { cell: 0, times: 2 }]),
+        );
+        let (outcome, _) = run_cell(&fx.ctx());
+        assert!(matches!(outcome, CellOutcome::Computed { .. }));
+        assert!(
+            fx.cache.contains(&fx.key),
+            "the third store attempt succeeded"
+        );
+        assert!(
+            matches!(fx.cache.probe(&fx.key), CacheProbe::Hit(_)),
+            "and published a valid entry"
+        );
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_and_recomputed() {
+        let fx = Fixture::new("quarantine", FaultPlan::none());
+        let (outcome, _) = run_cell(&fx.ctx());
+        let CellOutcome::Computed { result: honest, .. } = outcome else {
+            panic!("expected computed");
+        };
+        fx.cache
+            .corrupt_with(&fx.key, b"{\"key\": \"junk\"}")
+            .unwrap();
+
+        let (outcome, _) = run_cell(&fx.ctx());
+        let CellOutcome::Computed { result, .. } = outcome else {
+            panic!("a corrupt entry must be recomputed, never served");
+        };
+        assert_eq!(
+            serde_json::to_string(&result).unwrap(),
+            serde_json::to_string(&honest).unwrap()
+        );
+        assert!(
+            fx.cache
+                .quarantine_dir()
+                .join(format!("{}.json", fx.key.hex()))
+                .is_file(),
+            "evidence preserved in quarantine"
+        );
+    }
+
+    #[test]
+    fn injected_deterministic_panic_fails_fast() {
+        let fx = Fixture::new(
+            "panic",
+            FaultPlan::new(vec![Fault::Panic {
+                cell: 0,
+                attempts: u32::MAX,
+            }]),
+        );
+        let mut ctx = fx.ctx();
+        ctx.retry = RetryPolicy::attempts(5);
+        let (outcome, _) = run_cell(&ctx);
+        let CellOutcome::Failed(f) = outcome else {
+            panic!("expected failure");
+        };
+        assert_eq!(f.attempts, 2, "fail-fast after two identical payloads");
+        assert!(f.deterministic);
+        assert!(f.message.contains("injected panic"));
+    }
+
+    #[test]
+    fn injected_transient_panic_recovers_on_retry() {
+        let fx = Fixture::new(
+            "transient",
+            FaultPlan::new(vec![Fault::Panic {
+                cell: 0,
+                attempts: 1,
+            }]),
+        );
+        let (outcome, _) = run_cell(&fx.ctx());
+        assert!(matches!(outcome, CellOutcome::Computed { attempts: 2, .. }));
+    }
+}

@@ -5,16 +5,26 @@
 //! Telemetry goes to its own stream (a file, stderr, or nowhere) and never
 //! mixes with result bytes, so machine consumers of campaign output parse
 //! results without filtering progress noise — and the result bytes stay
-//! identical whether telemetry is on or off.
+//! identical whether telemetry is on or off. Writes are best-effort: a
+//! full disk or failing sink drops events, never the campaign.
+//!
+//! Crash recovery: a process killed mid-write can leave a *torn tail* — a
+//! partial final line with no terminating newline or with truncated JSON.
+//! [`replay`] parses a log while detecting and isolating such a tail
+//! (returning every complete event plus the number of bytes dropped), and
+//! [`Telemetry::append_file`] truncates the tail before appending, so a
+//! resumed campaign continues a valid JSONL stream instead of corrupting
+//! it further or failing to parse the whole log.
 
-use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::{Map, Serialize, Value};
 
+use crate::error::{CorruptKind, HarnessError};
 use crate::spec::CellSpec;
 
 /// Where a finished cell's result came from.
@@ -53,6 +63,72 @@ fn micros(d: Duration) -> Value {
     (d.as_micros() as u64).to_value()
 }
 
+/// Replays a JSONL telemetry log: every complete, parseable event in
+/// order, plus the byte length of a torn final line if the log ends
+/// mid-write. A torn tail is isolated, not fatal — only a torn line in the
+/// *middle* of the log (which a line-buffered writer cannot produce)
+/// reports an error.
+pub fn replay(path: &Path) -> Result<(Vec<Value>, Option<usize>), HarnessError> {
+    let text = std::fs::read(path).map_err(|source| HarnessError::TelemetryIo {
+        path: Some(path.to_path_buf()),
+        source,
+    })?;
+    let text = String::from_utf8_lossy(&text);
+    let mut events = Vec::new();
+    let mut tail = None;
+    for (number, line) in text.split_inclusive('\n').enumerate() {
+        let complete = line.ends_with('\n');
+        let body = line.trim_end_matches(['\n', '\r']);
+        if body.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Value>(body) {
+            Ok(event) if complete => events.push(event),
+            // A parseable body with no newline: the crash hit between the
+            // JSON bytes and the newline. Still a torn tail — the writer
+            // never considered the line committed.
+            Ok(_) => tail = Some(line.len()),
+            Err(_) if !complete => tail = Some(line.len()),
+            Err(_) => {
+                // Garbage in the middle of the log is real corruption, not
+                // a crash artifact.
+                return Err(HarnessError::TelemetryCorrupt {
+                    path: path.to_path_buf(),
+                    line: number + 1,
+                });
+            }
+        }
+    }
+    Ok((events, tail))
+}
+
+/// Truncates a torn final line off a telemetry log in place, returning the
+/// number of bytes removed (0 when the log was already clean). Missing
+/// files are fine (0).
+pub fn repair_torn_tail(path: &Path) -> Result<usize, HarnessError> {
+    let io_err = |source: io::Error| HarnessError::TelemetryIo {
+        path: Some(path.to_path_buf()),
+        source,
+    };
+    let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(io_err(e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(io_err)?;
+    let keep = match bytes.iter().rposition(|&b| b == b'\n') {
+        Some(last_newline) => last_newline + 1,
+        None => 0,
+    };
+    let torn = bytes.len() - keep;
+    if torn > 0 {
+        file.set_len(keep as u64).map_err(io_err)?;
+        file.seek(SeekFrom::End(0)).map_err(io_err)?;
+    }
+    Ok(torn)
+}
+
 impl Telemetry {
     /// Discards all events.
     pub fn disabled() -> Telemetry {
@@ -64,8 +140,14 @@ impl Telemetry {
 
     /// Appends events to standard error.
     pub fn stderr() -> Telemetry {
+        Telemetry::to_writer(Box::new(io::stderr()))
+    }
+
+    /// Writes events to an arbitrary sink (used by tests to inject failing
+    /// writers; write errors are absorbed, never propagated).
+    pub fn to_writer(sink: Box<dyn Write + Send>) -> Telemetry {
         Telemetry {
-            sink: Some(Mutex::new(Box::new(io::stderr()))),
+            sink: Some(Mutex::new(sink)),
             start: Instant::now(),
         }
     }
@@ -73,10 +155,16 @@ impl Telemetry {
     /// Writes events to a file (truncating any previous contents).
     pub fn to_file(path: &Path) -> io::Result<Telemetry> {
         let file = BufWriter::new(File::create(path)?);
-        Ok(Telemetry {
-            sink: Some(Mutex::new(Box::new(file))),
-            start: Instant::now(),
-        })
+        Ok(Telemetry::to_writer(Box::new(file)))
+    }
+
+    /// Appends events to a file, first truncating any torn final line a
+    /// crashed writer left, so a resumed campaign extends a valid JSONL
+    /// stream.
+    pub fn append_file(path: &Path) -> io::Result<Telemetry> {
+        let _ = repair_torn_tail(path);
+        let file = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+        Ok(Telemetry::to_writer(Box::new(file)))
     }
 
     fn emit(&self, event: &'static str, fields: Map) {
@@ -141,13 +229,50 @@ impl Telemetry {
         self.emit("cell_finished", f);
     }
 
-    /// A cell exhausted its retry budget.
-    pub fn cell_failed(&self, index: usize, attempts: u32, message: &str) {
+    /// A cell exhausted its retry budget (or failed fast on a
+    /// deterministic panic).
+    pub fn cell_failed(&self, index: usize, attempts: u32, message: &str, deterministic: bool) {
         let mut f = Map::new();
         f.insert("cell".to_string(), index.to_value());
         f.insert("attempts".to_string(), attempts.to_value());
         f.insert("message".to_string(), Value::String(message.to_string()));
+        f.insert("deterministic".to_string(), Value::Bool(deterministic));
         self.emit("cell_failed", f);
+    }
+
+    /// A corrupt cache entry was quarantined and will be recomputed.
+    pub fn cache_quarantined(&self, index: usize, key: &str, kind: CorruptKind) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("key".to_string(), Value::String(key.to_string()));
+        f.insert("kind".to_string(), Value::String(kind.tag().to_string()));
+        self.emit("cache_quarantined", f);
+    }
+
+    /// A transient IO failure is being retried with backoff.
+    pub fn io_retry(&self, index: usize, op: &str, attempt: u32, error: &str) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("op".to_string(), Value::String(op.to_string()));
+        f.insert("attempt".to_string(), attempt.to_value());
+        f.insert("error".to_string(), Value::String(error.to_string()));
+        self.emit("io_retry", f);
+    }
+
+    /// A cell blew its watchdog deadline and was abandoned.
+    pub fn cell_stalled(&self, index: usize, waited: Duration) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("waited_us".to_string(), micros(waited));
+        self.emit("cell_stalled", f);
+    }
+
+    /// The campaign was interrupted; cells not yet claimed were skipped.
+    pub fn campaign_interrupted(&self, done: usize, skipped: usize) {
+        let mut f = Map::new();
+        f.insert("done".to_string(), done.to_value());
+        f.insert("skipped".to_string(), skipped.to_value());
+        self.emit("campaign_interrupted", f);
     }
 
     /// Campaign summary: counts by outcome plus wall time.
@@ -166,6 +291,7 @@ mod tests {
     use super::*;
     use mcd_time::DvfsModel;
     use std::fs;
+    use std::path::PathBuf;
 
     fn sample_cell() -> CellSpec {
         CellSpec {
@@ -177,9 +303,13 @@ mod tests {
         }
     }
 
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mcd-telemetry-{tag}-{}.jsonl", std::process::id()))
+    }
+
     #[test]
     fn events_are_one_json_object_per_line() {
-        let path = std::env::temp_dir().join(format!("mcd-telemetry-{}.jsonl", std::process::id()));
+        let path = scratch("basic");
         let telemetry = Telemetry::to_file(&path).expect("create telemetry file");
         telemetry.campaign_started(4, 2);
         telemetry.cell_started(0, &sample_cell());
@@ -191,13 +321,17 @@ mod tests {
             Duration::from_millis(3),
         );
         telemetry.cell_finished(1, CellSource::Cached, Duration::from_micros(80));
-        telemetry.cell_failed(2, 2, "still broken");
+        telemetry.cell_failed(2, 2, "still broken", true);
+        telemetry.cache_quarantined(3, "ab12", CorruptKind::DigestMismatch);
+        telemetry.io_retry(3, "store", 1, "injected");
+        telemetry.cell_stalled(3, Duration::from_millis(100));
+        telemetry.campaign_interrupted(3, 1);
         telemetry.campaign_finished(1, 1, 1, Duration::from_millis(5));
         drop(telemetry);
 
         let text = fs::read_to_string(&path).expect("read telemetry back");
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 8);
+        assert_eq!(lines.len(), 12);
         for line in &lines {
             let v: Value = serde_json::from_str(line).expect("each line is valid JSON");
             assert!(v.get("event").is_some(), "line missing event tag: {line}");
@@ -209,6 +343,11 @@ mod tests {
             finished.get("source").and_then(Value::as_str),
             Some("computed")
         );
+        let quarantined: Value = serde_json::from_str(lines[7]).unwrap();
+        assert_eq!(
+            quarantined.get("kind").and_then(Value::as_str),
+            Some("digest-mismatch")
+        );
         let _ = fs::remove_file(&path);
     }
 
@@ -217,5 +356,81 @@ mod tests {
         let telemetry = Telemetry::disabled();
         telemetry.campaign_started(1, 1);
         telemetry.campaign_finished(1, 0, 0, Duration::ZERO);
+    }
+
+    #[test]
+    fn failing_sink_never_fails_the_campaign() {
+        let telemetry = Telemetry::to_writer(Box::new(crate::chaos::FailingWriter::after(1)));
+        telemetry.campaign_started(2, 1);
+        telemetry.cell_started(0, &sample_cell());
+        telemetry.campaign_finished(2, 0, 0, Duration::ZERO);
+    }
+
+    #[test]
+    fn replay_isolates_a_byte_truncated_tail() {
+        let path = scratch("torn");
+        let telemetry = Telemetry::to_file(&path).expect("create telemetry file");
+        telemetry.campaign_started(2, 1);
+        telemetry.cell_started(0, &sample_cell());
+        telemetry.cell_finished(0, CellSource::Cached, Duration::from_micros(10));
+        drop(telemetry);
+
+        // Byte-truncate the fixture mid-final-line, as a crash would.
+        let full = fs::read(&path).unwrap();
+        let torn = &full[..full.len() - 17];
+        assert!(!torn.ends_with(b"\n"));
+        fs::write(&path, torn).unwrap();
+
+        let (events, tail) = replay(&path).expect("torn tail is not fatal");
+        assert_eq!(events.len(), 2, "complete lines all parse");
+        let dropped = tail.expect("tail detected");
+        assert!(dropped > 0);
+
+        // Repair truncates exactly the torn bytes, leaving valid JSONL.
+        assert_eq!(repair_torn_tail(&path).unwrap(), dropped);
+        let (events, tail) = replay(&path).expect("repaired log parses");
+        assert_eq!(events.len(), 2);
+        assert!(tail.is_none());
+        assert_eq!(repair_torn_tail(&path).unwrap(), 0, "repair is idempotent");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_after_crash_continues_a_valid_stream() {
+        let path = scratch("append");
+        let telemetry = Telemetry::to_file(&path).expect("create telemetry file");
+        telemetry.campaign_started(2, 1);
+        telemetry.cell_finished(0, CellSource::Cached, Duration::from_micros(10));
+        drop(telemetry);
+
+        // Crash leaves a torn tail...
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 9]).unwrap();
+
+        // ...append_file repairs it, then extends the stream.
+        let resumed = Telemetry::append_file(&path).expect("append");
+        resumed.cell_finished(1, CellSource::Cached, Duration::from_micros(11));
+        resumed.campaign_finished(0, 2, 0, Duration::from_millis(1));
+        drop(resumed);
+
+        let (events, tail) = replay(&path).expect("stream is valid");
+        assert!(tail.is_none());
+        assert_eq!(events.len(), 3, "one pre-crash survivor + two appended");
+        assert_eq!(
+            events[2].get("event").and_then(Value::as_str),
+            Some("campaign_finished")
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_of_a_missing_file_is_an_io_error() {
+        let path = scratch("missing");
+        let _ = fs::remove_file(&path);
+        assert!(matches!(
+            replay(&path),
+            Err(HarnessError::TelemetryIo { .. })
+        ));
+        assert_eq!(repair_torn_tail(&path).unwrap(), 0, "nothing to repair");
     }
 }

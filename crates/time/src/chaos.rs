@@ -1,0 +1,249 @@
+//! Simulator-level fault injection (feature `chaos`).
+//!
+//! The harness-level [`FaultPlan`](../../mcd_harness) breaks the machinery
+//! *around* the simulator; this module perturbs the physical models *inside*
+//! it, producing clocking conditions the paper's design margins are supposed
+//! to absorb — and then some. Three perturbations, matching the paper's three
+//! timing envelopes:
+//!
+//! * **Jitter outliers** ([`breaching_jitter`]): a [`JitterModel`] whose
+//!   standard deviation is sized against the §2.2 synchronization window
+//!   `T_s`, so individual cycle samples routinely exceed the window instead
+//!   of staying safely inside it.
+//! * **PLL re-lock overruns** ([`overrun_pll`]): a [`PllModel`] stretched
+//!   beyond the paper's 10–20 µs clamp, so re-lock idle windows overrun what
+//!   the Transmeta transition engine budgets for.
+//! * **Voltage-step skips** ([`skipping_grid`]): a [`FrequencyGrid`] with
+//!   only every k-th operating point available, modeling a regulator that
+//!   skips voltage steps — quantization then over-shoots the off-line tool's
+//!   targets.
+//!
+//! Every perturbation is a pure function of its inputs, and sampling draws
+//! from the caller's [`SimRng`], so a chaos experiment is exactly as
+//! reproducible as a clean one: same seed, same breach, every run. The
+//! module is feature-gated (`--features chaos`) so release simulations can
+//! never reach a perturbed model by accident.
+
+use crate::femtos::Femtos;
+use crate::jitter::JitterModel;
+use crate::pll::PllModel;
+use crate::rng::SimRng;
+use crate::sync::SyncParams;
+use crate::vf::FrequencyGrid;
+
+/// A jitter model whose combined σ *equals* the synchronization window for
+/// an interface between clocks with the given periods.
+///
+/// With σ = `T_s`, roughly a third of cycle samples land outside the window
+/// (|N(0, σ)| > σ with probability ≈ 0.317), versus essentially none for the
+/// paper's 110 ps model against a 300 ps window. The external/internal split
+/// keeps the paper's 10:1 ratio.
+///
+/// # Panics
+///
+/// Panics if the window is zero (e.g. [`SyncParams::free`]) — a zero-σ model
+/// cannot breach anything and the experiment would silently test nothing.
+pub fn breaching_jitter(
+    params: &SyncParams,
+    src_period: Femtos,
+    dst_period: Femtos,
+) -> JitterModel {
+    let window = params.window(src_period, dst_period).as_femtos() as f64;
+    assert!(
+        window > 0.0,
+        "breaching_jitter needs a non-zero sync window (free sync cannot be breached)"
+    );
+    JitterModel::new(window * 10.0 / 11.0, window * 1.0 / 11.0)
+}
+
+/// Counts how many of `n` jitter samples exceed the window `T_s` for the
+/// given interface, drawing from `rng`.
+///
+/// A chaos test asserts this is large for a [`breaching_jitter`] model and
+/// zero (or nearly so) for the paper model — quantifying the breach rather
+/// than just asserting a distribution parameter.
+pub fn count_window_breaches(
+    jitter: &JitterModel,
+    params: &SyncParams,
+    src_period: Femtos,
+    dst_period: Femtos,
+    n: usize,
+    rng: &mut SimRng,
+) -> usize {
+    let window = params.window(src_period, dst_period).as_femtos() as f64;
+    (0..n).filter(|_| jitter.sample(rng).abs() > window).count()
+}
+
+/// A PLL model whose re-lock times overrun the paper's clamp.
+///
+/// The mean and max are stretched by `factor` (> 1) while the min is kept,
+/// so every property the clean model guarantees — samples within 10–20 µs,
+/// mean near 15 µs — fails measurably, and the Transmeta engine's idle
+/// windows grow past what the paper's §3.1 model budgets.
+///
+/// # Panics
+///
+/// Panics if `factor` is not finite and > 1 (a factor of 1 is the clean
+/// model, and shrinking is not an overrun).
+pub fn overrun_pll(base: &PllModel, factor: f64) -> PllModel {
+    assert!(
+        factor.is_finite() && factor > 1.0,
+        "overrun factor must exceed 1: {factor}"
+    );
+    let stretch = |t: Femtos| Femtos::from_femtos((t.as_femtos() as f64 * factor).round() as u64);
+    PllModel::new(stretch(base.mean()), base.min(), stretch(base.max()))
+}
+
+/// A frequency grid offering only every `stride`-th operating point of
+/// `base` (always keeping the top point, so full speed stays reachable),
+/// modeling a voltage regulator that skips steps.
+///
+/// Quantizing a target frequency up on the skipping grid over-shoots by up
+/// to `stride` clean steps, so the dilation bound still holds but energy
+/// savings degrade — the voltage-step-skip failure mode.
+///
+/// # Panics
+///
+/// Panics if `stride < 2` (stride 1 is the clean grid) or the skipped grid
+/// would have fewer than two points.
+pub fn skipping_grid(base: &FrequencyGrid, stride: usize) -> FrequencyGrid {
+    assert!(
+        stride >= 2,
+        "a skip stride below 2 changes nothing: {stride}"
+    );
+    let kept = base.len().div_ceil(stride);
+    assert!(
+        kept >= 2,
+        "stride {stride} leaves fewer than two of {} points",
+        base.len()
+    );
+    FrequencyGrid::new(*base.table(), kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::Frequency;
+    use crate::vf::VfTable;
+
+    fn one_ghz() -> Femtos {
+        Femtos::from_nanos(1)
+    }
+
+    #[test]
+    fn breaching_jitter_sigma_equals_the_window() {
+        let params = SyncParams::paper();
+        let j = breaching_jitter(&params, one_ghz(), one_ghz());
+        let window = params.window(one_ghz(), one_ghz()).as_femtos() as f64;
+        assert!((j.std_dev_femtos() - window).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breaching_jitter_breaches_where_the_paper_model_does_not() {
+        let params = SyncParams::paper();
+        let n = 10_000;
+
+        let mut rng = SimRng::seed_from_u64(11);
+        let paper = count_window_breaches(
+            &JitterModel::paper(),
+            &params,
+            one_ghz(),
+            one_ghz(),
+            n,
+            &mut rng,
+        );
+        // 300 ps window vs 110 ps sigma: a breach needs a > 2.7 sigma draw.
+        assert!(paper < n / 100, "paper model breached {paper}/{n} windows");
+
+        let mut rng = SimRng::seed_from_u64(11);
+        let chaos = count_window_breaches(
+            &breaching_jitter(&params, one_ghz(), one_ghz()),
+            &params,
+            one_ghz(),
+            one_ghz(),
+            n,
+            &mut rng,
+        );
+        // |N(0, sigma)| > sigma with probability ~0.317.
+        assert!(
+            chaos > n / 4,
+            "chaos model breached only {chaos}/{n} windows"
+        );
+    }
+
+    #[test]
+    fn breaches_are_a_pure_function_of_the_seed() {
+        let params = SyncParams::paper();
+        let j = breaching_jitter(&params, one_ghz(), one_ghz());
+        let count = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            count_window_breaches(&j, &params, one_ghz(), one_ghz(), 2_000, &mut rng)
+        };
+        assert_eq!(count(42), count(42), "same seed, same breaches");
+        assert_ne!(count(42), count(43), "different seed, different breaches");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero sync window")]
+    fn free_sync_cannot_be_breached() {
+        let _ = breaching_jitter(&SyncParams::free(), one_ghz(), one_ghz());
+    }
+
+    #[test]
+    fn overrun_pll_exceeds_the_paper_clamp() {
+        let clean = PllModel::paper();
+        let chaos = overrun_pll(&clean, 2.0);
+        assert_eq!(chaos.mean(), Femtos::from_micros(30));
+        assert_eq!(chaos.min(), clean.min(), "min is kept");
+        assert_eq!(chaos.max(), Femtos::from_micros(40));
+
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut over = 0;
+        for _ in 0..2_000 {
+            let t = chaos.sample_lock_time(&mut rng);
+            assert!(t >= chaos.min() && t <= chaos.max());
+            if t > clean.max() {
+                over += 1;
+            }
+        }
+        assert!(over > 1_500, "only {over}/2000 samples overran 20 us");
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun factor must exceed 1")]
+    fn shrinking_is_not_an_overrun() {
+        let _ = overrun_pll(&PllModel::paper(), 0.5);
+    }
+
+    #[test]
+    fn skipping_grid_keeps_endpoints_and_overshoots_targets() {
+        let clean = FrequencyGrid::paper320();
+        let skip = skipping_grid(&clean, 10);
+        assert_eq!(skip.len(), 32);
+        assert_eq!(skip.point(0).frequency, clean.point(0).frequency);
+        assert_eq!(
+            skip.point(skip.len() - 1).frequency,
+            clean.point(clean.len() - 1).frequency
+        );
+
+        // Quantizing up on the coarse grid never lands below the fine grid,
+        // and overshoots somewhere strictly.
+        let mut strictly_above = 0;
+        for hz in [413_000_000_u64, 619_000_000, 777_000_000, 901_000_000] {
+            let f = Frequency::from_hz(hz);
+            let fine = clean.quantize_up(f).frequency;
+            let coarse = skip.quantize_up(f).frequency;
+            assert!(coarse >= fine, "coarse quantization must still round up");
+            if coarse > fine {
+                strictly_above += 1;
+            }
+        }
+        assert!(strictly_above > 0, "stride 10 must overshoot some target");
+    }
+
+    #[test]
+    #[should_panic(expected = "skip stride below 2")]
+    fn unit_stride_is_rejected() {
+        let _ = skipping_grid(&FrequencyGrid::new(VfTable::paper(), 8), 1);
+    }
+}

@@ -28,6 +28,8 @@
 //! assert!((table.voltage_for(Frequency::GHZ).as_volts() - 1.2).abs() < 1e-9);
 //! ```
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod clock;
 pub mod dvfs;
 pub mod femtos;

@@ -7,14 +7,21 @@
 //! mcd-cli experiment <benchmark> [--instructions N] [--seed S] [--json]
 //! mcd-cli campaign   run|status [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N]
 //!                    [--models xscale,transmeta] [--workers W] [--cache-dir DIR]
-//!                    [--telemetry FILE|-] [--json]
+//!                    [--telemetry FILE|-] [--checkpoint FILE] [--deadline SECS] [--json]
+//! mcd-cli campaign   resume --checkpoint FILE [--workers W] [--cache-dir DIR]
+//!                    [--telemetry FILE|-] [--deadline SECS] [--json]
 //! mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] [--instructions N]
 //!                    [--model xscale|transmeta]
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
 use mcd::core::{run_benchmark, ExperimentConfig};
 use mcd::harness::{
-    parse_model, BenchSnapshot, Campaign, CampaignSpec, CellOutcome, ResultCache, Telemetry,
+    parse_model, BenchSnapshot, Campaign, CampaignReport, CampaignSpec, CellOutcome, ResultCache,
+    Telemetry,
 };
 use mcd::offline::{derive_schedule, OfflineConfig};
 use mcd::pipeline::{simulate, DomainId, MachineConfig};
@@ -30,8 +37,10 @@ fn usage() -> ! {
          [--instructions N] [--seed S] [--json]\n  mcd-cli campaign run|status \
          [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N] \
          [--models xscale,transmeta] [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
-         [--json]\n  mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] \
-         [--instructions N] [--model xscale|transmeta]"
+         [--checkpoint FILE] [--deadline SECS] [--json]\n  mcd-cli campaign resume \
+         --checkpoint FILE [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
+         [--deadline SECS] [--json]\n  mcd-cli bench snapshot [--out FILE] \
+         [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta]"
     );
     std::process::exit(2)
 }
@@ -191,6 +200,8 @@ struct CampaignOpts {
     workers: usize,
     cache_dir: String,
     telemetry: Option<String>,
+    checkpoint: Option<String>,
+    deadline: Option<Duration>,
     json: bool,
 }
 
@@ -200,6 +211,8 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
         workers: 0,
         cache_dir: "target/mcd-campaign-cache".into(),
         telemetry: None,
+        checkpoint: None,
+        deadline: None,
         json: false,
     };
     let mut it = args.iter();
@@ -242,6 +255,14 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
             "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--cache-dir" => opts.cache_dir = value("--cache-dir"),
             "--telemetry" => opts.telemetry = Some(value("--telemetry")),
+            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")),
+            "--deadline" => {
+                let secs: f64 = value("--deadline").parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs <= 0.0 {
+                    usage()
+                }
+                opts.deadline = Some(Duration::from_secs_f64(secs))
+            }
             "--json" => opts.json = true,
             _ => usage(),
         }
@@ -249,66 +270,156 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
     opts
 }
 
+/// The campaign interrupt flag shared with the SIGINT handler. The handler
+/// only performs an atomic load of the `OnceLock` and an atomic store on
+/// the flag — both async-signal-safe (no allocation, no locking).
+static SIGINT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(flag) = SIGINT_FLAG.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Installs a SIGINT handler that raises the campaign interrupt flag, so
+/// Ctrl-C drains in-flight cells and leaves a resumable checkpoint instead
+/// of killing the process mid-write.
+fn install_sigint() -> Arc<AtomicBool> {
+    let flag = SIGINT_FLAG
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    // Raw libc `signal` so the build needs no external crates. On error
+    // (SIG_ERR) the flag simply never fires and Ctrl-C keeps its default
+    // kill behavior — strictly no worse than before.
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        signal(SIGINT, on_sigint);
+    }
+    flag
+}
+
+/// Prints the per-cell table and summary line for a finished campaign and
+/// returns the process exit code.
+fn report_campaign(report: &CampaignReport, opts: &CampaignOpts) -> i32 {
+    if opts.json {
+        match report.to_json() {
+            Some(json) => println!("{json}"),
+            None => {
+                eprintln!("campaign has unfinished cells; no result document");
+            }
+        }
+    } else {
+        println!("{:<28} {:>9}  outcome", "cell", "elapsed");
+        for record in &report.cells {
+            let outcome = match &record.outcome {
+                CellOutcome::Cached(_) => "cached".to_string(),
+                CellOutcome::Computed { attempts: 1, .. } => "computed".to_string(),
+                CellOutcome::Computed { attempts, .. } => {
+                    format!("computed (attempt {attempts})")
+                }
+                CellOutcome::Failed(f) => format!("FAILED: {f}"),
+                CellOutcome::Stalled { waited } => {
+                    format!("STALLED after {:.1}s (abandoned)", waited.as_secs_f64())
+                }
+                CellOutcome::Skipped => "skipped (interrupted)".to_string(),
+            };
+            println!(
+                "{:<28} {:>8.2}s  {}",
+                record.cell.label(),
+                record.elapsed.as_secs_f64(),
+                outcome
+            );
+        }
+    }
+    eprintln!(
+        "campaign: {} computed, {} cached, {} failed, {} stalled, {} skipped in {:.1}s",
+        report.computed(),
+        report.cached(),
+        report.failed(),
+        report.stalled(),
+        report.skipped(),
+        report.wall.as_secs_f64()
+    );
+    if report.interrupted {
+        match &opts.checkpoint {
+            Some(path) => eprintln!(
+                "campaign interrupted; resume with: mcd-cli campaign resume --checkpoint {path}"
+            ),
+            None => eprintln!(
+                "campaign interrupted (no checkpoint; rerun recomputes only uncached cells)"
+            ),
+        }
+        return 130;
+    }
+    if report.failed() > 0 || report.stalled() > 0 {
+        return 1;
+    }
+    0
+}
+
 fn cmd_campaign(args: &[String]) {
     let Some(verb) = args.first() else { usage() };
-    let opts = parse_campaign_opts(&args[1..]);
+    let mut opts = parse_campaign_opts(&args[1..]);
     let cache = ResultCache::open(&opts.cache_dir).unwrap_or_else(|e| {
         eprintln!("cannot open cache dir {}: {e}", opts.cache_dir);
         std::process::exit(1)
     });
-    let campaign = Campaign::new(opts.spec.clone()).workers(opts.workers);
     match verb.as_str() {
-        "run" => {
+        "run" | "resume" => {
+            let mut campaign = if verb == "resume" {
+                // Resume rebuilds the whole campaign from the manifest: the
+                // spec is embedded, sweep flags are ignored.
+                let Some(path) = opts.checkpoint.clone() else {
+                    eprintln!("campaign resume requires --checkpoint FILE");
+                    usage()
+                };
+                let campaign = Campaign::from_checkpoint(path.as_ref()).unwrap_or_else(|e| {
+                    eprintln!("cannot resume from {path}: {e}");
+                    std::process::exit(2)
+                });
+                opts.spec = campaign.spec().clone();
+                campaign
+            } else {
+                let mut campaign = Campaign::new(opts.spec.clone());
+                if let Some(path) = &opts.checkpoint {
+                    campaign = campaign.checkpoint(path);
+                }
+                campaign
+            };
+            campaign = campaign.workers(opts.workers);
+            if let Some(deadline) = opts.deadline {
+                campaign = campaign.deadline(deadline);
+            }
+            campaign = campaign.interrupt(install_sigint());
             let telemetry = match opts.telemetry.as_deref() {
                 None => Telemetry::disabled(),
                 Some("-") => Telemetry::stderr(),
+                // Resume appends (after repairing any torn tail) so one
+                // log narrates the whole campaign across interruptions.
+                Some(path) if verb == "resume" => Telemetry::append_file(path.as_ref())
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open telemetry file {path}: {e}");
+                        std::process::exit(1)
+                    }),
                 Some(path) => Telemetry::to_file(path.as_ref()).unwrap_or_else(|e| {
                     eprintln!("cannot open telemetry file {path}: {e}");
                     std::process::exit(1)
                 }),
             };
             let report = campaign.run(&cache, &telemetry).unwrap_or_else(|e| {
-                eprintln!("invalid campaign: {e}");
+                eprintln!("campaign failed: {e}");
                 std::process::exit(2)
             });
-            if opts.json {
-                match report.to_json() {
-                    Some(json) => println!("{json}"),
-                    None => {
-                        eprintln!("campaign had failed cells; no result document");
-                    }
-                }
-            } else {
-                println!("{:<28} {:>9}  outcome", "cell", "elapsed");
-                for record in &report.cells {
-                    let outcome = match &record.outcome {
-                        CellOutcome::Cached(_) => "cached".to_string(),
-                        CellOutcome::Computed { attempts: 1, .. } => "computed".to_string(),
-                        CellOutcome::Computed { attempts, .. } => {
-                            format!("computed (attempt {attempts})")
-                        }
-                        CellOutcome::Failed(f) => format!("FAILED: {f}"),
-                    };
-                    println!(
-                        "{:<28} {:>8.2}s  {}",
-                        record.cell.label(),
-                        record.elapsed.as_secs_f64(),
-                        outcome
-                    );
-                }
-            }
-            eprintln!(
-                "campaign: {} computed, {} cached, {} failed in {:.1}s",
-                report.computed(),
-                report.cached(),
-                report.failed(),
-                report.wall.as_secs_f64()
-            );
-            if report.failed() > 0 {
-                std::process::exit(1);
+            let code = report_campaign(&report, &opts);
+            if code != 0 {
+                std::process::exit(code);
             }
         }
         "status" => {
+            let campaign = Campaign::new(opts.spec.clone());
             let rows = campaign.status(&cache).unwrap_or_else(|e| {
                 eprintln!("invalid campaign: {e}");
                 std::process::exit(2)
