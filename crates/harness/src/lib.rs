@@ -38,6 +38,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod pool;
 pub mod retry;
+pub mod rollup;
 pub mod snapshot;
 pub mod spec;
 pub mod supervisor;
@@ -55,6 +56,7 @@ pub use chaos::{Fault, FaultPlan};
 pub use checkpoint::{spec_digest, CheckpointManifest, CHECKPOINT_SCHEMA};
 pub use error::{CacheOp, CorruptKind, HarnessError};
 pub use retry::{CellFailure, RetryPolicy};
+pub use rollup::{CampaignRollup, StallCauseCount, ROLLUP_FILE, ROLLUP_SCHEMA};
 pub use snapshot::{BenchSnapshot, CellTiming, SNAPSHOT_SCHEMA};
 pub use spec::{parse_model, CampaignSpec, CellSpec, SpecError};
 pub use supervisor::BackoffPolicy;
@@ -372,6 +374,10 @@ impl Campaign {
             wall: start.elapsed(),
             interrupted,
         };
+        // Persist the aggregate view next to the result cache for
+        // `mcd-cli campaign report`. Best-effort: losing the summary must
+        // not fail a campaign whose results are already safe.
+        let _ = rollup::CampaignRollup::from_report(&report).save(&cache.dir().join(ROLLUP_FILE));
         if interrupted {
             telemetry.campaign_interrupted(report.cached() + report.computed(), report.skipped());
         }

@@ -1,0 +1,329 @@
+//! Campaign-level rollups: per-cell spans aggregated into one summary.
+//!
+//! A finished [`CampaignReport`](crate::CampaignReport) carries a wall-time
+//! span for every cell; this module folds them into a [`CampaignRollup`] —
+//! outcome counts, cache hit ratio, p50/p95/max cell latency, and a
+//! breakdown of why any cells did not finish — that is persisted next to
+//! the result cache (see [`ROLLUP_FILE`]) so `mcd-cli campaign report` can
+//! print the last run's summary without re-running anything.
+//!
+//! The rollup is derived data: deleting it loses nothing but the summary.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CampaignReport, CellOutcome};
+
+/// Schema tag embedded in every rollup document.
+pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/1";
+
+/// File name the rollup is persisted under, inside the cache directory.
+pub const ROLLUP_FILE: &str = "campaign-rollup.json";
+
+/// One reason cells did not produce a result, with its cell count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StallCauseCount {
+    /// Cause label: `"panic-deterministic"`, `"panic-transient"`,
+    /// `"watchdog-stall"` or `"interrupted-skip"`.
+    pub cause: String,
+    /// Number of cells lost to this cause.
+    pub cells: u64,
+}
+
+/// Aggregated view of one finished campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRollup {
+    /// Always [`ROLLUP_SCHEMA`].
+    pub schema: String,
+    /// Total cells the spec expanded to.
+    pub cells: u64,
+    /// Cells computed this run.
+    pub computed: u64,
+    /// Cells served from the result cache.
+    pub cached: u64,
+    /// Cells that failed every attempt.
+    pub failed: u64,
+    /// Cells abandoned past the watchdog deadline.
+    pub stalled: u64,
+    /// Cells never claimed (interrupted campaign).
+    pub skipped: u64,
+    /// `cached / (cached + computed)`; 0 when nothing finished.
+    pub cache_hit_ratio: f64,
+    /// Total campaign wall time in seconds.
+    pub wall_seconds: f64,
+    /// Median per-cell wall time (nearest-rank, finished cells only).
+    pub cell_seconds_p50: f64,
+    /// 95th-percentile per-cell wall time (nearest-rank).
+    pub cell_seconds_p95: f64,
+    /// Slowest cell's wall time.
+    pub cell_seconds_max: f64,
+    /// Why cells did not finish, per cause (empty on a clean campaign).
+    pub stall_causes: Vec<StallCauseCount>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl CampaignRollup {
+    /// Folds a finished campaign's per-cell records into a rollup.
+    pub fn from_report(report: &CampaignReport) -> CampaignRollup {
+        let mut spans: Vec<f64> = report
+            .cells
+            .iter()
+            .filter(|c| c.outcome.result().is_some())
+            .map(|c| c.elapsed.as_secs_f64())
+            .collect();
+        spans.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+
+        let mut causes: Vec<StallCauseCount> = Vec::new();
+        let mut bump = |cause: &str| {
+            match causes.iter_mut().find(|c| c.cause == cause) {
+                Some(c) => c.cells += 1,
+                None => causes.push(StallCauseCount {
+                    cause: cause.to_string(),
+                    cells: 1,
+                }),
+            };
+        };
+        for cell in &report.cells {
+            match &cell.outcome {
+                CellOutcome::Cached(_) | CellOutcome::Computed { .. } => {}
+                CellOutcome::Failed(f) if f.deterministic => bump("panic-deterministic"),
+                CellOutcome::Failed(_) => bump("panic-transient"),
+                CellOutcome::Stalled { .. } => bump("watchdog-stall"),
+                CellOutcome::Skipped => bump("interrupted-skip"),
+            }
+        }
+        causes.sort_by(|a, b| a.cause.cmp(&b.cause));
+
+        let cached = report.cached() as u64;
+        let computed = report.computed() as u64;
+        let finished = cached + computed;
+        CampaignRollup {
+            schema: ROLLUP_SCHEMA.to_string(),
+            cells: report.cells.len() as u64,
+            computed,
+            cached,
+            failed: report.failed() as u64,
+            stalled: report.stalled() as u64,
+            skipped: report.skipped() as u64,
+            cache_hit_ratio: if finished > 0 {
+                cached as f64 / finished as f64
+            } else {
+                0.0
+            },
+            wall_seconds: report.wall.as_secs_f64(),
+            cell_seconds_p50: percentile(&spans, 0.50),
+            cell_seconds_p95: percentile(&spans, 0.95),
+            cell_seconds_max: spans.last().copied().unwrap_or(0.0),
+            stall_causes: causes,
+        }
+    }
+
+    /// Writes the rollup as pretty JSON at `path` (atomic: temp + rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("JSON writing is infallible");
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads a rollup previously written by [`CampaignRollup::save`].
+    pub fn load(path: &Path) -> io::Result<CampaignRollup> {
+        let json = fs::read_to_string(path)?;
+        let rollup: CampaignRollup = serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if rollup.schema != ROLLUP_SCHEMA {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown rollup schema {:?}", rollup.schema),
+            ));
+        }
+        Ok(rollup)
+    }
+
+    /// Renders the rollup as the aligned table `mcd-cli campaign report`
+    /// prints.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let row = |out: &mut String, k: &str, v: String| {
+            out.push_str(&format!("{k:<22} {v}\n"));
+        };
+        row(&mut out, "cells", self.cells.to_string());
+        row(
+            &mut out,
+            "finished",
+            format!(
+                "{} ({} computed, {} cached)",
+                self.computed + self.cached,
+                self.computed,
+                self.cached
+            ),
+        );
+        row(
+            &mut out,
+            "cache hit ratio",
+            format!("{:.1}%", self.cache_hit_ratio * 100.0),
+        );
+        row(&mut out, "wall", format!("{:.3} s", self.wall_seconds));
+        row(
+            &mut out,
+            "cell latency p50",
+            format!("{:.3} s", self.cell_seconds_p50),
+        );
+        row(
+            &mut out,
+            "cell latency p95",
+            format!("{:.3} s", self.cell_seconds_p95),
+        );
+        row(
+            &mut out,
+            "cell latency max",
+            format!("{:.3} s", self.cell_seconds_max),
+        );
+        if self.stall_causes.is_empty() {
+            row(&mut out, "unfinished cells", "none".to_string());
+        } else {
+            for c in &self.stall_causes {
+                row(&mut out, &format!("lost: {}", c.cause), c.cells.to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::CellFailure;
+    use crate::{CacheKey, CellReport, CellSpec};
+    use mcd_time::DvfsModel;
+    use std::time::Duration;
+
+    fn cell(i: u64) -> CellSpec {
+        CellSpec {
+            benchmark: "adpcm".into(),
+            seed: i,
+            instructions: 1_000,
+            model: DvfsModel::XScale,
+            thetas: [0.01, 0.05],
+        }
+    }
+
+    fn report_with(outcomes: Vec<(CellOutcome, u64)>) -> CampaignReport {
+        let cells = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (outcome, millis))| CellReport {
+                cell: cell(i as u64),
+                key: CacheKey::of(&cell(i as u64)),
+                outcome,
+                elapsed: Duration::from_millis(millis),
+            })
+            .collect();
+        CampaignReport {
+            cells,
+            wall: Duration::from_millis(500),
+            interrupted: false,
+        }
+    }
+
+    fn computed() -> CellOutcome {
+        CellOutcome::Computed {
+            result: cell(0).run(),
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn rollup_aggregates_latency_and_hit_ratio() {
+        let cached = CellOutcome::Cached(cell(0).run());
+        let r = report_with(vec![
+            (computed(), 100),
+            (computed(), 300),
+            (cached.clone(), 10),
+            (cached, 20),
+        ]);
+        let roll = CampaignRollup::from_report(&r);
+        assert_eq!(roll.cells, 4);
+        assert_eq!(roll.computed, 2);
+        assert_eq!(roll.cached, 2);
+        assert!((roll.cache_hit_ratio - 0.5).abs() < 1e-12);
+        // Sorted spans: 10, 20, 100, 300 ms. Nearest-rank p50 = 2nd = 20 ms.
+        assert!((roll.cell_seconds_p50 - 0.020).abs() < 1e-9);
+        assert!((roll.cell_seconds_p95 - 0.300).abs() < 1e-9);
+        assert!((roll.cell_seconds_max - 0.300).abs() < 1e-9);
+        assert!(roll.stall_causes.is_empty());
+    }
+
+    #[test]
+    fn rollup_breaks_down_unfinished_cells_by_cause() {
+        let r = report_with(vec![
+            (computed(), 50),
+            (
+                CellOutcome::Failed(CellFailure {
+                    attempts: 2,
+                    message: "boom".into(),
+                    deterministic: true,
+                }),
+                5,
+            ),
+            (
+                CellOutcome::Stalled {
+                    waited: Duration::from_secs(1),
+                },
+                1_000,
+            ),
+            (CellOutcome::Skipped, 0),
+            (CellOutcome::Skipped, 0),
+        ]);
+        let roll = CampaignRollup::from_report(&r);
+        assert_eq!(roll.failed, 1);
+        assert_eq!(roll.stalled, 1);
+        assert_eq!(roll.skipped, 2);
+        let by_cause: Vec<(&str, u64)> = roll
+            .stall_causes
+            .iter()
+            .map(|c| (c.cause.as_str(), c.cells))
+            .collect();
+        assert_eq!(
+            by_cause,
+            vec![
+                ("interrupted-skip", 2),
+                ("panic-deterministic", 1),
+                ("watchdog-stall", 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn rollup_round_trips_through_disk() {
+        let r = report_with(vec![(computed(), 100)]);
+        let roll = CampaignRollup::from_report(&r);
+        let dir = std::env::temp_dir().join(format!("mcd-rollup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(ROLLUP_FILE);
+        roll.save(&path).expect("save");
+        let back = CampaignRollup::load(&path).expect("load");
+        assert_eq!(back, roll);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_report_rolls_up_to_zeros() {
+        let roll = CampaignRollup::from_report(&report_with(vec![]));
+        assert_eq!(roll.cells, 0);
+        assert_eq!(roll.cache_hit_ratio, 0.0);
+        assert_eq!(roll.cell_seconds_p50, 0.0);
+        assert!(roll.table().contains("none"));
+    }
+}

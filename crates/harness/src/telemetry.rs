@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use serde::{Map, Serialize, Value};
+use serde::{Map, Number, Serialize, Value};
 
 use crate::error::{CorruptKind, HarnessError};
 use crate::spec::CellSpec;
@@ -58,9 +58,11 @@ pub struct Telemetry {
     start: Instant,
 }
 
-/// Microseconds as a JSON number (u64 — a campaign outlives u32, not u64).
+/// Microseconds as a JSON number, with fractional (nanosecond) precision:
+/// cached cells finish in well under a microsecond, and truncating to whole
+/// micros reported their `cell_finished` spans as `elapsed=0`.
 fn micros(d: Duration) -> Value {
-    (d.as_micros() as u64).to_value()
+    Value::Number(Number::F64(d.as_nanos() as f64 / 1_000.0))
 }
 
 /// Replays a JSONL telemetry log: every complete, parseable event in
@@ -347,6 +349,27 @@ mod tests {
         assert_eq!(
             quarantined.get("kind").and_then(Value::as_str),
             Some("digest-mismatch")
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sub_microsecond_spans_are_not_truncated_to_zero() {
+        let path = scratch("submicro");
+        let telemetry = Telemetry::to_file(&path).expect("create telemetry file");
+        telemetry.cell_finished(0, CellSource::Cached, Duration::from_nanos(250));
+        drop(telemetry);
+
+        let text = fs::read_to_string(&path).expect("read telemetry back");
+        let v: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        let us = v
+            .get("us")
+            .and_then(Value::as_number)
+            .expect("us field present")
+            .as_f64();
+        assert!(
+            (us - 0.25).abs() < 1e-12,
+            "250 ns must report as 0.25 µs, got {us}"
         );
         let _ = fs::remove_file(&path);
     }

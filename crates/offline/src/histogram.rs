@@ -53,10 +53,23 @@ impl FreqHistogram {
 
     /// The bin index for a frequency (clamped to the range).
     pub fn bin_for(&self, f: Frequency) -> usize {
+        self.bin_for_hz(f.as_hz() as f64)
+    }
+
+    /// The bin index for a raw frequency in Hz, always in
+    /// `0..HISTOGRAM_BINS`.
+    ///
+    /// Accepts the full `f64` range: frequencies below the 250 MHz floor or
+    /// above `base` (chaos-feature grids produce both) clamp to the end
+    /// bins, and non-finite values cannot escape the range — `NaN` lands in
+    /// bin 0 rather than poisoning the index arithmetic.
+    pub fn bin_for_hz(&self, hz: f64) -> usize {
         let lo = self.base.as_hz() as f64 / 4.0;
         let hi = self.base.as_hz() as f64;
-        let t = ((f.as_hz() as f64 - lo) / (hi - lo)).clamp(0.0, 1.0);
-        (t * (HISTOGRAM_BINS - 1) as f64).round() as usize
+        let t = (hz - lo) / (hi - lo);
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        let bin = (t * (HISTOGRAM_BINS - 1) as f64).round() as usize;
+        bin.min(HISTOGRAM_BINS - 1)
     }
 
     /// Adds `cycles` of work that the shaker scaled to run at `f`.
@@ -116,6 +129,36 @@ impl FreqHistogram {
 mod tests {
     use super::*;
     use mcd_time::FrequencyGrid;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        // Full-f64-range robustness: raw bit patterns cover NaN, ±inf,
+        // subnormals, negatives and astronomically large values. Whatever
+        // comes in, the bin index must stay inside 0..HISTOGRAM_BINS.
+        #[test]
+        fn bin_for_hz_never_escapes_the_bin_range(
+            bits in any::<u64>(),
+            base_hz in 1u64..10_000_000_000,
+        ) {
+            let h = FreqHistogram::new(Frequency::from_hz(base_hz));
+            let hz = f64::from_bits(bits);
+            prop_assert!(h.bin_for_hz(hz) < HISTOGRAM_BINS);
+        }
+
+        // Representable frequencies (the `add` path) are likewise clamped,
+        // even far outside the 250 MHz..base region.
+        #[test]
+        fn bin_for_clamps_out_of_range_frequencies(
+            hz in 1u64..u64::MAX,
+            base_hz in 1u64..10_000_000_000,
+        ) {
+            let h = FreqHistogram::new(Frequency::from_hz(base_hz));
+            let bin = h.bin_for(Frequency::from_hz(hz));
+            prop_assert!(bin < HISTOGRAM_BINS);
+        }
+    }
 
     #[test]
     fn bin_round_trip() {

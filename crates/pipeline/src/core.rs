@@ -12,6 +12,7 @@
 //! first destination edge at least `T_s` after it was produced (§2.2).
 
 use mcd_time::{DomainClock, Femtos, Frequency, SimRng, SyncWindowCache, VoltageController};
+use mcd_trace::{RunTrace, StallCause, TraceConfig, TraceRecorder, TraceSink};
 use mcd_uarch::lsq::LoadStatus;
 use mcd_uarch::{
     BranchPredictor, Cache, CircularQueue, FuKind, FuPool, LoadStoreQueue, LsqEntryId,
@@ -174,6 +175,12 @@ pub struct Pipeline {
     control: ControlState,
     control_next: Femtos,
 
+    /// Observability sink (None in production runs). Every hook site is a
+    /// pure observer behind an `Option` check, so a run without a sink does
+    /// no trace work and a run with one produces byte-identical results —
+    /// the golden-fixture tests enforce both claims.
+    tracer: Option<Box<dyn TraceSink>>,
+
     // Per-run scratch buffers, hoisted out of the per-edge hot path.
     exec_scratch: Vec<u64>,
     addr_scratch: Vec<(u64, u64)>,
@@ -264,6 +271,7 @@ impl Pipeline {
             writer_of: vec![None; total_phys],
             control: ControlState::default(),
             control_next: Femtos::MAX,
+            tracer: None,
             ledger: ActivityLedger::new(),
             committed: 0,
             target: u64::MAX,
@@ -325,10 +333,41 @@ impl Pipeline {
         self.sync_win.visible_at(t, src.index(), dst.index())
     }
 
+    /// [`Pipeline::vis`], reporting any synchronization delay to the trace
+    /// sink as a stall charged to the destination domain. Used at the value
+    /// hand-off sites; the bulk register-ready path ([`Pipeline::set_ready`])
+    /// stays untraced because it records potential, not realized, crossings.
+    #[inline]
+    fn vis_traced(&mut self, t: Femtos, src: DomainId, dst: DomainId) -> Femtos {
+        let w = self.vis(t, src, dst);
+        if w > t {
+            if let Some(s) = self.tracer.as_mut() {
+                s.sync_stall(src.index(), dst.index(), t, w - t);
+            }
+        }
+        w
+    }
+
     /// Refreshes the cached operating point of clock `ci` after it produced
     /// an edge (the only moment a clock's frequency or voltage can move).
     #[inline]
     fn note_clock_advanced(&mut self, ci: usize) {
+        if self.tracer.is_some() {
+            // Re-lock windows surface here (the first edge after one), and
+            // must be drained even when frequency and voltage are unchanged
+            // relative to the cache (re-lock to the same operating point).
+            if let Some((start, end)) = self.clocks[ci].take_relock() {
+                if let Some(s) = self.tracer.as_mut() {
+                    if self.single_clock {
+                        for d in 0..DomainId::COUNT {
+                            s.pll_relock(d, start, end);
+                        }
+                    } else {
+                        s.pll_relock(ci, start, end);
+                    }
+                }
+            }
+        }
         let c = &self.clocks[ci];
         let f = c.frequency();
         let v = c.voltage().as_volts();
@@ -346,6 +385,16 @@ impl Pipeline {
             if self.periods[ci] != p {
                 self.periods[ci] = p;
                 self.sync_win.refresh_domain(ci, &self.periods);
+            }
+        }
+        if let Some(s) = self.tracer.as_mut() {
+            let at = self.clocks[ci].last_edge();
+            if self.single_clock {
+                for d in 0..DomainId::COUNT {
+                    s.freq_change(d, at, f, v);
+                }
+            } else {
+                s.freq_change(ci, at, f, v);
             }
         }
     }
@@ -495,7 +544,7 @@ impl Pipeline {
     /// Panics if the machine deadlocks (internal invariant violation).
     pub fn run_with_governor<G: Governor>(mut self, target: u64, mut governor: G) -> RunResult {
         self.control_next = governor.interval();
-        self.run_impl(target, Some(&mut governor))
+        self.run_impl(target, Some(&mut governor)).0
     }
 
     /// Runs until `target` instructions commit; consumes the pipeline.
@@ -504,7 +553,51 @@ impl Pipeline {
     ///
     /// Panics if the machine deadlocks (internal invariant violation).
     pub fn run(self, target: u64) -> RunResult {
-        self.run_impl::<NoGovernor>(target, None)
+        self.run_impl::<NoGovernor>(target, None).0
+    }
+
+    /// Attaches a custom observability sink for the coming run. The sink
+    /// receives per-domain events ([`TraceSink`]) and is dropped when the
+    /// run finishes; results are byte-identical with or without it.
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.tracer = Some(sink);
+        self
+    }
+
+    /// Runs with a [`TraceRecorder`] attached, returning the accumulated
+    /// [`RunTrace`] alongside the (byte-identical) [`RunResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (internal invariant violation).
+    pub fn run_traced(mut self, target: u64, cfg: TraceConfig) -> (RunResult, RunTrace) {
+        self.tracer = Some(Box::new(TraceRecorder::new(cfg)));
+        let (result, sink) = self.run_impl::<NoGovernor>(target, None);
+        let trace = sink
+            .and_then(|s| s.into_trace(result.total_time))
+            .expect("recorder sink yields a trace");
+        (result, trace)
+    }
+
+    /// [`Pipeline::run_with_governor`] with a [`TraceRecorder`] attached;
+    /// see [`Pipeline::run_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (internal invariant violation).
+    pub fn run_with_governor_traced<G: Governor>(
+        mut self,
+        target: u64,
+        mut governor: G,
+        cfg: TraceConfig,
+    ) -> (RunResult, RunTrace) {
+        self.tracer = Some(Box::new(TraceRecorder::new(cfg)));
+        self.control_next = governor.interval();
+        let (result, sink) = self.run_impl(target, Some(&mut governor));
+        let trace = sink
+            .and_then(|s| s.into_trace(result.total_time))
+            .expect("recorder sink yields a trace");
+        (result, trace)
     }
 
     /// The run loop, monomorphized over the governor type.
@@ -513,7 +606,11 @@ impl Pipeline {
     /// clock index on ties). Edges of an idle domain are batch-consumed by
     /// [`Pipeline::fast_forward`]; every other edge runs the full tick
     /// machinery.
-    fn run_impl<G: Governor>(mut self, target: u64, mut governor: Option<&mut G>) -> RunResult {
+    fn run_impl<G: Governor>(
+        mut self,
+        target: u64,
+        mut governor: Option<&mut G>,
+    ) -> (RunResult, Option<Box<dyn TraceSink>>) {
         assert!(target > 0, "target instruction count must be positive");
         self.target = target;
         if self.cfg.warmup_instructions > 0 {
@@ -524,6 +621,19 @@ impl Pipeline {
             let t = self.clocks[i].next_edge();
             self.sched.set(i, t);
             self.note_clock_advanced(i);
+        }
+        if let Some(s) = self.tracer.as_mut() {
+            // Opening frequency sample for every domain so each track has a
+            // well-defined level from t = 0.
+            for d in DomainId::ALL {
+                let ci = if self.single_clock { 0 } else { d.index() };
+                s.freq_change(
+                    d.index(),
+                    Femtos::ZERO,
+                    self.clock_freq[ci],
+                    self.clock_volt[ci],
+                );
+            }
         }
         let mut edges: u64 = 0;
         let max_edges = target
@@ -542,8 +652,13 @@ impl Pipeline {
             // Earliest pending clock edge wins.
             let ci = self.sched.earliest();
             if fast_forward_allowed && self.domain_idle(ci) {
+                let ff_start = self.sched.time(ci);
                 let k = self.fast_forward(ci, governor.is_some(), max_edges - edges);
                 if k > 0 {
+                    if let Some(s) = self.tracer.as_mut() {
+                        // Fast-forward is MCD-only, so ci is the domain index.
+                        s.fast_forward(ci, ff_start, self.sched.time(ci), k);
+                    }
                     // The batch includes the edge this iteration selected.
                     edges += k - 1;
                     continue;
@@ -558,6 +673,9 @@ impl Pipeline {
                 if now >= self.control_next {
                     self.control_decision(now, &mut **g);
                 }
+            }
+            if self.tracer.is_some() {
+                self.trace_queue_samples(ci, n_clocks, now);
             }
             if n_clocks == 1 {
                 // Single clock: all logical domains tick on the same edge.
@@ -577,7 +695,34 @@ impl Pipeline {
             self.sched.set(ci, t);
             self.note_clock_advanced(ci);
         }
-        self.into_result()
+        let sink = self.tracer.take();
+        (self.into_result(), sink)
+    }
+
+    /// Feeds the sink a queue-occupancy sample for the domain(s) ticking on
+    /// this edge. Mirrors [`Pipeline::sample_utilization`] but is gated on
+    /// the tracer so untraced runs never compute the fractions.
+    fn trace_queue_samples(&mut self, ci: usize, n_clocks: usize, now: Femtos) {
+        let occupancy = |d: DomainId, p: &Self| match d {
+            DomainId::FrontEnd => p.fetchq.len() as f64 / p.fetchq.capacity() as f64,
+            DomainId::Integer => p.iq_int.len() as f64 / p.iq_int.capacity() as f64,
+            DomainId::FloatingPoint => p.iq_fp.len() as f64 / p.iq_fp.capacity() as f64,
+            DomainId::LoadStore => p.lsq.len() as f64 / p.lsq.capacity() as f64,
+        };
+        if n_clocks == 1 {
+            let samples = DomainId::ALL.map(|d| occupancy(d, self));
+            if let Some(s) = self.tracer.as_mut() {
+                for d in DomainId::ALL {
+                    s.queue_sample(d.index(), now, samples[d.index()]);
+                }
+            }
+        } else {
+            let d = DomainId::ALL[ci];
+            let frac = occupancy(d, self);
+            if let Some(s) = self.tracer.as_mut() {
+                s.queue_sample(d.index(), now, frac);
+            }
+        }
     }
 
     /// Batch-consumes pending edges of the idle domain of clock `ci`,
@@ -689,6 +834,9 @@ impl Pipeline {
             if let Some(f) = decision[d.index()] {
                 let ci = self.clock_index(d);
                 self.clocks[ci].request_frequency(now, f);
+                if let Some(s) = self.tracer.as_mut() {
+                    s.freq_request(d.index(), now, f);
+                }
             }
         }
         self.control = ControlState {
@@ -710,6 +858,9 @@ impl Pipeline {
             }
             let ci = entry.domain.index();
             self.clocks[ci].request_frequency(entry.at, entry.frequency);
+            if let Some(s) = self.tracer.as_mut() {
+                s.freq_request(ci, entry.at, entry.frequency);
+            }
             self.schedule_pos += 1;
         }
     }
@@ -845,7 +996,7 @@ impl Pipeline {
             } else {
                 exec_domain
             };
-            let iq_visible_at = self.vis(now, DomainId::FrontEnd, sched_domain);
+            let iq_visible_at = self.vis_traced(now, DomainId::FrontEnd, sched_domain);
             match sched_domain {
                 DomainId::FloatingPoint => {
                     let v_fp = self.voltage(DomainId::FloatingPoint);
@@ -901,6 +1052,17 @@ impl Pipeline {
 
     fn tick_fetch(&mut self, now: Femtos) {
         if self.fetch_blocked_on.is_some() || now < self.fetch_resume_at {
+            if self.tracer.is_some() {
+                let cause = if self.fetch_blocked_on.is_some() {
+                    StallCause::BranchRedirect
+                } else {
+                    StallCause::MemoryWait
+                };
+                let period = self.period(DomainId::FrontEnd);
+                if let Some(s) = self.tracer.as_mut() {
+                    s.stall(DomainId::FrontEnd.index(), now, cause, period);
+                }
+            }
             return;
         }
         let fe_period = self.period(DomainId::FrontEnd);
@@ -922,12 +1084,13 @@ impl Pipeline {
                 let v_ls = self.voltage(DomainId::LoadStore);
                 self.ledger.record(Unit::L2, v_ls);
                 let l2_hit = self.l2.access(instr.pc, false);
-                let to_ls = self.vis(now, DomainId::FrontEnd, DomainId::LoadStore);
+                let to_ls = self.vis_traced(now, DomainId::FrontEnd, DomainId::LoadStore);
                 let mut done = to_ls + self.period(DomainId::LoadStore) * self.pcfg.l2_latency;
                 if !l2_hit {
                     done += self.pcfg.mem_latency;
                 }
-                self.fetch_resume_at = self.vis(done, DomainId::LoadStore, DomainId::FrontEnd);
+                self.fetch_resume_at =
+                    self.vis_traced(done, DomainId::LoadStore, DomainId::FrontEnd);
                 self.pending_fetch = Some(instr);
                 break;
             }
@@ -1028,7 +1191,7 @@ impl Pipeline {
                 .mem
                 .expect("mem op has address")
                 .addr;
-            let vis_ls = self.vis(done, DomainId::Integer, DomainId::LoadStore);
+            let vis_ls = self.vis_traced(done, DomainId::Integer, DomainId::LoadStore);
             self.pending_addrs.push((vis_ls, seq, addr));
             let v_int = self.voltage(DomainId::Integer);
             self.ledger.record(Unit::AluInt, v_int);
@@ -1106,14 +1269,14 @@ impl Pipeline {
             let v_fe = self.voltage(DomainId::FrontEnd);
             self.ledger.record(Unit::Bpred, v_fe);
             if mispredicted {
-                let redirect = self.vis(done, domain, DomainId::FrontEnd);
+                let redirect = self.vis_traced(done, domain, DomainId::FrontEnd);
                 let fe_period = self.period(DomainId::FrontEnd);
                 self.fetch_resume_at = redirect + fe_period * self.pcfg.mispredict_penalty;
                 debug_assert_eq!(self.fetch_blocked_on, Some(seq));
                 self.fetch_blocked_on = None;
             }
         }
-        let completion_visible_fe = self.vis(done, domain, DomainId::FrontEnd);
+        let completion_visible_fe = self.vis_traced(done, domain, DomainId::FrontEnd);
         match domain {
             DomainId::Integer => {
                 self.iq_int.remove(seq);
@@ -1183,7 +1346,8 @@ impl Pipeline {
                     continue;
                 }
                 self.ledger.record(Unit::Lsq, v_ls);
-                let completion_visible_fe = self.vis(now, DomainId::LoadStore, DomainId::FrontEnd);
+                let completion_visible_fe =
+                    self.vis_traced(now, DomainId::LoadStore, DomainId::FrontEnd);
                 let e = self.rob_get_mut(seq);
                 e.mem_done = true;
                 e.completed = true;
@@ -1242,7 +1406,8 @@ impl Pipeline {
             if let Some(dest) = self.rob_get(seq).dest_phys {
                 self.set_ready(dest, done, DomainId::LoadStore);
             }
-            let completion_visible_fe = self.vis(done, DomainId::LoadStore, DomainId::FrontEnd);
+            let completion_visible_fe =
+                self.vis_traced(done, DomainId::LoadStore, DomainId::FrontEnd);
             let e = self.rob_get_mut(seq);
             e.mem_done = true;
             e.mem_span = Some(EventSpan::new(now, done));

@@ -1,8 +1,10 @@
 //! Convenience entry points for running simulations.
 
+use mcd_trace::{RunTrace, TraceConfig};
 use mcd_workload::{BenchmarkProfile, WorkloadGenerator};
 
 use crate::core::Pipeline;
+use crate::governor::Governor;
 use crate::machine::MachineConfig;
 use crate::result::RunResult;
 
@@ -30,6 +32,32 @@ pub fn simulate(
 ) -> RunResult {
     let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
     Pipeline::new(machine.clone(), generator).run(instructions)
+}
+
+/// [`simulate`] with a trace recorder attached: returns the observability
+/// record alongside the (byte-identical) result.
+pub fn simulate_traced(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    instructions: u64,
+    cfg: TraceConfig,
+) -> (RunResult, RunTrace) {
+    let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
+    Pipeline::new(machine.clone(), generator).run_traced(instructions, cfg)
+}
+
+/// [`simulate_traced`] driven by an online governor instead of a static
+/// schedule; the trace's frequency stairsteps follow the governor's
+/// decisions.
+pub fn simulate_governed_traced<G: Governor>(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    instructions: u64,
+    governor: G,
+    cfg: TraceConfig,
+) -> (RunResult, RunTrace) {
+    let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
+    Pipeline::new(machine.clone(), generator).run_with_governor_traced(instructions, governor, cfg)
 }
 
 #[cfg(test)]
@@ -244,6 +272,56 @@ mod tests {
             "g721 L1D miss {}",
             g721.l1d.miss_rate()
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_populates_trace() {
+        let m = MachineConfig::baseline_mcd(7);
+        let plain = simulate(&m, &profile("gcc"), N);
+        let (traced, trace) = simulate_traced(&m, &profile("gcc"), N, TraceConfig::full());
+        assert_eq!(plain.total_time, traced.total_time);
+        assert_eq!(plain.ledger, traced.ledger);
+        assert_eq!(plain.domain_cycles, traced.domain_cycles);
+        assert_eq!(trace.total_time, traced.total_time);
+        assert_eq!(trace.domains.len(), DomainId::COUNT);
+        // Every domain opens its frequency track at t = 0.
+        for dom in &trace.domains {
+            let first = dom.freq_steps.first().expect("opening sample");
+            assert_eq!(first.at, Femtos::ZERO);
+        }
+        // An MCD machine realizes cross-domain synchronization stalls.
+        assert!(trace.total_sync_penalty_femtos() > 0);
+        // Queue occupancy was sampled on ticking edges.
+        assert!(trace.domains.iter().any(|d| !d.occupancy.is_empty()));
+    }
+
+    #[test]
+    fn governed_traced_run_records_requests_and_changes() {
+        use crate::governor::AttackDecay;
+        let m = MachineConfig::baseline_mcd(7);
+        let (r, trace) = simulate_governed_traced(
+            &m,
+            &profile("bzip2"),
+            60_000,
+            AttackDecay::paper_like(),
+            TraceConfig::full(),
+        );
+        assert_eq!(r.committed, 60_000);
+        let requests: u64 = trace.domains.iter().map(|d| d.counters.freq_requests).sum();
+        assert!(requests > 0, "governor should issue frequency requests");
+        // The requested changes eventually land on the clocks.
+        let changes: u64 = trace.domains.iter().map(|d| d.counters.freq_changes).sum();
+        assert!(changes > 0);
+    }
+
+    #[test]
+    fn single_clock_traced_run_mirrors_events_to_all_domains() {
+        let m = MachineConfig::baseline(3);
+        let (_, trace) = simulate_traced(&m, &profile("adpcm"), 1_000, TraceConfig::default());
+        for dom in &trace.domains {
+            assert!(!dom.freq_steps.is_empty());
+            assert_eq!(dom.counters.sync_crossings, 0, "single clock never stalls");
+        }
     }
 
     #[test]

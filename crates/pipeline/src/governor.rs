@@ -12,7 +12,7 @@
 //! governor returns frequency requests which the machine applies through
 //! the normal DVFS transition model (ramps, re-locks and all).
 
-use mcd_time::{Femtos, Frequency};
+use mcd_time::{Femtos, Frequency, FrequencyGrid};
 
 use crate::domains::DomainId;
 
@@ -123,8 +123,16 @@ pub struct AttackDecay {
     decay: f64,
     /// Previous interval's utilization.
     prev_util: [f64; DomainId::COUNT],
-    /// Current frequency targets (tracked, since requests are asynchronous).
+    /// Current *continuous* frequency targets (tracked, since requests are
+    /// asynchronous). The attack/decay law runs on these so that sub-step
+    /// decays accumulate; only the emitted decisions are quantized.
     target_hz: [f64; DomainId::COUNT],
+    /// The grid decisions are snapped to: every emitted frequency is one
+    /// the hardware model can actually express.
+    grid: FrequencyGrid,
+    /// Last grid point requested per domain, so a target drifting within
+    /// one grid step does not re-emit the same frequency.
+    requested: [Frequency; DomainId::COUNT],
     f_min: f64,
     f_max: f64,
 }
@@ -158,6 +166,8 @@ impl AttackDecay {
             decay,
             prev_util: [0.0; DomainId::COUNT],
             target_hz: [1e9; DomainId::COUNT],
+            grid: FrequencyGrid::paper32(),
+            requested: [Frequency::GHZ; DomainId::COUNT],
             f_min: 250e6,
             f_max: 1e9,
         }
@@ -190,10 +200,16 @@ impl Governor for AttackDecay {
                 // Stable: decay gently, probing for savings.
                 current * (1.0 - self.decay)
             };
-            let next = next.clamp(self.f_min, self.f_max);
-            if (next - current).abs() > 1e3 {
-                self.target_hz[i] = next;
-                decision[i] = Some(Frequency::from_hz(next.round() as u64));
+            // Track the continuous target, but snap the emitted decision to
+            // the 32-point grid: the DVFS models (step counts, voltage
+            // lookups) are only defined on grid frequencies, and re-emitting
+            // a request the hardware cannot distinguish from the current one
+            // would charge phantom transitions.
+            self.target_hz[i] = next.clamp(self.f_min, self.f_max);
+            let snapped = self.grid.snap(self.target_hz[i]).frequency;
+            if snapped != self.requested[i] {
+                self.requested[i] = snapped;
+                decision[i] = Some(snapped);
             }
         }
         decision
@@ -281,6 +297,63 @@ mod tests {
         for d in &DomainId::ALL[1..] {
             assert!(g.target_hz[d.index()] <= 1e9 + 1.0);
         }
+    }
+
+    #[test]
+    fn every_decision_lies_on_the_32_point_grid() {
+        // Regression: the governor used to emit `next.round()` — arbitrary
+        // Hz between grid points, which neither DVFS model can express.
+        let grid = FrequencyGrid::paper32();
+        let on_grid = |f: Frequency| grid.points().iter().any(|p| p.frequency == f);
+        let mut g = AttackDecay::paper_like();
+        // A deterministic pseudo-random utilization walk: idle spells,
+        // spikes, saturation, and gentle drift all mixed together.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut emitted = 0usize;
+        for _ in 0..5_000 {
+            let util = [rnd(), rnd(), rnd() * rnd(), rnd()];
+            let issued = [1, 1, u64::from(util[2] > 0.05), 1];
+            for f in g.decide(&sample(util, issued)).into_iter().flatten() {
+                emitted += 1;
+                assert!(on_grid(f), "off-grid decision: {} Hz", f.as_hz());
+            }
+        }
+        assert!(emitted > 100, "walk should exercise many decisions");
+    }
+
+    #[test]
+    fn unchanged_grid_point_is_not_re_emitted() {
+        let mut g = AttackDecay::paper_like();
+        // The first sample attacks upward and clamps at the 1 GHz ceiling —
+        // the snapped point equals the initial request, so nothing is
+        // emitted. After that, each gentle decay moves the continuous
+        // target by only 0.5 % (≈5 MHz at 1 GHz) — within one 24.19 MHz
+        // grid step — so decisions appear only when a grid midpoint is
+        // crossed.
+        let d = g.decide(&sample([0.0, 0.4, 0.4, 0.4], [1, 1, 1, 1]));
+        assert!(
+            d[DomainId::Integer.index()].is_none(),
+            "clamped attack stays at the current grid point"
+        );
+        // Keep decaying: eventually the snapped point moves and is emitted
+        // exactly once per crossed grid point.
+        let mut seen = Vec::new();
+        for _ in 0..40 {
+            let d = g.decide(&sample([0.0, 0.4, 0.4, 0.4], [1, 1, 1, 1]));
+            if let Some(f) = d[DomainId::Integer.index()] {
+                seen.push(f);
+            }
+        }
+        assert!(!seen.is_empty());
+        let mut dedup = seen.clone();
+        dedup.dedup();
+        assert_eq!(seen, dedup, "no consecutive duplicate requests");
     }
 
     #[test]

@@ -36,10 +36,14 @@ pub(crate) mod warm;
 pub use config::PipelineConfig;
 pub use core::Pipeline;
 pub use domains::DomainId;
-pub use driver::simulate;
+pub use driver::{simulate, simulate_governed_traced, simulate_traced};
 pub use events::{EventKind, EventSpan, InstrTrace};
 pub use governor::{AttackDecay, ControlSample, Governor, NoGovernor};
 pub use machine::{ClockingMode, MachineConfig};
 pub use result::RunResult;
 pub use schedule::{FrequencySchedule, ScheduleEntry};
 pub use stats::{ActivityLedger, Unit};
+
+// Re-exported so traced runs can be driven without naming mcd-trace
+// directly (the trait and record types are defined there).
+pub use mcd_trace::{RunTrace, StallCause, TraceConfig, TraceRecorder, TraceSink};

@@ -51,6 +51,10 @@ pub struct DomainClock {
     cycles: u64,
     v2_cycle_sum: f64,
     idle_total: Femtos,
+    /// The most recent PLL re-lock window, kept until an observer takes it
+    /// (see [`DomainClock::take_relock`]). Purely observational: never read
+    /// by the edge generator itself.
+    last_relock: Option<(Femtos, Femtos)>,
     // Derived from `frequency`, cached so the per-edge path avoids a divide;
     // refreshed on every frequency assignment (same operands, so the cached
     // values are bit-identical to recomputing them each edge).
@@ -77,6 +81,7 @@ impl DomainClock {
             cycles: 0,
             v2_cycle_sum: 0.0,
             idle_total: Femtos::ZERO,
+            last_relock: None,
             period_f,
             max_jitter: period_f * 0.45,
         }
@@ -141,6 +146,14 @@ impl DomainClock {
         self.idle_total
     }
 
+    /// Takes the `(start, end)` of the most recent PLL re-lock window, if
+    /// one occurred since the last call. Trace observers poll this after
+    /// each edge; when nobody polls, the slot is simply overwritten by the
+    /// next re-lock.
+    pub fn take_relock(&mut self) -> Option<(Femtos, Femtos)> {
+        self.last_relock.take()
+    }
+
     /// The DVFS controller, if this clock is scalable.
     pub fn controller(&self) -> Option<&VoltageController> {
         self.controller.as_ref()
@@ -168,6 +181,7 @@ impl DomainClock {
         if let Some(ctl) = self.controller.as_mut() {
             if let Some(idle_until) = ctl.advance_to(self.last_edge) {
                 self.idle_total += idle_until - self.last_edge;
+                self.last_relock = Some((self.last_edge, idle_until));
                 self.last_edge = idle_until;
                 ctl.advance_to(self.last_edge);
             }

@@ -222,6 +222,27 @@ impl FrequencyGrid {
             .min_by_key(|p| p.frequency.as_hz().abs_diff(f.as_hz()))
             .expect("grid is non-empty")
     }
+
+    /// Snaps an arbitrary target in Hz — typically the continuous output of
+    /// an on-line controller — to the nearest grid point.
+    ///
+    /// Unlike [`nearest`], the input is a raw `f64`, so it accepts values a
+    /// control law can produce but [`Frequency`] cannot represent: zero,
+    /// negative, above the region, or non-finite. Out-of-region targets
+    /// clamp to the end points; `NaN` snaps to the lowest point (the safe
+    /// choice for a DVFS request).
+    ///
+    /// [`nearest`]: FrequencyGrid::nearest
+    pub fn snap(&self, hz: f64) -> OperatingPoint {
+        let lo = self.table.f_min().as_hz() as f64;
+        let hi = self.table.f_max().as_hz() as f64;
+        let t = (hz - lo) / (hi - lo);
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        // The grid is equally spaced, so the nearest point is index
+        // arithmetic; t ≤ 1 keeps the rounded index in bounds.
+        let i = (t * (self.points.len() - 1) as f64).round() as usize;
+        self.points[i]
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +308,30 @@ mod tests {
         let g = FrequencyGrid::paper32();
         let p = g.nearest(Frequency::from_mhz(997));
         assert_eq!(p.frequency, Frequency::GHZ);
+    }
+
+    #[test]
+    fn snap_agrees_with_nearest_on_representable_targets() {
+        for grid in [FrequencyGrid::paper32(), FrequencyGrid::paper320()] {
+            for hz in (200_000_000u64..=1_100_000_000).step_by(7_654_321) {
+                let snapped = grid.snap(hz as f64);
+                let nearest = grid.nearest(Frequency::from_hz(hz));
+                assert_eq!(snapped, nearest, "hz = {hz}");
+            }
+        }
+    }
+
+    #[test]
+    fn snap_handles_unrepresentable_targets() {
+        let g = FrequencyGrid::paper32();
+        let floor = g.point(0);
+        let top = g.point(31);
+        assert_eq!(g.snap(0.0), floor);
+        assert_eq!(g.snap(-3e9), floor);
+        assert_eq!(g.snap(f64::NAN), floor);
+        assert_eq!(g.snap(f64::NEG_INFINITY), floor);
+        assert_eq!(g.snap(f64::INFINITY), top);
+        assert_eq!(g.snap(1e18), top);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Bounded event storage for sampling mode.
+
+use std::collections::VecDeque;
+
+/// A keep-the-newest ring buffer with a drop counter.
+///
+/// Full campaigns stay fast because a traced run's memory is bounded: when
+/// the buffer is full, pushing evicts the oldest element and counts it as
+/// dropped, so consumers can tell a complete record from a truncated one.
+///
+/// # Example
+///
+/// ```
+/// use mcd_trace::Ring;
+///
+/// let mut r = Ring::new(2);
+/// r.push(1);
+/// r.push(2);
+/// r.push(3);
+/// assert_eq!(r.dropped(), 1);
+/// assert_eq!(r.into_vec(), vec![2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring keeping at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring {
+            // Large capacities (an effectively-unbounded config) must not
+            // preallocate; the deque grows on demand.
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an element, evicting the oldest when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many elements were evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, returning the retained elements oldest-first.
+    pub fn into_vec(self) -> Vec<T> {
+        self.buf.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_newest_elements() {
+        let mut r = Ring::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.into_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut r = Ring::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.into_vec(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Ring::<u8>::new(0);
+    }
+}

@@ -1,0 +1,70 @@
+//! The hook surface the simulator drives.
+
+use mcd_time::{Femtos, Frequency};
+
+use crate::model::{RunTrace, StallCause};
+
+/// Per-domain event hooks invoked by the pipeline while it runs.
+///
+/// Every method is a pure observer with a no-op default, so custom sinks
+/// implement only the events they care about. Domains are identified by
+/// index (`0..`[`DOMAINS`]`) in the pipeline's domain order ([`DOMAIN_LABELS`]).
+///
+/// The contract: a sink must not influence the simulation. The pipeline
+/// guarantees it passes the same values it computes for its own use, and
+/// the golden-fixture tests prove `RunResult` bytes are identical with and
+/// without a sink attached.
+///
+/// [`DOMAINS`]: crate::DOMAINS
+/// [`DOMAIN_LABELS`]: crate::DOMAIN_LABELS
+pub trait TraceSink: Send {
+    /// A new operating point took effect on `domain`'s clock at `at`.
+    fn freq_change(&mut self, domain: usize, at: Femtos, frequency: Frequency, volts: f64) {
+        let _ = (domain, at, frequency, volts);
+    }
+
+    /// A frequency request (governor decision or schedule entry) was issued
+    /// for `domain`. The change itself lands later, through the DVFS
+    /// transition model, and is reported by [`TraceSink::freq_change`].
+    fn freq_request(&mut self, domain: usize, at: Femtos, frequency: Frequency) {
+        let _ = (domain, at, frequency);
+    }
+
+    /// `domain`'s clock produced no edges in `start..end` while its PLL
+    /// re-locked after a frequency change.
+    fn pll_relock(&mut self, domain: usize, start: Femtos, end: Femtos) {
+        let _ = (domain, start, end);
+    }
+
+    /// A value produced in `src` at `at` waited `wait` before becoming
+    /// visible in `dst` (§2.2 synchronization window).
+    fn sync_stall(&mut self, src: usize, dst: usize, at: Femtos, wait: Femtos) {
+        let _ = (src, dst, at, wait);
+    }
+
+    /// Queue occupancy of `domain`'s issue structure, sampled at one of its
+    /// clock edges.
+    fn queue_sample(&mut self, domain: usize, at: Femtos, occupancy: f64) {
+        let _ = (domain, at, occupancy);
+    }
+
+    /// The run loop batch-consumed `edges` idle edges of `domain` between
+    /// `start` and `end` without running tick machinery.
+    fn fast_forward(&mut self, domain: usize, start: Femtos, end: Femtos, edges: u64) {
+        let _ = (domain, start, end, edges);
+    }
+
+    /// `domain` lost `duration` of potential work at `at` for `cause`
+    /// (used for stall causes not already implied by the span hooks, e.g.
+    /// fetch stalled on a branch redirect).
+    fn stall(&mut self, domain: usize, at: Femtos, cause: StallCause, duration: Femtos) {
+        let _ = (domain, at, cause, duration);
+    }
+
+    /// Consumes the sink at the end of a run. Recorders return the
+    /// accumulated [`RunTrace`]; streaming sinks return `None`.
+    fn into_trace(self: Box<Self>, total_time: Femtos) -> Option<RunTrace> {
+        let _ = total_time;
+        None
+    }
+}

@@ -10,8 +10,11 @@
 //!                    [--telemetry FILE|-] [--checkpoint FILE] [--deadline SECS] [--json]
 //! mcd-cli campaign   resume --checkpoint FILE [--workers W] [--cache-dir DIR]
 //!                    [--telemetry FILE|-] [--deadline SECS] [--json]
+//! mcd-cli campaign   report [--cache-dir DIR] [--json]
 //! mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] [--instructions N]
 //!                    [--model xscale|transmeta]
+//! mcd-cli trace      <benchmark> [--instructions N] [--seed S] [--out FILE]
+//!                    [--sample-every N] [--static]
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -20,13 +23,17 @@ use std::time::Duration;
 
 use mcd::core::{run_benchmark, ExperimentConfig};
 use mcd::harness::{
-    parse_model, BenchSnapshot, Campaign, CampaignReport, CampaignSpec, CellOutcome, ResultCache,
-    Telemetry,
+    parse_model, BenchSnapshot, Campaign, CampaignReport, CampaignRollup, CampaignSpec,
+    CellOutcome, ResultCache, Telemetry, ROLLUP_FILE,
 };
 use mcd::offline::{derive_schedule, OfflineConfig};
-use mcd::pipeline::{simulate, DomainId, MachineConfig};
+use mcd::pipeline::{
+    simulate, simulate_governed_traced, simulate_traced, AttackDecay, DomainId, MachineConfig,
+    TraceConfig,
+};
 use mcd::power::PowerModel;
 use mcd::time::{DvfsModel, Frequency};
+use mcd::trace::{chrome_trace_json, DOMAIN_LABELS};
 use mcd::workload::suites;
 
 fn usage() -> ! {
@@ -39,8 +46,11 @@ fn usage() -> ! {
          [--models xscale,transmeta] [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
          [--checkpoint FILE] [--deadline SECS] [--json]\n  mcd-cli campaign resume \
          --checkpoint FILE [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
-         [--deadline SECS] [--json]\n  mcd-cli bench snapshot [--out FILE] \
-         [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta]"
+         [--deadline SECS] [--json]\n  mcd-cli campaign report [--cache-dir DIR] [--json]\n  \
+         mcd-cli bench snapshot [--out FILE] \
+         [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta]\n  \
+         mcd-cli trace <benchmark> [--instructions N] [--seed S] [--out FILE] \
+         [--sample-every N] [--static]"
     );
     std::process::exit(2)
 }
@@ -117,6 +127,7 @@ fn main() {
         "experiment" => cmd_experiment(parse_opts(&args[1..])),
         "campaign" => cmd_campaign(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         _ => usage(),
     }
 }
@@ -418,6 +429,24 @@ fn cmd_campaign(args: &[String]) {
                 std::process::exit(code);
             }
         }
+        "report" => {
+            let path = cache.dir().join(ROLLUP_FILE);
+            let rollup = CampaignRollup::load(&path).unwrap_or_else(|e| {
+                eprintln!(
+                    "no campaign rollup at {} ({e}); run `mcd-cli campaign run` first",
+                    path.display()
+                );
+                std::process::exit(1)
+            });
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&rollup).expect("serializable")
+                );
+            } else {
+                print!("{}", rollup.table());
+            }
+        }
         "status" => {
             let campaign = Campaign::new(opts.spec.clone());
             let rows = campaign.status(&cache).unwrap_or_else(|e| {
@@ -441,6 +470,103 @@ fn cmd_campaign(args: &[String]) {
         }
         _ => usage(),
     }
+}
+
+/// `mcd-cli trace <benchmark>`: run one cell with the trace recorder
+/// attached and export the timeline as Chrome trace_event JSON (load the
+/// file in `chrome://tracing` or <https://ui.perfetto.dev>).
+///
+/// By default the run is driven by the online attack/decay governor on the
+/// baseline MCD machine, so the per-domain frequency stairsteps actually
+/// move; `--static` traces the ungoverned machine instead.
+fn cmd_trace(args: &[String]) {
+    let Some(benchmark) = args.first() else {
+        usage()
+    };
+    if benchmark.starts_with("--") {
+        usage()
+    }
+    let mut instructions: u64 = 120_000;
+    let mut seed: u64 = 5;
+    let mut out = format!("trace_{benchmark}.json");
+    let mut cfg = TraceConfig::full();
+    let mut governed = true;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--instructions" => {
+                instructions = value("--instructions").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--out" => out = value("--out"),
+            "--sample-every" => {
+                cfg.sample_every = value("--sample-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--static" => governed = false,
+            _ => usage(),
+        }
+    }
+    let profile = suites::by_name(benchmark).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {benchmark:?}; try `mcd-cli list`");
+        std::process::exit(2)
+    });
+    let machine = MachineConfig::baseline_mcd(seed);
+    let (run, trace) = if governed {
+        simulate_governed_traced(
+            &machine,
+            &profile,
+            instructions,
+            AttackDecay::paper_like(),
+            cfg,
+        )
+    } else {
+        simulate_traced(&machine, &profile, instructions, cfg)
+    };
+    std::fs::write(&out, chrome_trace_json(&trace)).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1)
+    });
+    eprintln!(
+        "traced {} x {} instructions ({}, IPC {:.3}) -> {out}",
+        profile.name,
+        run.committed,
+        run.total_time,
+        run.ipc()
+    );
+    eprintln!(
+        "{:<16} {:>9} {:>7} {:>8} {:>11} {:>10}",
+        "domain", "mean MHz", "steps", "re-locks", "sync stalls", "occupancy"
+    );
+    for (i, label) in DOMAIN_LABELS.iter().enumerate() {
+        let d = &trace.domains[i];
+        eprintln!(
+            "{:<16} {:>9.1} {:>7} {:>8} {:>11} {:>10.3}",
+            label,
+            d.counters.mean_frequency_hz() / 1e6,
+            d.counters.freq_changes,
+            d.counters.relocks,
+            d.counters.sync_crossings,
+            d.counters.mean_occupancy()
+        );
+    }
+    eprintln!(
+        "total sync penalty: {:.3} us over {} crossings",
+        trace.total_sync_penalty_femtos() as f64 / 1e9,
+        trace
+            .domains
+            .iter()
+            .map(|d| d.counters.sync_crossings)
+            .sum::<u64>()
+    );
+    eprintln!("open in chrome://tracing or https://ui.perfetto.dev");
 }
 
 fn machine_for(opts: &Opts) -> MachineConfig {

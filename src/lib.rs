@@ -18,7 +18,9 @@
 //! * [`offline`] — the shaker / clustering analysis tool;
 //! * [`core`] — the five machine configurations and the experiment driver;
 //! * [`harness`] — the parallel campaign engine (sweeps, result cache,
-//!   worker pool, fault isolation, JSONL telemetry).
+//!   worker pool, fault isolation, JSONL telemetry);
+//! * [`trace`] — the observability layer (per-domain event sinks,
+//!   run traces, Chrome trace_event export).
 //!
 //! # Quickstart
 //!
@@ -41,5 +43,6 @@ pub use mcd_offline as offline;
 pub use mcd_pipeline as pipeline;
 pub use mcd_power as power;
 pub use mcd_time as time;
+pub use mcd_trace as trace;
 pub use mcd_uarch as uarch;
 pub use mcd_workload as workload;

@@ -12,6 +12,11 @@
 //!
 //! and let the fixture diff be part of the review.
 
+use mcd::pipeline::{
+    simulate, simulate_governed_traced, simulate_traced, AttackDecay, MachineConfig, TraceConfig,
+};
+use mcd::workload::suites;
+
 #[test]
 fn run_results_match_committed_fixture() {
     let fixture = include_str!("fixtures/golden_runresults.json");
@@ -33,4 +38,72 @@ fn run_results_match_committed_fixture() {
             fixture.len()
         );
     }
+}
+
+/// The observability layer's core contract: attaching a trace sink must not
+/// perturb the simulation. Serialized `RunResult` bytes are compared, so
+/// any drift — timing, energy ledger, cache statistics — fails.
+#[test]
+fn run_result_bytes_identical_with_tracing_on_and_off() {
+    let prof = suites::by_name("gcc").expect("known benchmark");
+    let machine = MachineConfig::baseline_mcd(5);
+
+    let plain = simulate(&machine, &prof, 6_000);
+    let (traced, _trace) = simulate_traced(&machine, &prof, 6_000, TraceConfig::full());
+    assert_eq!(
+        serde_json::to_string(&plain).expect("serializable"),
+        serde_json::to_string(&traced).expect("serializable"),
+        "tracing must not change RunResult bytes (static machine)"
+    );
+
+    // Same contract under an online governor, where the trace hooks fire on
+    // the control path too.
+    let governed = |traced: bool| {
+        use mcd::pipeline::Pipeline;
+        use mcd::workload::WorkloadGenerator;
+        let machine = MachineConfig::baseline_mcd(7);
+        let generator = WorkloadGenerator::new(prof.clone(), machine.seed);
+        let p = Pipeline::new(machine, generator);
+        if traced {
+            p.run_with_governor_traced(12_000, AttackDecay::paper_like(), TraceConfig::full())
+                .0
+        } else {
+            p.run_with_governor(12_000, AttackDecay::paper_like())
+        }
+    };
+    assert_eq!(
+        serde_json::to_string(&governed(false)).expect("serializable"),
+        serde_json::to_string(&governed(true)).expect("serializable"),
+        "tracing must not change RunResult bytes (governed machine)"
+    );
+}
+
+/// Two identical traced runs must produce byte-identical `RunTrace`s — the
+/// trace is as deterministic as the simulation it observes.
+#[test]
+fn run_trace_is_deterministic() {
+    let prof = suites::by_name("bzip2").expect("known benchmark");
+    let machine = MachineConfig::baseline_mcd(3);
+    let run = || {
+        simulate_governed_traced(
+            &machine,
+            &prof,
+            12_000,
+            AttackDecay::paper_like(),
+            TraceConfig::default(),
+        )
+    };
+    let (ra, ta) = run();
+    let (rb, tb) = run();
+    assert_eq!(ra.total_time, rb.total_time);
+    assert_eq!(
+        serde_json::to_string(&ta).expect("serializable"),
+        serde_json::to_string(&tb).expect("serializable"),
+        "RunTrace must be byte-deterministic"
+    );
+    // Sampled mode is deterministic too, and strictly smaller.
+    let (_, sampled) = simulate_traced(&machine, &prof, 6_000, TraceConfig::default());
+    let (_, full) = simulate_traced(&machine, &prof, 6_000, TraceConfig::full());
+    let occ = |t: &mcd::trace::RunTrace| t.domains.iter().map(|d| d.occupancy.len()).sum::<usize>();
+    assert!(occ(&sampled) < occ(&full), "sampling must thin the record");
 }

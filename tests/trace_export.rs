@@ -1,0 +1,93 @@
+//! Validates the Chrome trace_event export end-to-end: run a traced cell,
+//! render the JSON, and check the properties a trace viewer needs —
+//! well-formed document, nondecreasing timestamps, and a frequency track
+//! for every one of the four clock domains. CI runs this against the same
+//! export path `mcd-cli trace` uses.
+
+use mcd::pipeline::{simulate_governed_traced, AttackDecay, MachineConfig, TraceConfig};
+use mcd::trace::{chrome_trace_json, DOMAINS, DOMAIN_LABELS};
+use mcd::workload::suites;
+use serde_json::Value;
+
+fn exported_doc() -> Value {
+    let prof = suites::by_name("bzip2").expect("known benchmark");
+    let (run, trace) = simulate_governed_traced(
+        &MachineConfig::baseline_mcd(5),
+        &prof,
+        30_000,
+        AttackDecay::paper_like(),
+        TraceConfig::full(),
+    );
+    assert_eq!(run.committed, 30_000);
+    assert_eq!(trace.domains.len(), DOMAINS);
+    let json = chrome_trace_json(&trace);
+    serde_json::from_str(&json).expect("export must be valid JSON")
+}
+
+#[test]
+fn exported_trace_is_well_formed_chrome_json() {
+    let doc = exported_doc();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Every event carries the trace_event required fields, and timestamps
+    // never go backwards (Perfetto rejects out-of-order counter samples).
+    let mut prev_ts = f64::NEG_INFINITY;
+    for e in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+        }
+        let ph = e.get("ph").and_then(Value::as_str).expect("phase string");
+        assert!(
+            matches!(ph, "M" | "C" | "X"),
+            "unexpected event phase {ph:?}"
+        );
+        if ph == "X" {
+            assert!(e.get("dur").is_some(), "complete slice missing dur: {e:?}");
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_number)
+            .expect("numeric ts")
+            .as_f64();
+        assert!(ts.is_finite() && ts >= 0.0);
+        assert!(ts >= prev_ts, "timestamps must be nondecreasing");
+        prev_ts = ts;
+    }
+
+    // All four domains are present: a named thread track and a frequency
+    // counter track each.
+    for (tid, label) in DOMAIN_LABELS.iter().enumerate() {
+        let named = events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("tid").and_then(Value::as_number).map(|n| n.as_f64()) == Some(tid as f64)
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    == Some(label)
+        });
+        assert!(named, "missing thread_name metadata for domain {label}");
+
+        let freq_track = format!("freq:{label} MHz");
+        let samples = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("C")
+                    && e.get("name").and_then(Value::as_str) == Some(freq_track.as_str())
+            })
+            .count();
+        assert!(samples >= 2, "frequency track for {label} too sparse");
+    }
+
+    // A governed MCD run realizes synchronization stalls; the viewer shows
+    // them as slices.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.get("name").and_then(Value::as_str), Some(n) if n.starts_with("sync-stall:"))),
+        "governed MCD run should export sync-stall slices"
+    );
+}
