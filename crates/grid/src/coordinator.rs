@@ -1,0 +1,632 @@
+//! The grid coordinator: owns the cache, shards cells, survives workers.
+//!
+//! A [`GridCampaign`] is the distributed analogue of
+//! [`mcd_harness::Campaign`]: same spec, same cache, same checkpoint
+//! manifest, same report — but the cells are computed by TCP-connected
+//! worker processes instead of a local thread pool. The coordinator is
+//! the *only* process that touches the result cache and checkpoint, so
+//! the determinism story is unchanged from serial execution: results are
+//! stored through [`mcd_harness::supervisor::store_result`], assembled
+//! by cell index,
+//! and the canonical JSON document is byte-identical regardless of
+//! worker count, join order, or mid-run disconnects.
+//!
+//! ## Scheduling and fault model
+//!
+//! Cells are probed against the cache serially up front (quarantining
+//! corrupt entries exactly like local runs), and the misses form a FIFO
+//! queue. Each connected worker holds at most one outstanding cell; a
+//! worker that disconnects or misses its heartbeat window is evicted and
+//! its in-flight cell goes back on the *front* of the queue, so
+//! reassignment cannot starve. A worker-reported deterministic panic is
+//! recorded as a failed cell — never reassigned, because a deterministic
+//! simulator would die identically anywhere. Raising the interrupt flag
+//! (SIGINT) drains: in-flight cells finish, queued cells are skipped,
+//! and the checkpoint manifest makes the campaign resumable with
+//! [`GridCampaign::from_checkpoint`].
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mcd_harness::supervisor::{store_result, BackoffPolicy};
+use mcd_harness::{
+    CacheKey, CacheProbe, CampaignReport, CampaignRollup, CampaignSpec, CellOutcome, CellReport,
+    CellSource, CellSpec, CheckpointManifest, FaultPlan, HarnessError, ResultCache, Telemetry,
+    ROLLUP_FILE,
+};
+
+use crate::stats::GridStats;
+use crate::wire::{read_frame, write_frame, Frame, WireError, WIRE_PROTOCOL};
+use crate::GridError;
+
+/// How often the accept loop wakes to poll for interrupts and completion.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A configured distributed campaign, ready to [`bind`](GridCampaign::bind).
+#[derive(Debug, Clone)]
+pub struct GridCampaign {
+    spec: CampaignSpec,
+    checkpoint: Option<PathBuf>,
+    backoff: BackoffPolicy,
+    heartbeat_timeout: Duration,
+    interrupt: Option<Arc<AtomicBool>>,
+    drain_after_results: Option<usize>,
+}
+
+impl GridCampaign {
+    /// A distributed campaign over `spec` with the default store backoff,
+    /// a 10 s heartbeat window, and no checkpoint.
+    pub fn new(spec: CampaignSpec) -> GridCampaign {
+        GridCampaign {
+            spec,
+            checkpoint: None,
+            backoff: BackoffPolicy::default(),
+            heartbeat_timeout: Duration::from_secs(10),
+            interrupt: None,
+            drain_after_results: None,
+        }
+    }
+
+    /// Rebuilds a grid campaign from a checkpoint manifest, exactly like
+    /// [`mcd_harness::Campaign::from_checkpoint`]: the spec is embedded,
+    /// progress persists back to the same path, and the cache re-verifies
+    /// completed cells when the campaign runs.
+    pub fn from_checkpoint(path: &Path) -> Result<GridCampaign, HarnessError> {
+        let manifest = CheckpointManifest::load(path)?;
+        Ok(GridCampaign::new(manifest.spec().clone()).checkpoint(path))
+    }
+
+    /// Persists progress to a checkpoint manifest at `path` (atomic
+    /// rewrite after every completed cell).
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> GridCampaign {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the backoff policy for transient cache-store IO failures.
+    pub fn backoff(mut self, backoff: BackoffPolicy) -> GridCampaign {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets how long a silent worker keeps its session before eviction.
+    /// Workers heartbeat while computing, so this only needs to exceed
+    /// the heartbeat interval, not the cell runtime.
+    pub fn heartbeat_timeout(mut self, timeout: Duration) -> GridCampaign {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Installs an external interrupt flag (e.g. raised by a SIGINT
+    /// handler). When it becomes `true` the coordinator drains: in-flight
+    /// cells finish, queued cells are skipped, and the report is
+    /// resumable from the checkpoint.
+    pub fn interrupt(mut self, flag: Arc<AtomicBool>) -> GridCampaign {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// Chaos hook: raise the interrupt flag after `n` worker-computed
+    /// results, simulating a SIGINT landing mid-campaign at a
+    /// deterministic point. Test-only by intent.
+    pub fn drain_after_results(mut self, n: usize) -> GridCampaign {
+        self.drain_after_results = Some(n);
+        self
+    }
+
+    /// The spec this campaign will serve.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Binds the coordinator's listening socket. Workers may start
+    /// connecting immediately; they are handshaken once
+    /// [`GridServer::run`] starts.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<GridServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(GridServer {
+            campaign: self,
+            listener,
+        })
+    }
+}
+
+/// A bound coordinator: the listener plus its campaign configuration.
+#[derive(Debug)]
+pub struct GridServer {
+    campaign: GridCampaign,
+    listener: TcpListener,
+}
+
+/// Everything the scheduler mutates, under one lock.
+struct State {
+    /// Cell indices waiting for a worker, front = next to assign.
+    queue: VecDeque<usize>,
+    /// Cells currently assigned to a worker.
+    in_flight: usize,
+    /// Outcome slot per cell, filled exactly once.
+    slots: Vec<Option<(CellOutcome, Duration)>>,
+    /// How many slots are filled.
+    resolved: usize,
+    /// Worker-computed results so far (drives `drain_after_results`).
+    computed: usize,
+    /// Drain flag: stop assigning, finish in-flight, then return.
+    stop: bool,
+    /// Next worker id to hand out.
+    next_worker: u64,
+    /// Per-worker attribution.
+    stats: GridStats,
+}
+
+/// Shared context the accept loop and connection handlers borrow.
+struct Coordinator<'a> {
+    config: &'a GridCampaign,
+    cells: &'a [CellSpec],
+    keys: &'a [CacheKey],
+    cache: &'a ResultCache,
+    telemetry: &'a Telemetry,
+    digest: String,
+    state: Mutex<State>,
+    cv: Condvar,
+    manifest: Mutex<Option<CheckpointManifest>>,
+    no_chaos: FaultPlan,
+}
+
+impl GridServer {
+    /// The address the coordinator is listening on (useful when bound to
+    /// port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the campaign to completion (or drain): probe the cache,
+    /// serve cells to workers as they connect, store and checkpoint each
+    /// result, and report per-cell outcomes in spec-expansion order —
+    /// byte-identical to a serial run.
+    pub fn run(
+        &self,
+        cache: &ResultCache,
+        telemetry: &Telemetry,
+    ) -> Result<CampaignReport, GridError> {
+        let start = Instant::now();
+        let config = &self.campaign;
+        let cells = config.spec.expand().map_err(HarnessError::from)?;
+        let keys: Vec<CacheKey> = cells.iter().map(CacheKey::of).collect();
+
+        let manifest: Option<CheckpointManifest> = match &config.checkpoint {
+            Some(path) if path.exists() => {
+                let m = CheckpointManifest::load(path)?;
+                m.verify_spec(&config.spec)?;
+                if m.total() != cells.len() {
+                    return Err(GridError::Harness(HarnessError::CheckpointInvalid {
+                        path: path.clone(),
+                        reason: format!(
+                            "manifest records {} cells, campaign expands to {}",
+                            m.total(),
+                            cells.len()
+                        ),
+                    }));
+                }
+                Some(m)
+            }
+            Some(_) => Some(CheckpointManifest::new(config.spec.clone(), cells.len())),
+            None => None,
+        };
+
+        telemetry.campaign_started(cells.len(), 0);
+
+        // Serial upfront probe: hits resolve immediately, corrupt entries
+        // are quarantined, misses form the assignment queue. Same order
+        // and same telemetry as a local run.
+        let mut slots: Vec<Option<(CellOutcome, Duration)>> = vec![None; cells.len()];
+        let mut queue = VecDeque::new();
+        let mut resolved = 0;
+        for (i, key) in keys.iter().enumerate() {
+            let probe_start = Instant::now();
+            telemetry.cell_started(i, &cells[i]);
+            match cache.probe(key) {
+                CacheProbe::Hit(result) => {
+                    let elapsed = probe_start.elapsed();
+                    telemetry.cell_finished(i, CellSource::Cached, elapsed);
+                    slots[i] = Some((CellOutcome::Cached(result), elapsed));
+                    resolved += 1;
+                }
+                CacheProbe::Corrupt(kind) => {
+                    let _ = cache.quarantine(key);
+                    telemetry.cache_quarantined(i, key.hex(), kind);
+                    queue.push_back(i);
+                }
+                CacheProbe::Miss => queue.push_back(i),
+            }
+        }
+
+        let coord = Coordinator {
+            config,
+            cells: &cells,
+            keys: &keys,
+            cache,
+            telemetry,
+            digest: mcd_harness::spec_digest(&config.spec),
+            state: Mutex::new(State {
+                queue,
+                in_flight: 0,
+                slots,
+                resolved,
+                computed: 0,
+                stop: false,
+                next_worker: 1,
+                stats: GridStats::new(),
+            }),
+            cv: Condvar::new(),
+            manifest: Mutex::new(manifest),
+            no_chaos: FaultPlan::none(),
+        };
+        // Cache hits count toward checkpoint progress, like local runs.
+        let hits: Vec<usize> = {
+            let st = coord.state.lock().expect("grid state");
+            (0..st.slots.len())
+                .filter(|&i| st.slots[i].is_some())
+                .collect()
+        };
+        for i in hits {
+            coord.checkpoint_done(i);
+        }
+
+        self.listener.set_nonblocking(true)?;
+        thread::scope(|s| {
+            loop {
+                {
+                    let mut st = coord.state.lock().expect("grid state");
+                    if let Some(flag) = &config.interrupt {
+                        if flag.load(Ordering::SeqCst) && !st.stop {
+                            st.stop = true;
+                            coord.cv.notify_all();
+                        }
+                    }
+                    if st.resolved == coord.cells.len() || (st.stop && st.in_flight == 0) {
+                        break;
+                    }
+                }
+                match self.listener.accept() {
+                    Ok((stream, peer)) => {
+                        let coord = &coord;
+                        s.spawn(move || coord.serve_connection(stream, peer));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        let st = coord.state.lock().expect("grid state");
+                        let _ = coord
+                            .cv
+                            .wait_timeout(st, POLL_INTERVAL)
+                            .expect("grid state");
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Accept failures (fd pressure) are transient; the
+                        // campaign can finish with the workers it has.
+                        thread::sleep(POLL_INTERVAL);
+                    }
+                }
+            }
+            // Wake idle handlers so they observe completion and send
+            // Shutdown/Drain before the scope joins them.
+            coord.cv.notify_all();
+        });
+
+        let mut st = coord.state.into_inner().expect("grid state");
+        let interrupted = st.stop;
+        let reports: Vec<CellReport> = cells
+            .into_iter()
+            .zip(keys)
+            .zip(st.slots.drain(..))
+            .map(|((cell, key), slot)| {
+                let (outcome, elapsed) = slot.unwrap_or((CellOutcome::Skipped, Duration::ZERO));
+                CellReport {
+                    cell,
+                    key,
+                    outcome,
+                    elapsed,
+                }
+            })
+            .collect();
+        let report = CampaignReport {
+            cells: reports,
+            wall: start.elapsed(),
+            interrupted,
+        };
+        let rollup = CampaignRollup::from_report(&report).with_grid(st.stats.rollup());
+        let _ = rollup.save(&cache.dir().join(ROLLUP_FILE));
+        if interrupted {
+            telemetry.campaign_interrupted(report.cached() + report.computed(), report.skipped());
+        }
+        telemetry.campaign_finished(
+            report.computed(),
+            report.cached(),
+            report.failed(),
+            report.wall,
+        );
+        Ok(report)
+    }
+}
+
+/// What a connection handler should do next after asking for work.
+enum NextStep {
+    Assign(usize),
+    Drain,
+    Shutdown,
+}
+
+impl Coordinator<'_> {
+    /// Marks cell `i` done in the checkpoint manifest (atomic rewrite).
+    fn checkpoint_done(&self, i: usize) {
+        if let Some(path) = &self.config.checkpoint {
+            let mut guard = self.manifest.lock().expect("checkpoint manifest");
+            if let Some(m) = guard.as_mut() {
+                if m.mark_done(i) {
+                    let _ = m.save(path);
+                }
+            }
+        }
+    }
+
+    /// One worker connection, handshake to goodbye. Any wire error evicts
+    /// the worker and requeues its in-flight cell; the campaign outlives
+    /// every individual connection.
+    fn serve_connection(&self, mut stream: TcpStream, peer: SocketAddr) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.config.heartbeat_timeout));
+        let worker_id = match self.handshake(&mut stream, peer) {
+            Some(id) => id,
+            None => return,
+        };
+
+        loop {
+            match self.next_step() {
+                NextStep::Assign(i) => {
+                    if !self.run_assignment(&mut stream, worker_id, i) {
+                        return;
+                    }
+                }
+                NextStep::Drain => {
+                    let _ = write_frame(&mut stream, &Frame::Drain);
+                    return;
+                }
+                NextStep::Shutdown => {
+                    let _ = write_frame(&mut stream, &Frame::Shutdown);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Validates the Hello and sends Welcome (or Reject). Returns the
+    /// assigned worker id, or `None` if the session was refused.
+    fn handshake(&self, stream: &mut TcpStream, peer: SocketAddr) -> Option<u64> {
+        let (frame, n_in) = match read_frame(stream) {
+            Ok(ok) => ok,
+            Err(_) => return None,
+        };
+        let Frame::Hello {
+            protocol,
+            worker,
+            spec_digest,
+        } = frame
+        else {
+            let _ = write_frame(
+                stream,
+                &Frame::Reject {
+                    reason: format!("expected Hello, got {}", frame.name()),
+                },
+            );
+            return None;
+        };
+        if protocol != WIRE_PROTOCOL {
+            let _ = write_frame(
+                stream,
+                &Frame::Reject {
+                    reason: format!("protocol {protocol:?}, coordinator speaks {WIRE_PROTOCOL}"),
+                },
+            );
+            return None;
+        }
+        if !spec_digest.is_empty() && spec_digest != self.digest {
+            let _ = write_frame(
+                stream,
+                &Frame::Reject {
+                    reason: format!("spec digest {spec_digest} does not match this campaign"),
+                },
+            );
+            return None;
+        }
+
+        let worker_id = {
+            let mut st = self.state.lock().expect("grid state");
+            let id = st.next_worker;
+            st.next_worker += 1;
+            st.stats.joined(id, &worker, &peer.to_string());
+            st.stats.add_bytes(id, n_in, 0);
+            id
+        };
+        self.telemetry
+            .grid_worker_joined(worker_id, &worker, &peer.to_string());
+        let welcome = Frame::Welcome {
+            worker_id,
+            spec_digest: self.digest.clone(),
+            cells: self.cells.len() as u64,
+        };
+        match write_frame(stream, &welcome) {
+            Ok(n_out) => {
+                let mut st = self.state.lock().expect("grid state");
+                st.stats.add_bytes(worker_id, 0, n_out);
+                Some(worker_id)
+            }
+            Err(_) => {
+                self.evict(worker_id, None, "handshake write failed");
+                None
+            }
+        }
+    }
+
+    /// Waits until there is a cell to assign, the campaign drains, or it
+    /// completes.
+    fn next_step(&self) -> NextStep {
+        let mut st = self.state.lock().expect("grid state");
+        loop {
+            if st.resolved == self.cells.len() {
+                return NextStep::Shutdown;
+            }
+            if st.stop {
+                return NextStep::Drain;
+            }
+            if let Some(i) = st.queue.pop_front() {
+                st.in_flight += 1;
+                return NextStep::Assign(i);
+            }
+            st = self
+                .cv
+                .wait_timeout(st, POLL_INTERVAL)
+                .expect("grid state")
+                .0;
+        }
+    }
+
+    /// Sends one assignment and pumps frames until its result lands (or
+    /// the worker dies). Returns `false` when the connection is over.
+    fn run_assignment(&self, stream: &mut TcpStream, worker_id: u64, i: usize) -> bool {
+        let assigned_at = Instant::now();
+        let assign = Frame::Assign {
+            cell: i as u64,
+            spec: self.cells[i].clone(),
+        };
+        match write_frame(stream, &assign) {
+            Ok(n_out) => {
+                let mut st = self.state.lock().expect("grid state");
+                st.stats.add_bytes(worker_id, 0, n_out);
+            }
+            Err(_) => {
+                self.evict(worker_id, Some(i), "assignment write failed");
+                return false;
+            }
+        }
+        self.telemetry.grid_cell_assigned(i, worker_id);
+
+        loop {
+            match read_frame(stream) {
+                Ok((frame, n_in)) => {
+                    {
+                        let mut st = self.state.lock().expect("grid state");
+                        st.stats.add_bytes(worker_id, n_in, 0);
+                    }
+                    match frame {
+                        Frame::Heartbeat => {}
+                        Frame::TelemetryEvent { event } => {
+                            self.telemetry.forward(worker_id, &event);
+                        }
+                        Frame::CellResult { cell, outcome } => {
+                            if cell as usize != i {
+                                self.evict(
+                                    worker_id,
+                                    Some(i),
+                                    &format!("result for cell {cell}, expected {i}"),
+                                );
+                                return false;
+                            }
+                            self.record_result(worker_id, i, outcome.into_outcome(), assigned_at);
+                            return true;
+                        }
+                        other => {
+                            self.evict(
+                                worker_id,
+                                Some(i),
+                                &format!("unexpected {} mid-assignment", other.name()),
+                            );
+                            return false;
+                        }
+                    }
+                }
+                Err(WireError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    self.evict(worker_id, Some(i), "heartbeat timeout");
+                    return false;
+                }
+                Err(_) => {
+                    self.evict(worker_id, Some(i), "connection lost");
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Stores (if computed), records, and checkpoints one cell outcome.
+    fn record_result(&self, worker_id: u64, i: usize, outcome: CellOutcome, assigned_at: Instant) {
+        // Store before recording: once a cell counts as resolved the
+        // campaign may finish, and the bytes must already be published.
+        if let CellOutcome::Computed { result, .. } = &outcome {
+            store_result(
+                self.cache,
+                &self.keys[i],
+                &self.cells[i],
+                result,
+                &self.config.backoff,
+                &self.no_chaos,
+                self.telemetry,
+                i,
+            );
+        }
+        let rtt = assigned_at.elapsed();
+        let finished = outcome.result().is_some();
+        let drain = {
+            let mut st = self.state.lock().expect("grid state");
+            st.in_flight -= 1;
+            if st.slots[i].is_none() {
+                st.slots[i] = Some((outcome, rtt));
+                st.resolved += 1;
+                if finished {
+                    st.computed += 1;
+                }
+            }
+            st.stats.cell_done(worker_id, rtt);
+            let drain = matches!(self.config.drain_after_results, Some(n) if st.computed >= n);
+            if drain {
+                st.stop = true;
+            }
+            self.cv.notify_all();
+            drain
+        };
+        self.telemetry.grid_cell_result(i, worker_id, rtt);
+        if finished {
+            self.checkpoint_done(i);
+        }
+        if drain {
+            if let Some(flag) = &self.config.interrupt {
+                flag.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Evicts a worker: requeues its in-flight cell (front, so recovery
+    /// cannot starve), narrates, and flushes telemetry to disk — an
+    /// eviction often precedes coordinator shutdown and the evidence must
+    /// survive.
+    fn evict(&self, worker_id: u64, in_flight: Option<usize>, reason: &str) {
+        {
+            let mut st = self.state.lock().expect("grid state");
+            if let Some(i) = in_flight {
+                st.queue.push_front(i);
+                st.in_flight -= 1;
+            }
+            st.stats.evicted(worker_id, in_flight.is_some());
+            self.cv.notify_all();
+        }
+        self.telemetry
+            .grid_worker_evicted(worker_id, in_flight, reason);
+        self.telemetry.sync();
+    }
+}

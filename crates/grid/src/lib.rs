@@ -1,0 +1,99 @@
+//! Distributed campaign execution for the MCD sweep harness.
+//!
+//! `mcd-grid` shards a [`mcd_harness::CampaignSpec`] across TCP-connected
+//! worker processes, using only `std::net` — no external dependencies,
+//! consistent with the workspace's `shims/` policy. Three pieces:
+//!
+//! - [`wire`]: the `mcd-grid-wire/1` frame protocol — length-prefixed,
+//!   tagged, versioned, with a handshake carrying the campaign spec
+//!   digest so workers can never join the wrong campaign.
+//! - [`GridCampaign`] / [`GridServer`] (the coordinator): owns the
+//!   content-addressed result cache and checkpoint manifest, probes the
+//!   cache up front, streams cell assignments to workers, and assembles
+//!   the report in spec-expansion order. The canonical result JSON is
+//!   **byte-identical** to a serial [`mcd_harness::Campaign`] run,
+//!   regardless of worker count, join order, or mid-run disconnects.
+//! - [`GridWorker`]: a cache-less executor that runs each assigned cell
+//!   through the same supervised retry loop local campaigns use
+//!   (watchdog deadline, panic retries, deterministic fail-fast) and
+//!   forwards its telemetry over the wire for coordinator-side
+//!   attribution.
+//!
+//! Fault tolerance mirrors the local harness: heartbeat-timeout eviction
+//! requeues a dead worker's in-flight cell at the front of the queue,
+//! disconnected workers reconnect with exponential backoff, worker-side
+//! deterministic panics propagate to the coordinator as failed cells
+//! (never reassigned), and an interrupt drains to a resumable checkpoint.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io;
+
+use mcd_harness::HarnessError;
+
+pub mod coordinator;
+pub mod stats;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{GridCampaign, GridServer};
+pub use stats::{GridStats, WorkerStats};
+pub use wire::{Frame, WireError, WireOutcome, MAX_FRAME_BYTES, WIRE_PROTOCOL};
+pub use worker::{AbortMode, GridWorker, WorkerSummary};
+
+/// Anything that can go wrong running a distributed campaign.
+#[derive(Debug)]
+pub enum GridError {
+    /// A socket-level failure (bind, connect, accept).
+    Io(io::Error),
+    /// A frame could not be read or decoded.
+    Wire(WireError),
+    /// The underlying harness failed (spec, cache, checkpoint).
+    Harness(HarnessError),
+    /// The coordinator refused the handshake.
+    Rejected(String),
+    /// The peer violated the protocol (unexpected frame, bad state).
+    Protocol(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Io(e) => write!(f, "grid i/o error: {e}"),
+            GridError::Wire(e) => write!(f, "grid wire error: {e}"),
+            GridError::Harness(e) => write!(f, "grid harness error: {e}"),
+            GridError::Rejected(reason) => write!(f, "handshake rejected: {reason}"),
+            GridError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GridError::Io(e) => Some(e),
+            GridError::Wire(e) => Some(e),
+            GridError::Harness(e) => Some(e),
+            GridError::Rejected(_) | GridError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for GridError {
+    fn from(e: io::Error) -> GridError {
+        GridError::Io(e)
+    }
+}
+
+impl From<WireError> for GridError {
+    fn from(e: WireError) -> GridError {
+        GridError::Wire(e)
+    }
+}
+
+impl From<HarnessError> for GridError {
+    fn from(e: HarnessError) -> GridError {
+        GridError::Harness(e)
+    }
+}

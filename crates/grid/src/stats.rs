@@ -1,0 +1,153 @@
+//! Per-worker attribution accumulated while a grid campaign runs.
+//!
+//! The coordinator's connection handlers feed one [`GridStats`] as cells
+//! resolve; when the campaign finishes it folds into the
+//! [`GridRollup`] persisted inside the campaign rollup, so
+//! `mcd-cli campaign report` can show which host did what.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use mcd_harness::{GridRollup, WorkerRollup};
+
+/// Running tallies for one worker connection.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerStats {
+    /// Worker-reported name joined with the socket peer address.
+    pub peer: String,
+    /// Cells this worker returned results for.
+    pub cells: u64,
+    /// Cells requeued because this worker was evicted mid-assignment.
+    pub reassignments: u64,
+    /// Wire bytes received from this worker.
+    pub wire_bytes_in: u64,
+    /// Wire bytes sent to this worker.
+    pub wire_bytes_out: u64,
+    /// Assignment→result round trips, seconds, in completion order.
+    pub rtts: Vec<f64>,
+}
+
+/// All workers' tallies, keyed by coordinator-assigned worker id.
+#[derive(Debug, Default)]
+pub struct GridStats {
+    workers: BTreeMap<u64, WorkerStats>,
+}
+
+/// Nearest-rank percentile over an unsorted sample.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl GridStats {
+    /// An empty tally.
+    pub fn new() -> GridStats {
+        GridStats::default()
+    }
+
+    /// The (possibly new) tally row for `worker`.
+    pub fn worker(&mut self, worker: u64) -> &mut WorkerStats {
+        self.workers.entry(worker).or_default()
+    }
+
+    /// Records a completed handshake.
+    pub fn joined(&mut self, worker: u64, name: &str, peer: &str) {
+        self.worker(worker).peer = format!("{name}@{peer}");
+    }
+
+    /// Records one assignment→result round trip.
+    pub fn cell_done(&mut self, worker: u64, rtt: Duration) {
+        let w = self.worker(worker);
+        w.cells += 1;
+        w.rtts.push(rtt.as_secs_f64());
+    }
+
+    /// Records an eviction; `reassigned` is true when an in-flight cell
+    /// went back on the queue.
+    pub fn evicted(&mut self, worker: u64, reassigned: bool) {
+        if reassigned {
+            self.worker(worker).reassignments += 1;
+        }
+    }
+
+    /// Adds wire traffic to a worker's tally.
+    pub fn add_bytes(&mut self, worker: u64, bytes_in: u64, bytes_out: u64) {
+        let w = self.worker(worker);
+        w.wire_bytes_in += bytes_in;
+        w.wire_bytes_out += bytes_out;
+    }
+
+    /// Folds the tallies into the rollup shape, workers in id order.
+    pub fn rollup(&self) -> GridRollup {
+        let workers: Vec<WorkerRollup> = self
+            .workers
+            .iter()
+            .map(|(id, w)| WorkerRollup {
+                worker: *id,
+                peer: w.peer.clone(),
+                cells: w.cells,
+                reassignments: w.reassignments,
+                wire_bytes_in: w.wire_bytes_in,
+                wire_bytes_out: w.wire_bytes_out,
+                cell_rtt_seconds_p95: percentile(&w.rtts, 0.95),
+            })
+            .collect();
+        let all_rtts: Vec<f64> = self
+            .workers
+            .values()
+            .flat_map(|w| w.rtts.iter().copied())
+            .collect();
+        GridRollup {
+            reassignments: workers.iter().map(|w| w.reassignments).sum(),
+            wire_bytes_in: workers.iter().map(|w| w.wire_bytes_in).sum(),
+            wire_bytes_out: workers.iter().map(|w| w.wire_bytes_out).sum(),
+            cell_rtt_seconds_p95: percentile(&all_rtts, 0.95),
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_fold_into_worker_ordered_rollup() {
+        let mut stats = GridStats::new();
+        stats.joined(2, "b", "127.0.0.1:2");
+        stats.joined(1, "a", "127.0.0.1:1");
+        stats.cell_done(1, Duration::from_millis(100));
+        stats.cell_done(1, Duration::from_millis(300));
+        stats.cell_done(2, Duration::from_millis(50));
+        stats.evicted(2, true);
+        stats.add_bytes(1, 10, 20);
+        stats.add_bytes(2, 1, 2);
+        let roll = stats.rollup();
+        assert_eq!(roll.workers.len(), 2);
+        assert_eq!(roll.workers[0].worker, 1);
+        assert_eq!(roll.workers[0].peer, "a@127.0.0.1:1");
+        assert_eq!(roll.workers[0].cells, 2);
+        assert_eq!(roll.workers[1].reassignments, 1);
+        assert_eq!(roll.reassignments, 1);
+        assert_eq!((roll.wire_bytes_in, roll.wire_bytes_out), (11, 22));
+        assert!((roll.workers[0].cell_rtt_seconds_p95 - 0.300).abs() < 1e-9);
+        assert!((roll.cell_rtt_seconds_p95 - 0.300).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_before_any_cell_still_creates_a_row() {
+        let mut stats = GridStats::new();
+        stats.joined(7, "w", "127.0.0.1:7");
+        stats.evicted(7, false);
+        let roll = stats.rollup();
+        assert_eq!(roll.workers.len(), 1);
+        assert_eq!(roll.workers[0].cells, 0);
+        assert_eq!(roll.reassignments, 0);
+        assert_eq!(roll.cell_rtt_seconds_p95, 0.0);
+    }
+}

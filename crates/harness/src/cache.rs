@@ -119,16 +119,15 @@ impl ResultCache {
     /// Removes leftover temp files from interrupted stores, returning how
     /// many were swept. Safe because a temp file is only meaningful to the
     /// store call that created it — once that call is gone (crashed), the
-    /// file is garbage by construction.
+    /// file is garbage by construction. The quarantine subdirectory is
+    /// swept by the same rule, so orphaned temp files dragged there by a
+    /// crash mid-quarantine (or by tooling shuffling entries) do not
+    /// accumulate as pseudo-evidence forever.
     pub fn sweep_stale_tmp(&self) -> io::Result<usize> {
-        let mut swept = 0;
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if path.is_file() && name.starts_with('.') && name.ends_with(".tmp") {
-                fs::remove_file(&path)?;
-                swept += 1;
-            }
+        let mut swept = sweep_dir_tmp(&self.dir)?;
+        let qdir = self.quarantine_dir();
+        if qdir.is_dir() {
+            swept += sweep_dir_tmp(&qdir)?;
         }
         Ok(swept)
     }
@@ -266,6 +265,20 @@ impl ResultCache {
     pub fn raw_entry(&self, key: &CacheKey) -> Option<Vec<u8>> {
         fs::read(self.entry_path(key)).ok()
     }
+}
+
+/// Removes `.{name}.tmp` droppings from one directory (non-recursive).
+fn sweep_dir_tmp(dir: &Path) -> io::Result<usize> {
+    let mut swept = 0;
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_file() && name.starts_with('.') && name.ends_with(".tmp") {
+            fs::remove_file(&path)?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
 }
 
 /// Minimal SHA-256 (FIPS 180-4). Self-contained because the build
@@ -519,11 +532,20 @@ mod tests {
         // A published entry and a quarantine dir must survive the sweep.
         let keeper = dir.join("keeper.json");
         fs::write(&keeper, "{}").unwrap();
-        fs::create_dir_all(dir.join(QUARANTINE_DIR)).unwrap();
+        let qdir = dir.join(QUARANTINE_DIR);
+        fs::create_dir_all(&qdir).unwrap();
+        // An orphaned temp file under quarantine/ is swept too; quarantined
+        // evidence entries are not.
+        let qstale = qdir.join(format!(".{}.tmp", "cd".repeat(32)));
+        fs::write(&qstale, "orphan").unwrap();
+        let evidence = qdir.join("evidence.json");
+        fs::write(&evidence, "{torn").unwrap();
 
         let cache = ResultCache::open(&dir).expect("open sweeps");
         assert!(!stale.exists(), "stale tmp swept on open");
+        assert!(!qstale.exists(), "quarantine orphan swept on open");
         assert!(keeper.exists(), "real entries untouched");
+        assert!(evidence.exists(), "quarantined evidence untouched");
         assert!(cache.quarantine_dir().exists(), "quarantine dir untouched");
         assert_eq!(cache.sweep_stale_tmp().unwrap(), 0, "nothing left to sweep");
         let _ = fs::remove_dir_all(&dir);

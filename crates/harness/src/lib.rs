@@ -56,7 +56,10 @@ pub use chaos::{Fault, FaultPlan};
 pub use checkpoint::{spec_digest, CheckpointManifest, CHECKPOINT_SCHEMA};
 pub use error::{CacheOp, CorruptKind, HarnessError};
 pub use retry::{CellFailure, RetryPolicy};
-pub use rollup::{CampaignRollup, StallCauseCount, ROLLUP_FILE, ROLLUP_SCHEMA};
+pub use rollup::{
+    BenchmarkRollup, CampaignRollup, GridRollup, StallCauseCount, WorkerRollup, ROLLUP_FILE,
+    ROLLUP_SCHEMA,
+};
 pub use snapshot::{BenchSnapshot, CellTiming, SNAPSHOT_SCHEMA};
 pub use spec::{parse_model, CampaignSpec, CellSpec, SpecError};
 pub use supervisor::BackoffPolicy;

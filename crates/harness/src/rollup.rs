@@ -1,6 +1,6 @@
 //! Campaign-level rollups: per-cell spans aggregated into one summary.
 //!
-//! A finished [`CampaignReport`](crate::CampaignReport) carries a wall-time
+//! A finished [`CampaignReport`] carries a wall-time
 //! span for every cell; this module folds them into a [`CampaignRollup`] —
 //! outcome counts, cache hit ratio, p50/p95/max cell latency, and a
 //! breakdown of why any cells did not finish — that is persisted next to
@@ -17,8 +17,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::{CampaignReport, CellOutcome};
 
-/// Schema tag embedded in every rollup document.
-pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/1";
+/// Schema tag embedded in every rollup document. v2: adds the
+/// per-benchmark breakdown and optional grid (distributed-execution)
+/// attribution; v1 documents no longer load (the rollup is derived data —
+/// rerunning the campaign regenerates it).
+pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/2";
 
 /// File name the rollup is persisted under, inside the cache directory.
 pub const ROLLUP_FILE: &str = "campaign-rollup.json";
@@ -31,6 +34,62 @@ pub struct StallCauseCount {
     pub cause: String,
     /// Number of cells lost to this cause.
     pub cells: u64,
+}
+
+/// Outcome and latency breakdown for one benchmark of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkRollup {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Cells of this benchmark (seeds × models).
+    pub cells: u64,
+    /// Cells computed this run.
+    pub computed: u64,
+    /// Cells served from the result cache.
+    pub cached: u64,
+    /// Cells that did not finish (failed, stalled, or skipped).
+    pub unfinished: u64,
+    /// Median per-cell wall time (nearest-rank, finished cells only).
+    pub cell_seconds_p50: f64,
+    /// 95th-percentile per-cell wall time (nearest-rank).
+    pub cell_seconds_p95: f64,
+    /// Slowest cell's wall time.
+    pub cell_seconds_max: f64,
+}
+
+/// One grid worker's share of a distributed campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerRollup {
+    /// Coordinator-assigned worker id (one per connection).
+    pub worker: u64,
+    /// Worker-reported name plus its socket peer address.
+    pub peer: String,
+    /// Cells this worker returned results for.
+    pub cells: u64,
+    /// Cells requeued because this worker was evicted mid-assignment.
+    pub reassignments: u64,
+    /// Wire bytes received from this worker.
+    pub wire_bytes_in: u64,
+    /// Wire bytes sent to this worker.
+    pub wire_bytes_out: u64,
+    /// 95th-percentile assignment→result round trip (seconds).
+    pub cell_rtt_seconds_p95: f64,
+}
+
+/// Grid-wide attribution for a distributed campaign: per-worker shares
+/// plus campaign totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridRollup {
+    /// Per-worker shares, in worker-id order.
+    pub workers: Vec<WorkerRollup>,
+    /// Total cell reassignments caused by worker eviction.
+    pub reassignments: u64,
+    /// Total wire bytes received from workers.
+    pub wire_bytes_in: u64,
+    /// Total wire bytes sent to workers.
+    pub wire_bytes_out: u64,
+    /// 95th-percentile assignment→result round trip across all cells.
+    pub cell_rtt_seconds_p95: f64,
 }
 
 /// Aggregated view of one finished campaign.
@@ -62,10 +121,14 @@ pub struct CampaignRollup {
     pub cell_seconds_max: f64,
     /// Why cells did not finish, per cause (empty on a clean campaign).
     pub stall_causes: Vec<StallCauseCount>,
+    /// Per-benchmark breakdown, in spec (figure) order.
+    pub per_benchmark: Vec<BenchmarkRollup>,
+    /// Distributed-execution attribution (`None` for local campaigns).
+    pub grid: Option<GridRollup>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -73,16 +136,49 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Ascending-sorted finished-cell spans (seconds) matching `keep`.
+fn sorted_spans(report: &CampaignReport, keep: impl Fn(&crate::CellReport) -> bool) -> Vec<f64> {
+    let mut spans: Vec<f64> = report
+        .cells
+        .iter()
+        .filter(|c| c.outcome.result().is_some() && keep(c))
+        .map(|c| c.elapsed.as_secs_f64())
+        .collect();
+    spans.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    spans
+}
+
 impl CampaignRollup {
     /// Folds a finished campaign's per-cell records into a rollup.
     pub fn from_report(report: &CampaignReport) -> CampaignRollup {
-        let mut spans: Vec<f64> = report
-            .cells
-            .iter()
-            .filter(|c| c.outcome.result().is_some())
-            .map(|c| c.elapsed.as_secs_f64())
-            .collect();
-        spans.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let spans = sorted_spans(report, |_| true);
+
+        let mut per_benchmark: Vec<BenchmarkRollup> = Vec::new();
+        for cell in &report.cells {
+            let name = cell.cell.benchmark.as_str();
+            if per_benchmark.iter().any(|b| b.benchmark == name) {
+                continue;
+            }
+            let bench_spans = sorted_spans(report, |c| c.cell.benchmark == name);
+            let rows = || report.cells.iter().filter(|c| c.cell.benchmark == name);
+            let computed = rows()
+                .filter(|c| matches!(c.outcome, CellOutcome::Computed { .. }))
+                .count() as u64;
+            let cached = rows()
+                .filter(|c| matches!(c.outcome, CellOutcome::Cached(_)))
+                .count() as u64;
+            let total = rows().count() as u64;
+            per_benchmark.push(BenchmarkRollup {
+                benchmark: name.to_string(),
+                cells: total,
+                computed,
+                cached,
+                unfinished: total - computed - cached,
+                cell_seconds_p50: percentile(&bench_spans, 0.50),
+                cell_seconds_p95: percentile(&bench_spans, 0.95),
+                cell_seconds_max: bench_spans.last().copied().unwrap_or(0.0),
+            });
+        }
 
         let mut causes: Vec<StallCauseCount> = Vec::new();
         let mut bump = |cause: &str| {
@@ -126,7 +222,15 @@ impl CampaignRollup {
             cell_seconds_p95: percentile(&spans, 0.95),
             cell_seconds_max: spans.last().copied().unwrap_or(0.0),
             stall_causes: causes,
+            per_benchmark,
+            grid: None,
         }
+    }
+
+    /// Attaches grid (distributed-execution) attribution to the rollup.
+    pub fn with_grid(mut self, grid: GridRollup) -> CampaignRollup {
+        self.grid = Some(grid);
+        self
     }
 
     /// Writes the rollup as pretty JSON at `path` (atomic: temp + rename).
@@ -196,6 +300,53 @@ impl CampaignRollup {
             for c in &self.stall_causes {
                 row(&mut out, &format!("lost: {}", c.cause), c.cells.to_string());
             }
+        }
+        if !self.per_benchmark.is_empty() {
+            out.push_str("\nper-benchmark\n");
+            out.push_str(&format!(
+                "  {:<12} {:>5} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9}\n",
+                "benchmark", "cells", "computed", "cached", "unfinished", "p50 s", "p95 s", "max s"
+            ));
+            for b in &self.per_benchmark {
+                out.push_str(&format!(
+                    "  {:<12} {:>5} {:>8} {:>6} {:>10} {:>9.3} {:>9.3} {:>9.3}\n",
+                    b.benchmark,
+                    b.cells,
+                    b.computed,
+                    b.cached,
+                    b.unfinished,
+                    b.cell_seconds_p50,
+                    b.cell_seconds_p95,
+                    b.cell_seconds_max,
+                ));
+            }
+        }
+        if let Some(grid) = &self.grid {
+            out.push_str("\ngrid\n");
+            out.push_str(&format!(
+                "  {:<24} {:>5} {:>10} {:>10} {:>10} {:>9}\n",
+                "worker", "cells", "reassigned", "bytes in", "bytes out", "rtt p95"
+            ));
+            for w in &grid.workers {
+                out.push_str(&format!(
+                    "  {:<24} {:>5} {:>10} {:>10} {:>10} {:>8.3}s\n",
+                    format!("#{} {}", w.worker, w.peer),
+                    w.cells,
+                    w.reassignments,
+                    w.wire_bytes_in,
+                    w.wire_bytes_out,
+                    w.cell_rtt_seconds_p95,
+                ));
+            }
+            out.push_str(&format!(
+                "  {:<24} {:>5} {:>10} {:>10} {:>10} {:>8.3}s\n",
+                "total",
+                grid.workers.iter().map(|w| w.cells).sum::<u64>(),
+                grid.reassignments,
+                grid.wire_bytes_in,
+                grid.wire_bytes_out,
+                grid.cell_rtt_seconds_p95,
+            ));
         }
         out
     }
@@ -303,6 +454,67 @@ mod tests {
                 ("watchdog-stall", 1),
             ]
         );
+    }
+
+    #[test]
+    fn rollup_breaks_down_per_benchmark() {
+        let cached = CellOutcome::Cached(cell(0).run());
+        let mut r = report_with(vec![
+            (computed(), 100),
+            (computed(), 300),
+            (cached, 10),
+            (CellOutcome::Skipped, 0),
+        ]);
+        // Rename the back half of the sweep to a second benchmark.
+        for c in r.cells.iter_mut().skip(2) {
+            c.cell.benchmark = "gsm".into();
+        }
+        let roll = CampaignRollup::from_report(&r);
+        assert_eq!(roll.per_benchmark.len(), 2);
+        let adpcm = &roll.per_benchmark[0];
+        assert_eq!(adpcm.benchmark, "adpcm");
+        assert_eq!((adpcm.cells, adpcm.computed, adpcm.cached), (2, 2, 0));
+        assert_eq!(adpcm.unfinished, 0);
+        assert!((adpcm.cell_seconds_max - 0.300).abs() < 1e-9);
+        let gsm = &roll.per_benchmark[1];
+        assert_eq!(gsm.benchmark, "gsm");
+        assert_eq!((gsm.cells, gsm.computed, gsm.cached), (2, 0, 1));
+        assert_eq!(gsm.unfinished, 1);
+        assert!((gsm.cell_seconds_max - 0.010).abs() < 1e-9);
+        let table = roll.table();
+        assert!(table.contains("per-benchmark"));
+        assert!(table.contains("adpcm"));
+        assert!(table.contains("gsm"));
+    }
+
+    #[test]
+    fn grid_attribution_round_trips_and_renders() {
+        let r = report_with(vec![(computed(), 100)]);
+        let roll = CampaignRollup::from_report(&r).with_grid(GridRollup {
+            workers: vec![WorkerRollup {
+                worker: 1,
+                peer: "w1@127.0.0.1:9".into(),
+                cells: 1,
+                reassignments: 2,
+                wire_bytes_in: 512,
+                wire_bytes_out: 1024,
+                cell_rtt_seconds_p95: 0.25,
+            }],
+            reassignments: 2,
+            wire_bytes_in: 512,
+            wire_bytes_out: 1024,
+            cell_rtt_seconds_p95: 0.25,
+        });
+        let dir = std::env::temp_dir().join(format!("mcd-rollup-grid-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(ROLLUP_FILE);
+        roll.save(&path).expect("save");
+        let back = CampaignRollup::load(&path).expect("load");
+        assert_eq!(back, roll);
+        let _ = std::fs::remove_dir_all(&dir);
+        let table = roll.table();
+        assert!(table.contains("grid"));
+        assert!(table.contains("#1 w1@127.0.0.1:9"));
     }
 
     #[test]

@@ -97,6 +97,26 @@ pub struct CellContext<'a> {
     pub stop: &'a Arc<AtomicBool>,
 }
 
+/// The cache-free slice of a cell's context: everything needed to run
+/// attempts, but nothing about where the result is stored. Grid workers
+/// compute cells through this (the result cache lives on the coordinator);
+/// [`run_cell`] wraps it with the probe/quarantine/store machinery.
+pub struct ComputeContext<'a> {
+    /// Cell index in spec-expansion order.
+    pub index: usize,
+    /// The cell to run.
+    pub cell: &'a CellSpec,
+    /// The telemetry sink.
+    pub telemetry: &'a Telemetry,
+    /// The fault plan ([`FaultPlan::none`] outside chaos tests).
+    pub chaos: &'a Arc<FaultPlan>,
+    /// Panic retry policy.
+    pub retry: RetryPolicy,
+    /// Per-attempt watchdog deadline (`None` = wait forever, no monitor
+    /// thread).
+    pub deadline: Option<Duration>,
+}
+
 /// One attempt's fate.
 // Constructed once per attempt; the Ok/Panicked size skew is irrelevant.
 #[allow(clippy::large_enum_variant)]
@@ -130,7 +150,18 @@ pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration) {
         CacheProbe::Miss => {}
     }
 
-    let outcome = compute_with_retry(ctx);
+    let compute = ComputeContext {
+        index: ctx.index,
+        cell: ctx.cell,
+        telemetry: ctx.telemetry,
+        chaos: ctx.chaos,
+        retry: ctx.retry,
+        deadline: ctx.deadline,
+    };
+    let outcome = compute_cell(&compute);
+    if let CellOutcome::Computed { result, .. } = &outcome {
+        store_with_backoff(ctx, result);
+    }
     if matches!(outcome, CellOutcome::Computed { .. }) && ctx.chaos.record_computed() {
         // An injected interrupt takes the same path a SIGINT does.
         ctx.stop.store(true, Ordering::SeqCst);
@@ -152,14 +183,20 @@ pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration) {
         }
         CellOutcome::Stalled { waited } => {
             ctx.telemetry.cell_stalled(ctx.index, *waited);
+            // The abandoned attempt thread may wedge the process for good;
+            // make sure the stall's narration reaches the disk now.
+            ctx.telemetry.sync();
         }
         CellOutcome::Cached(_) | CellOutcome::Skipped => {}
     }
     (outcome, elapsed)
 }
 
-/// The retry loop over monitored attempts.
-fn compute_with_retry(ctx: &CellContext<'_>) -> CellOutcome {
+/// The retry loop over monitored attempts: computes the cell, nothing
+/// else. Returns only [`CellOutcome::Computed`], [`CellOutcome::Failed`]
+/// or [`CellOutcome::Stalled`]; storing the result (and the surrounding
+/// started/finished telemetry) is the caller's job.
+pub fn compute_cell(ctx: &ComputeContext<'_>) -> CellOutcome {
     let max_attempts = ctx.retry.max_attempts.max(1);
     let mut previous: Option<String> = None;
     let mut attempt = 0u32;
@@ -167,7 +204,6 @@ fn compute_with_retry(ctx: &CellContext<'_>) -> CellOutcome {
         attempt += 1;
         match execute_attempt(ctx, attempt) {
             Attempt::Ok(result) => {
-                store_with_backoff(ctx, &result);
                 return CellOutcome::Computed {
                     result,
                     attempts: attempt,
@@ -197,7 +233,7 @@ fn compute_with_retry(ctx: &CellContext<'_>) -> CellOutcome {
 
 /// Runs the cell body once: inline when no deadline is set, else on a
 /// watchdog-monitored thread that can be abandoned.
-fn execute_attempt(ctx: &CellContext<'_>, attempt: u32) -> Attempt {
+fn execute_attempt(ctx: &ComputeContext<'_>, attempt: u32) -> Attempt {
     let Some(deadline) = ctx.deadline else {
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cell_body(
@@ -245,7 +281,7 @@ fn execute_attempt(ctx: &CellContext<'_>, attempt: u32) -> Attempt {
         // inline rather than fail the cell — losing the watchdog for one
         // attempt beats losing the result.
         let saved = ctx.deadline;
-        let inline_ctx = CellContext {
+        let inline_ctx = ComputeContext {
             deadline: None,
             ..*ctx
         };
@@ -300,20 +336,31 @@ fn cell_body(
 /// Publishes a computed result, retrying transient IO failures with
 /// exponential backoff. A store that still fails after the budget is
 /// logged and absorbed — the in-memory result is good, and the cache will
-/// recompute the cell next run.
-fn store_with_backoff(ctx: &CellContext<'_>, result: &BenchmarkResults) {
-    if let Some(keep) = ctx.chaos.torn_store(ctx.index) {
+/// recompute the cell next run. Public because the grid coordinator stores
+/// worker-computed results through exactly this path.
+#[allow(clippy::too_many_arguments)]
+pub fn store_result(
+    cache: &ResultCache,
+    key: &CacheKey,
+    cell: &CellSpec,
+    result: &BenchmarkResults,
+    backoff: &BackoffPolicy,
+    chaos: &FaultPlan,
+    telemetry: &Telemetry,
+    index: usize,
+) {
+    if let Some(keep) = chaos.torn_store(index) {
         // Injected crash-mid-flush: publish a torn entry. The *next* run's
         // probe must detect and quarantine it.
-        let _ = ctx.cache.store_torn(ctx.key, ctx.cell, result, keep);
+        let _ = cache.store_torn(key, cell, result, keep);
         return;
     }
-    let max_attempts = ctx.backoff.max_attempts.max(1);
+    let max_attempts = backoff.max_attempts.max(1);
     for attempt in 1..=max_attempts {
-        let stored = if ctx.chaos.take_store_io_error(ctx.index) {
+        let stored = if chaos.take_store_io_error(index) {
             Err(std::io::Error::other("chaos: injected store failure"))
         } else {
-            ctx.cache.store(ctx.key, ctx.cell, result)
+            cache.store(key, cell, result)
         };
         match stored {
             Ok(()) => return,
@@ -321,12 +368,24 @@ fn store_with_backoff(ctx: &CellContext<'_>, result: &BenchmarkResults) {
                 if attempt == max_attempts {
                     return;
                 }
-                ctx.telemetry
-                    .io_retry(ctx.index, "store", attempt, &e.to_string());
-                thread::sleep(ctx.backoff.delay(attempt));
+                telemetry.io_retry(index, "store", attempt, &e.to_string());
+                thread::sleep(backoff.delay(attempt));
             }
         }
     }
+}
+
+fn store_with_backoff(ctx: &CellContext<'_>, result: &BenchmarkResults) {
+    store_result(
+        ctx.cache,
+        ctx.key,
+        ctx.cell,
+        result,
+        &ctx.backoff,
+        ctx.chaos,
+        ctx.telemetry,
+        ctx.index,
+    );
 }
 
 #[cfg(test)]

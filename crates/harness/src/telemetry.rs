@@ -54,8 +54,32 @@ impl CellSource {
 /// by reference across workers; the line writer is mutex-guarded so events
 /// from concurrent cells interleave at line granularity, never mid-line.
 pub struct Telemetry {
-    sink: Option<Mutex<Box<dyn Write + Send>>>,
+    sink: Option<Mutex<Sink>>,
     start: Instant,
+}
+
+/// The two sink shapes: an arbitrary writer (tests, stderr) and a buffered
+/// file kept as a concrete type so [`Telemetry::sync`] can reach the file
+/// descriptor for an fsync on abnormal-exit paths.
+enum Sink {
+    Writer(Box<dyn Write + Send>),
+    File(BufWriter<File>),
+}
+
+impl Write for Sink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Sink::Writer(w) => w.write(buf),
+            Sink::File(f) => f.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Sink::Writer(w) => w.flush(),
+            Sink::File(f) => f.flush(),
+        }
+    }
 }
 
 /// Microseconds as a JSON number, with fractional (nanosecond) precision:
@@ -149,15 +173,17 @@ impl Telemetry {
     /// writers; write errors are absorbed, never propagated).
     pub fn to_writer(sink: Box<dyn Write + Send>) -> Telemetry {
         Telemetry {
-            sink: Some(Mutex::new(sink)),
+            sink: Some(Mutex::new(Sink::Writer(sink))),
             start: Instant::now(),
         }
     }
 
     /// Writes events to a file (truncating any previous contents).
     pub fn to_file(path: &Path) -> io::Result<Telemetry> {
-        let file = BufWriter::new(File::create(path)?);
-        Ok(Telemetry::to_writer(Box::new(file)))
+        Ok(Telemetry {
+            sink: Some(Mutex::new(Sink::File(BufWriter::new(File::create(path)?)))),
+            start: Instant::now(),
+        })
     }
 
     /// Appends events to a file, first truncating any torn final line a
@@ -165,20 +191,63 @@ impl Telemetry {
     /// stream.
     pub fn append_file(path: &Path) -> io::Result<Telemetry> {
         let _ = repair_torn_tail(path);
-        let file = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
-        Ok(Telemetry::to_writer(Box::new(file)))
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Telemetry {
+            sink: Some(Mutex::new(Sink::File(BufWriter::new(file)))),
+            start: Instant::now(),
+        })
     }
 
-    fn emit(&self, event: &'static str, fields: Map) {
+    /// Flushes the sink and, for file sinks, fsyncs the file descriptor.
+    /// Called on abnormal-exit paths — watchdog abandonment, grid worker
+    /// disconnect — so the events narrating the failure reach the disk even
+    /// if the process dies right after. Best-effort like every write.
+    pub fn sync(&self) {
         let Some(sink) = &self.sink else { return };
-        let mut obj = fields;
-        obj.insert("event".to_string(), Value::String(event.to_string()));
-        obj.insert("t_us".to_string(), micros(self.start.elapsed()));
+        let mut sink = sink.lock().expect("telemetry sink poisoned");
+        let _ = sink.flush();
+        if let Sink::File(f) = &*sink {
+            let _ = f.get_ref().sync_all();
+        }
+    }
+
+    /// Writes one finished event object (tag and timestamp already set).
+    fn write_line(&self, obj: Map) {
+        let Some(sink) = &self.sink else { return };
         let line = serde_json::to_string(&Value::Object(obj)).expect("JSON writing is infallible");
         let mut sink = sink.lock().expect("telemetry sink poisoned");
         // Telemetry is best-effort: a full disk must not fail the campaign.
         let _ = writeln!(sink, "{line}");
         let _ = sink.flush();
+    }
+
+    fn emit(&self, event: &'static str, fields: Map) {
+        if self.sink.is_none() {
+            return;
+        }
+        let mut obj = fields;
+        obj.insert("event".to_string(), Value::String(event.to_string()));
+        obj.insert("t_us".to_string(), micros(self.start.elapsed()));
+        self.write_line(obj);
+    }
+
+    /// Re-emits an event that a grid worker produced remotely, attributing
+    /// it to `worker` and restamping it on this sink's clock (the worker's
+    /// own timestamp is preserved as `worker_t_us` — the two clocks are not
+    /// comparable). Non-object payloads are dropped: a worker that forwards
+    /// garbage must not corrupt the coordinator's stream.
+    pub fn forward(&self, worker: u64, event: &Value) {
+        if self.sink.is_none() {
+            return;
+        }
+        let Some(obj) = event.as_object() else { return };
+        let mut obj = obj.clone();
+        if let Some(t) = obj.remove("t_us") {
+            obj.insert("worker_t_us".to_string(), t);
+        }
+        obj.insert("worker".to_string(), worker.to_value());
+        obj.insert("t_us".to_string(), micros(self.start.elapsed()));
+        self.write_line(obj);
     }
 
     /// Campaign kicked off: total cell count and how many were already
@@ -285,6 +354,49 @@ impl Telemetry {
         f.insert("failed".to_string(), failed.to_value());
         f.insert("wall_us".to_string(), micros(wall));
         self.emit("campaign_finished", f);
+    }
+
+    /// A grid worker completed the wire handshake and joined the campaign.
+    pub fn grid_worker_joined(&self, worker: u64, name: &str, peer: &str) {
+        let mut f = Map::new();
+        f.insert("worker".to_string(), worker.to_value());
+        f.insert("name".to_string(), Value::String(name.to_string()));
+        f.insert("peer".to_string(), Value::String(peer.to_string()));
+        self.emit("grid_worker_joined", f);
+    }
+
+    /// A cell was assigned to a grid worker over the wire.
+    pub fn grid_cell_assigned(&self, index: usize, worker: u64) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("worker".to_string(), worker.to_value());
+        self.emit("grid_cell_assigned", f);
+    }
+
+    /// A grid worker returned a cell result; `rtt` is assignment-to-result
+    /// wall time as the coordinator measured it.
+    pub fn grid_cell_result(&self, index: usize, worker: u64, rtt: Duration) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("worker".to_string(), worker.to_value());
+        f.insert("rtt_us".to_string(), micros(rtt));
+        self.emit("grid_cell_result", f);
+    }
+
+    /// A grid worker was evicted (disconnect or heartbeat timeout); its
+    /// in-flight cell, if any, goes back on the queue for reassignment.
+    pub fn grid_worker_evicted(&self, worker: u64, reassigned: Option<usize>, reason: &str) {
+        let mut f = Map::new();
+        f.insert("worker".to_string(), worker.to_value());
+        f.insert(
+            "reassigned_cell".to_string(),
+            match reassigned {
+                Some(i) => i.to_value(),
+                None => Value::Null,
+            },
+        );
+        f.insert("reason".to_string(), Value::String(reason.to_string()));
+        self.emit("grid_worker_evicted", f);
     }
 }
 
@@ -443,6 +555,56 @@ mod tests {
             events[2].get("event").and_then(Value::as_str),
             Some("campaign_finished")
         );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn forwarded_events_are_attributed_and_restamped() {
+        let path = scratch("forward");
+        let telemetry = Telemetry::to_file(&path).expect("create telemetry file");
+        // A remote worker's event, with its own clock.
+        let mut remote = Map::new();
+        remote.insert("event".to_string(), Value::String("cell_started".into()));
+        remote.insert("cell".to_string(), 3usize.to_value());
+        remote.insert("t_us".to_string(), Value::Number(Number::F64(42.0)));
+        telemetry.forward(7, &Value::Object(remote));
+        telemetry.forward(7, &Value::String("not an object".into()));
+        telemetry.sync();
+
+        let text = fs::read_to_string(&path).expect("read telemetry back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "non-object payloads are dropped");
+        let v: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("cell_started"));
+        assert_eq!(
+            v.get("worker")
+                .and_then(Value::as_number)
+                .map(Number::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            v.get("worker_t_us")
+                .and_then(Value::as_number)
+                .map(Number::as_f64),
+            Some(42.0),
+            "remote timestamp preserved under its own key"
+        );
+        assert!(v.get("t_us").is_some(), "restamped on the local clock");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_is_safe_on_every_sink_shape() {
+        Telemetry::disabled().sync();
+        let writer = Telemetry::to_writer(Box::new(crate::chaos::FailingWriter::after(0)));
+        writer.campaign_started(1, 1);
+        writer.sync();
+        let path = scratch("sync");
+        let file = Telemetry::to_file(&path).expect("create telemetry file");
+        file.campaign_started(1, 1);
+        file.sync();
+        let text = fs::read_to_string(&path).expect("synced file is readable");
+        assert!(text.contains("campaign_started"));
         let _ = fs::remove_file(&path);
     }
 

@@ -11,6 +11,10 @@
 //! mcd-cli campaign   resume --checkpoint FILE [--workers W] [--cache-dir DIR]
 //!                    [--telemetry FILE|-] [--deadline SECS] [--json]
 //! mcd-cli campaign   report [--cache-dir DIR] [--json]
+//! mcd-cli campaign   run --grid <addr> ...   # serve the campaign to TCP workers
+//! mcd-cli grid       serve --listen ADDR [sweep/cache/telemetry/checkpoint flags]
+//! mcd-cli grid       worker --connect ADDR [--name TAG] [--deadline SECS]
+//!                    [--heartbeat SECS]
 //! mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] [--instructions N]
 //!                    [--model xscale|transmeta]
 //! mcd-cli trace      <benchmark> [--instructions N] [--seed S] [--out FILE]
@@ -22,6 +26,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use mcd::core::{run_benchmark, ExperimentConfig};
+use mcd::grid::{GridCampaign, GridWorker};
 use mcd::harness::{
     parse_model, BenchSnapshot, Campaign, CampaignReport, CampaignRollup, CampaignSpec,
     CellOutcome, ResultCache, Telemetry, ROLLUP_FILE,
@@ -47,6 +52,9 @@ fn usage() -> ! {
          [--checkpoint FILE] [--deadline SECS] [--json]\n  mcd-cli campaign resume \
          --checkpoint FILE [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
          [--deadline SECS] [--json]\n  mcd-cli campaign report [--cache-dir DIR] [--json]\n  \
+         mcd-cli campaign run --grid ADDR [sweep/cache/telemetry/checkpoint flags]\n  \
+         mcd-cli grid serve --listen ADDR [sweep/cache/telemetry/checkpoint flags]\n  \
+         mcd-cli grid worker --connect ADDR [--name TAG] [--deadline SECS] [--heartbeat SECS]\n  \
          mcd-cli bench snapshot [--out FILE] \
          [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta]\n  \
          mcd-cli trace <benchmark> [--instructions N] [--seed S] [--out FILE] \
@@ -126,6 +134,7 @@ fn main() {
         "analyze" => cmd_analyze(parse_opts(&args[1..])),
         "experiment" => cmd_experiment(parse_opts(&args[1..])),
         "campaign" => cmd_campaign(&args[1..]),
+        "grid" => cmd_grid(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         _ => usage(),
@@ -213,6 +222,7 @@ struct CampaignOpts {
     telemetry: Option<String>,
     checkpoint: Option<String>,
     deadline: Option<Duration>,
+    grid: Option<String>,
     json: bool,
 }
 
@@ -224,6 +234,7 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
         telemetry: None,
         checkpoint: None,
         deadline: None,
+        grid: None,
         json: false,
     };
     let mut it = args.iter();
@@ -274,11 +285,172 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
                 }
                 opts.deadline = Some(Duration::from_secs_f64(secs))
             }
+            "--grid" => opts.grid = Some(value("--grid")),
             "--json" => opts.json = true,
             _ => usage(),
         }
     }
     opts
+}
+
+/// Opens the telemetry sink a campaign was asked for (`append` keeps one
+/// log narrating the whole campaign across interruptions).
+fn open_telemetry(spec: Option<&str>, append: bool) -> Telemetry {
+    match spec {
+        None => Telemetry::disabled(),
+        Some("-") => Telemetry::stderr(),
+        Some(path) if append => Telemetry::append_file(path.as_ref()).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            std::process::exit(1)
+        }),
+        Some(path) => Telemetry::to_file(path.as_ref()).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            std::process::exit(1)
+        }),
+    }
+}
+
+/// Serves a campaign to TCP workers: binds `addr`, streams cells to
+/// whoever connects, and reports like a local run. Used by both
+/// `campaign run --grid ADDR` and `grid serve --listen ADDR`.
+fn run_grid_campaign(addr: &str, resume: bool, opts: &CampaignOpts, cache: &ResultCache) -> ! {
+    if opts.workers != 0 {
+        eprintln!("note: --workers is ignored with --grid (workers are remote processes)");
+    }
+    if opts.deadline.is_some() {
+        eprintln!("note: --deadline is ignored with --grid (set it on each `grid worker`)");
+    }
+    let mut campaign = if resume {
+        let Some(path) = opts.checkpoint.clone() else {
+            eprintln!("campaign resume requires --checkpoint FILE");
+            usage()
+        };
+        let campaign = GridCampaign::from_checkpoint(path.as_ref()).unwrap_or_else(|e| {
+            eprintln!("cannot resume from {path}: {e}");
+            std::process::exit(2)
+        });
+        campaign.checkpoint(path)
+    } else {
+        let mut campaign = GridCampaign::new(opts.spec.clone());
+        if let Some(path) = &opts.checkpoint {
+            campaign = campaign.checkpoint(path);
+        }
+        campaign
+    };
+    campaign = campaign.interrupt(install_sigint());
+    let server = campaign.bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot listen on {addr}: {e}");
+        std::process::exit(1)
+    });
+    match server.local_addr() {
+        Ok(bound) => eprintln!("grid coordinator listening on {bound}"),
+        Err(_) => eprintln!("grid coordinator listening on {addr}"),
+    }
+    let telemetry = open_telemetry(opts.telemetry.as_deref(), resume);
+    let report = server.run(cache, &telemetry).unwrap_or_else(|e| {
+        eprintln!("grid campaign failed: {e}");
+        std::process::exit(2)
+    });
+    std::process::exit(report_campaign(&report, opts))
+}
+
+fn cmd_grid(args: &[String]) {
+    let Some(verb) = args.first() else { usage() };
+    match verb.as_str() {
+        "serve" => {
+            // `grid serve --listen ADDR` is `campaign run --grid ADDR`
+            // under a name that reads naturally on the coordinator host.
+            let mut listen = None;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                if flag == "--listen" {
+                    listen = it.next().cloned();
+                    if listen.is_none() {
+                        eprintln!("missing value for --listen");
+                        usage()
+                    }
+                } else {
+                    rest.push(flag.clone());
+                }
+            }
+            let Some(addr) = listen else {
+                eprintln!("grid serve requires --listen ADDR");
+                usage()
+            };
+            let opts = parse_campaign_opts(&rest);
+            let cache = ResultCache::open(&opts.cache_dir).unwrap_or_else(|e| {
+                eprintln!("cannot open cache dir {}: {e}", opts.cache_dir);
+                std::process::exit(1)
+            });
+            run_grid_campaign(&addr, false, &opts, &cache)
+        }
+        "worker" => cmd_grid_worker(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_grid_worker(args: &[String]) {
+    let mut connect: Option<String> = None;
+    let mut name = format!("worker-{}", std::process::id());
+    let mut deadline: Option<Duration> = None;
+    let mut heartbeat: Option<Duration> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        let secs = |name: &str, raw: String| -> Duration {
+            let secs: f64 = raw.parse().unwrap_or_else(|_| usage());
+            if !secs.is_finite() || secs <= 0.0 {
+                eprintln!("{name} must be a positive number of seconds");
+                usage()
+            }
+            Duration::from_secs_f64(secs)
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect")),
+            "--name" => name = value("--name"),
+            "--deadline" => deadline = Some(secs("--deadline", value("--deadline"))),
+            "--heartbeat" => heartbeat = Some(secs("--heartbeat", value("--heartbeat"))),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("grid worker requires --connect ADDR");
+        usage()
+    };
+    let mut worker = GridWorker::connect(addr.clone()).name(&name);
+    if let Some(d) = deadline {
+        worker = worker.deadline(d);
+    }
+    if let Some(h) = heartbeat {
+        worker = worker.heartbeat_interval(h);
+    }
+    eprintln!("grid worker {name}: connecting to {addr}");
+    match worker.run() {
+        Ok(summary) => {
+            eprintln!(
+                "grid worker {name}: {} cells over {} session(s), {}",
+                summary.cells,
+                summary.sessions,
+                if summary.drained {
+                    "coordinator drained (campaign interrupted)"
+                } else {
+                    "campaign complete"
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("grid worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The campaign interrupt flag shared with the SIGINT handler. The handler
@@ -380,6 +552,9 @@ fn cmd_campaign(args: &[String]) {
     });
     match verb.as_str() {
         "run" | "resume" => {
+            if let Some(addr) = opts.grid.clone() {
+                run_grid_campaign(&addr, verb == "resume", &opts, &cache)
+            }
             let mut campaign = if verb == "resume" {
                 // Resume rebuilds the whole campaign from the manifest: the
                 // spec is embedded, sweep flags are ignored.
@@ -405,21 +580,7 @@ fn cmd_campaign(args: &[String]) {
                 campaign = campaign.deadline(deadline);
             }
             campaign = campaign.interrupt(install_sigint());
-            let telemetry = match opts.telemetry.as_deref() {
-                None => Telemetry::disabled(),
-                Some("-") => Telemetry::stderr(),
-                // Resume appends (after repairing any torn tail) so one
-                // log narrates the whole campaign across interruptions.
-                Some(path) if verb == "resume" => Telemetry::append_file(path.as_ref())
-                    .unwrap_or_else(|e| {
-                        eprintln!("cannot open telemetry file {path}: {e}");
-                        std::process::exit(1)
-                    }),
-                Some(path) => Telemetry::to_file(path.as_ref()).unwrap_or_else(|e| {
-                    eprintln!("cannot open telemetry file {path}: {e}");
-                    std::process::exit(1)
-                }),
-            };
+            let telemetry = open_telemetry(opts.telemetry.as_deref(), verb == "resume");
             let report = campaign.run(&cache, &telemetry).unwrap_or_else(|e| {
                 eprintln!("campaign failed: {e}");
                 std::process::exit(2)

@@ -19,6 +19,9 @@
 //! * [`core`] — the five machine configurations and the experiment driver;
 //! * [`harness`] — the parallel campaign engine (sweeps, result cache,
 //!   worker pool, fault isolation, JSONL telemetry);
+//! * [`grid`] — distributed campaign execution (TCP coordinator/worker
+//!   sharding with deterministic assembly and fault-tolerant
+//!   reassignment);
 //! * [`trace`] — the observability layer (per-domain event sinks,
 //!   run traces, Chrome trace_event export).
 //!
@@ -38,6 +41,7 @@
 pub mod golden;
 
 pub use mcd_core as core;
+pub use mcd_grid as grid;
 pub use mcd_harness as harness;
 pub use mcd_offline as offline;
 pub use mcd_pipeline as pipeline;
