@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the §3.2 off-line analysis kernels — the paths
+//! reworked by the CSR-arena / worklist-shaker / thread-fan-out overhaul.
+//!
+//! One real trace (gcc on the baseline MCD machine) is collected once, and
+//! each kernel of the pipeline is measured in isolation over it:
+//!
+//! - `offline/dag_build`: trace → per-interval dependence DAGs in the CSR
+//!   arena layout.
+//! - `offline/shaker`: the worklist shaker over every interval (serial,
+//!   with scratch reuse), the dominant analysis cost.
+//! - `offline/prepare_slack`: both of the above end to end — the
+//!   θ-independent half of the tool.
+//! - `offline/cluster`: histogram clustering into per-domain schedules for
+//!   θ = 5 %, the θ-dependent half.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcd_offline::{
+    build_interval_dags, cluster_schedule, prepare_slack, run_shaker_with, AnalysisScratch,
+    OfflineConfig,
+};
+use mcd_pipeline::{simulate, InstrTrace, MachineConfig, PipelineConfig};
+use mcd_time::{DvfsModel, Femtos};
+use mcd_workload::suites;
+
+const N: u64 = 40_000;
+
+/// One full-speed traced run, shared by every group (collected once).
+fn traced_run() -> (Vec<InstrTrace>, PipelineConfig) {
+    let mut machine = MachineConfig::baseline_mcd(mcd_bench::SEED);
+    machine.collect_trace = true;
+    let profile = suites::by_name("gcc").expect("known benchmark");
+    let run = simulate(&machine, &profile, N);
+    let trace = run.trace.expect("trace was requested");
+    (trace, machine.pipeline)
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let (trace, pcfg) = traced_run();
+    let cfg = OfflineConfig::paper(0.05, DvfsModel::XScale);
+    let interval_len =
+        Femtos::from_femtos(cfg.interval_cycles * cfg.base_frequency.period().as_femtos());
+
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+
+    group.bench_function("dag_build_gcc_40k", |b| {
+        b.iter(|| {
+            black_box(build_interval_dags(
+                &trace,
+                &pcfg,
+                interval_len,
+                cfg.power,
+                cfg.scale_front_end,
+            ))
+        })
+    });
+
+    group.bench_function("shaker_gcc_40k", |b| {
+        let dags = build_interval_dags(&trace, &pcfg, interval_len, cfg.power, cfg.scale_front_end);
+        let mut scratch = AnalysisScratch::new();
+        b.iter(|| {
+            let mut dags = dags.clone();
+            for dag in dags.iter_mut() {
+                black_box(run_shaker_with(
+                    dag,
+                    &cfg.shaker,
+                    cfg.base_frequency,
+                    &mut scratch,
+                ));
+            }
+        })
+    });
+
+    group.bench_function("prepare_slack_gcc_40k", |b| {
+        b.iter(|| black_box(prepare_slack(&trace, &pcfg, &cfg)))
+    });
+
+    group.bench_function("cluster_gcc_40k", |b| {
+        let slack = prepare_slack(&trace, &pcfg, &cfg);
+        b.iter(|| black_box(cluster_schedule(&slack, &cfg)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

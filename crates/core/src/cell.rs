@@ -10,14 +10,88 @@
 //! campaign harness go through this one code path.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use mcd_offline::{cluster_schedule, prepare_slack, AnalysisOutput, SlackProfile};
+use mcd_offline::{
+    cluster_schedule, prepare_slack_threads, slack_cache_key_material, AnalysisOutput, SlackProfile,
+};
 use mcd_pipeline::{simulate, DomainId, MachineConfig, PipelineConfig, RunResult, ScheduleEntry};
 use mcd_time::{Femtos, Frequency, FrequencyGrid, VfTable};
 use mcd_workload::BenchmarkProfile;
 
 use crate::experiment::ExperimentConfig;
 use crate::metrics::Metrics;
+
+/// Cross-process persistence hook for shaker slack profiles.
+///
+/// The session asks the store for a serialized [`SlackProfile`] before
+/// running the expensive shaker pass, and offers the freshly computed
+/// profile back afterwards. Keys are the canonical JSON key material from
+/// [`mcd_offline::slack_cache_key_material`]; implementations are expected
+/// to hash it themselves. A store must look infallible from the session's
+/// side: load errors degrade to a miss (`None`), store errors are absorbed
+/// (the in-memory profile is still good). `Send + Sync` because the
+/// campaign harness shares one store across worker threads (and hands it to
+/// watchdog-monitored attempt threads).
+pub trait SlackStore: Send + Sync {
+    /// Returns the serialized profile stored under `key_material`, if any.
+    fn load(&self, key_material: &str) -> Option<String>;
+    /// Persists `payload` under `key_material`.
+    fn store(&self, key_material: &str, payload: &str);
+}
+
+/// Session execution options: analysis fan-out and slack-profile reuse.
+///
+/// Every option is results-neutral — the produced [`CellResult`]s and
+/// [`RunResult`]s are byte-identical for any combination (that is the
+/// contract [`mcd_offline::prepare_slack_threads`] and [`SlackStore`] are
+/// held to).
+#[derive(Clone)]
+pub struct RunOptions {
+    /// Shaker analysis threads: `1` (the default) is the serial path with
+    /// no threads spawned, `0` means one thread per available core,
+    /// matching the harness's worker convention.
+    pub analysis_threads: usize,
+    /// Optional cross-process slack-profile store.
+    pub slack_store: Option<Arc<dyn SlackStore>>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            analysis_threads: 1,
+            slack_store: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("analysis_threads", &self.analysis_threads)
+            .field("slack_store", &self.slack_store.is_some())
+            .finish()
+    }
+}
+
+/// Wall-time breakdown of a session's work by pipeline phase.
+///
+/// Spans accumulate as cells force their shared intermediates, so after the
+/// paper's five cells the four fields partition essentially all of the
+/// session's compute time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// The traced baseline-MCD run (§3.2 trace collection).
+    pub trace_run: Duration,
+    /// The off-line slack analysis (DAG build + shaker) — or the cache
+    /// round-trip that replaced it.
+    pub slack: Duration,
+    /// Clustering and schedule emission, over all refinement iterations.
+    pub cluster: Duration,
+    /// Every other simulator run: baseline, dynamic, probes, global search.
+    pub simulate: Duration,
+}
 
 /// One of the paper's machine configurations, as an independent cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,32 +152,58 @@ pub(crate) fn metrics_of(cfg: &ExperimentConfig, run: &RunResult) -> Metrics {
 pub struct BenchmarkSession<'a> {
     profile: &'a BenchmarkProfile,
     cfg: &'a ExperimentConfig,
+    options: RunOptions,
+    phases: PhaseTimes,
     baseline: Option<RunResult>,
     mcd: Option<(PipelineConfig, RunResult)>,
     slack: Option<SlackProfile>,
     /// Refined dynamic runs, keyed by θ's bit pattern.
     dynamic: Vec<(u64, AnalysisOutput, RunResult)>,
     global: Option<(Frequency, RunResult)>,
+    /// Full-schedule runs already simulated, shared across θ targets and
+    /// refinement iterations (a run is a pure function of its schedule
+    /// here: seed, model, workload and length are fixed per session).
+    run_memo: HashMap<Vec<ScheduleEntry>, RunResult>,
+    /// Single-domain probe times, same sharing.
+    probe_memo: HashMap<Vec<ScheduleEntry>, Femtos>,
 }
 
 impl<'a> BenchmarkSession<'a> {
     /// Creates a lazy session; nothing is simulated until a cell is asked
     /// for.
     pub fn new(profile: &'a BenchmarkProfile, cfg: &'a ExperimentConfig) -> Self {
+        Self::with_options(profile, cfg, RunOptions::default())
+    }
+
+    /// [`BenchmarkSession::new`] with explicit execution options.
+    pub fn with_options(
+        profile: &'a BenchmarkProfile,
+        cfg: &'a ExperimentConfig,
+        options: RunOptions,
+    ) -> Self {
         BenchmarkSession {
             profile,
             cfg,
+            options,
+            phases: PhaseTimes::default(),
             baseline: None,
             mcd: None,
             slack: None,
             dynamic: Vec::new(),
             global: None,
+            run_memo: HashMap::new(),
+            probe_memo: HashMap::new(),
         }
     }
 
     /// The benchmark this session runs.
     pub fn profile(&self) -> &BenchmarkProfile {
         self.profile
+    }
+
+    /// Accumulated wall time per pipeline phase so far.
+    pub fn phases(&self) -> PhaseTimes {
+        self.phases
     }
 
     /// Computes (or returns the memoized) result for one cell.
@@ -164,8 +264,10 @@ impl<'a> BenchmarkSession<'a> {
     /// The single-clock 1 GHz baseline run.
     pub fn baseline_run(&mut self) -> &RunResult {
         if self.baseline.is_none() {
+            let started = Instant::now();
             let machine = MachineConfig::baseline(self.cfg.seed);
             self.baseline = Some(simulate(&machine, self.profile, self.cfg.instructions));
+            self.phases.simulate += started.elapsed();
         }
         self.baseline.as_ref().expect("just computed")
     }
@@ -187,12 +289,13 @@ impl<'a> BenchmarkSession<'a> {
         if self.global.is_none() {
             let i = self.ensure_dynamic(0.05);
             let target_time = self.dynamic[i].2.total_time;
-            let baseline_time = self.baseline_run().total_time;
+            let baseline = self.baseline_run().clone();
             self.global = Some(search_global(
                 self.profile,
                 self.cfg,
                 target_time,
-                baseline_time,
+                &baseline,
+                &mut self.phases,
             ));
         }
         self.global.as_ref().expect("just computed")
@@ -200,21 +303,60 @@ impl<'a> BenchmarkSession<'a> {
 
     fn ensure_mcd(&mut self) {
         if self.mcd.is_none() {
+            let started = Instant::now();
             let mut machine = MachineConfig::baseline_mcd(self.cfg.seed);
             machine.collect_trace = true;
             let run = simulate(&machine, self.profile, self.cfg.instructions);
             self.mcd = Some((machine.pipeline, run));
+            self.phases.trace_run += started.elapsed();
         }
     }
 
     fn ensure_slack(&mut self) {
         self.ensure_mcd();
-        if self.slack.is_none() {
-            let (pipeline, run) = self.mcd.as_ref().expect("just ensured");
-            let trace = run.trace.as_ref().expect("trace requested");
-            let slack = prepare_slack(trace, pipeline, &self.cfg.offline);
-            self.slack = Some(slack);
+        if self.slack.is_some() {
+            return;
         }
+        let started = Instant::now();
+        let (pipeline, run) = self.mcd.as_ref().expect("just ensured");
+        let trace = run.trace.as_ref().expect("trace requested");
+        let key = self.options.slack_store.as_ref().map(|_| {
+            slack_cache_key_material(
+                self.profile,
+                self.cfg.seed,
+                self.cfg.instructions,
+                pipeline,
+                &self.cfg.offline,
+            )
+        });
+        let loaded = match (&self.options.slack_store, &key) {
+            (Some(store), Some(key)) => store
+                .load(key)
+                .and_then(|payload| serde_json::from_str::<SlackProfile>(&payload).ok())
+                // The key pins every input, so a mismatch here means a
+                // corrupt or foreign payload: degrade to a recompute.
+                .filter(|p| p.scale_front_end == self.cfg.offline.scale_front_end),
+            _ => None,
+        };
+        let slack = match loaded {
+            Some(profile) => profile,
+            None => {
+                let profile = prepare_slack_threads(
+                    trace,
+                    pipeline,
+                    &self.cfg.offline,
+                    self.options.analysis_threads,
+                );
+                if let (Some(store), Some(key)) = (&self.options.slack_store, &key) {
+                    if let Ok(payload) = serde_json::to_string(&profile) {
+                        store.store(key, &payload);
+                    }
+                }
+                profile
+            }
+        };
+        self.slack = Some(slack);
+        self.phases.slack += started.elapsed();
     }
 
     fn ensure_dynamic(&mut self, theta: f64) -> usize {
@@ -224,8 +366,16 @@ impl<'a> BenchmarkSession<'a> {
         }
         self.ensure_slack();
         let mcd_time = self.mcd.as_ref().expect("ensured").1.total_time;
-        let slack = self.slack.as_ref().expect("ensured");
-        let (analysis, run) = refine_dynamic(self.profile, self.cfg, slack, theta, mcd_time);
+        let (analysis, run) = refine_dynamic(
+            self.profile,
+            self.cfg,
+            self.slack.as_ref().expect("ensured"),
+            theta,
+            mcd_time,
+            &mut self.run_memo,
+            &mut self.probe_memo,
+            &mut self.phases,
+        );
         self.dynamic.push((key, analysis, run));
         self.dynamic.len() - 1
     }
@@ -261,12 +411,22 @@ pub fn run_cell(
 /// Only the cheap clustering pass re-runs per refinement iteration; the
 /// shaker's slack profile is shared across iterations *and* across θ
 /// targets.
+///
+/// The two memo tables live in the session so identical schedules are
+/// simulated once per session, not once per θ target (budget clamps
+/// saturate, so the θ = 1 % and θ = 5 % refinements regularly regenerate
+/// the same full or per-domain probe schedule — a run is a pure function of
+/// its schedule here, with seed, model, workload and length fixed).
+#[allow(clippy::too_many_arguments)]
 fn refine_dynamic(
     profile: &BenchmarkProfile,
     cfg: &ExperimentConfig,
     slack: &SlackProfile,
     theta: f64,
     mcd_time: Femtos,
+    run_memo: &mut HashMap<Vec<ScheduleEntry>, RunResult>,
+    probe_memo: &mut HashMap<Vec<ScheduleEntry>, Femtos>,
+    phases: &mut PhaseTimes,
 ) -> (AnalysisOutput, RunResult) {
     let mut off = cfg.offline.clone();
     off.dilation_target = theta;
@@ -278,24 +438,22 @@ fn refine_dynamic(
     let weights = [0.0, 0.40, 0.25, 0.35];
     let mut scale = [1.0f64; DomainId::COUNT];
     let mut best: Option<(AnalysisOutput, RunResult)> = None;
-    // Budget clamps saturate, so successive iterations regularly regenerate
-    // a schedule (full or per-domain probe) already simulated this call.
-    // A run is a pure function of its schedule here — seed, model, workload
-    // and length are fixed — so identical schedules are simulated once.
-    let mut run_memo: HashMap<Vec<ScheduleEntry>, RunResult> = HashMap::new();
-    let mut probe_memo: HashMap<Vec<ScheduleEntry>, Femtos> = HashMap::new();
     for iter in 0..3 {
         for (i, s) in off.budget_safety.iter_mut().enumerate() {
             *s = (base_safety[i] * scale[i]).clamp(0.02, 5.0);
         }
+        let started = Instant::now();
         let analysis = cluster_schedule(slack, &off);
+        phases.cluster += started.elapsed();
         let key = analysis.schedule.entries().to_vec();
         let run = match run_memo.get(&key) {
             Some(run) => run.clone(),
             None => {
+                let started = Instant::now();
                 let machine =
                     MachineConfig::dynamic(cfg.seed, cfg.model, analysis.schedule.clone());
                 let run = simulate(&machine, profile, cfg.instructions);
+                phases.simulate += started.elapsed();
                 run_memo.insert(key, run.clone());
                 run
             }
@@ -322,12 +480,14 @@ fn refine_dynamic(
             let probe_time = match probe_memo.get(&entries) {
                 Some(t) => *t,
                 None => {
+                    let started = Instant::now();
                     let machine = MachineConfig::dynamic(
                         cfg.seed,
                         cfg.model,
                         mcd_pipeline::FrequencySchedule::from_entries(entries.clone()),
                     );
                     let run_d = simulate(&machine, profile, cfg.instructions);
+                    phases.simulate += started.elapsed();
                     probe_memo.insert(entries, run_d.total_time);
                     run_d.total_time
                 }
@@ -353,17 +513,32 @@ fn search_global(
     profile: &BenchmarkProfile,
     cfg: &ExperimentConfig,
     target_time: Femtos,
-    baseline_time: Femtos,
+    baseline: &RunResult,
+    phases: &mut PhaseTimes,
 ) -> (Frequency, RunResult) {
     let grid = FrequencyGrid::new(VfTable::paper(), 32);
-    if target_time <= baseline_time {
-        // Dynamic-5 % was not slower: global cannot scale at all.
-        let f = grid.points().last().expect("non-empty grid").frequency;
+    // `MachineConfig::global(seed, 1 GHz)` is the baseline machine under
+    // another name — one domain, full speed, no schedule — so the session's
+    // baseline run *is* that simulation, byte for byte (asserted by
+    // `global_at_base_frequency_is_the_baseline_run`). Reusing it saves a
+    // full simulation whenever the search touches the top of the grid.
+    let run_at = |f: Frequency, phases: &mut PhaseTimes| -> RunResult {
+        if f == Frequency::GHZ {
+            return baseline.clone();
+        }
+        let started = Instant::now();
         let run = simulate(
             &MachineConfig::global(cfg.seed, f),
             profile,
             cfg.instructions,
         );
+        phases.simulate += started.elapsed();
+        run
+    };
+    if target_time <= baseline.total_time {
+        // Dynamic-5 % was not slower: global cannot scale at all.
+        let f = grid.points().last().expect("non-empty grid").frequency;
+        let run = run_at(f, phases);
         return (f, run);
     }
     // Run time decreases monotonically with frequency: bisect the grid.
@@ -371,24 +546,21 @@ fn search_global(
     let mut hi = grid.len() - 1;
     let mut probed = Vec::new();
     let mut best: Option<(u64, Frequency, RunResult)> = None;
-    let consider = |i: usize, best: &mut Option<(u64, Frequency, RunResult)>| -> bool {
-        let f = grid.point(i).frequency;
-        let run = simulate(
-            &MachineConfig::global(cfg.seed, f),
-            profile,
-            cfg.instructions,
-        );
-        let err = run.total_time.as_femtos().abs_diff(target_time.as_femtos());
-        let slower = run.total_time > target_time;
-        if best.as_ref().map(|(e, _, _)| err < *e).unwrap_or(true) {
-            *best = Some((err, f, run));
-        }
-        slower
-    };
+    let consider =
+        |i: usize, best: &mut Option<(u64, Frequency, RunResult)>, phases: &mut PhaseTimes| {
+            let f = grid.point(i).frequency;
+            let run = run_at(f, phases);
+            let err = run.total_time.as_femtos().abs_diff(target_time.as_femtos());
+            let slower = run.total_time > target_time;
+            if best.as_ref().map(|(e, _, _)| err < *e).unwrap_or(true) {
+                *best = Some((err, f, run));
+            }
+            slower
+        };
     while lo < hi {
         let mid = (lo + hi) / 2;
         probed.push(mid);
-        if consider(mid, &mut best) {
+        if consider(mid, &mut best, phases) {
             // Too slow: need a higher frequency.
             lo = mid + 1;
         } else {
@@ -399,7 +571,7 @@ fn search_global(
     // on the last step); a repeat probe is an identical run whose error
     // cannot beat its own strict minimum, so skip it.
     if !probed.contains(&lo) {
-        consider(lo, &mut best);
+        consider(lo, &mut best, phases);
     }
     let (_, f, run) = best.expect("at least one probe ran");
     (f, run)
@@ -437,5 +609,90 @@ mod tests {
         assert_eq!(CellConfig::Baseline.label(), "baseline");
         assert_eq!(CellConfig::Dynamic { theta: 0.05 }.label(), "dynamic-5%");
         assert_eq!(CellConfig::GlobalMatched.label(), "global");
+    }
+
+    /// The load-bearing assumption behind `search_global`'s baseline reuse.
+    #[test]
+    fn global_at_base_frequency_is_the_baseline_run() {
+        let cfg = ExperimentConfig::paper(3, 8_000, DvfsModel::XScale);
+        let profile = suites::by_name("adpcm").expect("known benchmark");
+        let base = simulate(
+            &MachineConfig::baseline(cfg.seed),
+            &profile,
+            cfg.instructions,
+        );
+        let global = simulate(
+            &MachineConfig::global(cfg.seed, Frequency::GHZ),
+            &profile,
+            cfg.instructions,
+        );
+        assert_eq!(
+            serde_json::to_string(&base).unwrap(),
+            serde_json::to_string(&global).unwrap(),
+            "global(1 GHz) must be the baseline machine byte for byte"
+        );
+    }
+
+    /// Any fan-out, with or without a shared slack store, must produce the
+    /// exact cells the plain serial session does.
+    #[test]
+    fn run_options_are_results_neutral() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Store {
+            map: Mutex<HashMap<String, String>>,
+            loads: Mutex<usize>,
+            hits: Mutex<usize>,
+        }
+        impl SlackStore for Store {
+            fn load(&self, key: &str) -> Option<String> {
+                *self.loads.lock().unwrap() += 1;
+                let hit = self.map.lock().unwrap().get(key).cloned();
+                if hit.is_some() {
+                    *self.hits.lock().unwrap() += 1;
+                }
+                hit
+            }
+            fn store(&self, key: &str, payload: &str) {
+                self.map
+                    .lock()
+                    .unwrap()
+                    .insert(key.to_string(), payload.to_string());
+            }
+        }
+
+        let cfg = ExperimentConfig::paper(7, 12_000, DvfsModel::XScale);
+        let profile = suites::by_name("gcc").expect("known benchmark");
+        let render = |session: &mut BenchmarkSession| -> String {
+            let cells: Vec<String> = CellConfig::PAPER
+                .iter()
+                .map(|c| format!("{:?}", session.cell(*c)))
+                .collect();
+            cells.join("\n")
+        };
+
+        let mut plain = BenchmarkSession::new(&profile, &cfg);
+        let reference = render(&mut plain);
+
+        let store = Arc::new(Store::default());
+        for threads in [2usize, 8] {
+            let options = RunOptions {
+                analysis_threads: threads,
+                slack_store: Some(store.clone() as Arc<dyn SlackStore>),
+            };
+            let mut session = BenchmarkSession::with_options(&profile, &cfg, options);
+            assert_eq!(
+                render(&mut session),
+                reference,
+                "threads={threads} must not change any cell"
+            );
+        }
+        assert_eq!(*store.loads.lock().unwrap(), 2, "one probe per session");
+        assert_eq!(
+            *store.hits.lock().unwrap(),
+            1,
+            "the second session loads what the first stored"
+        );
     }
 }

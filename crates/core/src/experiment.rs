@@ -15,7 +15,7 @@ use mcd_power::PowerModel;
 use mcd_time::{DvfsModel, Frequency};
 use mcd_workload::BenchmarkProfile;
 
-use crate::cell::{BenchmarkSession, CellConfig};
+use crate::cell::{BenchmarkSession, CellConfig, RunOptions};
 use crate::metrics::Metrics;
 
 /// Experiment parameters shared by all benchmarks.
@@ -153,7 +153,25 @@ pub fn run_benchmark_observed(
     thetas: [f64; 2],
     observe: &mut dyn FnMut(&str, std::time::Duration),
 ) -> BenchmarkResults {
-    let mut session = BenchmarkSession::new(profile, cfg);
+    run_benchmark_with(profile, cfg, RunOptions::default(), thetas, observe)
+}
+
+/// [`run_benchmark_observed`] with explicit [`RunOptions`] (analysis
+/// fan-out, slack-profile store). Options are results-neutral: the returned
+/// [`BenchmarkResults`] are byte-identical for any options value.
+///
+/// Besides the five per-cell spans, `observe` also receives a wall-time
+/// breakdown by pipeline phase under the reserved `phase:` label prefix
+/// (`phase:trace-run`, `phase:slack`, `phase:cluster`, `phase:simulate`),
+/// emitted once after the last cell.
+pub fn run_benchmark_with(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    options: RunOptions,
+    thetas: [f64; 2],
+    observe: &mut dyn FnMut(&str, std::time::Duration),
+) -> BenchmarkResults {
+    let mut session = BenchmarkSession::with_options(profile, cfg, options);
     let mut timed = |session: &mut BenchmarkSession, cell: CellConfig| {
         let start = std::time::Instant::now();
         let result = session.cell(cell);
@@ -170,6 +188,12 @@ pub fn run_benchmark_observed(
     let dynamic1 = timed(&mut session, CellConfig::Dynamic { theta: thetas[0] }).metrics;
     let dyn5 = timed(&mut session, CellConfig::Dynamic { theta: thetas[1] });
     let global_cell = timed(&mut session, CellConfig::GlobalMatched);
+
+    let phases = session.phases();
+    observe("phase:trace-run", phases.trace_run);
+    observe("phase:slack", phases.slack);
+    observe("phase:cluster", phases.cluster);
+    observe("phase:simulate", phases.simulate);
 
     let baseline_ipc = session.baseline_run().ipc();
     let analysis5 = session.analysis(thetas[1]);

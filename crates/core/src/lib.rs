@@ -14,9 +14,12 @@ pub mod experiment;
 pub mod metrics;
 pub mod report;
 
-pub use cell::{run_cell, BenchmarkSession, CellConfig, CellResult};
+pub use cell::{
+    run_cell, BenchmarkSession, CellConfig, CellResult, PhaseTimes, RunOptions, SlackStore,
+};
 pub use experiment::{
-    run_benchmark, run_benchmark_observed, BenchmarkResults, DomainSummary, ExperimentConfig,
+    run_benchmark, run_benchmark_observed, run_benchmark_with, BenchmarkResults, DomainSummary,
+    ExperimentConfig,
 };
 pub use metrics::Metrics;
 pub use report::{average, format_percent_table, to_csv, PercentRow};

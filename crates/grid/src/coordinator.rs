@@ -331,6 +331,9 @@ impl GridServer {
                     key,
                     outcome,
                     elapsed,
+                    // The wire format carries outcomes only; worker-side
+                    // phase spans are not attributed back.
+                    phases: mcd_harness::CellPhases::default(),
                 }
             })
             .collect();

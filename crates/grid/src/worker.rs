@@ -25,6 +25,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use mcd_core::RunOptions;
 use mcd_harness::supervisor::{compute_cell, BackoffPolicy, ComputeContext};
 use mcd_harness::{CellOutcome, CellSource, FaultPlan, RetryPolicy, Telemetry};
 use serde::Value;
@@ -66,6 +67,7 @@ pub struct GridWorker {
     reconnect: BackoffPolicy,
     chaos: Arc<FaultPlan>,
     abort_after: Option<(u64, AbortMode)>,
+    analysis_threads: usize,
 }
 
 impl GridWorker {
@@ -82,6 +84,7 @@ impl GridWorker {
             reconnect: BackoffPolicy::default(),
             chaos: Arc::new(FaultPlan::none()),
             abort_after: None,
+            analysis_threads: 1,
         }
     }
 
@@ -115,6 +118,14 @@ impl GridWorker {
     /// connections.
     pub fn reconnect(mut self, policy: BackoffPolicy) -> GridWorker {
         self.reconnect = policy;
+        self
+    }
+
+    /// Sets the off-line analysis fan-out inside each assigned cell
+    /// (`1` = serial, `0` = one thread per core). Results-neutral: the
+    /// wire bytes sent back are identical for any value.
+    pub fn analysis_threads(mut self, threads: usize) -> GridWorker {
+        self.analysis_threads = threads;
         self
     }
 
@@ -267,6 +278,10 @@ impl GridWorker {
                             }
                         })
                     };
+                    let options = RunOptions {
+                        analysis_threads: self.analysis_threads,
+                        slack_store: None,
+                    };
                     let ctx = ComputeContext {
                         index,
                         cell: &spec,
@@ -274,8 +289,12 @@ impl GridWorker {
                         chaos: &self.chaos,
                         retry: self.retry,
                         deadline: self.deadline,
+                        options: &options,
                     };
-                    let outcome = compute_cell(&ctx);
+                    // Phases stay worker-local: the mcd-grid-wire/1 frame
+                    // carries outcomes only, so grid-computed cells report
+                    // a zero phase breakdown in snapshots.
+                    let (outcome, _phases) = compute_cell(&ctx);
                     let _ = heartbeat_stop.send(());
                     let _ = heartbeat.join();
                     match &outcome {

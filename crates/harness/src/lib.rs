@@ -39,6 +39,7 @@ pub mod error;
 pub mod pool;
 pub mod retry;
 pub mod rollup;
+pub mod slack;
 pub mod snapshot;
 pub mod spec;
 pub mod supervisor;
@@ -49,7 +50,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mcd_core::BenchmarkResults;
+use mcd_core::{BenchmarkResults, RunOptions};
 
 pub use cache::{CacheKey, CacheProbe, ResultCache, CACHE_FORMAT_VERSION, QUARANTINE_DIR};
 pub use chaos::{Fault, FaultPlan};
@@ -60,6 +61,7 @@ pub use rollup::{
     BenchmarkRollup, CampaignRollup, GridRollup, StallCauseCount, WorkerRollup, ROLLUP_FILE,
     ROLLUP_SCHEMA,
 };
+pub use slack::{SlackCacheStats, SlackDiskCache, SLACK_CACHE_DIR};
 pub use snapshot::{BenchSnapshot, CellTiming, SNAPSHOT_SCHEMA};
 pub use spec::{parse_model, CampaignSpec, CellSpec, SpecError};
 pub use supervisor::BackoffPolicy;
@@ -100,6 +102,39 @@ impl CellOutcome {
     }
 }
 
+/// Wall time a computed cell spent in each §3.2 pipeline phase, collected
+/// from the driver's `phase:` observer labels. Cached cells report zero
+/// (nothing ran); the four spans do not sum to the cell's `elapsed` —
+/// metrics assembly and supervision overhead sit outside them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellPhases {
+    /// Full-speed traced run feeding the off-line analysis.
+    pub trace_run: Duration,
+    /// DAG construction + shaker slack analysis (both dilation targets).
+    pub slack: Duration,
+    /// Greedy clustering of per-domain histograms into schedules.
+    pub cluster: Duration,
+    /// Every dynamic-run simulation (schedule refinement, probes, the
+    /// global-frequency search, and the five configuration runs).
+    pub simulate: Duration,
+}
+
+impl CellPhases {
+    /// Accumulates a `phase:`-labelled observer span into the matching
+    /// field; returns `false` (and does nothing) for any other label.
+    pub fn record(&mut self, stage: &str, span: Duration) -> bool {
+        let slot = match stage {
+            "phase:trace-run" => &mut self.trace_run,
+            "phase:slack" => &mut self.slack,
+            "phase:cluster" => &mut self.cluster,
+            "phase:simulate" => &mut self.simulate,
+            _ => return false,
+        };
+        *slot += span;
+        true
+    }
+}
+
 /// One cell's record in a [`CampaignReport`].
 #[derive(Debug, Clone)]
 pub struct CellReport {
@@ -111,6 +146,9 @@ pub struct CellReport {
     pub outcome: CellOutcome,
     /// Wall time spent on this cell (cache probe included).
     pub elapsed: Duration,
+    /// Pipeline-phase breakdown (zero unless the cell was computed
+    /// locally this run).
+    pub phases: CellPhases,
 }
 
 /// Everything a finished campaign produced, in cell (spec-expansion) order.
@@ -186,6 +224,7 @@ pub struct Campaign {
     checkpoint: Option<PathBuf>,
     chaos: Arc<FaultPlan>,
     interrupt: Option<Arc<AtomicBool>>,
+    analysis_threads: usize,
 }
 
 impl Campaign {
@@ -201,6 +240,7 @@ impl Campaign {
             checkpoint: None,
             chaos: Arc::new(FaultPlan::none()),
             interrupt: None,
+            analysis_threads: 1,
         }
     }
 
@@ -246,6 +286,15 @@ impl Campaign {
     /// restarted run continues where the last one stopped.
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Campaign {
         self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the off-line analysis fan-out inside each cell (`1` = serial,
+    /// `0` = one thread per core). Results-neutral: any value produces
+    /// byte-identical cell results — this only trades cell latency against
+    /// cross-cell parallelism when workers already saturate the cores.
+    pub fn analysis_threads(mut self, threads: usize) -> Campaign {
+        self.analysis_threads = threads;
         self
     }
 
@@ -309,6 +358,20 @@ impl Campaign {
             .clone()
             .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
 
+        // Slack profiles are results-neutral and expensive, so campaigns
+        // always share them across processes through a content-addressed
+        // store beside the result cache. Best-effort: a cache directory
+        // that cannot be created just means recomputing slack.
+        let slack = SlackDiskCache::open(cache.dir().join(SLACK_CACHE_DIR))
+            .ok()
+            .map(Arc::new);
+        let options = RunOptions {
+            analysis_threads: self.analysis_threads,
+            slack_store: slack
+                .as_ref()
+                .map(|s| Arc::clone(s) as Arc<dyn mcd_core::SlackStore>),
+        };
+
         let slots = pool::run_indexed_until(workers, cells.len(), &stop, |i| {
             let ctx = supervisor::CellContext {
                 index: i,
@@ -320,9 +383,10 @@ impl Campaign {
                 retry: self.retry,
                 backoff: self.backoff,
                 deadline: self.deadline,
+                options: &options,
                 stop: &stop,
             };
-            let (outcome, elapsed) = supervisor::run_cell(&ctx);
+            let (outcome, elapsed, phases) = supervisor::run_cell(&ctx);
             if outcome.result().is_some() {
                 if let Some(path) = &self.checkpoint {
                     let mut guard = manifest.lock().expect("checkpoint manifest poisoned");
@@ -336,7 +400,7 @@ impl Campaign {
                     }
                 }
             }
-            (outcome, elapsed)
+            (outcome, elapsed, phases)
         });
 
         let interrupted = stop.load(Ordering::SeqCst);
@@ -346,8 +410,8 @@ impl Campaign {
             .zip(slots)
             .enumerate()
             .map(|(i, ((cell, key), slot))| {
-                let (outcome, elapsed) = match slot {
-                    JobSlot::Done((outcome, elapsed)) => (outcome, elapsed),
+                let (outcome, elapsed, phases) = match slot {
+                    JobSlot::Done((outcome, elapsed, phases)) => (outcome, elapsed, phases),
                     JobSlot::Panicked(message) => {
                         // A panic that escaped the supervisor itself —
                         // contained to this cell, reported as a failure.
@@ -359,15 +423,19 @@ impl Campaign {
                                 deterministic: false,
                             }),
                             Duration::ZERO,
+                            CellPhases::default(),
                         )
                     }
-                    JobSlot::Unclaimed => (CellOutcome::Skipped, Duration::ZERO),
+                    JobSlot::Unclaimed => {
+                        (CellOutcome::Skipped, Duration::ZERO, CellPhases::default())
+                    }
                 };
                 CellReport {
                     cell,
                     key,
                     outcome,
                     elapsed,
+                    phases,
                 }
             })
             .collect();
@@ -377,10 +445,16 @@ impl Campaign {
             wall: start.elapsed(),
             interrupted,
         };
+        let slack_stats = slack.as_ref().map(|s| s.stats()).unwrap_or_default();
+        if slack_stats.loads > 0 || slack_stats.stores > 0 {
+            telemetry.slack_cache(slack_stats.loads, slack_stats.hits, slack_stats.stores);
+        }
         // Persist the aggregate view next to the result cache for
         // `mcd-cli campaign report`. Best-effort: losing the summary must
         // not fail a campaign whose results are already safe.
-        let _ = rollup::CampaignRollup::from_report(&report).save(&cache.dir().join(ROLLUP_FILE));
+        let _ = rollup::CampaignRollup::from_report(&report)
+            .with_slack(slack_stats)
+            .save(&cache.dir().join(ROLLUP_FILE));
         if interrupted {
             telemetry.campaign_interrupted(report.cached() + report.computed(), report.skipped());
         }

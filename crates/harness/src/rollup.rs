@@ -15,13 +15,13 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CampaignReport, CellOutcome};
+use crate::{CampaignReport, CellOutcome, SlackCacheStats};
 
-/// Schema tag embedded in every rollup document. v2: adds the
-/// per-benchmark breakdown and optional grid (distributed-execution)
-/// attribution; v1 documents no longer load (the rollup is derived data —
-/// rerunning the campaign regenerates it).
-pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/2";
+/// Schema tag embedded in every rollup document. v3: adds the
+/// slack-profile cache counters (v2 added the per-benchmark breakdown and
+/// grid attribution); older documents no longer load (the rollup is
+/// derived data — rerunning the campaign regenerates it).
+pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/3";
 
 /// File name the rollup is persisted under, inside the cache directory.
 pub const ROLLUP_FILE: &str = "campaign-rollup.json";
@@ -123,6 +123,13 @@ pub struct CampaignRollup {
     pub stall_causes: Vec<StallCauseCount>,
     /// Per-benchmark breakdown, in spec (figure) order.
     pub per_benchmark: Vec<BenchmarkRollup>,
+    /// Slack-profile store lookups (distinct from result-cache probes: a
+    /// slack hit skips the shaker pass inside a recomputed cell).
+    pub slack_loads: u64,
+    /// Slack-profile store lookups that returned a stored profile.
+    pub slack_hits: u64,
+    /// Slack profiles written to the store this run.
+    pub slack_stores: u64,
     /// Distributed-execution attribution (`None` for local campaigns).
     pub grid: Option<GridRollup>,
 }
@@ -223,6 +230,9 @@ impl CampaignRollup {
             cell_seconds_max: spans.last().copied().unwrap_or(0.0),
             stall_causes: causes,
             per_benchmark,
+            slack_loads: 0,
+            slack_hits: 0,
+            slack_stores: 0,
             grid: None,
         }
     }
@@ -230,6 +240,14 @@ impl CampaignRollup {
     /// Attaches grid (distributed-execution) attribution to the rollup.
     pub fn with_grid(mut self, grid: GridRollup) -> CampaignRollup {
         self.grid = Some(grid);
+        self
+    }
+
+    /// Attaches the slack-profile store counters to the rollup.
+    pub fn with_slack(mut self, stats: SlackCacheStats) -> CampaignRollup {
+        self.slack_loads = stats.loads;
+        self.slack_hits = stats.hits;
+        self.slack_stores = stats.stores;
         self
     }
 
@@ -278,6 +296,16 @@ impl CampaignRollup {
             "cache hit ratio",
             format!("{:.1}%", self.cache_hit_ratio * 100.0),
         );
+        if self.slack_loads > 0 || self.slack_stores > 0 {
+            row(
+                &mut out,
+                "slack profile cache",
+                format!(
+                    "{} hits / {} lookups, {} stored",
+                    self.slack_hits, self.slack_loads, self.slack_stores
+                ),
+            );
+        }
         row(&mut out, "wall", format!("{:.3} s", self.wall_seconds));
         row(
             &mut out,
@@ -356,7 +384,7 @@ impl CampaignRollup {
 mod tests {
     use super::*;
     use crate::retry::CellFailure;
-    use crate::{CacheKey, CellReport, CellSpec};
+    use crate::{CacheKey, CellPhases, CellReport, CellSpec};
     use mcd_time::DvfsModel;
     use std::time::Duration;
 
@@ -379,6 +407,7 @@ mod tests {
                 key: CacheKey::of(&cell(i as u64)),
                 outcome,
                 elapsed: Duration::from_millis(millis),
+                phases: CellPhases::default(),
             })
             .collect();
         CampaignReport {
@@ -515,6 +544,26 @@ mod tests {
         let table = roll.table();
         assert!(table.contains("grid"));
         assert!(table.contains("#1 w1@127.0.0.1:9"));
+    }
+
+    #[test]
+    fn slack_counters_round_trip_and_render() {
+        let r = report_with(vec![(computed(), 100)]);
+        let roll = CampaignRollup::from_report(&r).with_slack(SlackCacheStats {
+            loads: 3,
+            hits: 2,
+            stores: 1,
+        });
+        assert_eq!(
+            (roll.slack_loads, roll.slack_hits, roll.slack_stores),
+            (3, 2, 1)
+        );
+        let table = roll.table();
+        assert!(table.contains("slack profile cache"));
+        assert!(table.contains("2 hits / 3 lookups, 1 stored"));
+        // A campaign that never touched the store stays silent.
+        let quiet = CampaignRollup::from_report(&r);
+        assert!(!quiet.table().contains("slack profile cache"));
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Cross-process slack-profile store.
+//!
+//! The shaker pass is the most expensive piece of the off-line tool that
+//! is *independent of the dilation target*: a [`mcd_offline::SlackProfile`]
+//! depends only on the traced run and the shaker configuration, never on
+//! θ, the DVFS model's timing constants, or how many analysis threads
+//! computed it. That makes it safe to share across processes: a campaign,
+//! the serial driver and a grid worker all derive byte-identical profiles
+//! from the same key material, so serving a stored profile is
+//! results-neutral by construction.
+//!
+//! The store is content-addressed the same way the result cache is: the
+//! file name is the SHA-256 of the key material
+//! ([`mcd_core`]'s `SlackStore` keys come from
+//! `mcd_offline::slack_cache_key_material`, which embeds a format tag, the
+//! benchmark identity and the analysis-relevant configuration subset), and
+//! the file body carries its own payload digest so tampering or torn
+//! writes degrade to a miss, never to a wrong profile. Writes go through a
+//! temp file + atomic rename, so concurrent writers and crashes leave
+//! either the old bytes or the new bytes, both of which decode to the same
+//! profile.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcd_core::SlackStore;
+
+use crate::cache::sha256_hex;
+
+/// Subdirectory of the result-cache directory that holds slack profiles.
+pub const SLACK_CACHE_DIR: &str = "slack";
+
+/// Hit/miss counters of a [`SlackDiskCache`], for rollups and telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlackCacheStats {
+    /// Lookups performed.
+    pub loads: u64,
+    /// Lookups that returned a valid stored profile.
+    pub hits: u64,
+    /// Profiles written.
+    pub stores: u64,
+}
+
+/// A content-addressed, tamper-evident, atomic on-disk slack-profile
+/// store implementing [`mcd_core::SlackStore`].
+#[derive(Debug)]
+pub struct SlackDiskCache {
+    dir: PathBuf,
+    loads: AtomicU64,
+    hits: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl SlackDiskCache {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SlackDiskCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SlackDiskCache {
+            dir,
+            loads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// Counters since this handle was opened.
+    pub fn stats(&self) -> SlackCacheStats {
+        SlackCacheStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    fn path_for(&self, key_material: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}.json", sha256_hex(key_material.as_bytes())))
+    }
+
+    /// Encodes `payload` with its own digest line so corruption is
+    /// detectable without parsing JSON.
+    fn encode(payload: &str) -> String {
+        format!("{}\n{payload}", sha256_hex(payload.as_bytes()))
+    }
+
+    /// Decodes a stored file, returning the payload only if its digest
+    /// line matches the bytes that follow it.
+    fn decode(text: &str) -> Option<&str> {
+        let (digest, payload) = text.split_once('\n')?;
+        if digest.len() != 64 || digest != sha256_hex(payload.as_bytes()) {
+            return None;
+        }
+        Some(payload)
+    }
+}
+
+impl SlackStore for SlackDiskCache {
+    fn load(&self, key_material: &str) -> Option<String> {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let text = fs::read_to_string(self.path_for(key_material)).ok()?;
+        let payload = Self::decode(&text)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(payload.to_string())
+    }
+
+    fn store(&self, key_material: &str, payload: &str) {
+        // Atomic publish: write the digest-framed body to a temp file in
+        // the same directory, then rename over the final name. Best-effort
+        // throughout — a failed store only costs recomputation elsewhere.
+        let path = self.path_for(key_material);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if fs::write(&tmp, Self::encode(payload)).is_ok() {
+            if fs::rename(&tmp, &path).is_ok() {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> (SlackDiskCache, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("mcd-slack-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        (SlackDiskCache::open(&dir).expect("create store"), dir)
+    }
+
+    #[test]
+    fn round_trips_a_payload_and_counts() {
+        let (store, dir) = scratch("roundtrip");
+        assert_eq!(store.load("key-a"), None, "empty store misses");
+        store.store("key-a", "{\"profile\":1}");
+        assert_eq!(store.load("key-a"), Some("{\"profile\":1}".to_string()));
+        assert_eq!(store.load("key-b"), None, "distinct keys are distinct");
+        assert_eq!(
+            store.stats(),
+            SlackCacheStats {
+                loads: 3,
+                hits: 1,
+                stores: 1
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payloads_with_newlines_survive_framing() {
+        let (store, dir) = scratch("newlines");
+        let payload = "line one\nline two\n";
+        store.store("key", payload);
+        assert_eq!(store.load("key").as_deref(), Some(payload));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_entry_degrades_to_a_miss() {
+        let (store, dir) = scratch("tamper");
+        store.store("key", "{\"honest\":true}");
+        let path = store.path_for("key");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text = text.replace("true", "flip");
+        fs::write(&path, text).unwrap();
+        assert_eq!(store.load("key"), None, "digest mismatch must not serve");
+
+        fs::write(&path, "no digest line at all").unwrap();
+        assert_eq!(store.load("key"), None, "unframed file must not serve");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_handle_sees_first_handles_entries() {
+        let (store, dir) = scratch("reopen");
+        store.store("key", "{\"x\":2}");
+        let reopened = SlackDiskCache::open(&dir).unwrap();
+        assert_eq!(reopened.load("key"), Some("{\"x\":2}".to_string()));
+        assert_eq!(reopened.stats().hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -10,8 +10,10 @@ use serde::Serialize;
 
 use crate::{CampaignReport, CampaignSpec, CellOutcome};
 
-/// Schema tag embedded in every snapshot document.
-pub const SNAPSHOT_SCHEMA: &str = "mcd-bench-snapshot/1";
+/// Schema tag embedded in every snapshot document. v2: adds the per-cell
+/// and total pipeline-phase breakdown (trace run / slack analysis /
+/// clustering / simulation seconds).
+pub const SNAPSHOT_SCHEMA: &str = "mcd-bench-snapshot/2";
 
 /// One cell's wall time within a snapshot.
 #[derive(Debug, Clone, Serialize)]
@@ -22,6 +24,15 @@ pub struct CellTiming {
     pub elapsed_s: f64,
     /// `computed`, `cached`, or `failed`.
     pub outcome: String,
+    /// Seconds in the full-speed traced run (zero for cached cells).
+    pub trace_run_s: f64,
+    /// Seconds in DAG construction + shaker slack analysis.
+    pub slack_s: f64,
+    /// Seconds in greedy schedule clustering.
+    pub cluster_s: f64,
+    /// Seconds in dynamic-run simulation (refinement, probes, the global
+    /// search, and the five configuration runs).
+    pub simulate_s: f64,
 }
 
 /// A campaign wall-clock snapshot, serializable to `BENCH_*.json`.
@@ -48,6 +59,14 @@ pub struct BenchSnapshot {
     pub wall_s: f64,
     /// Slowest single cell, seconds.
     pub max_cell_s: f64,
+    /// Total seconds in traced runs across all computed cells.
+    pub trace_run_s: f64,
+    /// Total seconds in slack analysis across all computed cells.
+    pub slack_s: f64,
+    /// Total seconds in schedule clustering across all computed cells.
+    pub cluster_s: f64,
+    /// Total seconds in dynamic-run simulation across all computed cells.
+    pub simulate_s: f64,
     /// Per-cell wall times, in spec-expansion order.
     pub cells: Vec<CellTiming>,
 }
@@ -68,6 +87,10 @@ impl BenchSnapshot {
                     CellOutcome::Stalled { .. } => "stalled".to_string(),
                     CellOutcome::Skipped => "skipped".to_string(),
                 },
+                trace_run_s: c.phases.trace_run.as_secs_f64(),
+                slack_s: c.phases.slack.as_secs_f64(),
+                cluster_s: c.phases.cluster.as_secs_f64(),
+                simulate_s: c.phases.simulate.as_secs_f64(),
             })
             .collect();
         BenchSnapshot {
@@ -81,6 +104,10 @@ impl BenchSnapshot {
             failed: report.failed(),
             wall_s: report.wall.as_secs_f64(),
             max_cell_s: cells.iter().map(|c| c.elapsed_s).fold(0.0, f64::max),
+            trace_run_s: cells.iter().map(|c| c.trace_run_s).sum(),
+            slack_s: cells.iter().map(|c| c.slack_s).sum(),
+            cluster_s: cells.iter().map(|c| c.cluster_s).sum(),
+            simulate_s: cells.iter().map(|c| c.simulate_s).sum(),
             cells,
         }
     }
@@ -116,8 +143,22 @@ mod tests {
         assert_eq!(snap.benchmarks, vec!["adpcm", "gcc"]);
         assert!(snap.wall_s > 0.0);
         assert!(snap.max_cell_s <= snap.wall_s + 1e-9);
+        if snap.computed == 2 {
+            assert!(
+                snap.simulate_s > 0.0 && snap.trace_run_s > 0.0,
+                "computed cells must carry a phase breakdown: {snap:?}"
+            );
+            for c in &snap.cells {
+                let phase_sum = c.trace_run_s + c.slack_s + c.cluster_s + c.simulate_s;
+                assert!(
+                    phase_sum <= c.elapsed_s + 1e-9,
+                    "phases exceed the cell span: {c:?}"
+                );
+            }
+        }
         let json = snap.to_json();
-        assert!(json.contains("\"schema\": \"mcd-bench-snapshot/1\""));
+        assert!(json.contains("\"schema\": \"mcd-bench-snapshot/2\""));
+        assert!(json.contains("\"simulate_s\""));
         assert!(json.ends_with('\n'));
         let _ = std::fs::remove_dir_all(&dir);
     }

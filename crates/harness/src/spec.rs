@@ -11,7 +11,7 @@ use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
 
-use mcd_core::{run_benchmark_observed, BenchmarkResults, ExperimentConfig};
+use mcd_core::{run_benchmark_with, BenchmarkResults, ExperimentConfig, RunOptions};
 use mcd_time::DvfsModel;
 use mcd_workload::{suites, BenchmarkProfile};
 
@@ -130,9 +130,22 @@ impl CellSpec {
         &self,
         observe: &mut dyn FnMut(&str, std::time::Duration),
     ) -> BenchmarkResults {
-        run_benchmark_observed(
+        self.run_with(RunOptions::default(), observe)
+    }
+
+    /// [`CellSpec::run_observed`] with explicit execution options (analysis
+    /// fan-out, slack-profile store). Options are results-neutral: the
+    /// returned results — and therefore the cell's cache bytes — are
+    /// identical for any options value.
+    pub fn run_with(
+        &self,
+        options: RunOptions,
+        observe: &mut dyn FnMut(&str, std::time::Duration),
+    ) -> BenchmarkResults {
+        run_benchmark_with(
             &self.profile(),
             &self.experiment_config(),
+            options,
             self.thetas,
             observe,
         )

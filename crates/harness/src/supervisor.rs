@@ -28,14 +28,14 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mcd_core::BenchmarkResults;
+use mcd_core::{BenchmarkResults, RunOptions};
 
 use crate::cache::{CacheKey, CacheProbe, ResultCache};
 use crate::chaos::FaultPlan;
 use crate::retry::{payload_text, CellFailure, RetryPolicy};
 use crate::spec::CellSpec;
 use crate::telemetry::{CellSource, Telemetry};
-use crate::CellOutcome;
+use crate::{CellOutcome, CellPhases};
 
 /// Exponential backoff for transient IO failures (distinct from the
 /// deterministic-panic retry budget: IO errors are environmental and
@@ -93,6 +93,8 @@ pub struct CellContext<'a> {
     /// Per-attempt watchdog deadline (`None` = wait forever, no monitor
     /// thread).
     pub deadline: Option<Duration>,
+    /// Results-neutral execution options (analysis fan-out, slack store).
+    pub options: &'a RunOptions,
     /// Campaign interrupt flag (raised by SIGINT or an injected fault).
     pub stop: &'a Arc<AtomicBool>,
 }
@@ -115,6 +117,8 @@ pub struct ComputeContext<'a> {
     /// Per-attempt watchdog deadline (`None` = wait forever, no monitor
     /// thread).
     pub deadline: Option<Duration>,
+    /// Results-neutral execution options (analysis fan-out, slack store).
+    pub options: &'a RunOptions,
 }
 
 /// One attempt's fate.
@@ -126,9 +130,10 @@ enum Attempt {
     Stalled(Duration),
 }
 
-/// Runs one cell under full supervision, returning its outcome and wall
-/// time (cache probe included).
-pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration) {
+/// Runs one cell under full supervision, returning its outcome, wall
+/// time (cache probe included), and the computed attempt's pipeline-phase
+/// breakdown (zero for cached, failed and stalled cells).
+pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration, CellPhases) {
     let cell_start = Instant::now();
     ctx.telemetry.cell_started(ctx.index, ctx.cell);
 
@@ -137,7 +142,7 @@ pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration) {
             let elapsed = cell_start.elapsed();
             ctx.telemetry
                 .cell_finished(ctx.index, CellSource::Cached, elapsed);
-            return (CellOutcome::Cached(result), elapsed);
+            return (CellOutcome::Cached(result), elapsed, CellPhases::default());
         }
         CacheProbe::Corrupt(kind) => {
             // Preserve the evidence, free the slot, recompute. If the move
@@ -157,8 +162,9 @@ pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration) {
         chaos: ctx.chaos,
         retry: ctx.retry,
         deadline: ctx.deadline,
+        options: ctx.options,
     };
-    let outcome = compute_cell(&compute);
+    let (outcome, phases) = compute_cell(&compute);
     if let CellOutcome::Computed { result, .. } = &outcome {
         store_with_backoff(ctx, result);
     }
@@ -189,40 +195,49 @@ pub fn run_cell(ctx: &CellContext<'_>) -> (CellOutcome, Duration) {
         }
         CellOutcome::Cached(_) | CellOutcome::Skipped => {}
     }
-    (outcome, elapsed)
+    (outcome, elapsed, phases)
 }
 
 /// The retry loop over monitored attempts: computes the cell, nothing
 /// else. Returns only [`CellOutcome::Computed`], [`CellOutcome::Failed`]
 /// or [`CellOutcome::Stalled`]; storing the result (and the surrounding
-/// started/finished telemetry) is the caller's job.
-pub fn compute_cell(ctx: &ComputeContext<'_>) -> CellOutcome {
+/// started/finished telemetry) is the caller's job. The returned
+/// [`CellPhases`] cover the final attempt only — a retried attempt's
+/// partial spans are discarded so phases are never double-counted.
+pub fn compute_cell(ctx: &ComputeContext<'_>) -> (CellOutcome, CellPhases) {
     let max_attempts = ctx.retry.max_attempts.max(1);
     let mut previous: Option<String> = None;
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        match execute_attempt(ctx, attempt) {
+        let mut phases = CellPhases::default();
+        match execute_attempt(ctx, attempt, &mut phases) {
             Attempt::Ok(result) => {
-                return CellOutcome::Computed {
-                    result,
-                    attempts: attempt,
-                };
+                return (
+                    CellOutcome::Computed {
+                        result,
+                        attempts: attempt,
+                    },
+                    phases,
+                );
             }
             Attempt::Stalled(waited) => {
                 // A stall is not retried: the watchdog already waited the
                 // full deadline, and a deterministic simulator would stall
                 // again. Resume recomputes it later.
-                return CellOutcome::Stalled { waited };
+                return (CellOutcome::Stalled { waited }, CellPhases::default());
             }
             Attempt::Panicked(message) => {
                 let repeats = previous.as_deref() == Some(message.as_str());
                 if (repeats && ctx.retry.fail_fast_deterministic) || attempt >= max_attempts {
-                    return CellOutcome::Failed(CellFailure {
-                        attempts: attempt,
-                        message,
-                        deterministic: repeats,
-                    });
+                    return (
+                        CellOutcome::Failed(CellFailure {
+                            attempts: attempt,
+                            message,
+                            deterministic: repeats,
+                        }),
+                        CellPhases::default(),
+                    );
                 }
                 ctx.telemetry.cell_retry(ctx.index, attempt, &message);
                 previous = Some(message);
@@ -232,8 +247,11 @@ pub fn compute_cell(ctx: &ComputeContext<'_>) -> CellOutcome {
 }
 
 /// Runs the cell body once: inline when no deadline is set, else on a
-/// watchdog-monitored thread that can be abandoned.
-fn execute_attempt(ctx: &ComputeContext<'_>, attempt: u32) -> Attempt {
+/// watchdog-monitored thread that can be abandoned. Phase spans observed
+/// during the attempt are accumulated into `phases` (on the watchdog path,
+/// whatever arrived before an abandonment is kept) and forwarded to
+/// telemetry either way.
+fn execute_attempt(ctx: &ComputeContext<'_>, attempt: u32, phases: &mut CellPhases) -> Attempt {
     let Some(deadline) = ctx.deadline else {
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cell_body(
@@ -241,7 +259,11 @@ fn execute_attempt(ctx: &ComputeContext<'_>, attempt: u32) -> Attempt {
                 ctx.chaos,
                 ctx.index,
                 attempt,
-                &mut |stage, span| ctx.telemetry.cell_stage(ctx.index, stage, span),
+                ctx.options,
+                &mut |stage, span| {
+                    phases.record(stage, span);
+                    ctx.telemetry.cell_stage(ctx.index, stage, span);
+                },
             )
         }));
         return match out {
@@ -260,17 +282,25 @@ fn execute_attempt(ctx: &ComputeContext<'_>, attempt: u32) -> Attempt {
     let (tx, rx) = mpsc::channel::<Msg>();
     let cell = ctx.cell.clone();
     let chaos = Arc::clone(ctx.chaos);
+    let options = ctx.options.clone();
     let index = ctx.index;
     let spawned = thread::Builder::new()
         .name(format!("mcd-cell-{index}-a{attempt}"))
         .spawn(move || {
             let stage_tx = tx.clone();
             let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                cell_body(&cell, &chaos, index, attempt, &mut |stage, span| {
-                    // The supervisor may have abandoned us; a closed
-                    // channel just means nobody is listening any more.
-                    let _ = stage_tx.send(Msg::Stage(stage.to_string(), span));
-                })
+                cell_body(
+                    &cell,
+                    &chaos,
+                    index,
+                    attempt,
+                    &options,
+                    &mut |stage, span| {
+                        // The supervisor may have abandoned us; a closed
+                        // channel just means nobody is listening any more.
+                        let _ = stage_tx.send(Msg::Stage(stage.to_string(), span));
+                    },
+                )
             }));
             let _ = tx.send(Msg::Done(
                 out.map_err(|payload| payload_text(payload.as_ref())),
@@ -285,7 +315,7 @@ fn execute_attempt(ctx: &ComputeContext<'_>, attempt: u32) -> Attempt {
             deadline: None,
             ..*ctx
         };
-        let out = execute_attempt(&inline_ctx, attempt);
+        let out = execute_attempt(&inline_ctx, attempt, phases);
         debug_assert!(saved.is_some());
         return out;
     }
@@ -296,7 +326,10 @@ fn execute_attempt(ctx: &ComputeContext<'_>, attempt: u32) -> Attempt {
             return Attempt::Stalled(started.elapsed());
         };
         match rx.recv_timeout(remaining) {
-            Ok(Msg::Stage(stage, span)) => ctx.telemetry.cell_stage(ctx.index, &stage, span),
+            Ok(Msg::Stage(stage, span)) => {
+                phases.record(&stage, span);
+                ctx.telemetry.cell_stage(ctx.index, &stage, span);
+            }
             Ok(Msg::Done(Ok(result))) => return Attempt::Ok(result),
             Ok(Msg::Done(Err(message))) => return Attempt::Panicked(message),
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -322,6 +355,7 @@ fn cell_body(
     chaos: &FaultPlan,
     index: usize,
     attempt: u32,
+    options: &RunOptions,
     observe: &mut dyn FnMut(&str, Duration),
 ) -> BenchmarkResults {
     if let Some(message) = chaos.panic_message(index, attempt) {
@@ -330,7 +364,7 @@ fn cell_body(
     if let Some(stall) = chaos.stall(index) {
         thread::sleep(stall);
     }
-    cell.run_observed(observe)
+    cell.run_with(options.clone(), observe)
 }
 
 /// Publishes a computed result, retrying transient IO failures with
@@ -418,6 +452,7 @@ mod tests {
         dir: PathBuf,
         telemetry: Telemetry,
         chaos: Arc<FaultPlan>,
+        options: RunOptions,
         stop: Arc<AtomicBool>,
     }
 
@@ -433,6 +468,7 @@ mod tests {
                 dir,
                 telemetry: Telemetry::disabled(),
                 chaos: Arc::new(chaos),
+                options: RunOptions::default(),
                 stop: Arc::new(AtomicBool::new(false)),
             }
         }
@@ -451,6 +487,7 @@ mod tests {
                     ..BackoffPolicy::default()
                 },
                 deadline: None,
+                options: &self.options,
                 stop: &self.stop,
             }
         }
@@ -479,9 +516,9 @@ mod tests {
     #[test]
     fn clean_cell_computes_then_caches() {
         let fx = Fixture::new("clean", FaultPlan::none());
-        let (outcome, _) = run_cell(&fx.ctx());
+        let (outcome, _, _) = run_cell(&fx.ctx());
         assert!(matches!(outcome, CellOutcome::Computed { attempts: 1, .. }));
-        let (outcome, _) = run_cell(&fx.ctx());
+        let (outcome, _, _) = run_cell(&fx.ctx());
         assert!(matches!(outcome, CellOutcome::Cached(_)));
     }
 
@@ -497,7 +534,7 @@ mod tests {
         let mut ctx = fx.ctx();
         ctx.deadline = Some(Duration::from_millis(40));
         let start = Instant::now();
-        let (outcome, _) = run_cell(&ctx);
+        let (outcome, _, _) = run_cell(&ctx);
         assert!(
             matches!(outcome, CellOutcome::Stalled { waited } if waited >= Duration::from_millis(40)),
             "outcome: {outcome:?}"
@@ -513,7 +550,7 @@ mod tests {
         let fx = Fixture::new("fast", FaultPlan::none());
         let mut ctx = fx.ctx();
         ctx.deadline = Some(Duration::from_secs(60));
-        let (outcome, _) = run_cell(&ctx);
+        let (outcome, _, _) = run_cell(&ctx);
         let CellOutcome::Computed { result, .. } = outcome else {
             panic!("expected computed, got {outcome:?}");
         };
@@ -530,7 +567,7 @@ mod tests {
             "backoff",
             FaultPlan::new(vec![Fault::StoreIoError { cell: 0, times: 2 }]),
         );
-        let (outcome, _) = run_cell(&fx.ctx());
+        let (outcome, _, _) = run_cell(&fx.ctx());
         assert!(matches!(outcome, CellOutcome::Computed { .. }));
         assert!(
             fx.cache.contains(&fx.key),
@@ -545,7 +582,7 @@ mod tests {
     #[test]
     fn corrupt_entry_is_quarantined_and_recomputed() {
         let fx = Fixture::new("quarantine", FaultPlan::none());
-        let (outcome, _) = run_cell(&fx.ctx());
+        let (outcome, _, _) = run_cell(&fx.ctx());
         let CellOutcome::Computed { result: honest, .. } = outcome else {
             panic!("expected computed");
         };
@@ -553,7 +590,7 @@ mod tests {
             .corrupt_with(&fx.key, b"{\"key\": \"junk\"}")
             .unwrap();
 
-        let (outcome, _) = run_cell(&fx.ctx());
+        let (outcome, _, _) = run_cell(&fx.ctx());
         let CellOutcome::Computed { result, .. } = outcome else {
             panic!("a corrupt entry must be recomputed, never served");
         };
@@ -581,7 +618,7 @@ mod tests {
         );
         let mut ctx = fx.ctx();
         ctx.retry = RetryPolicy::attempts(5);
-        let (outcome, _) = run_cell(&ctx);
+        let (outcome, _, _) = run_cell(&ctx);
         let CellOutcome::Failed(f) = outcome else {
             panic!("expected failure");
         };
@@ -599,7 +636,7 @@ mod tests {
                 attempts: 1,
             }]),
         );
-        let (outcome, _) = run_cell(&fx.ctx());
+        let (outcome, _, _) = run_cell(&fx.ctx());
         assert!(matches!(outcome, CellOutcome::Computed { attempts: 2, .. }));
     }
 }

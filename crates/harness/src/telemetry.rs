@@ -276,6 +276,17 @@ impl Telemetry {
         self.emit("cell_stage", f);
     }
 
+    /// End-of-campaign slack-profile store counters (distinct from result
+    /// cache hits: a slack hit skips the shaker pass inside a cell that is
+    /// otherwise recomputed).
+    pub fn slack_cache(&self, loads: u64, hits: u64, stores: u64) {
+        let mut f = Map::new();
+        f.insert("loads".to_string(), loads.to_value());
+        f.insert("hits".to_string(), hits.to_value());
+        f.insert("stores".to_string(), stores.to_value());
+        self.emit("slack_cache", f);
+    }
+
     /// A cell attempt panicked and will be retried.
     pub fn cell_retry(&self, index: usize, attempt: u32, message: &str) {
         let mut f = Map::new();

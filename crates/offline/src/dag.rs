@@ -12,12 +12,20 @@
 //! measured slack would be negative (an artifact of approximating a
 //! queue-departure constraint with the corresponding event's *end* time) are
 //! dropped — this only makes the subsequent shaker more conservative.
+//!
+//! The DAG is stored analysis-friendly rather than builder-friendly:
+//! adjacency is a flat CSR arena (one offset array + one edge array per
+//! direction, built in two passes over the edge list) and the fields the
+//! shaker mutates on every visit (`start`/`end`/`scale`/`power`) live in
+//! parallel arrays so the passes stream through contiguous memory instead
+//! of chasing one heap allocation per node.
 
 use mcd_pipeline::{DomainId, EventKind, InstrTrace, PipelineConfig};
 use mcd_time::Femtos;
 use mcd_workload::OpClass;
 
-/// One primitive event in the DAG.
+/// One primitive event, as fed to [`IntervalDag::from_events`] (and as
+/// returned by [`IntervalDag::node`] for inspection).
 #[derive(Debug, Clone)]
 pub struct Node {
     /// Instruction sequence number this event belongs to.
@@ -62,46 +70,228 @@ impl Node {
     }
 }
 
+/// Static per-node attributes the shaker only reads.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeMeta {
+    pub instr: u64,
+    pub kind: EventKind,
+    pub domain: DomainId,
+    pub orig_start: Femtos,
+    pub orig_end: Femtos,
+    pub scalable: bool,
+    pub domain_cycles: f64,
+}
+
 /// A dependence DAG covering one analysis interval.
+///
+/// Node attributes are split struct-of-arrays: the immutable metadata in
+/// `meta` and the four shaker-mutated fields in `starts`/`ends`/`scales`/
+/// `powers`. Adjacency is CSR: `succs(i)` / `preds(i)` are slices of a
+/// single flat edge array.
 #[derive(Debug, Clone)]
 pub struct IntervalDag {
     /// Interval bounds in absolute trace time.
     pub start: Femtos,
     /// End of the interval.
     pub end: Femtos,
-    /// All nodes.
-    pub nodes: Vec<Node>,
-    /// Successor adjacency (indices into `nodes`).
-    pub succs: Vec<Vec<u32>>,
-    /// Predecessor adjacency.
-    pub preds: Vec<Vec<u32>>,
     /// Instructions contributing events to this interval.
     pub instructions: u64,
+    pub(crate) meta: Vec<NodeMeta>,
+    pub(crate) starts: Vec<Femtos>,
+    pub(crate) ends: Vec<Femtos>,
+    pub(crate) scales: Vec<f64>,
+    pub(crate) powers: Vec<f64>,
+    succ_off: Vec<u32>,
+    succ_adj: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<u32>,
 }
 
 impl IntervalDag {
+    /// Builds a DAG from event records plus a raw edge list.
+    ///
+    /// Edges whose measured slack would be negative
+    /// (`nodes[a].end > nodes[b].start`) are dropped, mirroring the
+    /// builder's conservatism. Adjacency is materialized as CSR in two
+    /// passes (degree count, then placement), preserving the edge-list
+    /// order within each node's successor/predecessor slice.
+    pub fn from_events(
+        start: Femtos,
+        end: Femtos,
+        instructions: u64,
+        nodes: Vec<Node>,
+        edges: &[(u32, u32)],
+    ) -> Self {
+        let n = nodes.len();
+        let mut dag = IntervalDag {
+            start,
+            end,
+            instructions,
+            meta: Vec::with_capacity(n),
+            starts: Vec::with_capacity(n),
+            ends: Vec::with_capacity(n),
+            scales: Vec::with_capacity(n),
+            powers: Vec::with_capacity(n),
+            succ_off: Vec::new(),
+            succ_adj: Vec::new(),
+            pred_off: Vec::new(),
+            pred_adj: Vec::new(),
+        };
+        for node in nodes {
+            dag.meta.push(NodeMeta {
+                instr: node.instr,
+                kind: node.kind,
+                domain: node.domain,
+                orig_start: node.orig_start,
+                orig_end: node.orig_end,
+                scalable: node.scalable,
+                domain_cycles: node.domain_cycles,
+            });
+            dag.starts.push(node.start);
+            dag.ends.push(node.end);
+            dag.scales.push(node.scale);
+            dag.powers.push(node.power);
+        }
+
+        // Pass 1: out/in degree per node (negative-slack edges excluded).
+        let keep = |a: u32, b: u32| dag.ends[a as usize] <= dag.starts[b as usize];
+        let mut succ_off = vec![0u32; n + 1];
+        let mut pred_off = vec![0u32; n + 1];
+        for &(a, b) in edges {
+            if keep(a, b) {
+                succ_off[a as usize + 1] += 1;
+                pred_off[b as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        // Pass 2: place edges at the running cursor per node.
+        let mut succ_adj = vec![0u32; succ_off[n] as usize];
+        let mut pred_adj = vec![0u32; pred_off[n] as usize];
+        let mut succ_cur = succ_off.clone();
+        let mut pred_cur = pred_off.clone();
+        for &(a, b) in edges {
+            if keep(a, b) {
+                succ_adj[succ_cur[a as usize] as usize] = b;
+                succ_cur[a as usize] += 1;
+                pred_adj[pred_cur[b as usize] as usize] = a;
+                pred_cur[b as usize] += 1;
+            }
+        }
+        dag.succ_off = succ_off;
+        dag.succ_adj = succ_adj;
+        dag.pred_off = pred_off;
+        dag.pred_adj = pred_adj;
+        dag
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Successor indices of node `i`.
+    #[inline]
+    pub fn succs(&self, i: usize) -> &[u32] {
+        &self.succ_adj[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// Predecessor indices of node `i`.
+    #[inline]
+    pub fn preds(&self, i: usize) -> &[u32] {
+        &self.pred_adj[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
+    /// Reassembles the full event record for node `i`.
+    pub fn node(&self, i: usize) -> Node {
+        let m = &self.meta[i];
+        Node {
+            instr: m.instr,
+            kind: m.kind,
+            domain: m.domain,
+            orig_start: m.orig_start,
+            orig_end: m.orig_end,
+            start: self.starts[i],
+            end: self.ends[i],
+            scale: self.scales[i],
+            power: self.powers[i],
+            scalable: m.scalable,
+            domain_cycles: m.domain_cycles,
+        }
+    }
+
+    /// Iterates over reassembled event records.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        (0..self.len()).map(|i| self.node(i))
+    }
+
+    /// Current start of node `i`.
+    #[inline]
+    pub fn start_of(&self, i: usize) -> Femtos {
+        self.starts[i]
+    }
+
+    /// Current end of node `i`.
+    #[inline]
+    pub fn end_of(&self, i: usize) -> Femtos {
+        self.ends[i]
+    }
+
+    /// Current stretch factor of node `i`.
+    #[inline]
+    pub fn scale_of(&self, i: usize) -> f64 {
+        self.scales[i]
+    }
+
+    /// Current power factor of node `i`.
+    #[inline]
+    pub fn power_of(&self, i: usize) -> f64 {
+        self.powers[i]
+    }
+
+    /// Whether the shaker may stretch node `i`.
+    #[inline]
+    pub fn is_scalable(&self, i: usize) -> bool {
+        self.meta[i].scalable
+    }
+
+    /// The clock domain of node `i`.
+    #[inline]
+    pub fn domain_of(&self, i: usize) -> DomainId {
+        self.meta[i].domain
+    }
+
     /// Minimum successor start (or the interval end for sinks): the latest
     /// time this node may currently end without delaying anything.
+    #[inline]
     pub fn out_limit(&self, i: usize) -> Femtos {
-        self.succs[i]
+        self.succs(i)
             .iter()
-            .map(|&s| self.nodes[s as usize].start)
+            .map(|&s| self.starts[s as usize])
             .fold(self.end, Femtos::min)
     }
 
     /// Maximum predecessor end (or the interval start for sources): the
     /// earliest time this node may currently start.
+    #[inline]
     pub fn in_limit(&self, i: usize) -> Femtos {
-        self.preds[i]
+        self.preds(i)
             .iter()
-            .map(|&p| self.nodes[p as usize].end)
+            .map(|&p| self.ends[p as usize])
             .fold(self.start, Femtos::max)
     }
 
     /// Total slack currently present on outgoing edges of all nodes.
     pub fn total_slack(&self) -> Femtos {
-        (0..self.nodes.len())
-            .map(|i| self.out_limit(i).saturating_sub(self.nodes[i].end))
+        (0..self.len())
+            .map(|i| self.out_limit(i).saturating_sub(self.ends[i]))
             .sum()
     }
 }
@@ -137,6 +327,14 @@ struct QueueDeps {
     mem_access: Vec<u32>,
 }
 
+/// Per-interval accumulation before CSR materialization.
+struct DagBuilder {
+    start: Femtos,
+    end: Femtos,
+    instructions: u64,
+    nodes: Vec<Node>,
+}
+
 /// Cuts `trace` into `interval_len`-long DAGs.
 ///
 /// Instructions are assigned to intervals by fetch start time. `scale_fe`
@@ -164,14 +362,12 @@ pub fn build_interval_dags(
         .map(|t| t.commit)
         .fold(Femtos::ZERO, Femtos::max);
     let n_intervals = (total_end.as_femtos() / interval_len.as_femtos() + 1) as usize;
-    let mut dags: Vec<IntervalDag> = (0..n_intervals)
-        .map(|k| IntervalDag {
+    let mut builders: Vec<DagBuilder> = (0..n_intervals)
+        .map(|k| DagBuilder {
             start: Femtos::from_femtos(k as u64 * interval_len.as_femtos()),
             end: Femtos::from_femtos((k as u64 + 1) * interval_len.as_femtos()),
-            nodes: Vec::new(),
-            succs: Vec::new(),
-            preds: Vec::new(),
             instructions: 0,
+            nodes: Vec::new(),
         })
         .collect();
 
@@ -189,15 +385,19 @@ pub fn build_interval_dags(
             mem_access: Vec::new(),
         })
         .collect();
-    // seq → (interval, completion node) for data edges.
-    let mut completion: std::collections::HashMap<u64, (usize, u32)> =
-        std::collections::HashMap::new();
+    // seq → (interval, completion node) for data edges. Sequence numbers in
+    // a trace are dense, so a flat table beats a hash map; producers outside
+    // the recorded range simply miss.
+    let seq_base = trace.iter().map(|t| t.seq).min().unwrap_or(0);
+    let seq_max = trace.iter().map(|t| t.seq).max().unwrap_or(0);
+    const NO_NODE: (u32, u32) = (u32::MAX, u32::MAX);
+    let mut completion: Vec<(u32, u32)> = vec![NO_NODE; (seq_max - seq_base + 1) as usize];
     let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_intervals];
 
     for t in trace {
         let k = (t.fetch.start.as_femtos() / interval_len.as_femtos()) as usize;
         let k = k.min(n_intervals - 1);
-        let dag = &mut dags[k];
+        let dag = &mut builders[k];
         dag.instructions += 1;
         let base = dag.nodes.len() as u32;
         // Frequency-sensitive cycle count for a memory access: a DRAM miss
@@ -207,7 +407,7 @@ pub fn build_interval_dags(
         } else {
             f64::NAN // use measured duration
         };
-        let push = |dag: &mut IntervalDag, kind, domain: DomainId, s: Femtos, e: Femtos| {
+        let push = |dag: &mut DagBuilder, kind, domain: DomainId, s: Femtos, e: Femtos| {
             let scalable = match domain {
                 DomainId::FrontEnd => scale_fe && kind != EventKind::Commit,
                 _ => kind != EventKind::Commit,
@@ -314,13 +514,23 @@ pub fn build_interval_dags(
 
         // Data dependences (only within the interval).
         for producer in t.src_producers.iter().flatten() {
-            if let Some(&(pk, pnode)) = completion.get(producer) {
-                if pk == k {
+            if let Some(slot) = producer
+                .checked_sub(seq_base)
+                .and_then(|i| completion.get(i as usize))
+            {
+                let (pk, pnode) = *slot;
+                if pk as usize == k && *slot != NO_NODE {
                     edges[k].push((pnode, compute_entry));
                 }
             }
         }
-        completion.insert(t.seq, (k, last));
+        if let Some(slot) = t
+            .seq
+            .checked_sub(seq_base)
+            .and_then(|i| completion.get_mut(i as usize))
+        {
+            *slot = (k as u32, last);
+        }
 
         // Functional (capacity) dependences.
         let q = &mut qdeps[k];
@@ -371,20 +581,13 @@ pub fn build_interval_dags(
         }
     }
 
-    // Materialize adjacency, dropping negative-slack edges.
-    for (k, dag) in dags.iter_mut().enumerate() {
-        let n = dag.nodes.len();
-        dag.succs = vec![Vec::new(); n];
-        dag.preds = vec![Vec::new(); n];
-        for &(a, b) in &edges[k] {
-            if dag.nodes[a as usize].end <= dag.nodes[b as usize].start {
-                dag.succs[a as usize].push(b);
-                dag.preds[b as usize].push(a);
-            }
-        }
-    }
-    dags.retain(|d| !d.nodes.is_empty());
-    dags
+    // Materialize CSR adjacency, dropping negative-slack edges.
+    builders
+        .into_iter()
+        .zip(edges)
+        .filter(|(b, _)| !b.nodes.is_empty())
+        .map(|(b, e)| IntervalDag::from_events(b.start, b.end, b.instructions, b.nodes, &e))
+        .collect()
 }
 
 #[cfg(test)]
@@ -427,11 +630,40 @@ mod tests {
             false,
         );
         for dag in &dags {
-            for (i, succs) in dag.succs.iter().enumerate() {
-                for &s in succs {
-                    assert!(dag.nodes[i].end <= dag.nodes[s as usize].start);
+            for i in 0..dag.len() {
+                for &s in dag.succs(i) {
+                    assert!(dag.end_of(i) <= dag.start_of(s as usize));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn csr_adjacency_is_symmetric() {
+        // Every successor edge must appear as the matching predecessor edge
+        // and vice versa (CSR is built in two independent passes).
+        let (trace, pcfg) = traced_run("gcc", 5_000);
+        let dags = build_interval_dags(
+            &trace,
+            &pcfg,
+            Femtos::from_micros(1),
+            PowerFactors::default(),
+            false,
+        );
+        for dag in &dags {
+            let mut out_edges = 0usize;
+            for i in 0..dag.len() {
+                for &s in dag.succs(i) {
+                    assert!(
+                        dag.preds(s as usize).contains(&(i as u32)),
+                        "succ edge {i}->{s} missing from preds"
+                    );
+                }
+                out_edges += dag.succs(i).len();
+            }
+            let in_edges: usize = (0..dag.len()).map(|i| dag.preds(i).len()).sum();
+            assert_eq!(out_edges, in_edges);
+            assert!(out_edges > 0, "interval DAG should have edges");
         }
     }
 
@@ -446,7 +678,7 @@ mod tests {
             false,
         );
         for dag in &dags {
-            for node in &dag.nodes {
+            for node in dag.nodes() {
                 if node.domain == DomainId::FrontEnd {
                     assert!(!node.scalable);
                 }
@@ -466,7 +698,7 @@ mod tests {
         );
         let scalable = dags
             .iter()
-            .flat_map(|d| d.nodes.iter())
+            .flat_map(|d| d.nodes().collect::<Vec<_>>())
             .filter(|n| n.scalable)
             .count();
         assert!(scalable > 1_000, "only {scalable} scalable nodes");

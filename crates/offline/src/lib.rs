@@ -34,8 +34,10 @@ pub mod tool;
 pub use cluster::{Cluster, ClusterConfig, DomainPlanStats};
 pub use dag::{build_interval_dags, IntervalDag, Node, PowerFactors};
 pub use histogram::{FreqHistogram, HISTOGRAM_BINS};
-pub use shaker::{run_shaker, ShakerConfig};
+pub use shaker::{
+    run_shaker, run_shaker_reference, run_shaker_with, AnalysisScratch, ShakerConfig,
+};
 pub use tool::{
-    analyze, cluster_schedule, derive_schedule, prepare_slack, AnalysisOutput, OfflineConfig,
-    SlackProfile,
+    analyze, cluster_schedule, derive_schedule, prepare_slack, prepare_slack_threads,
+    slack_cache_key_material, AnalysisOutput, OfflineConfig, SlackProfile, SLACK_PROFILE_FORMAT,
 };

@@ -11,13 +11,14 @@ use mcd_pipeline::{
 };
 use mcd_time::{DvfsModel, Femtos, Frequency, PllModel, VfTable};
 use mcd_workload::BenchmarkProfile;
+use serde::{Map, Serialize, Value};
 
 use crate::cluster::{
     cluster_domain, emit_schedule, plan_stats, Cluster, ClusterConfig, DomainPlanStats,
 };
-use crate::dag::{build_interval_dags, PowerFactors};
+use crate::dag::{build_interval_dags, IntervalDag, PowerFactors};
 use crate::histogram::FreqHistogram;
-use crate::shaker::{run_shaker, ShakerConfig};
+use crate::shaker::{run_shaker_with, AnalysisScratch, ShakerConfig};
 
 /// Off-line tool configuration.
 #[derive(Debug, Clone)]
@@ -96,7 +97,7 @@ pub struct AnalysisOutput {
 /// iterations) only requires re-running the cheap clustering pass
 /// ([`cluster_schedule`]) over this shared profile — the DAG construction
 /// and shaker stretching, which dominate analysis time, run once.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SlackProfile {
     /// Per-domain `(interval start, interval end, frequency histogram)`.
     pub per_domain: [Vec<(Femtos, Femtos, FreqHistogram)>; DomainId::COUNT],
@@ -120,6 +121,39 @@ pub fn prepare_slack(
     pcfg: &PipelineConfig,
     cfg: &OfflineConfig,
 ) -> SlackProfile {
+    prepare_slack_threads(trace, pcfg, cfg, 1)
+}
+
+/// Shakes one interval and folds the load/store histogram into the integer
+/// one if configured.
+fn shake_interval(
+    dag: &mut IntervalDag,
+    cfg: &OfflineConfig,
+    scratch: &mut AnalysisScratch,
+) -> [FreqHistogram; DomainId::COUNT] {
+    let mut hists = run_shaker_with(dag, &cfg.shaker, cfg.base_frequency, scratch);
+    if cfg.couple_ls_into_int {
+        let ls = hists[DomainId::LoadStore.index()].clone();
+        hists[DomainId::Integer.index()].merge(&ls);
+    }
+    hists
+}
+
+/// [`prepare_slack`] with an explicit analysis thread count.
+///
+/// Every interval's DAG is self-contained, so the shaker fan-out is a
+/// deterministic map: intervals are partitioned into contiguous chunks, one
+/// scoped thread per chunk, and the per-interval histograms are merged back
+/// in interval order. The resulting [`SlackProfile`] is byte-identical for
+/// any `threads` value. `1` is today's serial path (no threads spawned);
+/// `0` means one thread per available core, matching the harness's worker
+/// convention.
+pub fn prepare_slack_threads(
+    trace: &[InstrTrace],
+    pcfg: &PipelineConfig,
+    cfg: &OfflineConfig,
+    threads: usize,
+) -> SlackProfile {
     let interval_len =
         Femtos::from_femtos(cfg.interval_cycles * cfg.base_frequency.period().as_femtos());
     let trace_end = trace
@@ -127,16 +161,48 @@ pub fn prepare_slack(
         .map(|t| t.commit)
         .fold(Femtos::ZERO, Femtos::max);
     let mut dags = build_interval_dags(trace, pcfg, interval_len, cfg.power, cfg.scale_front_end);
+    let n = dags.len();
+    let threads = match threads {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        t => t,
+    }
+    .min(n.max(1));
 
-    // Shake every interval and collect per-domain (start, end, histogram).
+    // Shake every interval; `shaken[k]` is interval k's histograms whether
+    // the work ran serially or fanned out.
+    let shaken: Vec<[FreqHistogram; DomainId::COUNT]> = if threads <= 1 {
+        let mut scratch = AnalysisScratch::new();
+        dags.iter_mut()
+            .map(|dag| shake_interval(dag, cfg, &mut scratch))
+            .collect()
+    } else {
+        let chunk = n.div_ceil(threads);
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = dags
+                .chunks_mut(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut scratch = AnalysisScratch::new();
+                        part.iter_mut()
+                            .map(|dag| shake_interval(dag, cfg, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // Joining in spawn order restores interval order exactly.
+            for h in handles {
+                out.extend(h.join().expect("analysis thread panicked"));
+            }
+        });
+        out
+    };
+
     let mut per_domain: [Vec<(Femtos, Femtos, FreqHistogram)>; DomainId::COUNT] =
         [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for dag in &mut dags {
-        let mut hists = run_shaker(dag, &cfg.shaker, cfg.base_frequency);
-        if cfg.couple_ls_into_int {
-            let ls = hists[DomainId::LoadStore.index()].clone();
-            hists[DomainId::Integer.index()].merge(&ls);
-        }
+    for (dag, hists) in dags.iter().zip(&shaken) {
         for d in DomainId::ALL {
             per_domain[d.index()].push((dag.start, dag.end, hists[d.index()].clone()));
         }
@@ -147,6 +213,47 @@ pub fn prepare_slack(
         instructions: trace.len() as u64,
         scale_front_end: cfg.scale_front_end,
     }
+}
+
+/// Version tag of the slack-profile cache entries; bump when the analysis
+/// or the [`SlackProfile`] wire format changes shape.
+pub const SLACK_PROFILE_FORMAT: &str = "mcd-slack-profile/1";
+
+/// Canonical key material identifying a [`SlackProfile`] for cross-process
+/// caching: the benchmark, the traced machine (seed + pipeline config), and
+/// exactly the [`OfflineConfig`] fields [`prepare_slack`] consults.
+///
+/// The dilation target, budget de-ratings and DVFS model deliberately do
+/// *not* enter: they only affect [`cluster_schedule`], so θ = 1 % and
+/// θ = 5 % cells (and every `refine_dynamic` budget iteration) share one
+/// cache entry. The analysis thread count must never enter either — the
+/// profile is byte-identical for any fan-out.
+pub fn slack_cache_key_material(
+    profile: &BenchmarkProfile,
+    seed: u64,
+    instructions: u64,
+    pcfg: &PipelineConfig,
+    cfg: &OfflineConfig,
+) -> String {
+    let mut offline = Map::new();
+    offline.insert("interval_cycles".into(), cfg.interval_cycles.to_value());
+    offline.insert("base_frequency".into(), cfg.base_frequency.to_value());
+    offline.insert("power".into(), cfg.power.by_domain.to_value());
+    offline.insert("shaker_max_scale".into(), cfg.shaker.max_scale.to_value());
+    offline.insert("shaker_passes".into(), cfg.shaker.passes.to_value());
+    offline.insert("scale_front_end".into(), cfg.scale_front_end.to_value());
+    offline.insert(
+        "couple_ls_into_int".into(),
+        cfg.couple_ls_into_int.to_value(),
+    );
+    let mut root = Map::new();
+    root.insert("format".into(), SLACK_PROFILE_FORMAT.to_value());
+    root.insert("benchmark".into(), profile.to_value());
+    root.insert("seed".into(), seed.to_value());
+    root.insert("instructions".into(), instructions.to_value());
+    root.insert("pipeline".into(), pcfg.to_value());
+    root.insert("offline".into(), offline.to_value());
+    serde_json::to_string(&Value::Object(root)).expect("key material serializes")
 }
 
 /// Runs the θ-dependent half of the analysis: clustering the slack

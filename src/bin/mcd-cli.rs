@@ -6,17 +6,18 @@
 //! mcd-cli analyze    <benchmark> [--theta PCT] [--model xscale|transmeta] [--instructions N]
 //! mcd-cli experiment <benchmark> [--instructions N] [--seed S] [--json]
 //! mcd-cli campaign   run|status [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N]
-//!                    [--models xscale,transmeta] [--workers W] [--cache-dir DIR]
-//!                    [--telemetry FILE|-] [--checkpoint FILE] [--deadline SECS] [--json]
+//!                    [--models xscale,transmeta] [--workers W] [--analysis-threads T]
+//!                    [--cache-dir DIR] [--telemetry FILE|-] [--checkpoint FILE]
+//!                    [--deadline SECS] [--json]
 //! mcd-cli campaign   resume --checkpoint FILE [--workers W] [--cache-dir DIR]
 //!                    [--telemetry FILE|-] [--deadline SECS] [--json]
 //! mcd-cli campaign   report [--cache-dir DIR] [--json]
 //! mcd-cli campaign   run --grid <addr> ...   # serve the campaign to TCP workers
 //! mcd-cli grid       serve --listen ADDR [sweep/cache/telemetry/checkpoint flags]
 //! mcd-cli grid       worker --connect ADDR [--name TAG] [--deadline SECS]
-//!                    [--heartbeat SECS]
+//!                    [--heartbeat SECS] [--analysis-threads T]
 //! mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] [--instructions N]
-//!                    [--model xscale|transmeta]
+//!                    [--model xscale|transmeta] [--analysis-threads T]
 //! mcd-cli trace      <benchmark> [--instructions N] [--seed S] [--out FILE]
 //!                    [--sample-every N] [--static]
 //! ```
@@ -48,15 +49,18 @@ fn usage() -> ! {
          [--model xscale|transmeta] [--instructions N]\n  mcd-cli experiment <benchmark> \
          [--instructions N] [--seed S] [--json]\n  mcd-cli campaign run|status \
          [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N] \
-         [--models xscale,transmeta] [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
-         [--checkpoint FILE] [--deadline SECS] [--json]\n  mcd-cli campaign resume \
+         [--models xscale,transmeta] [--workers W] [--analysis-threads T] [--cache-dir DIR] \
+         [--telemetry FILE|-] [--checkpoint FILE] [--deadline SECS] [--json]\n  \
+         mcd-cli campaign resume \
          --checkpoint FILE [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
          [--deadline SECS] [--json]\n  mcd-cli campaign report [--cache-dir DIR] [--json]\n  \
          mcd-cli campaign run --grid ADDR [sweep/cache/telemetry/checkpoint flags]\n  \
          mcd-cli grid serve --listen ADDR [sweep/cache/telemetry/checkpoint flags]\n  \
-         mcd-cli grid worker --connect ADDR [--name TAG] [--deadline SECS] [--heartbeat SECS]\n  \
+         mcd-cli grid worker --connect ADDR [--name TAG] [--deadline SECS] [--heartbeat SECS] \
+         [--analysis-threads T]\n  \
          mcd-cli bench snapshot [--out FILE] \
-         [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta]\n  \
+         [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta] \
+         [--analysis-threads T]\n  \
          mcd-cli trace <benchmark> [--instructions N] [--seed S] [--out FILE] \
          [--sample-every N] [--static]"
     );
@@ -147,7 +151,8 @@ fn cmd_bench(args: &[String]) {
         usage()
     }
     let mut spec = CampaignSpec::paper(5, 240_000, DvfsModel::XScale);
-    let mut out = String::from("BENCH_pr2.json");
+    let mut out = String::from("BENCH_pr7.json");
+    let mut analysis_threads: usize = 1;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -176,6 +181,11 @@ fn cmd_bench(args: &[String]) {
                     usage()
                 })]
             }
+            "--analysis-threads" => {
+                analysis_threads = value("--analysis-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -192,6 +202,7 @@ fn cmd_bench(args: &[String]) {
         spec.instructions
     );
     let report = Campaign::new(spec.clone())
+        .analysis_threads(analysis_threads)
         .run(&cache, &Telemetry::stderr())
         .unwrap_or_else(|e| {
             eprintln!("invalid campaign: {e}");
@@ -209,6 +220,10 @@ fn cmd_bench(args: &[String]) {
         snapshot.wall_s,
         snapshot.max_cell_s
     );
+    eprintln!(
+        "bench snapshot: phases {:.1}s trace-run, {:.1}s slack, {:.1}s cluster, {:.1}s simulate",
+        snapshot.trace_run_s, snapshot.slack_s, snapshot.cluster_s, snapshot.simulate_s
+    );
     if report.failed() > 0 {
         eprintln!("bench snapshot: {} cells FAILED", report.failed());
         std::process::exit(1);
@@ -218,6 +233,7 @@ fn cmd_bench(args: &[String]) {
 struct CampaignOpts {
     spec: CampaignSpec,
     workers: usize,
+    analysis_threads: usize,
     cache_dir: String,
     telemetry: Option<String>,
     checkpoint: Option<String>,
@@ -230,6 +246,7 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
     let mut opts = CampaignOpts {
         spec: CampaignSpec::paper(5, 120_000, DvfsModel::XScale),
         workers: 0,
+        analysis_threads: 1,
         cache_dir: "target/mcd-campaign-cache".into(),
         telemetry: None,
         checkpoint: None,
@@ -275,6 +292,11 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
                     .collect()
             }
             "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--analysis-threads" => {
+                opts.analysis_threads = value("--analysis-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--cache-dir" => opts.cache_dir = value("--cache-dir"),
             "--telemetry" => opts.telemetry = Some(value("--telemetry")),
             "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")),
@@ -395,6 +417,7 @@ fn cmd_grid_worker(args: &[String]) {
     let mut name = format!("worker-{}", std::process::id());
     let mut deadline: Option<Duration> = None;
     let mut heartbeat: Option<Duration> = None;
+    let mut analysis_threads: usize = 1;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -418,6 +441,11 @@ fn cmd_grid_worker(args: &[String]) {
             "--name" => name = value("--name"),
             "--deadline" => deadline = Some(secs("--deadline", value("--deadline"))),
             "--heartbeat" => heartbeat = Some(secs("--heartbeat", value("--heartbeat"))),
+            "--analysis-threads" => {
+                analysis_threads = value("--analysis-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -425,7 +453,9 @@ fn cmd_grid_worker(args: &[String]) {
         eprintln!("grid worker requires --connect ADDR");
         usage()
     };
-    let mut worker = GridWorker::connect(addr.clone()).name(&name);
+    let mut worker = GridWorker::connect(addr.clone())
+        .name(&name)
+        .analysis_threads(analysis_threads);
     if let Some(d) = deadline {
         worker = worker.deadline(d);
     }
@@ -575,7 +605,9 @@ fn cmd_campaign(args: &[String]) {
                 }
                 campaign
             };
-            campaign = campaign.workers(opts.workers);
+            campaign = campaign
+                .workers(opts.workers)
+                .analysis_threads(opts.analysis_threads);
             if let Some(deadline) = opts.deadline {
                 campaign = campaign.deadline(deadline);
             }

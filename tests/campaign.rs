@@ -158,3 +158,56 @@ proptest! {
         prop_assert_eq!(CacheKey::of(&a), CacheKey::of(&b));
     }
 }
+
+#[test]
+fn slack_profiles_are_shared_across_dilation_targets_and_stay_byte_identical() {
+    use mcd::harness::{CampaignRollup, ROLLUP_FILE};
+
+    // Slack-profile cache keys are θ-independent, so a sweep at different
+    // dilation targets has different cell cache keys (every cell
+    // recomputes) but identical slack keys (every shaker pass is served
+    // from the store).
+    let base = small_spec(); // θ ∈ {1 %, 5 %}
+    let mut alt = small_spec();
+    alt.thetas = [0.02, 0.04];
+
+    // Reference: the alt sweep against a fresh cache — cold slack store.
+    let (cache_cold, dir_cold) = scratch_cache("slack-cold");
+    let cold = Campaign::new(alt.clone())
+        .run(&cache_cold, &Telemetry::disabled())
+        .expect("valid spec");
+    let cold_json = cold.to_json().expect("all cells finished");
+    let cold_rollup = CampaignRollup::load(&cache_cold.dir().join(ROLLUP_FILE)).expect("rollup");
+    assert_eq!(
+        (cold_rollup.slack_hits, cold_rollup.slack_stores),
+        (0, 3),
+        "a cold store misses every lookup and keeps every profile"
+    );
+
+    // Warm: the base sweep seeds the store, then the alt sweep rides it
+    // (under thread fan-out, to cover that axis too).
+    let (cache_warm, dir_warm) = scratch_cache("slack-warm");
+    Campaign::new(base)
+        .run(&cache_warm, &Telemetry::disabled())
+        .expect("valid spec");
+    let warm = Campaign::new(alt)
+        .workers(2)
+        .analysis_threads(2)
+        .run(&cache_warm, &Telemetry::disabled())
+        .expect("valid spec");
+    assert_eq!(warm.computed(), 3, "different θs are different cells");
+    assert_eq!(
+        warm.to_json().expect("all cells finished"),
+        cold_json,
+        "a warm slack store must not change result bytes"
+    );
+    let warm_rollup = CampaignRollup::load(&cache_warm.dir().join(ROLLUP_FILE)).expect("rollup");
+    assert_eq!(
+        (warm_rollup.slack_loads, warm_rollup.slack_hits),
+        (3, 3),
+        "every alt cell's slack profile came from the base sweep's store"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_cold);
+    let _ = std::fs::remove_dir_all(&dir_warm);
+}
