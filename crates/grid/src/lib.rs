@@ -39,7 +39,7 @@ pub mod worker;
 
 pub use coordinator::{GridCampaign, GridServer};
 pub use stats::{GridStats, WorkerStats};
-pub use wire::{Frame, WireError, WireOutcome, MAX_FRAME_BYTES, WIRE_PROTOCOL};
+pub use wire::{Frame, WireError, WireOutcome, WorkerFingerprint, MAX_FRAME_BYTES, WIRE_PROTOCOL};
 pub use worker::{AbortMode, GridWorker, WorkerSummary};
 
 /// Anything that can go wrong running a distributed campaign.
@@ -55,6 +55,9 @@ pub enum GridError {
     Rejected(String),
     /// The peer violated the protocol (unexpected frame, bad state).
     Protocol(String),
+    /// The campaign configuration is self-contradictory (e.g. a
+    /// heartbeat timeout at or below the heartbeat interval).
+    Config(String),
 }
 
 impl fmt::Display for GridError {
@@ -65,6 +68,7 @@ impl fmt::Display for GridError {
             GridError::Harness(e) => write!(f, "grid harness error: {e}"),
             GridError::Rejected(reason) => write!(f, "handshake rejected: {reason}"),
             GridError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            GridError::Config(what) => write!(f, "invalid grid configuration: {what}"),
         }
     }
 }
@@ -75,7 +79,7 @@ impl std::error::Error for GridError {
             GridError::Io(e) => Some(e),
             GridError::Wire(e) => Some(e),
             GridError::Harness(e) => Some(e),
-            GridError::Rejected(_) | GridError::Protocol(_) => None,
+            GridError::Rejected(_) | GridError::Protocol(_) | GridError::Config(_) => None,
         }
     }
 }

@@ -3,7 +3,8 @@
 //! The coordinator's connection handlers feed one [`GridStats`] as cells
 //! resolve; when the campaign finishes it folds into the
 //! [`GridRollup`] persisted inside the campaign rollup, so
-//! `mcd-cli campaign report` can show which host did what.
+//! `mcd-cli campaign report` can show which host did what — and, since
+//! the audit layer, which host *lied*.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -15,10 +16,21 @@ use mcd_harness::{GridRollup, WorkerRollup};
 pub struct WorkerStats {
     /// Worker-reported name joined with the socket peer address.
     pub peer: String,
+    /// Worker environment fingerprint from the `/2` handshake (empty for
+    /// `/1`-era records).
+    pub fingerprint: String,
     /// Cells this worker returned results for.
     pub cells: u64,
     /// Cells requeued because this worker was evicted mid-assignment.
     pub reassignments: u64,
+    /// Redundant audit assignments this worker executed.
+    pub audits: u64,
+    /// This worker's cells confirmed byte-identical by a second opinion.
+    pub verified: u64,
+    /// This worker's results contradicted by the local arbiter.
+    pub divergences: u64,
+    /// Whether this worker was quarantined for lying.
+    pub quarantined: bool,
     /// Wire bytes received from this worker.
     pub wire_bytes_in: u64,
     /// Wire bytes sent to this worker.
@@ -31,6 +43,8 @@ pub struct WorkerStats {
 #[derive(Debug, Default)]
 pub struct GridStats {
     workers: BTreeMap<u64, WorkerStats>,
+    /// Audits the coordinator settled itself (local arbiter fallback).
+    local_audits: u64,
 }
 
 /// Nearest-rank percentile over an unsorted sample.
@@ -56,8 +70,10 @@ impl GridStats {
     }
 
     /// Records a completed handshake.
-    pub fn joined(&mut self, worker: u64, name: &str, peer: &str) {
-        self.worker(worker).peer = format!("{name}@{peer}");
+    pub fn joined(&mut self, worker: u64, name: &str, peer: &str, fingerprint: &str) {
+        let w = self.worker(worker);
+        w.peer = format!("{name}@{peer}");
+        w.fingerprint = fingerprint.to_string();
     }
 
     /// Records one assignment→result round trip.
@@ -65,6 +81,33 @@ impl GridStats {
         let w = self.worker(worker);
         w.cells += 1;
         w.rtts.push(rtt.as_secs_f64());
+    }
+
+    /// Records one completed audit assignment (the auditor's side).
+    pub fn audit_done(&mut self, worker: u64, rtt: Duration) {
+        let w = self.worker(worker);
+        w.audits += 1;
+        w.rtts.push(rtt.as_secs_f64());
+    }
+
+    /// Records a locally settled audit (coordinator as its own auditor).
+    pub fn local_audit(&mut self) {
+        self.local_audits += 1;
+    }
+
+    /// Records that one of `worker`'s cells passed its audit.
+    pub fn audit_verified(&mut self, worker: u64) {
+        self.worker(worker).verified += 1;
+    }
+
+    /// Records that the arbiter contradicted one of `worker`'s results.
+    pub fn divergence(&mut self, worker: u64) {
+        self.worker(worker).divergences += 1;
+    }
+
+    /// Records that `worker` was quarantined.
+    pub fn quarantine(&mut self, worker: u64) {
+        self.worker(worker).quarantined = true;
     }
 
     /// Records an eviction; `reassigned` is true when an in-flight cell
@@ -90,8 +133,13 @@ impl GridStats {
             .map(|(id, w)| WorkerRollup {
                 worker: *id,
                 peer: w.peer.clone(),
+                fingerprint: w.fingerprint.clone(),
                 cells: w.cells,
                 reassignments: w.reassignments,
+                audits: w.audits,
+                verified: w.verified,
+                divergences: w.divergences,
+                quarantined: w.quarantined,
                 wire_bytes_in: w.wire_bytes_in,
                 wire_bytes_out: w.wire_bytes_out,
                 cell_rtt_seconds_p95: percentile(&w.rtts, 0.95),
@@ -104,6 +152,9 @@ impl GridStats {
             .collect();
         GridRollup {
             reassignments: workers.iter().map(|w| w.reassignments).sum(),
+            audits: workers.iter().map(|w| w.audits).sum::<u64>() + self.local_audits,
+            divergences: workers.iter().map(|w| w.divergences).sum(),
+            quarantined_workers: workers.iter().filter(|w| w.quarantined).count() as u64,
             wire_bytes_in: workers.iter().map(|w| w.wire_bytes_in).sum(),
             wire_bytes_out: workers.iter().map(|w| w.wire_bytes_out).sum(),
             cell_rtt_seconds_p95: percentile(&all_rtts, 0.95),
@@ -119,8 +170,8 @@ mod tests {
     #[test]
     fn stats_fold_into_worker_ordered_rollup() {
         let mut stats = GridStats::new();
-        stats.joined(2, "b", "127.0.0.1:2");
-        stats.joined(1, "a", "127.0.0.1:1");
+        stats.joined(2, "b", "127.0.0.1:2", "0.1.0 x86_64-linux debug");
+        stats.joined(1, "a", "127.0.0.1:1", "");
         stats.cell_done(1, Duration::from_millis(100));
         stats.cell_done(1, Duration::from_millis(300));
         stats.cell_done(2, Duration::from_millis(50));
@@ -132,6 +183,7 @@ mod tests {
         assert_eq!(roll.workers[0].worker, 1);
         assert_eq!(roll.workers[0].peer, "a@127.0.0.1:1");
         assert_eq!(roll.workers[0].cells, 2);
+        assert_eq!(roll.workers[1].fingerprint, "0.1.0 x86_64-linux debug");
         assert_eq!(roll.workers[1].reassignments, 1);
         assert_eq!(roll.reassignments, 1);
         assert_eq!((roll.wire_bytes_in, roll.wire_bytes_out), (11, 22));
@@ -142,12 +194,33 @@ mod tests {
     #[test]
     fn eviction_before_any_cell_still_creates_a_row() {
         let mut stats = GridStats::new();
-        stats.joined(7, "w", "127.0.0.1:7");
+        stats.joined(7, "w", "127.0.0.1:7", "");
         stats.evicted(7, false);
         let roll = stats.rollup();
         assert_eq!(roll.workers.len(), 1);
         assert_eq!(roll.workers[0].cells, 0);
         assert_eq!(roll.reassignments, 0);
         assert_eq!(roll.cell_rtt_seconds_p95, 0.0);
+    }
+
+    #[test]
+    fn audit_tallies_blame_the_right_parties() {
+        let mut stats = GridStats::new();
+        stats.joined(1, "honest", "127.0.0.1:1", "fp");
+        stats.joined(2, "liar", "127.0.0.1:2", "fp");
+        stats.audit_done(1, Duration::from_millis(10));
+        stats.audit_verified(1);
+        stats.divergence(2);
+        stats.quarantine(2);
+        stats.local_audit();
+        let roll = stats.rollup();
+        assert_eq!(roll.audits, 2, "one worker audit plus one local");
+        assert_eq!(roll.divergences, 1);
+        assert_eq!(roll.quarantined_workers, 1);
+        assert_eq!(roll.workers[0].audits, 1);
+        assert_eq!(roll.workers[0].verified, 1);
+        assert!(!roll.workers[0].quarantined);
+        assert_eq!(roll.workers[1].divergences, 1);
+        assert!(roll.workers[1].quarantined);
     }
 }

@@ -1,4 +1,4 @@
-//! The `mcd-grid-wire/1` frame protocol.
+//! The `mcd-grid-wire/2` frame protocol.
 //!
 //! Every message between coordinator and worker is one *frame*: a 4-byte
 //! big-endian length (covering everything after itself), a 1-byte frame
@@ -24,7 +24,13 @@ use mcd_harness::{CampaignSpec, CellOutcome, CellSpec};
 use serde::{Deserialize, Serialize, Value};
 
 /// Protocol identifier exchanged in the [`Frame::Hello`] handshake.
-pub const WIRE_PROTOCOL: &str = "mcd-grid-wire/1";
+///
+/// `/2` extends the `/1` [`Frame::Hello`] with an optional worker
+/// [`WorkerFingerprint`]; every other frame shape is unchanged. A `/2`
+/// coordinator still *decodes* a `/1` `Hello` (the fingerprint key is
+/// simply absent) so it can answer with a [`Frame::Reject`] the old peer
+/// understands, instead of dropping the connection undiagnosed.
+pub const WIRE_PROTOCOL: &str = "mcd-grid-wire/2";
 
 /// Hard cap on the length prefix. The largest legitimate frame is a
 /// [`Frame::CellResult`] carrying a full [`BenchmarkResults`] (a few
@@ -108,7 +114,46 @@ impl WireOutcome {
     }
 }
 
-/// One `mcd-grid-wire/1` message.
+/// The environment a worker computes in, carried in the `/2` handshake.
+///
+/// When an audit catches two workers disagreeing about the same cell,
+/// the fingerprint is what makes the divergence *attributable*: the
+/// rollup can say "the quarantined worker ran a different build" rather
+/// than leaving the operator to guess.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerFingerprint {
+    /// `mcd-grid` crate version the worker was built from.
+    pub version: String,
+    /// Target the worker binary runs on (`arch-os`).
+    pub target: String,
+    /// Build profile and compiled-in feature set.
+    pub features: String,
+    /// Digest of the spec the worker is pinned to (empty until learned).
+    pub spec_digest: String,
+}
+
+impl WorkerFingerprint {
+    /// The fingerprint of *this* build, pinned to `spec_digest`.
+    pub fn current(spec_digest: &str) -> WorkerFingerprint {
+        WorkerFingerprint {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            target: format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+            features: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+            spec_digest: spec_digest.to_string(),
+        }
+    }
+
+    /// Compact `version target features` form for telemetry and blame.
+    pub fn summary(&self) -> String {
+        format!("{} {} {}", self.version, self.target, self.features)
+    }
+}
+
+/// One `mcd-grid-wire/2` message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Frame {
     /// Worker → coordinator: opens a session.
@@ -120,6 +165,9 @@ pub enum Frame {
         /// Digest of the spec the worker expects, or empty to accept
         /// whatever campaign the coordinator is serving.
         spec_digest: String,
+        /// Worker environment fingerprint; `None` from `/1` peers,
+        /// whose `Hello` never carried the key.
+        fingerprint: Option<WorkerFingerprint>,
     },
     /// Coordinator → worker: session accepted.
     Welcome {
@@ -129,6 +177,10 @@ pub enum Frame {
         spec_digest: String,
         /// Total cells in the campaign (progress denominator).
         cells: u64,
+        /// Heartbeat interval (µs) the coordinator wants while computing,
+        /// comfortably inside its eviction timeout. `None` from `/1`-era
+        /// coordinators; the worker then keeps its own default.
+        heartbeat_us: Option<u64>,
     },
     /// Coordinator → worker: session refused; the connection closes.
     Reject {
@@ -340,12 +392,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, u64), WireError> {
     Ok((frame, consumed as u64))
 }
 
-/// Convenience for handshakes: a [`Frame::Hello`] for this protocol.
+/// Convenience for handshakes: a [`Frame::Hello`] for this protocol,
+/// fingerprinted with the current build.
 pub fn hello(worker: &str, spec_digest: &str) -> Frame {
     Frame::Hello {
         protocol: WIRE_PROTOCOL.to_string(),
         worker: worker.to_string(),
         spec_digest: spec_digest.to_string(),
+        fingerprint: Some(WorkerFingerprint::current(spec_digest)),
     }
 }
 

@@ -63,7 +63,7 @@ pub struct GridWorker {
     name: String,
     retry: RetryPolicy,
     deadline: Option<Duration>,
-    heartbeat_interval: Duration,
+    heartbeat_interval: Option<Duration>,
     reconnect: BackoffPolicy,
     chaos: Arc<FaultPlan>,
     abort_after: Option<(u64, AbortMode)>,
@@ -72,15 +72,17 @@ pub struct GridWorker {
 
 impl GridWorker {
     /// A worker that will dial `addr` with default policies: default
-    /// panic retries, no watchdog deadline, 1 s heartbeats, and four
-    /// connection attempts with exponential backoff.
+    /// panic retries, no watchdog deadline, heartbeats at whatever
+    /// cadence the coordinator advertises in its `Welcome` (1 s when it
+    /// advertises none), and four connection attempts with exponential
+    /// backoff.
     pub fn connect(addr: impl Into<String>) -> GridWorker {
         GridWorker {
             addr: addr.into(),
             name: "worker".to_string(),
             retry: RetryPolicy::default(),
             deadline: None,
-            heartbeat_interval: Duration::from_secs(1),
+            heartbeat_interval: None,
             reconnect: BackoffPolicy::default(),
             chaos: Arc::new(FaultPlan::none()),
             abort_after: None,
@@ -107,10 +109,11 @@ impl GridWorker {
         self
     }
 
-    /// Sets how often the worker heartbeats while computing. Must be
-    /// comfortably below the coordinator's heartbeat timeout.
+    /// Pins how often the worker heartbeats while computing, overriding
+    /// whatever interval the coordinator advertises in its `Welcome`.
+    /// Must be comfortably below the coordinator's heartbeat timeout.
     pub fn heartbeat_interval(mut self, interval: Duration) -> GridWorker {
-        self.heartbeat_interval = interval;
+        self.heartbeat_interval = Some(interval);
         self
     }
 
@@ -214,20 +217,29 @@ impl GridWorker {
             Ok(r) => r,
             Err(_) => return SessionEnd::Lost,
         };
-        match read_frame(&mut reader) {
+        let advertised = match read_frame(&mut reader) {
             Ok((
                 Frame::Welcome {
                     spec_digest: digest,
+                    heartbeat_us,
                     ..
                 },
                 _,
             )) => {
                 *spec_digest = digest;
                 summary.sessions += 1;
+                heartbeat_us
             }
             Ok((Frame::Reject { reason }, _)) => return SessionEnd::Rejected(reason),
             Ok(_) | Err(_) => return SessionEnd::Lost,
-        }
+        };
+        // Heartbeat cadence: an explicit builder override wins, otherwise
+        // adopt what the coordinator advertised (`/1`-era coordinators
+        // advertise nothing — fall back to 1 s).
+        let heartbeat_interval = self
+            .heartbeat_interval
+            .or(advertised.map(Duration::from_micros))
+            .unwrap_or(Duration::from_secs(1));
 
         let telemetry = Telemetry::to_writer(Box::new(FrameForwarder {
             stream: Arc::clone(&shared),
@@ -265,7 +277,7 @@ impl GridWorker {
                     let (heartbeat_stop, stop_rx) = mpsc::channel::<()>();
                     let heartbeat = {
                         let shared = Arc::clone(&shared);
-                        let interval = self.heartbeat_interval;
+                        let interval = heartbeat_interval;
                         thread::spawn(move || loop {
                             match stop_rx.recv_timeout(interval) {
                                 Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -291,10 +303,18 @@ impl GridWorker {
                         deadline: self.deadline,
                         options: &options,
                     };
-                    // Phases stay worker-local: the mcd-grid-wire/1 frame
-                    // carries outcomes only, so grid-computed cells report
-                    // a zero phase breakdown in snapshots.
-                    let (outcome, _phases) = compute_cell(&ctx);
+                    // Phases stay worker-local: the wire frame carries
+                    // outcomes only, so grid-computed cells report a zero
+                    // phase breakdown in snapshots.
+                    let (mut outcome, _phases) = compute_cell(&ctx);
+                    // Chaos hook: a lying worker computes honestly, then
+                    // perturbs one numeric leaf of what it reports. The
+                    // audit layer must catch this from the bytes alone.
+                    if let Some(seed) = self.chaos.lie(index) {
+                        if let CellOutcome::Computed { result, .. } = &mut outcome {
+                            mcd_harness::chaos::lie_about(result, seed);
+                        }
+                    }
                     let _ = heartbeat_stop.send(());
                     let _ = heartbeat.join();
                     match &outcome {

@@ -42,6 +42,10 @@ pub const CACHE_FORMAT_VERSION: u32 = 2;
 /// Name of the quarantine subdirectory under the cache root.
 pub const QUARANTINE_DIR: &str = "quarantine";
 
+/// How many entries the campaign-startup spot check re-verifies (a fast
+/// sample, not a full scrub — `mcd-cli cache verify` walks everything).
+pub const SPOT_CHECK_LIMIT: usize = 8;
+
 /// A cell's content hash: 64 lowercase hex characters.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey(String);
@@ -64,6 +68,16 @@ impl CacheKey {
     /// The 64-character hex digest.
     pub fn hex(&self) -> &str {
         &self.0
+    }
+
+    /// Reconstructs a key from its hex digest (e.g. an entry filename);
+    /// `None` unless the string is exactly 64 lowercase hex characters.
+    pub fn from_hex(hex: &str) -> Option<CacheKey> {
+        let well_formed = hex.len() == 64
+            && hex
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+        well_formed.then(|| CacheKey(hex.to_string()))
     }
 }
 
@@ -96,6 +110,45 @@ pub enum CacheProbe {
     Hit(BenchmarkResults),
     /// An entry exists but failed validation and must not be trusted.
     Corrupt(CorruptKind),
+}
+
+/// One corrupt entry found by a [`ResultCache::scrub`] walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    /// The entry's 64-hex cache key.
+    pub key: String,
+    /// Which validation step the entry failed.
+    pub kind: CorruptKind,
+    /// Where the bytes were moved (`None` on a read-only verify).
+    pub evidence: Option<PathBuf>,
+}
+
+/// Report from re-validating every published cache entry.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Entries examined.
+    pub checked: usize,
+    /// Corrupt entries found (quarantined unless the walk was read-only).
+    pub findings: Vec<ScrubFinding>,
+}
+
+impl ScrubReport {
+    /// Whether every entry validated.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Result of the fast campaign-startup integrity sample
+/// ([`ResultCache::spot_check`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpotCheck {
+    /// Entries re-verified.
+    pub checked: usize,
+    /// Entries found corrupt. The bytes are left in place: the claim-time
+    /// probe quarantines them with full cell context (telemetry, evidence,
+    /// recomputation) when the campaign reaches the cell.
+    pub corrupt: usize,
 }
 
 /// On-disk store of finished cell results, addressed by [`CacheKey`].
@@ -264,6 +317,73 @@ impl ResultCache {
     #[doc(hidden)]
     pub fn raw_entry(&self, key: &CacheKey) -> Option<Vec<u8>> {
         fs::read(self.entry_path(key)).ok()
+    }
+
+    /// Every published entry key, sorted by filename so walks are
+    /// deterministic. Non-entry files in the cache directory (the rollup,
+    /// checkpoints, quarantine evidence) are skipped by construction:
+    /// only `<64-hex>.json` names parse as keys.
+    pub fn keys(&self) -> io::Result<Vec<CacheKey>> {
+        let mut keys = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if let Some(key) = name.strip_suffix(".json").and_then(CacheKey::from_hex) {
+                keys.push(key);
+            }
+        }
+        keys.sort_by(|a, b| a.hex().cmp(b.hex()));
+        Ok(keys)
+    }
+
+    /// Re-validates every published entry — presence, JSON shape, recorded
+    /// key, result digest. With `quarantine` true (a scrub), corrupt
+    /// entries are moved to `quarantine/` as evidence, freeing the slot
+    /// for recomputation; false (a verify) reports without touching the
+    /// bytes.
+    pub fn scrub(&self, quarantine: bool) -> io::Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        for key in self.keys()? {
+            report.checked += 1;
+            let kind = match self.probe(&key) {
+                CacheProbe::Hit(_) => continue,
+                // The file vanished between listing and probing: an entry
+                // that is not there cannot be corrupt.
+                CacheProbe::Miss => continue,
+                CacheProbe::Corrupt(kind) => kind,
+            };
+            let evidence = if quarantine {
+                Some(self.quarantine(&key)?)
+            } else {
+                None
+            };
+            report.findings.push(ScrubFinding {
+                key: key.hex().to_string(),
+                kind,
+                evidence,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Fast startup integrity sample: re-validates up to `limit` entries
+    /// in deterministic (sorted-key) order, reporting (not repairing) any
+    /// corruption found — the claim-time probe ladder quarantines and
+    /// recomputes with full cell context when the campaign reaches the
+    /// cell. Best-effort: an unreadable directory checks nothing.
+    pub fn spot_check(&self, limit: usize) -> SpotCheck {
+        let mut spot = SpotCheck::default();
+        let keys = self.keys().unwrap_or_default();
+        for key in keys.iter().take(limit) {
+            spot.checked += 1;
+            if matches!(self.probe(key), CacheProbe::Corrupt(_)) {
+                spot.corrupt += 1;
+            }
+        }
+        spot
     }
 }
 
@@ -520,6 +640,100 @@ mod tests {
         assert!(evidence.is_file(), "evidence preserved");
         assert!(!cache.contains(&key), "slot is free for recomputation");
         assert!(matches!(cache.probe(&key), CacheProbe::Miss));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_hex_round_trips_and_rejects_garbage() {
+        let key = CacheKey::of(&cell());
+        assert_eq!(CacheKey::from_hex(key.hex()), Some(key.clone()));
+        assert_eq!(CacheKey::from_hex("campaign-rollup"), None);
+        assert_eq!(CacheKey::from_hex(&"A".repeat(64)), None, "uppercase");
+        assert_eq!(CacheKey::from_hex(&"a".repeat(63)), None, "short");
+    }
+
+    #[test]
+    fn scrub_quarantines_exactly_the_corrupt_entries() {
+        let dir = scratch("scrub");
+        let cache = ResultCache::open(&dir).expect("create cache dir");
+        let mut keys = Vec::new();
+        for seed in 0..4 {
+            let mut c = cell();
+            c.seed = seed;
+            let key = CacheKey::of(&c);
+            cache.store(&key, &c, &c.run()).expect("store entry");
+            keys.push(key);
+        }
+        // Non-entry files must be ignored by the walk.
+        fs::write(dir.join("campaign-rollup.json"), "{not an entry").unwrap();
+        assert_eq!(cache.keys().unwrap().len(), 4);
+
+        cache.corrupt_with(&keys[1], b"{garbage").unwrap();
+        cache.corrupt_with(&keys[3], b"").unwrap();
+
+        // Read-only verify: reports, touches nothing.
+        let verify = cache.scrub(false).expect("verify");
+        assert_eq!(verify.checked, 4);
+        assert_eq!(verify.findings.len(), 2);
+        assert!(!verify.clean());
+        assert!(verify.findings.iter().all(|f| f.evidence.is_none()));
+        assert!(cache.contains(&keys[1]), "verify leaves the bytes");
+
+        // Scrub: corrupt entries move to quarantine, good ones survive.
+        let scrub = cache.scrub(true).expect("scrub");
+        assert_eq!(scrub.findings.len(), 2);
+        for f in &scrub.findings {
+            let evidence = f.evidence.as_ref().expect("quarantined");
+            assert!(evidence.starts_with(cache.quarantine_dir()));
+            assert!(evidence.is_file());
+        }
+        assert!(!cache.contains(&keys[1]));
+        assert!(!cache.contains(&keys[3]));
+        assert!(cache.load(&keys[0]).is_some(), "good entries untouched");
+        assert!(cache.load(&keys[2]).is_some());
+        assert!(cache.scrub(true).expect("rescrub").clean(), "idempotent");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spot_check_samples_in_deterministic_order() {
+        let dir = scratch("spot");
+        let cache = ResultCache::open(&dir).expect("create cache dir");
+        let mut keys = Vec::new();
+        for seed in 0..3 {
+            let mut c = cell();
+            c.seed = seed;
+            let key = CacheKey::of(&c);
+            cache.store(&key, &c, &c.run()).expect("store entry");
+            keys.push(key.hex().to_string());
+        }
+        keys.sort();
+        // Corrupt the first key in walk order; limit 2 must catch it.
+        let first = CacheKey::from_hex(&keys[0]).unwrap();
+        cache.corrupt_with(&first, b"{broken").unwrap();
+        let spot = cache.spot_check(2);
+        assert_eq!(
+            spot,
+            SpotCheck {
+                checked: 2,
+                corrupt: 1
+            }
+        );
+        // Detection only: the bytes stay put for the claim-time probe to
+        // quarantine with full cell context.
+        assert!(
+            matches!(cache.probe(&first), CacheProbe::Corrupt(_)),
+            "spot check reports without repairing"
+        );
+        // A limit past the population checks everything.
+        let spot = cache.spot_check(SPOT_CHECK_LIMIT);
+        assert_eq!(
+            spot,
+            SpotCheck {
+                checked: 3,
+                corrupt: 1
+            }
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

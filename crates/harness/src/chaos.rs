@@ -18,6 +18,8 @@
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use serde::{Deserialize, Number, Serialize, Value};
+
 /// One injected fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Fault {
@@ -59,6 +61,19 @@ pub enum Fault {
     InterruptAfter {
         /// Computed-cell count that triggers the interrupt.
         computed: usize,
+    },
+    /// The worker *lies* about this cell: it computes honestly, then
+    /// perturbs one deterministically chosen numeric field of the result
+    /// before reporting it. The simulator itself is untouched — this
+    /// models a hostile or broken remote host, and exists to exercise
+    /// the grid audit/arbiter/quarantine path. Never part of
+    /// [`FaultPlan::storm`], which feeds local campaigns where a lie
+    /// would (correctly) break serial-byte convergence.
+    Lie {
+        /// Target cell index.
+        cell: usize,
+        /// Seed choosing which field is perturbed.
+        seed: u64,
     },
 }
 
@@ -200,6 +215,77 @@ impl FaultPlan {
             .iter()
             .any(|f| matches!(f, Fault::InterruptAfter { computed } if done >= *computed))
     }
+
+    /// The lie seed for `cell`'s reported result, if planned.
+    pub fn lie(&self, cell: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Lie { cell: c, seed } if *c == cell => Some(*seed),
+            _ => None,
+        })
+    }
+
+    /// A plan in which the worker lies about *every* one of `cells`
+    /// cells, with per-cell seeds derived from `seed`. Grid-test only:
+    /// local campaigns have no audit layer to catch it.
+    pub fn liar(seed: u64, cells: usize) -> FaultPlan {
+        FaultPlan::new(
+            (0..cells)
+                .map(|cell| Fault::Lie {
+                    cell,
+                    seed: seed ^ cell as u64,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Perturbs one deterministically chosen numeric leaf of a JSON document
+/// (object keys are canonically ordered, so "the `n`-th number" is well
+/// defined). Returns `false` when the document holds no numbers.
+pub fn corrupt_number(doc: &mut Value, seed: u64) -> bool {
+    fn collect<'a>(v: &'a mut Value, out: &mut Vec<&'a mut Number>) {
+        match v {
+            Value::Number(n) => out.push(n),
+            Value::Array(items) => items.iter_mut().for_each(|item| collect(item, out)),
+            Value::Object(map) => map.values_mut().for_each(|item| collect(item, out)),
+            Value::Null | Value::Bool(_) | Value::String(_) => {}
+        }
+    }
+    let mut numbers = Vec::new();
+    collect(doc, &mut numbers);
+    if numbers.is_empty() {
+        return false;
+    }
+    // splitmix64 finalizer, as FaultPlan::storm.
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let pick = ((z ^ (z >> 31)) % numbers.len() as u64) as usize;
+    *numbers[pick] = match *numbers[pick] {
+        Number::U64(n) => Number::U64(n ^ 1),
+        Number::I64(n) => Number::I64(n ^ 1),
+        Number::F64(0.0) => Number::F64(1.0),
+        Number::F64(n) => Number::F64(-n),
+    };
+    true
+}
+
+/// Applies a seeded lie to a serializable result: re-encodes it through
+/// the JSON data model, corrupts one numeric field, and decodes it back.
+/// Returns `false` (leaving the value untouched) when the document has
+/// no numbers or the corrupted form no longer decodes.
+pub fn lie_about<T: Serialize + Deserialize>(value: &mut T, seed: u64) -> bool {
+    let mut doc = value.to_value();
+    if !corrupt_number(&mut doc, seed) {
+        return false;
+    }
+    match T::from_value(&doc) {
+        Ok(corrupted) => {
+            *value = corrupted;
+            true
+        }
+        Err(_) => false,
+    }
 }
 
 /// A `Write` sink whose every `write` fails after the first `ok_writes`
@@ -285,6 +371,29 @@ mod tests {
         assert!(!a.is_empty(), "64 cells at ~1/4 density yields faults");
         let c = FaultPlan::storm(8, 64);
         assert_ne!(a.faults(), c.faults(), "different seed, different plan");
+    }
+
+    #[test]
+    fn corrupt_number_is_a_deterministic_single_field_lie() {
+        let doc = || serde_json::from_str::<Value>(r#"{"a": 3, "b": [1.5, {"c": 0.0}]}"#).unwrap();
+        let (mut a, mut b) = (doc(), doc());
+        assert!(corrupt_number(&mut a, 9));
+        assert!(corrupt_number(&mut b, 9));
+        assert_eq!(a, b, "same seed, same lie");
+        assert_ne!(a, doc(), "the lie changes the document");
+        let mut numberless = Value::String("x".to_string());
+        assert!(!corrupt_number(&mut numberless, 1), "nothing to lie about");
+    }
+
+    #[test]
+    fn liar_plan_targets_every_cell_with_derived_seeds() {
+        let plan = FaultPlan::liar(42, 3);
+        assert_eq!(plan.faults().len(), 3);
+        for cell in 0..3 {
+            assert_eq!(plan.lie(cell), Some(42 ^ cell as u64));
+        }
+        assert_eq!(plan.lie(3), None);
+        assert_eq!(plan.panic_message(0, 1), None, "a liar never crashes");
     }
 
     #[test]

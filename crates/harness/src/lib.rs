@@ -52,7 +52,10 @@ use std::time::{Duration, Instant};
 
 use mcd_core::{BenchmarkResults, RunOptions};
 
-pub use cache::{CacheKey, CacheProbe, ResultCache, CACHE_FORMAT_VERSION, QUARANTINE_DIR};
+pub use cache::{
+    CacheKey, CacheProbe, ResultCache, ScrubFinding, ScrubReport, SpotCheck, CACHE_FORMAT_VERSION,
+    QUARANTINE_DIR, SPOT_CHECK_LIMIT,
+};
 pub use chaos::{Fault, FaultPlan};
 pub use checkpoint::{spec_digest, CheckpointManifest, CHECKPOINT_SCHEMA};
 pub use error::{CacheOp, CorruptKind, HarnessError};
@@ -222,6 +225,7 @@ pub struct Campaign {
     backoff: BackoffPolicy,
     deadline: Option<Duration>,
     checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
     chaos: Arc<FaultPlan>,
     interrupt: Option<Arc<AtomicBool>>,
     analysis_threads: usize,
@@ -238,6 +242,7 @@ impl Campaign {
             backoff: BackoffPolicy::default(),
             deadline: None,
             checkpoint: None,
+            checkpoint_every: 1,
             chaos: Arc::new(FaultPlan::none()),
             interrupt: None,
             analysis_threads: 1,
@@ -281,11 +286,22 @@ impl Campaign {
     }
 
     /// Persists progress to a checkpoint manifest at `path` (rewritten
-    /// atomically after every completed cell). If the file already exists
-    /// it is loaded and verified against this campaign's spec, so a
-    /// restarted run continues where the last one stopped.
+    /// atomically after every completed cell, or every N with
+    /// [`Campaign::checkpoint_every`]). If the file already exists it is
+    /// loaded and verified against this campaign's spec, so a restarted
+    /// run continues where the last one stopped.
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Campaign {
         self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint cadence: persist the manifest every `every`
+    /// completed cells instead of every cell (0 is clamped to 1). A
+    /// SIGKILLed campaign then re-verifies at most `every` cells against
+    /// the cache on resume — results are never lost (the cache stores
+    /// per cell regardless), only done-marks.
+    pub fn checkpoint_every(mut self, every: usize) -> Campaign {
+        self.checkpoint_every = every.max(1);
         self
     }
 
@@ -332,25 +348,44 @@ impl Campaign {
         let keys: Vec<CacheKey> = cells.iter().map(CacheKey::of).collect();
         let workers = pool::resolve_workers(self.workers);
 
-        let manifest: Mutex<Option<CheckpointManifest>> = Mutex::new(match &self.checkpoint {
-            Some(path) if path.exists() => {
-                let m = CheckpointManifest::load(path)?;
-                m.verify_spec(&self.spec)?;
-                if m.total() != cells.len() {
-                    return Err(HarnessError::CheckpointInvalid {
-                        path: path.clone(),
-                        reason: format!(
-                            "manifest records {} cells, campaign expands to {}",
-                            m.total(),
-                            cells.len()
-                        ),
-                    });
+        // Fast integrity sample before trusting the cache: re-verify a few
+        // entries and quarantine anything corrupt (a full walk is
+        // `mcd-cli cache verify`).
+        let spot = cache.spot_check(SPOT_CHECK_LIMIT);
+        if spot.checked > 0 {
+            telemetry.cache_spot_check(spot.checked, spot.corrupt);
+        }
+
+        // The manifest rides with a dirty-cell counter so saves can be
+        // batched to the configured cadence.
+        let manifest: Mutex<Option<(CheckpointManifest, usize)>> =
+            Mutex::new(match &self.checkpoint {
+                Some(path) if path.exists() => {
+                    let m = CheckpointManifest::load(path)?;
+                    m.verify_spec(&self.spec)?;
+                    if m.total() != cells.len() {
+                        return Err(HarnessError::CheckpointInvalid {
+                            path: path.clone(),
+                            reason: format!(
+                                "manifest records {} cells, campaign expands to {}",
+                                m.total(),
+                                cells.len()
+                            ),
+                        });
+                    }
+                    Some((m, 0))
                 }
-                Some(m)
+                Some(_) => Some((CheckpointManifest::new(self.spec.clone(), cells.len()), 0)),
+                None => None,
+            });
+        // Persist the initial manifest before any work: a campaign killed
+        // during its very first cells still leaves a resumable file.
+        if let Some(path) = &self.checkpoint {
+            let guard = manifest.lock().expect("checkpoint manifest poisoned");
+            if let Some((m, _)) = guard.as_ref() {
+                m.save(path)?;
             }
-            Some(_) => Some(CheckpointManifest::new(self.spec.clone(), cells.len())),
-            None => None,
-        });
+        }
 
         telemetry.campaign_started(cells.len(), workers);
         let stop = self
@@ -390,18 +425,36 @@ impl Campaign {
             if outcome.result().is_some() {
                 if let Some(path) = &self.checkpoint {
                     let mut guard = manifest.lock().expect("checkpoint manifest poisoned");
-                    if let Some(m) = guard.as_mut() {
+                    if let Some((m, dirty)) = guard.as_mut() {
                         if m.mark_done(i) {
-                            // Atomic rewrite per cell: a crash at any moment
-                            // leaves a consistent manifest. A failed save
-                            // only costs resume granularity, never results.
-                            let _ = m.save(path);
+                            *dirty += 1;
+                            if *dirty >= self.checkpoint_every {
+                                // Atomic, fsynced rewrite at the cadence: a
+                                // crash at any moment leaves a consistent
+                                // manifest at most `checkpoint_every` cells
+                                // behind the cache. A failed save only costs
+                                // resume granularity, never results.
+                                if m.save(path).is_ok() {
+                                    *dirty = 0;
+                                }
+                            }
                         }
                     }
                 }
             }
             (outcome, elapsed, phases)
         });
+
+        // Flush done-marks the cadence batched up, so a *cleanly* finished
+        // campaign's manifest is always exact.
+        if let Some(path) = &self.checkpoint {
+            let mut guard = manifest.lock().expect("checkpoint manifest poisoned");
+            if let Some((m, dirty)) = guard.as_mut() {
+                if *dirty > 0 && m.save(path).is_ok() {
+                    *dirty = 0;
+                }
+            }
+        }
 
         let interrupted = stop.load(Ordering::SeqCst);
         let cells: Vec<CellReport> = cells
@@ -454,6 +507,7 @@ impl Campaign {
         // not fail a campaign whose results are already safe.
         let _ = rollup::CampaignRollup::from_report(&report)
             .with_slack(slack_stats)
+            .with_integrity(spot.checked, spot.corrupt, self.checkpoint_every as u64)
             .save(&cache.dir().join(ROLLUP_FILE));
         if interrupted {
             telemetry.campaign_interrupted(report.cached() + report.computed(), report.skipped());
@@ -589,6 +643,54 @@ mod tests {
             .expect("resume");
         assert_eq!(resumed.cached(), 3);
         assert_eq!(resumed.to_json(), report.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_checkpoint_cadence_still_finishes_exact() {
+        let (cache, dir) = scratch_cache("ckpt-cadence");
+        let ckpt = dir.join("campaign.checkpoint.json");
+        // Cadence far above the cell count: only the initial save and the
+        // final flush ever write, and the manifest must still end complete.
+        let report = Campaign::new(tiny_spec())
+            .workers(2)
+            .checkpoint(&ckpt)
+            .checkpoint_every(100)
+            .run(&cache, &Telemetry::disabled())
+            .expect("run");
+        assert_eq!(report.computed(), 3);
+        let manifest = CheckpointManifest::load(&ckpt).expect("manifest written");
+        assert!(manifest.is_complete());
+
+        // Resume under the same cadence is a no-op rerun from cache.
+        let resumed = Campaign::from_checkpoint(&ckpt)
+            .expect("manifest round-trips")
+            .checkpoint_every(100)
+            .run(&cache, &Telemetry::disabled())
+            .expect("resume");
+        assert_eq!(resumed.cached(), 3);
+        assert_eq!(resumed.to_json(), report.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_campaign_saves_a_manifest_before_any_work() {
+        let (cache, dir) = scratch_cache("ckpt-initial");
+        let ckpt = dir.join("campaign.checkpoint.json");
+        // Interrupt immediately: no cell ever completes, yet the manifest
+        // must already be on disk and resumable.
+        let stop = Arc::new(AtomicBool::new(true));
+        let report = Campaign::new(tiny_spec())
+            .checkpoint(&ckpt)
+            .checkpoint_every(50)
+            .interrupt(Arc::clone(&stop))
+            .run(&cache, &Telemetry::disabled())
+            .expect("run");
+        assert!(report.interrupted);
+        assert_eq!(report.skipped(), 3);
+        let manifest = CheckpointManifest::load(&ckpt).expect("initial manifest exists");
+        assert_eq!(manifest.completed().len(), 0);
+        assert_eq!(manifest.total(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

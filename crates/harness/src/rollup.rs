@@ -17,11 +17,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::{CampaignReport, CellOutcome, SlackCacheStats};
 
-/// Schema tag embedded in every rollup document. v3: adds the
-/// slack-profile cache counters (v2 added the per-benchmark breakdown and
-/// grid attribution); older documents no longer load (the rollup is
-/// derived data — rerunning the campaign regenerates it).
-pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/3";
+/// Schema tag embedded in every rollup document. v4: adds the integrity
+/// layer — audit/divergence/quarantine attribution, cache spot-check
+/// counters, and the checkpoint cadence (v3 added the slack-profile cache
+/// counters, v2 the per-benchmark breakdown and grid attribution); older
+/// documents no longer load (the rollup is derived data — rerunning the
+/// campaign regenerates it).
+pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/4";
 
 /// File name the rollup is persisted under, inside the cache directory.
 pub const ROLLUP_FILE: &str = "campaign-rollup.json";
@@ -64,10 +66,21 @@ pub struct WorkerRollup {
     pub worker: u64,
     /// Worker-reported name plus its socket peer address.
     pub peer: String,
+    /// Worker environment fingerprint from the `/2` handshake (empty for
+    /// `/1`-era records).
+    pub fingerprint: String,
     /// Cells this worker returned results for.
     pub cells: u64,
     /// Cells requeued because this worker was evicted mid-assignment.
     pub reassignments: u64,
+    /// Redundant audit assignments this worker executed.
+    pub audits: u64,
+    /// This worker's cells confirmed byte-identical by a second opinion.
+    pub verified: u64,
+    /// This worker's results contradicted by the local arbiter.
+    pub divergences: u64,
+    /// Whether this worker was quarantined for lying.
+    pub quarantined: bool,
     /// Wire bytes received from this worker.
     pub wire_bytes_in: u64,
     /// Wire bytes sent to this worker.
@@ -84,6 +97,13 @@ pub struct GridRollup {
     pub workers: Vec<WorkerRollup>,
     /// Total cell reassignments caused by worker eviction.
     pub reassignments: u64,
+    /// Total audit settlements (worker second opinions plus local
+    /// arbiter fallbacks).
+    pub audits: u64,
+    /// Audits where the arbiter contradicted a worker's result.
+    pub divergences: u64,
+    /// Workers quarantined for lying.
+    pub quarantined_workers: u64,
     /// Total wire bytes received from workers.
     pub wire_bytes_in: u64,
     /// Total wire bytes sent to workers.
@@ -130,6 +150,13 @@ pub struct CampaignRollup {
     pub slack_hits: u64,
     /// Slack profiles written to the store this run.
     pub slack_stores: u64,
+    /// Result-cache entries re-verified by the startup spot check.
+    pub spot_checked: u64,
+    /// Spot-checked entries found corrupt (left for claim-time repair).
+    pub spot_corrupt: u64,
+    /// Checkpoint cadence: the manifest was persisted at least every this
+    /// many completed cells (1 = every cell).
+    pub checkpoint_every: u64,
     /// Distributed-execution attribution (`None` for local campaigns).
     pub grid: Option<GridRollup>,
 }
@@ -233,6 +260,9 @@ impl CampaignRollup {
             slack_loads: 0,
             slack_hits: 0,
             slack_stores: 0,
+            spot_checked: 0,
+            spot_corrupt: 0,
+            checkpoint_every: 1,
             grid: None,
         }
     }
@@ -241,6 +271,33 @@ impl CampaignRollup {
     pub fn with_grid(mut self, grid: GridRollup) -> CampaignRollup {
         self.grid = Some(grid);
         self
+    }
+
+    /// Attaches the integrity counters: startup cache spot-check results
+    /// and the checkpoint cadence the campaign ran with.
+    pub fn with_integrity(
+        mut self,
+        spot_checked: usize,
+        spot_corrupt: usize,
+        checkpoint_every: u64,
+    ) -> CampaignRollup {
+        self.spot_checked = spot_checked as u64;
+        self.spot_corrupt = spot_corrupt as u64;
+        self.checkpoint_every = checkpoint_every.max(1);
+        self
+    }
+
+    /// Whether the campaign finished without losing cells or catching a
+    /// lie: no failed or stalled cells, no audit divergences, no
+    /// quarantined workers. `campaign report` exits nonzero when this is
+    /// false.
+    pub fn healthy(&self) -> bool {
+        let grid_clean = self
+            .grid
+            .as_ref()
+            .map(|g| g.divergences == 0 && g.quarantined_workers == 0)
+            .unwrap_or(true);
+        self.failed == 0 && self.stalled == 0 && grid_clean
     }
 
     /// Attaches the slack-profile store counters to the rollup.
@@ -329,6 +386,21 @@ impl CampaignRollup {
                 row(&mut out, &format!("lost: {}", c.cause), c.cells.to_string());
             }
         }
+        if self.spot_checked > 0 {
+            row(
+                &mut out,
+                "cache spot check",
+                format!(
+                    "{} checked, {} corrupt",
+                    self.spot_checked, self.spot_corrupt
+                ),
+            );
+        }
+        row(
+            &mut out,
+            "checkpoint cadence",
+            format!("every {} cells", self.checkpoint_every),
+        );
         if !self.per_benchmark.is_empty() {
             out.push_str("\nper-benchmark\n");
             out.push_str(&format!(
@@ -352,29 +424,50 @@ impl CampaignRollup {
         if let Some(grid) = &self.grid {
             out.push_str("\ngrid\n");
             out.push_str(&format!(
-                "  {:<24} {:>5} {:>10} {:>10} {:>10} {:>9}\n",
-                "worker", "cells", "reassigned", "bytes in", "bytes out", "rtt p95"
+                "  {:<24} {:>5} {:>10} {:>6} {:>8} {:>8} {:>10} {:>10} {:>9}\n",
+                "worker",
+                "cells",
+                "reassigned",
+                "audits",
+                "verified",
+                "diverged",
+                "bytes in",
+                "bytes out",
+                "rtt p95"
             ));
             for w in &grid.workers {
                 out.push_str(&format!(
-                    "  {:<24} {:>5} {:>10} {:>10} {:>10} {:>8.3}s\n",
+                    "  {:<24} {:>5} {:>10} {:>6} {:>8} {:>8} {:>10} {:>10} {:>8.3}s{}\n",
                     format!("#{} {}", w.worker, w.peer),
                     w.cells,
                     w.reassignments,
+                    w.audits,
+                    w.verified,
+                    w.divergences,
                     w.wire_bytes_in,
                     w.wire_bytes_out,
                     w.cell_rtt_seconds_p95,
+                    if w.quarantined { "  QUARANTINED" } else { "" },
                 ));
             }
             out.push_str(&format!(
-                "  {:<24} {:>5} {:>10} {:>10} {:>10} {:>8.3}s\n",
+                "  {:<24} {:>5} {:>10} {:>6} {:>8} {:>8} {:>10} {:>10} {:>8.3}s\n",
                 "total",
                 grid.workers.iter().map(|w| w.cells).sum::<u64>(),
                 grid.reassignments,
+                grid.audits,
+                grid.workers.iter().map(|w| w.verified).sum::<u64>(),
+                grid.divergences,
                 grid.wire_bytes_in,
                 grid.wire_bytes_out,
                 grid.cell_rtt_seconds_p95,
             ));
+            if grid.quarantined_workers > 0 {
+                out.push_str(&format!(
+                    "  {} worker(s) quarantined for audit divergence\n",
+                    grid.quarantined_workers
+                ));
+            }
         }
         out
     }
@@ -523,13 +616,21 @@ mod tests {
             workers: vec![WorkerRollup {
                 worker: 1,
                 peer: "w1@127.0.0.1:9".into(),
+                fingerprint: "0.1.0 x86_64-linux debug".into(),
                 cells: 1,
                 reassignments: 2,
+                audits: 1,
+                verified: 1,
+                divergences: 0,
+                quarantined: false,
                 wire_bytes_in: 512,
                 wire_bytes_out: 1024,
                 cell_rtt_seconds_p95: 0.25,
             }],
             reassignments: 2,
+            audits: 1,
+            divergences: 0,
+            quarantined_workers: 0,
             wire_bytes_in: 512,
             wire_bytes_out: 1024,
             cell_rtt_seconds_p95: 0.25,
@@ -564,6 +665,54 @@ mod tests {
         // A campaign that never touched the store stays silent.
         let quiet = CampaignRollup::from_report(&r);
         assert!(!quiet.table().contains("slack profile cache"));
+    }
+
+    #[test]
+    fn health_tracks_failures_and_divergences() {
+        let clean = CampaignRollup::from_report(&report_with(vec![(computed(), 10)]));
+        assert!(clean.healthy());
+        let failed = CampaignRollup::from_report(&report_with(vec![(
+            CellOutcome::Failed(CellFailure {
+                attempts: 1,
+                message: "boom".into(),
+                deterministic: true,
+            }),
+            1,
+        )]));
+        assert!(!failed.healthy());
+        let mut grid = GridRollup {
+            workers: vec![],
+            reassignments: 0,
+            audits: 3,
+            divergences: 0,
+            quarantined_workers: 0,
+            wire_bytes_in: 0,
+            wire_bytes_out: 0,
+            cell_rtt_seconds_p95: 0.0,
+        };
+        assert!(clean.clone().with_grid(grid.clone()).healthy());
+        grid.divergences = 1;
+        grid.quarantined_workers = 1;
+        let lied = clean.clone().with_grid(grid);
+        assert!(!lied.healthy());
+    }
+
+    #[test]
+    fn integrity_counters_round_trip_and_render() {
+        let r = report_with(vec![(computed(), 100)]);
+        let roll = CampaignRollup::from_report(&r).with_integrity(8, 1, 5);
+        assert_eq!((roll.spot_checked, roll.spot_corrupt), (8, 1));
+        assert_eq!(roll.checkpoint_every, 5);
+        let table = roll.table();
+        assert!(table.contains("8 checked, 1 corrupt"));
+        assert!(table.contains("every 5 cells"));
+        // A zero cadence is clamped to the per-cell floor.
+        assert_eq!(
+            CampaignRollup::from_report(&r)
+                .with_integrity(0, 0, 0)
+                .checkpoint_every,
+            1
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use mcd_core::SlackStore;
 
-use crate::cache::sha256_hex;
+use crate::cache::{sha256_hex, CacheKey, ScrubFinding, ScrubReport, QUARANTINE_DIR};
+use crate::error::CorruptKind;
 
 /// Subdirectory of the result-cache directory that holds slack profiles.
 pub const SLACK_CACHE_DIR: &str = "slack";
@@ -54,21 +55,99 @@ pub struct SlackDiskCache {
 }
 
 impl SlackDiskCache {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, sweeping any
+    /// stale `<key>.tmp.<pid>` files a crashed writer left behind — the
+    /// same crash-dropping rule the result cache applies to its own
+    /// directory.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<SlackDiskCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SlackDiskCache {
+        let store = SlackDiskCache {
             dir,
             loads: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             stores: AtomicU64::new(0),
-        })
+        };
+        store.sweep_stale_tmp()?;
+        Ok(store)
     }
 
     /// The store's directory.
     pub fn dir(&self) -> &PathBuf {
         &self.dir
+    }
+
+    /// The store's quarantine directory (not created until first used).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
+    /// Removes leftover `<key>.tmp.<pid>` temp files from interrupted
+    /// stores, returning how many were swept. A live writer whose temp is
+    /// swept from under it only loses that one best-effort store — its
+    /// rename fails and the profile is recomputed elsewhere.
+    pub fn sweep_stale_tmp(&self) -> io::Result<usize> {
+        let mut swept = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_file() && name.contains(".tmp.") {
+                fs::remove_file(&path)?;
+                swept += 1;
+            }
+        }
+        Ok(swept)
+    }
+
+    /// Re-validates every stored profile's digest framing. With
+    /// `quarantine` true (a scrub), bad entries move to
+    /// `slack/quarantine/` as evidence; false (a verify) reports without
+    /// touching the bytes.
+    pub fn scrub(&self, quarantine: bool) -> io::Result<ScrubReport> {
+        let mut keys: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if let Some(key) = name.strip_suffix(".json").and_then(CacheKey::from_hex) {
+                keys.push(key.hex().to_string());
+            }
+        }
+        keys.sort();
+        let mut report = ScrubReport::default();
+        for key in keys {
+            report.checked += 1;
+            let path = self.dir.join(format!("{key}.json"));
+            let kind = match fs::read_to_string(&path) {
+                Ok(text) => match Self::decode(&text) {
+                    Some(_) => continue,
+                    // An unframed file and a framed-but-mismatched file are
+                    // different damage: the latter proves the payload
+                    // changed after it was written.
+                    None if text.split_once('\n').is_none() => CorruptKind::Malformed,
+                    None => CorruptKind::DigestMismatch,
+                },
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(_) => CorruptKind::Unreadable,
+            };
+            let evidence = if quarantine {
+                let qdir = self.quarantine_dir();
+                fs::create_dir_all(&qdir)?;
+                let dest = qdir.join(format!("{key}.json"));
+                fs::rename(&path, &dest)?;
+                Some(dest)
+            } else {
+                None
+            };
+            report.findings.push(ScrubFinding {
+                key,
+                kind,
+                evidence,
+            });
+        }
+        Ok(report)
     }
 
     /// Counters since this handle was opened.
@@ -176,6 +255,55 @@ mod tests {
 
         fs::write(&path, "no digest line at all").unwrap();
         assert_eq!(store.load("key"), None, "unframed file must not serve");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let (store, dir) = scratch("sweep");
+        store.store("key", "{\"keep\":1}");
+        let stale = dir.join(format!("{}.tmp.99999", "ab".repeat(32)));
+        fs::write(&stale, "half-written").unwrap();
+        let reopened = SlackDiskCache::open(&dir).expect("open sweeps");
+        assert!(!stale.exists(), "stale tmp swept on open");
+        assert_eq!(reopened.load("key"), Some("{\"keep\":1}".to_string()));
+        assert_eq!(reopened.sweep_stale_tmp().unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_quarantines_tampered_profiles() {
+        let (store, dir) = scratch("scrub");
+        store.store("good", "{\"profile\":1}");
+        store.store("bad", "{\"profile\":2}");
+        store.store("unframed", "{\"profile\":3}");
+        let bad = store.path_for("bad");
+        let text = fs::read_to_string(&bad).unwrap().replace('2', "7");
+        fs::write(&bad, text).unwrap();
+        fs::write(store.path_for("unframed"), "no digest line").unwrap();
+
+        let verify = store.scrub(false).expect("verify");
+        assert_eq!(verify.checked, 3);
+        assert_eq!(verify.findings.len(), 2);
+        assert!(verify.findings.iter().all(|f| f.evidence.is_none()));
+        assert!(bad.exists(), "verify leaves the bytes");
+
+        let scrub = store.scrub(true).expect("scrub");
+        assert_eq!(scrub.findings.len(), 2);
+        let kinds: Vec<CorruptKind> = scrub.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&CorruptKind::DigestMismatch));
+        assert!(kinds.contains(&CorruptKind::Malformed));
+        for f in &scrub.findings {
+            assert!(f
+                .evidence
+                .as_ref()
+                .unwrap()
+                .starts_with(store.quarantine_dir()));
+        }
+        assert!(!bad.exists(), "tampered profile moved aside");
+        assert_eq!(store.load("good"), Some("{\"profile\":1}".to_string()));
+        assert_eq!(store.load("bad"), None);
+        assert!(store.scrub(true).expect("rescrub").clean());
         let _ = fs::remove_dir_all(&dir);
     }
 

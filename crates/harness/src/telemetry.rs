@@ -368,11 +368,17 @@ impl Telemetry {
     }
 
     /// A grid worker completed the wire handshake and joined the campaign.
-    pub fn grid_worker_joined(&self, worker: u64, name: &str, peer: &str) {
+    /// `fingerprint` is the worker's environment summary from the `/2`
+    /// handshake (empty for `/1`-era peers).
+    pub fn grid_worker_joined(&self, worker: u64, name: &str, peer: &str, fingerprint: &str) {
         let mut f = Map::new();
         f.insert("worker".to_string(), worker.to_value());
         f.insert("name".to_string(), Value::String(name.to_string()));
         f.insert("peer".to_string(), Value::String(peer.to_string()));
+        f.insert(
+            "fingerprint".to_string(),
+            Value::String(fingerprint.to_string()),
+        );
         self.emit("grid_worker_joined", f);
     }
 
@@ -408,6 +414,48 @@ impl Telemetry {
         );
         f.insert("reason".to_string(), Value::String(reason.to_string()));
         self.emit("grid_worker_evicted", f);
+    }
+
+    /// An audit settled: a second opinion (worker `auditor`, or the
+    /// coordinator itself acting as arbiter) compared canonical result
+    /// bytes for `primary`'s cell.
+    pub fn grid_cell_audited(&self, index: usize, primary: u64, auditor: u64, matched: bool) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("primary".to_string(), primary.to_value());
+        f.insert("auditor".to_string(), auditor.to_value());
+        f.insert("matched".to_string(), Value::Bool(matched));
+        self.emit("grid_cell_audited", f);
+    }
+
+    /// Two workers returned different canonical bytes for the same cell;
+    /// the coordinator is recomputing locally to arbitrate.
+    pub fn grid_audit_divergence(&self, index: usize, primary: u64, auditor: u64) {
+        let mut f = Map::new();
+        f.insert("cell".to_string(), index.to_value());
+        f.insert("primary".to_string(), primary.to_value());
+        f.insert("auditor".to_string(), auditor.to_value());
+        self.emit("grid_audit_divergence", f);
+    }
+
+    /// A worker was quarantined for lying: evicted, its unverified results
+    /// discarded from the cache, and `cells_requeued` cells put back on the
+    /// queue for honest recomputation.
+    pub fn worker_quarantined(&self, worker: u64, cells_requeued: usize, reason: &str) {
+        let mut f = Map::new();
+        f.insert("worker".to_string(), worker.to_value());
+        f.insert("cells_requeued".to_string(), cells_requeued.to_value());
+        f.insert("reason".to_string(), Value::String(reason.to_string()));
+        self.emit("worker_quarantined", f);
+    }
+
+    /// Campaign-startup cache spot check: `checked` entries re-verified,
+    /// `quarantined` of them found corrupt and moved aside.
+    pub fn cache_spot_check(&self, checked: usize, corrupt: usize) {
+        let mut f = Map::new();
+        f.insert("checked".to_string(), checked.to_value());
+        f.insert("corrupt".to_string(), corrupt.to_value());
+        self.emit("cache_spot_check", f);
     }
 }
 

@@ -433,12 +433,16 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 
 /// Support for derive-generated code; not part of the public surface.
 pub mod __private {
-    use super::{DeError, Deserialize, Map};
+    use super::{DeError, Deserialize, Map, Value};
 
     pub fn field<T: Deserialize>(m: &Map, key: &str) -> Result<T, DeError> {
         match m.get(key) {
             Some(v) => T::from_value(v).map_err(|e| DeError::new(format!("field `{key}`: {e}"))),
-            None => Err(DeError::new(format!("missing field `{key}`"))),
+            // An absent key deserializes as if it were `null`, so `Option`
+            // fields tolerate older peers that never wrote the key; any
+            // other type still rejects the document.
+            None => T::from_value(&Value::Null)
+                .map_err(|_| DeError::new(format!("missing field `{key}`"))),
         }
     }
 }

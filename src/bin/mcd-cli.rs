@@ -8,12 +8,14 @@
 //! mcd-cli campaign   run|status [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N]
 //!                    [--models xscale,transmeta] [--workers W] [--analysis-threads T]
 //!                    [--cache-dir DIR] [--telemetry FILE|-] [--checkpoint FILE]
-//!                    [--deadline SECS] [--json]
+//!                    [--checkpoint-every N] [--deadline SECS] [--json]
 //! mcd-cli campaign   resume --checkpoint FILE [--workers W] [--cache-dir DIR]
 //!                    [--telemetry FILE|-] [--deadline SECS] [--json]
 //! mcd-cli campaign   report [--cache-dir DIR] [--json]
 //! mcd-cli campaign   run --grid <addr> ...   # serve the campaign to TCP workers
-//! mcd-cli grid       serve --listen ADDR [sweep/cache/telemetry/checkpoint flags]
+//! mcd-cli cache      verify|scrub [--cache-dir DIR] [--recompute] [--json]
+//! mcd-cli grid       serve --listen ADDR [--audit-rate N] [--heartbeat SECS]
+//!                    [--heartbeat-timeout SECS] [sweep/cache/telemetry/checkpoint flags]
 //! mcd-cli grid       worker --connect ADDR [--name TAG] [--deadline SECS]
 //!                    [--heartbeat SECS] [--analysis-threads T]
 //! mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] [--instructions N]
@@ -30,7 +32,7 @@ use mcd::core::{run_benchmark, ExperimentConfig};
 use mcd::grid::{GridCampaign, GridWorker};
 use mcd::harness::{
     parse_model, BenchSnapshot, Campaign, CampaignReport, CampaignRollup, CampaignSpec,
-    CellOutcome, ResultCache, Telemetry, ROLLUP_FILE,
+    CellOutcome, ResultCache, ScrubReport, SlackDiskCache, Telemetry, ROLLUP_FILE, SLACK_CACHE_DIR,
 };
 use mcd::offline::{derive_schedule, OfflineConfig};
 use mcd::pipeline::{
@@ -50,12 +52,15 @@ fn usage() -> ! {
          [--instructions N] [--seed S] [--json]\n  mcd-cli campaign run|status \
          [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N] \
          [--models xscale,transmeta] [--workers W] [--analysis-threads T] [--cache-dir DIR] \
-         [--telemetry FILE|-] [--checkpoint FILE] [--deadline SECS] [--json]\n  \
+         [--telemetry FILE|-] [--checkpoint FILE] [--checkpoint-every N] [--deadline SECS] \
+         [--json]\n  \
          mcd-cli campaign resume \
          --checkpoint FILE [--workers W] [--cache-dir DIR] [--telemetry FILE|-] \
          [--deadline SECS] [--json]\n  mcd-cli campaign report [--cache-dir DIR] [--json]\n  \
          mcd-cli campaign run --grid ADDR [sweep/cache/telemetry/checkpoint flags]\n  \
-         mcd-cli grid serve --listen ADDR [sweep/cache/telemetry/checkpoint flags]\n  \
+         mcd-cli cache verify|scrub [--cache-dir DIR] [--recompute] [--json]\n  \
+         mcd-cli grid serve --listen ADDR [--audit-rate N] [--heartbeat SECS] \
+         [--heartbeat-timeout SECS] [sweep/cache/telemetry/checkpoint flags]\n  \
          mcd-cli grid worker --connect ADDR [--name TAG] [--deadline SECS] [--heartbeat SECS] \
          [--analysis-threads T]\n  \
          mcd-cli bench snapshot [--out FILE] \
@@ -138,6 +143,7 @@ fn main() {
         "analyze" => cmd_analyze(parse_opts(&args[1..])),
         "experiment" => cmd_experiment(parse_opts(&args[1..])),
         "campaign" => cmd_campaign(&args[1..]),
+        "cache" => cmd_cache(&args[1..]),
         "grid" => cmd_grid(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
@@ -237,8 +243,12 @@ struct CampaignOpts {
     cache_dir: String,
     telemetry: Option<String>,
     checkpoint: Option<String>,
+    checkpoint_every: Option<usize>,
     deadline: Option<Duration>,
     grid: Option<String>,
+    audit_rate: Option<u64>,
+    heartbeat: Option<Duration>,
+    heartbeat_timeout: Option<Duration>,
     json: bool,
 }
 
@@ -250,8 +260,12 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
         cache_dir: "target/mcd-campaign-cache".into(),
         telemetry: None,
         checkpoint: None,
+        checkpoint_every: None,
         deadline: None,
         grid: None,
+        audit_rate: None,
+        heartbeat: None,
+        heartbeat_timeout: None,
         json: false,
     };
     let mut it = args.iter();
@@ -263,6 +277,14 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
                     usage()
                 })
                 .clone()
+        };
+        let secs = |name: &str, raw: String| -> Duration {
+            let secs: f64 = raw.parse().unwrap_or_else(|_| usage());
+            if !secs.is_finite() || secs <= 0.0 {
+                eprintln!("{name} must be a positive number of seconds");
+                usage()
+            }
+            Duration::from_secs_f64(secs)
         };
         match flag.as_str() {
             "--benchmarks" => {
@@ -300,14 +322,26 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
             "--cache-dir" => opts.cache_dir = value("--cache-dir"),
             "--telemetry" => opts.telemetry = Some(value("--telemetry")),
             "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")),
-            "--deadline" => {
-                let secs: f64 = value("--deadline").parse().unwrap_or_else(|_| usage());
-                if !secs.is_finite() || secs <= 0.0 {
+            "--checkpoint-every" => {
+                let every: usize = value("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if every == 0 {
+                    eprintln!("--checkpoint-every must be at least 1");
                     usage()
                 }
-                opts.deadline = Some(Duration::from_secs_f64(secs))
+                opts.checkpoint_every = Some(every)
             }
+            "--deadline" => opts.deadline = Some(secs("--deadline", value("--deadline"))),
             "--grid" => opts.grid = Some(value("--grid")),
+            "--audit-rate" => {
+                opts.audit_rate = Some(value("--audit-rate").parse().unwrap_or_else(|_| usage()))
+            }
+            "--heartbeat" => opts.heartbeat = Some(secs("--heartbeat", value("--heartbeat"))),
+            "--heartbeat-timeout" => {
+                opts.heartbeat_timeout =
+                    Some(secs("--heartbeat-timeout", value("--heartbeat-timeout")))
+            }
             "--json" => opts.json = true,
             _ => usage(),
         }
@@ -360,6 +394,22 @@ fn run_grid_campaign(addr: &str, resume: bool, opts: &CampaignOpts, cache: &Resu
         campaign
     };
     campaign = campaign.interrupt(install_sigint());
+    if let Some(rate) = opts.audit_rate {
+        campaign = campaign.audit_rate(rate);
+    }
+    if let Some(every) = opts.checkpoint_every {
+        campaign = campaign.checkpoint_every(every);
+    }
+    if opts.heartbeat.is_some() || opts.heartbeat_timeout.is_some() {
+        // Defaults mirror the coordinator's own: 1 s interval, 10 s
+        // timeout. Setting only one flag still validates the pair.
+        let interval = opts.heartbeat.unwrap_or(Duration::from_secs(1));
+        let timeout = opts.heartbeat_timeout.unwrap_or(Duration::from_secs(10));
+        campaign = campaign.heartbeats(interval, timeout).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage()
+        });
+    }
     let server = campaign.bind(addr).unwrap_or_else(|e| {
         eprintln!("cannot listen on {addr}: {e}");
         std::process::exit(1)
@@ -373,7 +423,18 @@ fn run_grid_campaign(addr: &str, resume: bool, opts: &CampaignOpts, cache: &Resu
         eprintln!("grid campaign failed: {e}");
         std::process::exit(2)
     });
-    std::process::exit(report_campaign(&report, opts))
+    let mut code = report_campaign(&report, opts);
+    if code == 0 {
+        // A clean report can still hide integrity trouble (a quarantined
+        // worker whose cells were recomputed, say); the rollup knows.
+        if let Ok(rollup) = CampaignRollup::load(&cache.dir().join(ROLLUP_FILE)) {
+            if !rollup.healthy() {
+                eprintln!("grid campaign finished with integrity findings (see `campaign report`)");
+                code = 1;
+            }
+        }
+    }
+    std::process::exit(code)
 }
 
 fn cmd_grid(args: &[String]) {
@@ -605,9 +666,18 @@ fn cmd_campaign(args: &[String]) {
                 }
                 campaign
             };
+            if opts.audit_rate.is_some()
+                || opts.heartbeat.is_some()
+                || opts.heartbeat_timeout.is_some()
+            {
+                eprintln!("note: --audit-rate/--heartbeat flags only apply with --grid");
+            }
             campaign = campaign
                 .workers(opts.workers)
                 .analysis_threads(opts.analysis_threads);
+            if let Some(every) = opts.checkpoint_every {
+                campaign = campaign.checkpoint_every(every);
+            }
             if let Some(deadline) = opts.deadline {
                 campaign = campaign.deadline(deadline);
             }
@@ -639,6 +709,10 @@ fn cmd_campaign(args: &[String]) {
             } else {
                 print!("{}", rollup.table());
             }
+            if !rollup.healthy() {
+                eprintln!("campaign report: failed, stalled, or diverged cells present");
+                std::process::exit(1);
+            }
         }
         "status" => {
             let campaign = Campaign::new(opts.spec.clone());
@@ -663,6 +737,131 @@ fn cmd_campaign(args: &[String]) {
         }
         _ => usage(),
     }
+}
+
+/// `mcd-cli cache verify|scrub`: re-verifies every result-cache entry and
+/// slack profile against its recorded digest. `verify` is read-only and
+/// exits nonzero if anything is corrupt; `scrub` moves corrupt entries to
+/// `quarantine/` so the next campaign recomputes them, and with
+/// `--recompute` runs that repair campaign immediately (pass the same
+/// sweep flags the cache was built with).
+fn cmd_cache(args: &[String]) {
+    let Some(verb) = args.first() else { usage() };
+    let quarantine = match verb.as_str() {
+        "verify" => false,
+        "scrub" => true,
+        _ => usage(),
+    };
+    let mut recompute = false;
+    let mut rest = Vec::new();
+    for flag in &args[1..] {
+        if flag == "--recompute" {
+            recompute = true;
+        } else {
+            rest.push(flag.clone());
+        }
+    }
+    if recompute && !quarantine {
+        eprintln!("--recompute only applies to `cache scrub`");
+        usage()
+    }
+    let opts = parse_campaign_opts(&rest);
+    let cache = ResultCache::open(&opts.cache_dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache dir {}: {e}", opts.cache_dir);
+        std::process::exit(1)
+    });
+    let results = cache.scrub(quarantine).unwrap_or_else(|e| {
+        eprintln!("cannot walk result cache: {e}");
+        std::process::exit(1)
+    });
+    let slack = SlackDiskCache::open(cache.dir().join(SLACK_CACHE_DIR))
+        .and_then(|store| store.scrub(quarantine))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot walk slack cache: {e}");
+            std::process::exit(1)
+        });
+
+    if opts.json {
+        let mut doc = serde::Map::new();
+        doc.insert("mode".to_string(), serde::Value::String(verb.to_string()));
+        doc.insert("results".to_string(), scrub_value(&results));
+        doc.insert("slack".to_string(), scrub_value(&slack));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Object(doc)).expect("serializable")
+        );
+    } else {
+        print_scrub("result cache", &results);
+        print_scrub("slack cache", &slack);
+    }
+
+    let clean = results.clean() && slack.clean();
+    if recompute {
+        // The quarantined entries are gone from the cache, so an ordinary
+        // campaign run recomputes exactly those cells (everything intact
+        // is a cache hit).
+        let telemetry = open_telemetry(opts.telemetry.as_deref(), true);
+        let report = Campaign::new(opts.spec.clone())
+            .workers(opts.workers)
+            .analysis_threads(opts.analysis_threads)
+            .run(&cache, &telemetry)
+            .unwrap_or_else(|e| {
+                eprintln!("repair campaign failed: {e}");
+                std::process::exit(2)
+            });
+        eprintln!(
+            "cache scrub: repair recomputed {} cell(s), {} cached",
+            report.computed(),
+            report.cached()
+        );
+        if report.failed() > 0 || report.stalled() > 0 {
+            std::process::exit(1);
+        }
+    } else if !quarantine && !clean {
+        std::process::exit(1);
+    }
+}
+
+fn print_scrub(label: &str, report: &ScrubReport) {
+    println!(
+        "{label}: {} entries checked, {} corrupt",
+        report.checked,
+        report.findings.len()
+    );
+    for f in &report.findings {
+        match &f.evidence {
+            Some(path) => println!("  {} {} -> {}", &f.key[..12], f.kind.tag(), path.display()),
+            None => println!("  {} {}", &f.key[..12], f.kind.tag()),
+        }
+    }
+}
+
+fn scrub_value(report: &ScrubReport) -> serde::Value {
+    use serde::{Map, Serialize, Value};
+    let mut doc = Map::new();
+    doc.insert("checked".to_string(), report.checked.to_value());
+    doc.insert(
+        "corrupt".to_string(),
+        Value::Array(
+            report
+                .findings
+                .iter()
+                .map(|f| {
+                    let mut e = Map::new();
+                    e.insert("key".to_string(), Value::String(f.key.clone()));
+                    e.insert("kind".to_string(), Value::String(f.kind.tag().to_string()));
+                    if let Some(p) = &f.evidence {
+                        e.insert(
+                            "quarantined_to".to_string(),
+                            Value::String(p.display().to_string()),
+                        );
+                    }
+                    Value::Object(e)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(doc)
 }
 
 /// `mcd-cli trace <benchmark>`: run one cell with the trace recorder

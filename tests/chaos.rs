@@ -14,7 +14,8 @@ use std::time::Duration;
 use mcd::harness::telemetry::replay;
 use mcd::harness::{
     BackoffPolicy, CacheKey, CacheProbe, Campaign, CampaignSpec, CellOutcome, CellSpec,
-    CheckpointManifest, Fault, FaultPlan, ResultCache, RetryPolicy, Telemetry,
+    CheckpointManifest, Fault, FaultPlan, ResultCache, RetryPolicy, SlackDiskCache, Telemetry,
+    SLACK_CACHE_DIR,
 };
 use mcd::time::DvfsModel;
 
@@ -431,6 +432,90 @@ proptest! {
                 cache.quarantine_dir().join(format!("{}.json", key.hex())).is_file(),
                 "the damaged bytes are preserved in quarantine"
             );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `cache scrub` semantics under arbitrary damage: verify (read-only)
+    /// and scrub (quarantining) both report exactly the corrupted keys,
+    /// quarantine preserves the evidence bytes, intact entries keep
+    /// serving, and a second scrub finds nothing. Slack profiles get the
+    /// same treatment from their own scrubber.
+    #[test]
+    fn cache_scrub_finds_and_quarantines_every_corruption(
+        corrupt_mask in proptest::collection::vec(any::<bool>(), 3),
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let dir = scratch("prop-scrub");
+        let cache = ResultCache::open(dir.join("cache")).unwrap();
+        let spec = small_spec(); // 3 cells -> 3 cache entries
+        Campaign::new(spec.clone())
+            .run(&cache, &Telemetry::disabled())
+            .expect("seed run");
+        let keys: Vec<CacheKey> = spec.expand().unwrap().iter().map(CacheKey::of).collect();
+
+        let mut expected: Vec<String> = Vec::new();
+        for (key, corrupt) in keys.iter().zip(&corrupt_mask) {
+            let honest = cache.raw_entry(key).expect("entry on disk");
+            // Damage that reproduces the original bytes is not damage.
+            if *corrupt && garbage != honest {
+                cache.corrupt_with(key, &garbage).unwrap();
+                expected.push(key.hex().to_string());
+            }
+        }
+        expected.sort();
+
+        let verify = cache.scrub(false).expect("verify");
+        prop_assert_eq!(verify.checked, keys.len());
+        let mut found: Vec<String> = verify.findings.iter().map(|f| f.key.clone()).collect();
+        found.sort();
+        prop_assert_eq!(&found, &expected, "verify misreported the damage");
+        prop_assert!(verify.findings.iter().all(|f| f.evidence.is_none()));
+
+        let scrub = cache.scrub(true).expect("scrub");
+        let mut found: Vec<String> = scrub.findings.iter().map(|f| f.key.clone()).collect();
+        found.sort();
+        prop_assert_eq!(&found, &expected, "scrub misreported the damage");
+        for f in &scrub.findings {
+            prop_assert!(
+                f.evidence.as_ref().expect("quarantine evidence").is_file(),
+                "quarantined bytes preserved"
+            );
+        }
+        prop_assert!(cache.scrub(true).expect("rescrub").clean(), "scrub is idempotent");
+        for key in &keys {
+            let hit = matches!(cache.probe(key), CacheProbe::Hit(_));
+            prop_assert_eq!(
+                hit,
+                !expected.contains(&key.hex().to_string()),
+                "exactly the intact entries keep serving"
+            );
+        }
+
+        // The slack store scrubs with the same contract: corrupt one
+        // stored profile and it is the one finding, quarantined as
+        // evidence, with the rest untouched.
+        let slack = SlackDiskCache::open(cache.dir().join(SLACK_CACHE_DIR)).unwrap();
+        let mut profiles: Vec<std::path::PathBuf> = std::fs::read_dir(slack.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == "json")
+                    && p.file_stem().is_some_and(|s| s.len() == 64)
+            })
+            .collect();
+        profiles.sort();
+        prop_assert!(!profiles.is_empty(), "the seed run stored slack profiles");
+        let victim = &profiles[0];
+        let honest = std::fs::read(victim).unwrap();
+        if garbage != honest {
+            std::fs::write(victim, &garbage).unwrap();
+            let report = slack.scrub(true).expect("slack scrub");
+            prop_assert_eq!(report.checked, profiles.len());
+            prop_assert_eq!(report.findings.len(), 1, "exactly the tampered profile");
+            prop_assert!(report.findings[0].evidence.as_ref().unwrap().is_file());
+            prop_assert!(slack.scrub(true).expect("rescrub").clean());
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

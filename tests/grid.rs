@@ -13,7 +13,7 @@ use std::thread;
 use std::time::Duration;
 
 use mcd::grid::wire::{hello, read_frame, write_frame, Frame};
-use mcd::grid::{AbortMode, GridCampaign, GridServer, GridWorker};
+use mcd::grid::{AbortMode, GridCampaign, GridError, GridServer, GridWorker};
 use mcd::harness::telemetry::replay;
 use mcd::harness::{
     Campaign, CampaignReport, CampaignRollup, CampaignSpec, Fault, FaultPlan, ResultCache,
@@ -75,7 +75,7 @@ fn loopback_grid_is_byte_identical_to_serial_for_1_2_and_4_workers() {
             .bind("127.0.0.1:0")
             .expect("bind loopback");
         let addr = server.local_addr().expect("local addr");
-        let coordinator = spawn_server(server, cache_dir, Telemetry::disabled());
+        let coordinator = spawn_server(server, cache_dir.clone(), Telemetry::disabled());
 
         let worker_handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -98,8 +98,16 @@ fn loopback_grid_is_byte_identical_to_serial_for_1_2_and_4_workers() {
             reference,
             "{workers}-worker grid bytes differ from serial"
         );
+        // Workers can't tell audits from first assignments, so their
+        // summaries count both; the rollup says how many were audits.
+        let rollup = CampaignRollup::load(&cache_dir.join(ROLLUP_FILE)).expect("rollup");
+        let grid = rollup.grid.expect("grid rollup");
+        let worker_audits: u64 = grid.workers.iter().map(|w| w.audits).sum();
         let computed: u64 = summaries.iter().map(|s| s.cells).sum();
-        assert_eq!(computed as usize, report.computed());
+        assert_eq!(
+            computed as usize,
+            report.computed() + worker_audits as usize
+        );
         assert_eq!(report.computed() + report.cached(), report.cells.len());
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -341,6 +349,87 @@ fn worker_side_deterministic_panic_propagates_as_a_failed_cell() {
 }
 
 #[test]
+fn lying_worker_is_caught_quarantined_and_blamed() {
+    let dir = scratch("liar");
+    let spec = small_spec();
+    let cells = spec.benchmarks.len() * spec.seeds.len() * spec.models.len();
+    let reference = serial_json(&spec, &dir);
+    let cache_dir = dir.join("cache");
+
+    // Audit every worker-computed cell so the liar cannot slip a single
+    // forged result past the coordinator.
+    let server = GridCampaign::new(spec)
+        .audit_rate(1)
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let coordinator = spawn_server(server, cache_dir.clone(), Telemetry::disabled());
+
+    // The liar connects first (so it is guaranteed at least one
+    // assignment) and forges every result it reports; three honest
+    // workers join right behind it and serve as auditors.
+    let liar = GridWorker::connect(addr.to_string())
+        .name("liar")
+        .chaos(FaultPlan::liar(0xDEC0DE, cells));
+    let liar = thread::spawn(move || liar.run());
+    thread::sleep(Duration::from_millis(50));
+    let honest: Vec<_> = (0..3)
+        .map(|w| {
+            let worker = GridWorker::connect(addr.to_string()).name(format!("honest{w}"));
+            thread::spawn(move || worker.run().expect("honest worker"))
+        })
+        .collect();
+
+    let report = coordinator.join().expect("coordinator thread");
+    let verdict = liar.join().expect("liar thread");
+    for h in honest {
+        h.join().expect("honest thread");
+    }
+
+    assert!(
+        matches!(verdict, Err(GridError::Rejected(ref r)) if r.contains("diverged")),
+        "the liar was evicted mid-session, got {verdict:?}"
+    );
+    assert_eq!(
+        report
+            .to_json()
+            .expect("campaign still finishes every cell"),
+        reference,
+        "forged results leaked into the published bytes"
+    );
+
+    let rollup = CampaignRollup::load(
+        &ResultCache::open(&cache_dir)
+            .unwrap()
+            .dir()
+            .join(ROLLUP_FILE),
+    )
+    .expect("rollup saved");
+    assert!(!rollup.healthy(), "divergences make the campaign unhealthy");
+    let grid = rollup.grid.expect("grid attribution present");
+    assert!(grid.divergences >= 1, "at least one audit diverged");
+    assert_eq!(grid.quarantined_workers, 1, "exactly the liar quarantined");
+    let blamed: Vec<_> = grid
+        .workers
+        .iter()
+        .filter(|w| w.quarantined)
+        .map(|w| w.peer.clone())
+        .collect();
+    assert_eq!(blamed.len(), 1, "exactly one worker blamed: {blamed:?}");
+    assert!(
+        blamed[0].starts_with("liar@"),
+        "blame names the liar: {blamed:?}"
+    );
+    assert!(
+        grid.workers
+            .iter()
+            .any(|w| !w.quarantined && w.verified > 0),
+        "honest workers accumulated verified audits"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn protocol_mismatch_is_rejected_at_handshake() {
     let dir = scratch("reject");
     let server = GridCampaign::new(small_spec())
@@ -358,12 +447,13 @@ fn protocol_mismatch_is_rejected_at_handshake() {
             protocol: "mcd-grid-wire/999".into(),
             worker: "time-traveler".into(),
             spec_digest: String::new(),
+            fingerprint: None,
         },
     )
     .expect("send bogus hello");
     let (frame, _) = read_frame(&mut bogus).expect("read response");
     assert!(
-        matches!(frame, Frame::Reject { ref reason } if reason.contains("mcd-grid-wire/1")),
+        matches!(frame, Frame::Reject { ref reason } if reason.contains("mcd-grid-wire/2")),
         "got {frame:?}"
     );
     drop(bogus);
