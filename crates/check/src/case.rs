@@ -1,0 +1,145 @@
+//! One self-contained check configuration.
+
+use serde::{Deserialize, Serialize};
+
+use mcd_pipeline::{ClockingMode, MachineConfig, PipelineConfig};
+use mcd_time::Frequency;
+
+/// A flat, serializable description of one simulation under test. Every
+/// field has a [`Default`] so repro files can omit everything that does
+/// not matter for the failure (see [`crate::repro`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckCase {
+    /// Benchmark profile name (see `mcd_workload::suites`).
+    pub benchmark: String,
+    /// Machine seed (workload, jitter, PLL lock times).
+    pub seed: u64,
+    /// Committed instructions per run.
+    pub instructions: u64,
+    /// Pipeline geometry: `"alpha"` (Table 1) or `"tiny"`.
+    pub pipeline: String,
+    /// Clocking: `"single"` (one physical clock) or `"mcd"` (four domains).
+    pub mode: String,
+    /// All-domain nominal frequency in MHz.
+    pub mhz: u64,
+    /// On-line governor: `"none"` or `"attack-decay"`.
+    pub governor: String,
+    /// Warm-up instructions streamed before the measured window.
+    pub warmup: u64,
+    /// Fault injection: `"none"` or `"ts-breach"` (jitter sized to defeat
+    /// the §2.2 synchronization window; needs the `chaos` feature).
+    pub chaos: String,
+}
+
+impl Default for CheckCase {
+    fn default() -> Self {
+        CheckCase {
+            benchmark: "adpcm".into(),
+            seed: 1,
+            instructions: 1_000,
+            pipeline: "alpha".into(),
+            mode: "mcd".into(),
+            mhz: 1_000,
+            governor: "none".into(),
+            warmup: 0,
+            chaos: "none".into(),
+        }
+    }
+}
+
+impl CheckCase {
+    /// Builds the machine this case describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unrecognized field value, or of a
+    /// chaos request when the `chaos` feature is compiled out.
+    pub fn machine(&self) -> Result<MachineConfig, String> {
+        let freq = Frequency::from_mhz(self.mhz);
+        let mut m = match self.mode.as_str() {
+            "single" => MachineConfig::global(self.seed, freq),
+            "mcd" => {
+                let mut m = MachineConfig::baseline_mcd(self.seed);
+                m.mode = ClockingMode::Mcd {
+                    frequencies: [freq; 4],
+                };
+                m
+            }
+            other => return Err(format!("unknown mode {other:?}")),
+        };
+        m.pipeline = match self.pipeline.as_str() {
+            "alpha" => PipelineConfig::alpha21264(),
+            "tiny" => PipelineConfig::tiny(),
+            other => return Err(format!("unknown pipeline {other:?}")),
+        };
+        m.warmup_instructions = self.warmup;
+        match self.chaos.as_str() {
+            "none" => {}
+            #[cfg(feature = "chaos")]
+            "ts-breach" => {
+                let p = freq.period();
+                m.jitter = mcd_time::chaos::breaching_jitter(&m.sync, p, p);
+            }
+            #[cfg(not(feature = "chaos"))]
+            "ts-breach" => {
+                return Err("case needs the `chaos` feature (ts-breach jitter)".into());
+            }
+            other => return Err(format!("unknown chaos model {other:?}")),
+        }
+        if !matches!(self.governor.as_str(), "none" | "attack-decay") {
+            return Err(format!("unknown governor {:?}", self.governor));
+        }
+        Ok(m)
+    }
+
+    /// Whether this case injects a fault the invariant checker must flag.
+    pub fn expects_violation(&self) -> bool {
+        self.chaos != "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_case_builds_an_mcd_machine() {
+        let m = CheckCase::default().machine().expect("valid case");
+        assert!(m.is_mcd());
+        assert_eq!(m.warmup_instructions, 0);
+    }
+
+    #[test]
+    fn unknown_field_values_are_rejected_with_context() {
+        let c = CheckCase {
+            mode: "triple".into(),
+            ..CheckCase::default()
+        };
+        assert!(c.machine().unwrap_err().contains("triple"));
+        let c = CheckCase {
+            governor: "banana".into(),
+            ..CheckCase::default()
+        };
+        assert!(c.machine().unwrap_err().contains("banana"));
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn chaos_case_is_rejected_without_the_feature() {
+        let c = CheckCase {
+            chaos: "ts-breach".into(),
+            ..CheckCase::default()
+        };
+        assert!(c.machine().unwrap_err().contains("chaos"));
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_case_builds_with_the_feature() {
+        let c = CheckCase {
+            chaos: "ts-breach".into(),
+            ..CheckCase::default()
+        };
+        assert!(c.machine().is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! Post-run energy invariants over the power model's breakdown.
+
+use mcd_pipeline::{DomainId, RunResult};
+use mcd_power::PowerModel;
+
+/// Relative tolerance for the domain-sum identity. The breakdown is a sum
+/// of IEEE-754 doubles accumulated in two different orders, so exact
+/// equality is too strict, but anything past a few ulps of the total is a
+/// real accounting bug.
+const REL_TOL: f64 = 1e-9;
+
+/// Audits the paper-calibrated energy breakdown of `result`:
+///
+/// - every per-unit, per-domain clock and idle-floor term is finite and
+///   non-negative;
+/// - the four domain energies sum to [`total`](mcd_power::EnergyBreakdown::total);
+/// - every [`domain_share`](mcd_power::EnergyBreakdown::domain_share) lies
+///   in `[0, 1]`, and the shares sum to 1 (or all-zero for a zero-energy
+///   run).
+///
+/// Returns one human-readable line per violation (empty = clean).
+pub fn check_energy(result: &RunResult) -> Vec<String> {
+    let breakdown = PowerModel::paper_calibrated().energy_of(result);
+    let mut problems = Vec::new();
+    for (i, &e) in breakdown.by_unit.iter().enumerate() {
+        if !e.is_finite() || e < 0.0 {
+            problems.push(format!("unit {i} energy {e} is negative or non-finite"));
+        }
+    }
+    for d in DomainId::ALL {
+        let clock = breakdown.clock[d.index()];
+        if !clock.is_finite() || clock < 0.0 {
+            problems.push(format!(
+                "{d:?} clock energy {clock} is negative or non-finite"
+            ));
+        }
+        let idle = breakdown.idle_floor[d.index()];
+        if !idle.is_finite() || idle < 0.0 {
+            problems.push(format!(
+                "{d:?} idle-floor energy {idle} is negative or non-finite"
+            ));
+        }
+    }
+    let total = breakdown.total();
+    if !total.is_finite() || total < 0.0 {
+        problems.push(format!("total energy {total} is negative or non-finite"));
+        return problems;
+    }
+    let domain_sum: f64 = DomainId::ALL.iter().map(|d| breakdown.domain(*d)).sum();
+    if (domain_sum - total).abs() > REL_TOL * total.max(1.0) {
+        problems.push(format!(
+            "domain energies sum to {domain_sum}, total reports {total}"
+        ));
+    }
+    let mut share_sum = 0.0;
+    for d in DomainId::ALL {
+        let share = breakdown.domain_share(d);
+        if !share.is_finite() || !(0.0..=1.0 + REL_TOL).contains(&share) {
+            problems.push(format!("{d:?} share {share} outside [0, 1]"));
+        }
+        share_sum += share;
+    }
+    let expected_share_sum = if total == 0.0 { 0.0 } else { 1.0 };
+    if (share_sum - expected_share_sum).abs() > 1e-6 {
+        problems.push(format!(
+            "domain shares sum to {share_sum}, expected {expected_share_sum}"
+        ));
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_pipeline::{simulate, MachineConfig};
+    use mcd_workload::suites;
+
+    #[test]
+    fn real_runs_pass_the_energy_audit() {
+        let profile = suites::by_name("gcc").expect("known benchmark");
+        for m in [MachineConfig::baseline(3), MachineConfig::baseline_mcd(3)] {
+            let r = simulate(&m, &profile, 2_000);
+            let problems = check_energy(&r);
+            assert!(problems.is_empty(), "{problems:?}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal failure-repro files.
+//!
+//! A repro is a small pretty-printed JSON object carrying the schema tag,
+//! the failure kind, and *only* the [`CheckCase`] fields that differ from
+//! [`CheckCase::default`] — the fuzzer's shrinker drives every field it
+//! can back to its default so the published file stays a handful of lines.
+//!
+//! Files are published through the harness's atomic tmp → fsync → rename
+//! path ([`mcd_harness::write_atomic_durable`]), so a hard kill mid-write
+//! can never leave a torn repro; stale `.tmp` droppings from killed runs
+//! are swept by the fuzzer on startup via [`mcd_harness::sweep_stale_tmp`].
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Map, Number, Value};
+
+use crate::case::CheckCase;
+
+/// Schema tag every repro file carries.
+pub const SCHEMA: &str = "mcd-check-repro/1";
+
+fn put_str(map: &mut Map, key: &str, value: &str, default: &str) {
+    if value != default {
+        map.insert(key.to_string(), Value::String(value.to_string()));
+    }
+}
+
+fn put_u64(map: &mut Map, key: &str, value: u64, default: u64) {
+    if value != default {
+        map.insert(key.to_string(), Value::Number(Number::U64(value)));
+    }
+}
+
+/// Renders `case` as a minimal repro document for `failure` (a
+/// [`FailureKind`](crate::fuzz::FailureKind) slug).
+pub fn to_json(case: &CheckCase, failure: &str) -> String {
+    let d = CheckCase::default();
+    let mut map = Map::new();
+    map.insert("schema".into(), Value::String(SCHEMA.into()));
+    map.insert("failure".into(), Value::String(failure.into()));
+    put_str(&mut map, "benchmark", &case.benchmark, &d.benchmark);
+    put_u64(&mut map, "seed", case.seed, d.seed);
+    put_u64(&mut map, "instructions", case.instructions, d.instructions);
+    put_str(&mut map, "pipeline", &case.pipeline, &d.pipeline);
+    put_str(&mut map, "mode", &case.mode, &d.mode);
+    put_u64(&mut map, "mhz", case.mhz, d.mhz);
+    put_str(&mut map, "governor", &case.governor, &d.governor);
+    put_u64(&mut map, "warmup", case.warmup, d.warmup);
+    put_str(&mut map, "chaos", &case.chaos, &d.chaos);
+    serde_json::to_string_pretty(&Value::Object(map)).expect("value serializes")
+}
+
+fn get_str(map: &Map, key: &str, default: &str) -> Result<String, String> {
+    match map.get(key) {
+        None => Ok(default.to_string()),
+        Some(Value::String(s)) => Ok(s.clone()),
+        Some(other) => Err(format!("field {key:?} should be a string, got {other:?}")),
+    }
+}
+
+fn get_u64(map: &Map, key: &str, default: u64) -> Result<u64, String> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(Value::Number(Number::U64(v))) => Ok(*v),
+        Some(other) => Err(format!("field {key:?} should be an integer, got {other:?}")),
+    }
+}
+
+/// Parses a repro document back into its case and failure slug.
+///
+/// # Errors
+///
+/// Returns a description when the document is malformed, the schema tag is
+/// wrong, or a field has the wrong type.
+pub fn from_json(text: &str) -> Result<(CheckCase, String), String> {
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Value::Object(map) = value else {
+        return Err("repro must be a JSON object".into());
+    };
+    let schema = get_str(&map, "schema", "")?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let failure = get_str(&map, "failure", "")?;
+    if failure.is_empty() {
+        return Err("repro is missing its failure kind".into());
+    }
+    let d = CheckCase::default();
+    let case = CheckCase {
+        benchmark: get_str(&map, "benchmark", &d.benchmark)?,
+        seed: get_u64(&map, "seed", d.seed)?,
+        instructions: get_u64(&map, "instructions", d.instructions)?,
+        pipeline: get_str(&map, "pipeline", &d.pipeline)?,
+        mode: get_str(&map, "mode", &d.mode)?,
+        mhz: get_u64(&map, "mhz", d.mhz)?,
+        governor: get_str(&map, "governor", &d.governor)?,
+        warmup: get_u64(&map, "warmup", d.warmup)?,
+        chaos: get_str(&map, "chaos", &d.chaos)?,
+    };
+    Ok((case, failure))
+}
+
+/// Stable fingerprint naming a repro file (FNV-1a over the full document).
+fn fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Publishes a repro for `case` into `dir` (created if needed) through the
+/// atomic durable-write path, returning the file's path. The same failure
+/// always lands on the same file name, so re-running the fuzzer never
+/// accumulates duplicates.
+pub fn write(dir: &Path, case: &CheckCase, failure: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let json = to_json(case, failure);
+    let path = dir.join(format!("repro-{failure}-{:016x}.json", fingerprint(&json)));
+    mcd_harness::write_atomic_durable(&path, json.as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_case_round_trips_and_stays_tiny() {
+        let case = CheckCase {
+            chaos: "ts-breach".into(),
+            seed: 42,
+            ..CheckCase::default()
+        };
+        let json = to_json(&case, "missed-violation");
+        // Default-valued fields are omitted, keeping the repro small.
+        assert!(!json.contains("governor"));
+        assert!(!json.contains("warmup"));
+        assert!(
+            json.lines().count() <= 10,
+            "repro should be at most 10 lines:\n{json}"
+        );
+        let (back, failure) = from_json(&json).expect("round-trips");
+        assert_eq!(back, case);
+        assert_eq!(failure, "missed-violation");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = from_json(r#"{"schema":"other/9","failure":"x"}"#).unwrap_err();
+        assert!(err.contains("other/9"));
+    }
+
+    #[test]
+    fn write_publishes_atomically_and_deterministically() {
+        let dir = std::env::temp_dir().join(format!("mcd-check-repro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = CheckCase::default();
+        let a = write(&dir, &case, "differential").expect("writes");
+        let b = write(&dir, &case, "differential").expect("writes again");
+        assert_eq!(a, b, "same failure, same file");
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir exists")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        assert_eq!(names.len(), 1);
+        assert!(!names[0].contains(".tmp"), "no temp droppings: {names:?}");
+        let (back, _) = from_json(&std::fs::read_to_string(&a).expect("readable")).expect("parses");
+        assert_eq!(back, case);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

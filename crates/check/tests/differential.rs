@@ -1,0 +1,75 @@
+//! The differential suite: reference vs. optimized byte-equality across
+//! the configuration lattice, plus a deterministic fuzz smoke.
+
+use mcd_check::{fuzz, lattice, run_differential, CheckCase, DiffOutcome, FuzzConfig};
+
+#[test]
+fn lattice_matches_reference_everywhere() {
+    for case in lattice() {
+        let out = run_differential(&case).expect("lattice case is valid");
+        assert!(
+            out.is_pass(),
+            "case {case:?} failed the differential oracle: {out:?}"
+        );
+    }
+}
+
+#[test]
+fn lattice_covers_the_required_grid() {
+    // The suite must prove equality on at least three benchmark profiles,
+    // each both ungoverned and under the attack/decay governor.
+    let cases = lattice();
+    let covered = |bench: &str, gov: &str| {
+        cases
+            .iter()
+            .any(|c| c.benchmark == bench && c.governor == gov)
+    };
+    let mut governed_benchmarks = 0;
+    for bench in ["adpcm", "gcc", "mcf"] {
+        assert!(covered(bench, "none"), "{bench} missing ungoverned case");
+        if covered(bench, "attack-decay") {
+            governed_benchmarks += 1;
+        }
+    }
+    assert!(
+        governed_benchmarks >= 3,
+        "need >= 3 benchmarks under the governor"
+    );
+}
+
+#[test]
+fn fuzz_smoke_is_deterministic_and_clean() {
+    let dir = std::env::temp_dir().join(format!("mcd-check-fuzz-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = FuzzConfig {
+        seed: 0xC0FFEE,
+        cases: 12,
+        out_dir: dir.clone(),
+    };
+    let a = fuzz(&cfg).expect("fuzz runs");
+    assert!(a.is_clean(), "seeded fuzz found failures: {:?}", a.failures);
+    let b = fuzz(&cfg).expect("fuzz runs again");
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(a.chaos_cases, b.chaos_cases);
+    assert!(b.is_clean());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn scaled_governed_tiny_case_matches() {
+    // The nastiest single corner: tiny queues saturate, the governor
+    // rescales mid-run, and the 500 MHz grid point doubles every period.
+    let case = CheckCase {
+        benchmark: "mcf".into(),
+        seed: 23,
+        instructions: 1_200,
+        pipeline: "tiny".into(),
+        mode: "mcd".into(),
+        mhz: 500,
+        governor: "attack-decay".into(),
+        warmup: 0,
+        chaos: "none".into(),
+    };
+    let out = run_differential(&case).expect("valid case");
+    assert!(matches!(out, DiffOutcome::Match), "{out:?}");
+}

@@ -108,7 +108,9 @@ impl BenchmarkResults {
         ]
     }
 
-    /// Energy-delay improvement versus baseline, same order.
+    /// Energy-delay improvement versus baseline, same order. A degenerate
+    /// (zero-EDP) baseline reports neutral zeros; use
+    /// [`BenchmarkResults::try_energy_delay_improvement`] to detect it.
     pub fn energy_delay_improvement(&self) -> [f64; 4] {
         [
             self.baseline_mcd
@@ -117,6 +119,22 @@ impl BenchmarkResults {
             self.dynamic5.energy_delay_improvement_vs(&self.baseline),
             self.global.energy_delay_improvement_vs(&self.baseline),
         ]
+    }
+
+    /// Energy-delay improvement versus baseline, surfacing a structured
+    /// error instead of NaN when the baseline's energy-delay product is
+    /// zero.
+    pub fn try_energy_delay_improvement(&self) -> Result<[f64; 4], crate::DegenerateBaseline> {
+        Ok([
+            self.baseline_mcd
+                .try_energy_delay_improvement_vs(&self.baseline)?,
+            self.dynamic1
+                .try_energy_delay_improvement_vs(&self.baseline)?,
+            self.dynamic5
+                .try_energy_delay_improvement_vs(&self.baseline)?,
+            self.global
+                .try_energy_delay_improvement_vs(&self.baseline)?,
+        ])
     }
 }
 

@@ -21,5 +21,8 @@ pub use experiment::{
     run_benchmark, run_benchmark_observed, run_benchmark_with, BenchmarkResults, DomainSummary,
     ExperimentConfig,
 };
-pub use metrics::Metrics;
-pub use report::{average, format_percent_table, to_csv, PercentRow};
+pub use metrics::{DegenerateBaseline, Metrics};
+pub use report::{
+    average, format_percent_table, to_csv, try_format_percent_table, try_to_csv, NonFinitePercent,
+    PercentRow,
+};

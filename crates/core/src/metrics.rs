@@ -1,8 +1,37 @@
 //! Performance/energy metrics and the paper's comparison quantities.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use mcd_time::Femtos;
+
+/// Structured error for a comparison against a baseline whose energy-delay
+/// product is zero (a zero-energy run — e.g. fully gated or zero
+/// instructions). Relative improvement against such a baseline is
+/// undefined; before this guard the division silently produced NaN/inf
+/// that propagated into experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegenerateBaseline {
+    /// The baseline's chip energy (zero when degenerate).
+    pub energy: f64,
+    /// The baseline's execution time.
+    pub time: Femtos,
+}
+
+impl fmt::Display for DegenerateBaseline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degenerate baseline: energy-delay product is zero \
+             (energy {} over {} fs), relative improvement undefined",
+            self.energy,
+            self.time.as_femtos()
+        )
+    }
+}
+
+impl std::error::Error for DegenerateBaseline {}
 
 /// Execution time and energy of one configuration on one benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,9 +74,28 @@ impl Metrics {
     }
 
     /// Fractional energy-delay improvement versus `base` (positive =
-    /// better).
+    /// better), or a structured error when the baseline's energy-delay
+    /// product is zero and the ratio is undefined.
+    pub fn try_energy_delay_improvement_vs(
+        &self,
+        base: &Metrics,
+    ) -> Result<f64, DegenerateBaseline> {
+        let base_edp = base.energy_delay();
+        if base_edp == 0.0 {
+            return Err(DegenerateBaseline {
+                energy: base.energy,
+                time: base.time,
+            });
+        }
+        Ok(1.0 - self.energy_delay() / base_edp)
+    }
+
+    /// Fractional energy-delay improvement versus `base` (positive =
+    /// better). A degenerate (zero-EDP) baseline reports a neutral 0.0
+    /// rather than NaN; use [`Metrics::try_energy_delay_improvement_vs`]
+    /// to detect that case explicitly.
     pub fn energy_delay_improvement_vs(&self, base: &Metrics) -> f64 {
-        1.0 - self.energy_delay() / base.energy_delay()
+        self.try_energy_delay_improvement_vs(base).unwrap_or(0.0)
     }
 }
 
@@ -88,5 +136,22 @@ mod tests {
     #[should_panic(expected = "execution time must be positive")]
     fn zero_time_rejected() {
         let _ = Metrics::new(Femtos::ZERO, 1.0);
+    }
+
+    #[test]
+    fn zero_energy_baseline_is_a_structured_error_not_nan() {
+        // Regression: a zero-energy baseline (legal per Metrics::new) used
+        // to make the improvement NaN (0/0) or -inf, which propagated
+        // silently into reports.
+        let base = m(100, 0.0);
+        let cfg = m(100, 10.0);
+        let err = cfg.try_energy_delay_improvement_vs(&base).unwrap_err();
+        assert_eq!(err.energy, 0.0);
+        assert_eq!(err.time, Femtos::from_micros(100));
+        assert!(err.to_string().contains("degenerate baseline"));
+        // The infallible path is guarded to a finite, neutral value.
+        let edi = cfg.energy_delay_improvement_vs(&base);
+        assert_eq!(edi, 0.0);
+        assert!(base.energy_delay_improvement_vs(&base).is_finite());
     }
 }

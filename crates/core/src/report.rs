@@ -1,6 +1,61 @@
 //! Table/series formatting for the figure-regeneration harness.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// Column headers of the four-configuration tables, in figure order.
+pub const COLUMN_LABELS: [&str; 4] = [
+    "baseline MCD",
+    "dynamic-1%",
+    "dynamic-5%",
+    "global voltage scaling",
+];
+
+/// Structured error raised when a non-finite percentage (NaN/inf — e.g.
+/// an unguarded ratio against a degenerate baseline) reaches the report
+/// layer. Formatting such a value would silently print `NaN` into a
+/// figure table; validation names the exact cell instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonFinitePercent {
+    /// Row (benchmark) label of the offending cell.
+    pub label: String,
+    /// Column index in figure order (see [`COLUMN_LABELS`]).
+    pub column: usize,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for NonFinitePercent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite percentage {} in row {:?}, column {:?}",
+            self.value,
+            self.label,
+            COLUMN_LABELS.get(self.column).copied().unwrap_or("?")
+        )
+    }
+}
+
+impl std::error::Error for NonFinitePercent {}
+
+/// Validates that every cell of every row is finite, returning the first
+/// offending cell as a structured error.
+pub fn validate(rows: &[PercentRow]) -> Result<(), NonFinitePercent> {
+    for row in rows {
+        for (column, value) in row.values.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(NonFinitePercent {
+                    label: row.label.clone(),
+                    column,
+                    value: *value,
+                });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// One benchmark's row in a Figure-5/6/7-style table: four configuration
 /// percentages.
@@ -39,6 +94,23 @@ pub fn to_csv(rows: &[PercentRow]) -> String {
         ));
     }
     out
+}
+
+/// [`to_csv`] behind the finiteness guard: refuses to render a table
+/// containing NaN/inf, naming the offending cell.
+pub fn try_to_csv(rows: &[PercentRow]) -> Result<String, NonFinitePercent> {
+    validate(rows)?;
+    Ok(to_csv(rows))
+}
+
+/// [`format_percent_table`] behind the finiteness guard: refuses to
+/// render a table containing NaN/inf, naming the offending cell.
+pub fn try_format_percent_table(
+    title: &str,
+    rows: &[PercentRow],
+) -> Result<String, NonFinitePercent> {
+    validate(rows)?;
+    Ok(format_percent_table(title, rows))
 }
 
 /// Renders rows as an aligned text table with the paper's column headers.
@@ -94,6 +166,27 @@ mod tests {
     #[test]
     fn average_of_empty_is_zero() {
         assert_eq!(average(&[]).values, [0.0; 4]);
+    }
+
+    #[test]
+    fn non_finite_cells_are_surfaced_as_structured_errors() {
+        let rows = vec![
+            PercentRow {
+                label: "gcc".into(),
+                values: [1.0, 2.0, 3.0, 4.0],
+            },
+            PercentRow {
+                label: "art".into(),
+                values: [1.0, f64::NAN, 3.0, 4.0],
+            },
+        ];
+        let err = try_format_percent_table("Figure 7", &rows).unwrap_err();
+        assert_eq!(err.label, "art");
+        assert_eq!(err.column, 1);
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("dynamic-1%"));
+        assert!(try_to_csv(&rows).is_err());
+        assert!(try_to_csv(&rows[..1]).is_ok(), "finite rows render fine");
     }
 
     #[test]

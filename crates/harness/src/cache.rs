@@ -177,10 +177,10 @@ impl ResultCache {
     /// crash mid-quarantine (or by tooling shuffling entries) do not
     /// accumulate as pseudo-evidence forever.
     pub fn sweep_stale_tmp(&self) -> io::Result<usize> {
-        let mut swept = sweep_dir_tmp(&self.dir)?;
+        let mut swept = crate::durable::sweep_stale_tmp(&self.dir)?;
         let qdir = self.quarantine_dir();
         if qdir.is_dir() {
-            swept += sweep_dir_tmp(&qdir)?;
+            swept += crate::durable::sweep_stale_tmp(&qdir)?;
         }
         Ok(swept)
     }
@@ -385,20 +385,6 @@ impl ResultCache {
         }
         spot
     }
-}
-
-/// Removes `.{name}.tmp` droppings from one directory (non-recursive).
-fn sweep_dir_tmp(dir: &Path) -> io::Result<usize> {
-    let mut swept = 0;
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        if path.is_file() && name.starts_with('.') && name.ends_with(".tmp") {
-            fs::remove_file(&path)?;
-            swept += 1;
-        }
-    }
-    Ok(swept)
 }
 
 /// Minimal SHA-256 (FIPS 180-4). Self-contained because the build

@@ -12,8 +12,7 @@
 
 use std::collections::BTreeSet;
 use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use serde::{Map, Number, Serialize, Value};
 
@@ -111,33 +110,18 @@ impl CheckpointManifest {
         serde_json::to_string_pretty(&Value::Object(doc)).expect("JSON writing is infallible")
     }
 
-    /// Writes the manifest atomically and durably to `path`: the temp
-    /// file is fsynced *before* the rename (so the published name can
-    /// never point at bytes the kernel hasn't flushed) and the parent
-    /// directory is fsynced after it (so the rename itself survives a
-    /// power cut, not just a process kill). This is what makes the
+    /// Writes the manifest atomically and durably to `path` via
+    /// [`crate::durable::write_atomic_durable`] (temp + fsync + rename +
+    /// parent-directory fsync). This is what makes the
     /// `--checkpoint-every` loss bound hold under SIGKILL: a manifest
     /// whose save returned is on disk, period.
     pub fn save(&self, path: &Path) -> Result<(), HarnessError> {
-        let io_err = |source: io::Error| HarnessError::CheckpointIo {
-            path: path.to_path_buf(),
-            source,
-        };
-        let tmp = tmp_path(path);
-        {
-            let mut file = fs::File::create(&tmp).map_err(io_err)?;
-            io::Write::write_all(&mut file, self.to_json().as_bytes()).map_err(io_err)?;
-            file.sync_all().map_err(io_err)?;
-        }
-        fs::rename(&tmp, path).map_err(io_err)?;
-        // Directory fsync is best-effort: some filesystems refuse it, and
-        // the rename is already process-crash-safe without it.
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            if let Ok(dir) = fs::File::open(parent) {
-                let _ = dir.sync_all();
+        crate::durable::write_atomic_durable(path, self.to_json().as_bytes()).map_err(|source| {
+            HarnessError::CheckpointIo {
+                path: path.to_path_buf(),
+                source,
             }
-        }
-        Ok(())
+        })
     }
 
     /// Loads and validates a manifest from `path`.
@@ -224,19 +208,11 @@ impl CheckpointManifest {
     }
 }
 
-fn tmp_path(path: &Path) -> PathBuf {
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "checkpoint".to_string());
-    name.push_str(".tmp");
-    path.with_file_name(format!(".{name}"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use mcd_time::DvfsModel;
+    use std::path::PathBuf;
 
     fn spec() -> CampaignSpec {
         CampaignSpec {

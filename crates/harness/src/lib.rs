@@ -35,6 +35,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod checkpoint;
+pub mod durable;
 pub mod error;
 pub mod pool;
 pub mod retry;
@@ -58,6 +59,7 @@ pub use cache::{
 };
 pub use chaos::{Fault, FaultPlan};
 pub use checkpoint::{spec_digest, CheckpointManifest, CHECKPOINT_SCHEMA};
+pub use durable::{sweep_stale_tmp, write_atomic_durable};
 pub use error::{CacheOp, CorruptKind, HarnessError};
 pub use retry::{CellFailure, RetryPolicy};
 pub use rollup::{

@@ -30,6 +30,13 @@ use crate::sched::EdgeScheduler;
 use crate::stats::{ActivityLedger, Unit};
 use crate::warm::{self, WarmState};
 
+#[cfg(feature = "invariants")]
+pub mod invariants;
+mod reference;
+
+#[cfg(feature = "invariants")]
+use invariants::{InvariantChecker, InvariantReport};
+
 /// A fetched-but-not-dispatched instruction.
 #[derive(Debug, Clone)]
 struct Fetched {
@@ -75,6 +82,16 @@ struct InFlight {
 /// Safety valve: a run that produces this many edges without committing its
 /// target has deadlocked (a bug), so panic with context instead of hanging.
 const MAX_EDGES_PER_INSTRUCTION: u64 = 4_000;
+
+/// Everything a run yields besides the measured [`RunResult`]: the trace
+/// sink (when one was attached) and, under the `invariants` feature, the
+/// invariant report (when a checker was armed).
+struct RunArtifacts {
+    result: RunResult,
+    sink: Option<Box<dyn TraceSink>>,
+    #[cfg(feature = "invariants")]
+    invariants: Option<InvariantReport>,
+}
 
 /// Accumulators feeding an on-line governor between control decisions.
 #[derive(Debug, Clone, Default)]
@@ -181,6 +198,13 @@ pub struct Pipeline {
     /// the golden-fixture tests enforce both claims.
     tracer: Option<Box<dyn TraceSink>>,
 
+    /// Runtime invariant checker (None unless armed). Like the tracer, every
+    /// hook site is a pure observer behind an `Option` check; the field and
+    /// all hooks compile out entirely without the `invariants` feature, so
+    /// the default build is provably zero-cost.
+    #[cfg(feature = "invariants")]
+    inv: Option<InvariantChecker>,
+
     // Per-run scratch buffers, hoisted out of the per-edge hot path.
     exec_scratch: Vec<u64>,
     addr_scratch: Vec<(u64, u64)>,
@@ -272,6 +296,8 @@ impl Pipeline {
             control: ControlState::default(),
             control_next: Femtos::MAX,
             tracer: None,
+            #[cfg(feature = "invariants")]
+            inv: None,
             ledger: ActivityLedger::new(),
             committed: 0,
             target: u64::MAX,
@@ -480,54 +506,60 @@ impl Pipeline {
             serde_json::to_string(&self.pcfg.l2).expect("config serializes"),
             serde_json::to_string(&self.pcfg.bpred).expect("config serializes"),
         );
-        let state = warm::get_or_build(&key, || {
-            // Build on fresh structures — identical to this pipeline's own,
-            // which have seen no accesses before warm-up.
-            let mut l1i = Cache::new(self.pcfg.l1i);
-            let mut l1d = Cache::new(self.pcfg.l1d);
-            let mut l2 = Cache::new(self.pcfg.l2);
-            let mut bpred = BranchPredictor::new(self.pcfg.bpred);
-            let mut warm_gen = WorkloadGenerator::new(self.gen.profile().clone(), self.cfg.seed);
-            // Pre-touch the long-reuse-distance warm sets into the L2 (they
-            // are deliberately L1-hostile, so only the L2 is touched).
-            for line in warm_gen.warm_footprint() {
-                l2.access(line, false);
-            }
-            for _ in 0..n {
-                let instr = warm_gen.next_instruction();
-                if !l1i.access(instr.pc, false) {
-                    l2.access(instr.pc, false);
-                }
-                if let Some(mem) = instr.mem {
-                    // Skip the streaming region: the timed run re-generates
-                    // the same address sequence, and pre-touching it would
-                    // turn compulsory misses into false hits.
-                    if mem.addr < 0x8000_0000 {
-                        let is_write = instr.op == OpClass::Store;
-                        if !l1d.access(mem.addr, is_write) {
-                            l2.access(mem.addr, is_write);
-                        }
-                    }
-                }
-                if let Some(b) = instr.branch {
-                    bpred.update(instr.pc, b.taken, b.target);
-                }
-            }
-            l1i.reset_stats();
-            l1d.reset_stats();
-            l2.reset_stats();
-            bpred.reset_stats();
-            WarmState {
-                l1i,
-                l1d,
-                l2,
-                bpred,
-            }
-        });
+        let state = warm::get_or_build(&key, || self.build_warm_state(n));
         self.l1i = state.l1i.clone();
         self.l1d = state.l1d.clone();
         self.l2 = state.l2.clone();
         self.bpred = state.bpred.clone();
+    }
+
+    /// Builds the warmed cache/predictor state for an `n`-instruction
+    /// warm-up stream from scratch. Shared by the cached path
+    /// ([`Pipeline::warm_structures`]) and the reference interpreter, which
+    /// deliberately bypasses the process-wide cache.
+    fn build_warm_state(&self, n: u64) -> WarmState {
+        // Build on fresh structures — identical to this pipeline's own,
+        // which have seen no accesses before warm-up.
+        let mut l1i = Cache::new(self.pcfg.l1i);
+        let mut l1d = Cache::new(self.pcfg.l1d);
+        let mut l2 = Cache::new(self.pcfg.l2);
+        let mut bpred = BranchPredictor::new(self.pcfg.bpred);
+        let mut warm_gen = WorkloadGenerator::new(self.gen.profile().clone(), self.cfg.seed);
+        // Pre-touch the long-reuse-distance warm sets into the L2 (they
+        // are deliberately L1-hostile, so only the L2 is touched).
+        for line in warm_gen.warm_footprint() {
+            l2.access(line, false);
+        }
+        for _ in 0..n {
+            let instr = warm_gen.next_instruction();
+            if !l1i.access(instr.pc, false) {
+                l2.access(instr.pc, false);
+            }
+            if let Some(mem) = instr.mem {
+                // Skip the streaming region: the timed run re-generates
+                // the same address sequence, and pre-touching it would
+                // turn compulsory misses into false hits.
+                if mem.addr < 0x8000_0000 {
+                    let is_write = instr.op == OpClass::Store;
+                    if !l1d.access(mem.addr, is_write) {
+                        l2.access(mem.addr, is_write);
+                    }
+                }
+            }
+            if let Some(b) = instr.branch {
+                bpred.update(instr.pc, b.taken, b.target);
+            }
+        }
+        l1i.reset_stats();
+        l1d.reset_stats();
+        l2.reset_stats();
+        bpred.reset_stats();
+        WarmState {
+            l1i,
+            l1d,
+            l2,
+            bpred,
+        }
     }
 
     /// Runs under an on-line DVFS governor until `target` instructions
@@ -544,7 +576,7 @@ impl Pipeline {
     /// Panics if the machine deadlocks (internal invariant violation).
     pub fn run_with_governor<G: Governor>(mut self, target: u64, mut governor: G) -> RunResult {
         self.control_next = governor.interval();
-        self.run_impl(target, Some(&mut governor)).0
+        self.run_impl(target, Some(&mut governor)).result
     }
 
     /// Runs until `target` instructions commit; consumes the pipeline.
@@ -553,7 +585,7 @@ impl Pipeline {
     ///
     /// Panics if the machine deadlocks (internal invariant violation).
     pub fn run(self, target: u64) -> RunResult {
-        self.run_impl::<NoGovernor>(target, None).0
+        self.run_impl::<NoGovernor>(target, None).result
     }
 
     /// Attaches a custom observability sink for the coming run. The sink
@@ -572,11 +604,12 @@ impl Pipeline {
     /// Panics if the machine deadlocks (internal invariant violation).
     pub fn run_traced(mut self, target: u64, cfg: TraceConfig) -> (RunResult, RunTrace) {
         self.tracer = Some(Box::new(TraceRecorder::new(cfg)));
-        let (result, sink) = self.run_impl::<NoGovernor>(target, None);
-        let trace = sink
-            .and_then(|s| s.into_trace(result.total_time))
+        let art = self.run_impl::<NoGovernor>(target, None);
+        let trace = art
+            .sink
+            .and_then(|s| s.into_trace(art.result.total_time))
             .expect("recorder sink yields a trace");
-        (result, trace)
+        (art.result, trace)
     }
 
     /// [`Pipeline::run_with_governor`] with a [`TraceRecorder`] attached;
@@ -593,11 +626,60 @@ impl Pipeline {
     ) -> (RunResult, RunTrace) {
         self.tracer = Some(Box::new(TraceRecorder::new(cfg)));
         self.control_next = governor.interval();
-        let (result, sink) = self.run_impl(target, Some(&mut governor));
-        let trace = sink
-            .and_then(|s| s.into_trace(result.total_time))
+        let art = self.run_impl(target, Some(&mut governor));
+        let trace = art
+            .sink
+            .and_then(|s| s.into_trace(art.result.total_time))
             .expect("recorder sink yields a trace");
-        (result, trace)
+        (art.result, trace)
+    }
+
+    /// Arms a runtime [`InvariantChecker`] for the coming run. Pair with
+    /// [`Pipeline::run_checked`] or
+    /// [`Pipeline::run_with_governor_checked`] to collect the report.
+    #[cfg(feature = "invariants")]
+    pub fn with_invariants(mut self, checker: InvariantChecker) -> Self {
+        self.inv = Some(checker.sized_for(self.clocks.len()));
+        self
+    }
+
+    /// Runs with the armed invariant checker (or a default one), returning
+    /// the [`InvariantReport`] alongside the (byte-identical) [`RunResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (internal invariant violation).
+    #[cfg(feature = "invariants")]
+    pub fn run_checked(mut self, target: u64) -> (RunResult, InvariantReport) {
+        if self.inv.is_none() {
+            let checker = InvariantChecker::new(self.cfg.vf, self.cfg.sync);
+            self = self.with_invariants(checker);
+        }
+        let art = self.run_impl::<NoGovernor>(target, None);
+        let report = art.invariants.expect("checker was armed");
+        (art.result, report)
+    }
+
+    /// [`Pipeline::run_with_governor`] with the armed invariant checker (or
+    /// a default one); see [`Pipeline::run_checked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (internal invariant violation).
+    #[cfg(feature = "invariants")]
+    pub fn run_with_governor_checked<G: Governor>(
+        mut self,
+        target: u64,
+        mut governor: G,
+    ) -> (RunResult, InvariantReport) {
+        if self.inv.is_none() {
+            let checker = InvariantChecker::new(self.cfg.vf, self.cfg.sync);
+            self = self.with_invariants(checker);
+        }
+        self.control_next = governor.interval();
+        let art = self.run_impl(target, Some(&mut governor));
+        let report = art.invariants.expect("checker was armed");
+        (art.result, report)
     }
 
     /// The run loop, monomorphized over the governor type.
@@ -606,11 +688,7 @@ impl Pipeline {
     /// clock index on ties). Edges of an idle domain are batch-consumed by
     /// [`Pipeline::fast_forward`]; every other edge runs the full tick
     /// machinery.
-    fn run_impl<G: Governor>(
-        mut self,
-        target: u64,
-        mut governor: Option<&mut G>,
-    ) -> (RunResult, Option<Box<dyn TraceSink>>) {
+    fn run_impl<G: Governor>(mut self, target: u64, mut governor: Option<&mut G>) -> RunArtifacts {
         assert!(target > 0, "target instruction count must be positive");
         self.target = target;
         if self.cfg.warmup_instructions > 0 {
@@ -621,6 +699,8 @@ impl Pipeline {
             let t = self.clocks[i].next_edge();
             self.sched.set(i, t);
             self.note_clock_advanced(i);
+            #[cfg(feature = "invariants")]
+            self.inv_after_edge(i);
         }
         if let Some(s) = self.tracer.as_mut() {
             // Opening frequency sample for every domain so each track has a
@@ -691,12 +771,23 @@ impl Pipeline {
                     DomainId::LoadStore => self.tick_loadstore(now),
                 }
             }
+            #[cfg(feature = "invariants")]
+            self.inv_after_tick(now);
             let t = self.clocks[ci].next_edge();
             self.sched.set(ci, t);
             self.note_clock_advanced(ci);
+            #[cfg(feature = "invariants")]
+            self.inv_after_edge(ci);
         }
         let sink = self.tracer.take();
-        (self.into_result(), sink)
+        #[cfg(feature = "invariants")]
+        let invariants = self.inv.take().map(|c| c.finish(&self));
+        RunArtifacts {
+            result: self.into_result(),
+            sink,
+            #[cfg(feature = "invariants")]
+            invariants,
+        }
     }
 
     /// Feeds the sink a queue-occupancy sample for the domain(s) ticking on
@@ -780,6 +871,8 @@ impl Pipeline {
             let next = self.clocks[ci].next_edge();
             self.sched.set(ci, next);
             self.note_clock_advanced(ci);
+            #[cfg(feature = "invariants")]
+            self.inv_after_edge(ci);
             consumed += 1;
         }
         consumed
@@ -837,6 +930,8 @@ impl Pipeline {
                 if let Some(s) = self.tracer.as_mut() {
                     s.freq_request(d.index(), now, f);
                 }
+                #[cfg(feature = "invariants")]
+                self.inv_freq_request(now, d, f);
             }
         }
         self.control = ControlState {

@@ -1,0 +1,422 @@
+//! Runtime invariant checking for the optimized run loop (feature
+//! `invariants`).
+//!
+//! An armed [`InvariantChecker`] audits the engine's internal contracts
+//! *while it runs*, through the same observer pattern as the trace sink:
+//! every hook site in the hot loop is a pure reader behind an `Option`
+//! check, and with the feature disabled the field and all hooks compile
+//! out entirely — the golden byte-identity test proves the default build
+//! unchanged.
+//!
+//! Checked invariants:
+//!
+//! - **Clock monotonicity** — every clock's pending-edge time strictly
+//!   increases edge over edge.
+//! - **Queue occupancy** — fetch queue, both issue queues, LSQ and ROB
+//!   never exceed their configured capacities.
+//! - **Synchronization-window matrix** — the incrementally maintained §2.2
+//!   window cache always equals a wholesale recomputation from the current
+//!   periods (zero diagonal included).
+//! - **Operating-point range** — cached per-clock frequency and voltage
+//!   stay inside the machine's VF-table clamp region.
+//! - **On-grid requests** — governor frequency requests land on the
+//!   machine's quantized frequency grid (static-schedule entries are
+//!   exempt: the golden schedules deliberately use off-grid points).
+//! - **Jitter breach rate** — the fraction of steady-state edges whose
+//!   interval deviates from the nominal period by more than the
+//!   synchronization window `T_s`. Clean paper-parameter runs sit well
+//!   under 1 %; a clock whose jitter defeats the §2.2 window (the
+//!   `mcd-time` chaos models) blows past the 5 % bound. This is a *rate*
+//!   bound, not a per-edge bound, because the paper's own jitter clamp
+//!   (±0.45 T) legitimately exceeds the 0.30 T window on a small tail of
+//!   edges.
+
+use mcd_time::{Femtos, Frequency, FrequencyGrid, SyncParams, VfTable};
+use serde::{Deserialize, Serialize};
+
+use crate::domains::DomainId;
+
+use super::Pipeline;
+
+/// Which invariant a [`InvariantViolation`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvariantKind {
+    /// A clock's pending-edge time failed to strictly increase.
+    ClockMonotonicity,
+    /// A pipeline queue exceeded its configured capacity.
+    QueueOverflow,
+    /// The incremental sync-window cache diverged from recomputation.
+    SyncWindowMatrix,
+    /// A cached frequency or voltage left the VF clamp region.
+    OperatingPointOutOfRange,
+    /// A governor requested a frequency off the quantized grid.
+    OffGridFrequency,
+    /// A clock's jitter breached the `T_s` window too often.
+    JitterBreachRate,
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvariantViolation {
+    /// Which invariant failed.
+    pub kind: InvariantKind,
+    /// Physical clock (or domain) index the violation is attributed to.
+    pub clock: usize,
+    /// Simulation time of the observation.
+    pub at: Femtos,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Per-clock edge statistics feeding the jitter breach-rate bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockStats {
+    /// Edges observed.
+    pub edges: u64,
+    /// Steady-state edges qualifying for the jitter bound (frequency
+    /// unchanged, interval under 2× the period — i.e. not a relock gap).
+    pub qualifying: u64,
+    /// Qualifying edges whose interval missed the period by more than
+    /// `T_s`.
+    pub breaches: u64,
+}
+
+impl ClockStats {
+    /// Breach fraction over qualifying edges (0 when none qualified).
+    pub fn breach_rate(&self) -> f64 {
+        if self.qualifying == 0 {
+            return 0.0;
+        }
+        self.breaches as f64 / self.qualifying as f64
+    }
+}
+
+/// Everything an invariant-checked run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvariantReport {
+    /// Total edges audited across all clocks.
+    pub checked_edges: u64,
+    /// Per-clock edge statistics.
+    pub clocks: Vec<ClockStats>,
+    /// Recorded violations (capped; see `truncated`).
+    pub violations: Vec<InvariantViolation>,
+    /// Violations dropped after the recording cap was hit.
+    pub truncated: u64,
+}
+
+impl InvariantReport {
+    /// Whether the run upheld every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.truncated == 0
+    }
+
+    /// One-line summary for logs and failure messages.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!("clean ({} edges audited)", self.checked_edges)
+        } else {
+            let first = &self.violations[0];
+            format!(
+                "{} violation(s) over {} edges; first: {:?} on clock {} at {} fs: {}",
+                self.violations.len() as u64 + self.truncated,
+                self.checked_edges,
+                first.kind,
+                first.clock,
+                first.at.as_femtos(),
+                first.detail
+            )
+        }
+    }
+}
+
+/// Recorded violations are capped so a systematically broken run cannot
+/// accumulate an unbounded report; the overflow is counted in
+/// [`InvariantReport::truncated`].
+const MAX_VIOLATIONS: usize = 32;
+
+/// The runtime invariant checker. Arm one with
+/// [`Pipeline::with_invariants`](super::Pipeline::with_invariants) (or let
+/// [`run_checked`](super::Pipeline::run_checked) build a default) and read
+/// the [`InvariantReport`] back after the run.
+#[derive(Debug, Clone)]
+pub struct InvariantChecker {
+    vf: VfTable,
+    sync: SyncParams,
+    /// Grid governor requests must land on; `None` disables the check.
+    grid: Option<FrequencyGrid>,
+    /// Jitter breach-rate bound over qualifying edges.
+    breach_rate_limit: f64,
+    /// Minimum qualifying edges before the rate bound is evaluated.
+    min_qualifying: u64,
+    /// Last pending-edge time per clock.
+    last_edge: Vec<Femtos>,
+    /// Frequency at the previous edge per clock (None before the first).
+    last_freq: Vec<Option<Frequency>>,
+    stats: Vec<ClockStats>,
+    checked_edges: u64,
+    violations: Vec<InvariantViolation>,
+    truncated: u64,
+}
+
+impl InvariantChecker {
+    /// Builds a checker for a machine using `vf` and `sync`, with the
+    /// default 32-step grid over `vf` and a 5 % jitter breach-rate bound.
+    pub fn new(vf: VfTable, sync: SyncParams) -> Self {
+        InvariantChecker {
+            grid: Some(FrequencyGrid::new(vf, 32)),
+            vf,
+            sync,
+            breach_rate_limit: 0.05,
+            min_qualifying: 200,
+            last_edge: Vec::new(),
+            last_freq: Vec::new(),
+            stats: Vec::new(),
+            checked_edges: 0,
+            violations: Vec::new(),
+            truncated: 0,
+        }
+    }
+
+    /// Replaces (or disables, with `None`) the on-grid request check.
+    pub fn with_grid(mut self, grid: Option<FrequencyGrid>) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Overrides the jitter breach-rate bound.
+    pub fn with_breach_rate_limit(mut self, limit: f64) -> Self {
+        self.breach_rate_limit = limit;
+        self
+    }
+
+    /// Sizes the per-clock state vectors; called when the checker is armed.
+    pub(crate) fn sized_for(mut self, n_clocks: usize) -> Self {
+        self.last_edge = vec![Femtos::ZERO; n_clocks];
+        self.last_freq = vec![None; n_clocks];
+        self.stats = vec![ClockStats::default(); n_clocks];
+        self
+    }
+
+    fn record(&mut self, kind: InvariantKind, clock: usize, at: Femtos, detail: String) {
+        if self.violations.len() >= MAX_VIOLATIONS {
+            self.truncated += 1;
+            return;
+        }
+        self.violations.push(InvariantViolation {
+            kind,
+            clock,
+            at,
+            detail,
+        });
+    }
+
+    /// Audits clock `ci` right after it produced an edge (its pending-edge
+    /// time, cached operating point and the sync-window cache are fresh).
+    fn observe_edge(&mut self, p: &Pipeline, ci: usize) {
+        self.checked_edges += 1;
+        let t = p.sched.time(ci);
+        let first = self.stats[ci].edges == 0;
+        self.stats[ci].edges += 1;
+        let prev = self.last_edge[ci];
+        let prev_freq = self.last_freq[ci];
+        self.last_edge[ci] = t;
+        let freq = p.clock_freq[ci];
+        self.last_freq[ci] = Some(freq);
+
+        // Clock monotonicity: edges strictly advance.
+        if !first && t <= prev {
+            self.record(
+                InvariantKind::ClockMonotonicity,
+                ci,
+                t,
+                format!(
+                    "edge at {} fs does not advance past {} fs",
+                    t.as_femtos(),
+                    prev.as_femtos()
+                ),
+            );
+        }
+
+        // Operating point inside the VF clamp region.
+        let volt = p.clock_volt[ci];
+        if freq < self.vf.f_min() || freq > self.vf.f_max() {
+            self.record(
+                InvariantKind::OperatingPointOutOfRange,
+                ci,
+                t,
+                format!(
+                    "frequency {} Hz outside [{}, {}] Hz",
+                    freq.as_hz(),
+                    self.vf.f_min().as_hz(),
+                    self.vf.f_max().as_hz()
+                ),
+            );
+        }
+        let (v_lo, v_hi) = (self.vf.v_min().as_volts(), self.vf.v_max().as_volts());
+        if volt < v_lo - 1e-9 || volt > v_hi + 1e-9 {
+            self.record(
+                InvariantKind::OperatingPointOutOfRange,
+                ci,
+                t,
+                format!("voltage {volt} V outside [{v_lo}, {v_hi}] V"),
+            );
+        }
+
+        // Jitter breach statistics over steady-state edges.
+        if !first && prev_freq == Some(freq) {
+            let period = freq.period();
+            let interval = t - prev;
+            if interval < period * 2 {
+                self.stats[ci].qualifying += 1;
+                let window = self.sync.window(period, period);
+                let deviation = if interval > period {
+                    interval - period
+                } else {
+                    period - interval
+                };
+                if deviation > window {
+                    self.stats[ci].breaches += 1;
+                }
+            }
+        }
+
+        // Sync-window cache vs. wholesale recomputation.
+        for src in 0..DomainId::COUNT {
+            for dst in 0..DomainId::COUNT {
+                let expected = if src == dst {
+                    Femtos::ZERO
+                } else {
+                    self.sync.window(p.periods[src], p.periods[dst])
+                };
+                let cached = p.sync_win.window(src, dst);
+                if cached != expected {
+                    self.record(
+                        InvariantKind::SyncWindowMatrix,
+                        ci,
+                        t,
+                        format!(
+                            "window[{src}][{dst}] cached {} fs, recomputed {} fs",
+                            cached.as_femtos(),
+                            expected.as_femtos()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Audits queue occupancies right after the tick machinery ran.
+    fn observe_tick(&mut self, p: &Pipeline, now: Femtos) {
+        let checks: [(usize, &str, usize, usize); 5] = [
+            (
+                DomainId::FrontEnd.index(),
+                "fetch queue",
+                p.fetchq.len(),
+                p.fetchq.capacity(),
+            ),
+            (
+                DomainId::Integer.index(),
+                "integer IQ",
+                p.iq_int.len(),
+                p.iq_int.capacity(),
+            ),
+            (
+                DomainId::FloatingPoint.index(),
+                "FP IQ",
+                p.iq_fp.len(),
+                p.iq_fp.capacity(),
+            ),
+            (
+                DomainId::LoadStore.index(),
+                "LSQ",
+                p.lsq.len(),
+                p.lsq.capacity(),
+            ),
+            (
+                DomainId::FrontEnd.index(),
+                "ROB",
+                p.rob.len(),
+                p.pcfg.rob_size,
+            ),
+        ];
+        for (clock, name, len, cap) in checks {
+            if len > cap {
+                self.record(
+                    InvariantKind::QueueOverflow,
+                    clock,
+                    now,
+                    format!("{name} holds {len} entries over capacity {cap}"),
+                );
+            }
+        }
+    }
+
+    /// Audits one governor frequency request.
+    fn observe_freq_request(&mut self, now: Femtos, d: DomainId, f: Frequency) {
+        let Some(grid) = &self.grid else { return };
+        if !grid.points().iter().any(|p| p.frequency == f) {
+            self.record(
+                InvariantKind::OffGridFrequency,
+                d.index(),
+                now,
+                format!("governor requested {} Hz, not a grid point", f.as_hz()),
+            );
+        }
+    }
+
+    /// Closes the audit: evaluates the per-clock jitter breach-rate bound
+    /// and yields the report.
+    pub(crate) fn finish(mut self, p: &Pipeline) -> InvariantReport {
+        for ci in 0..self.stats.len() {
+            let s = self.stats[ci];
+            if s.qualifying >= self.min_qualifying && s.breach_rate() > self.breach_rate_limit {
+                self.record(
+                    InvariantKind::JitterBreachRate,
+                    ci,
+                    p.last_commit_time,
+                    format!(
+                        "{} of {} steady-state edges ({:.1} %) breached T_s, bound {:.1} %",
+                        s.breaches,
+                        s.qualifying,
+                        100.0 * s.breach_rate(),
+                        100.0 * self.breach_rate_limit
+                    ),
+                );
+            }
+        }
+        InvariantReport {
+            checked_edges: self.checked_edges,
+            clocks: self.stats,
+            violations: self.violations,
+            truncated: self.truncated,
+        }
+    }
+}
+
+impl Pipeline {
+    /// Hook: a clock just produced an edge (scheduler and operating-point
+    /// caches are fresh). Take/put-back keeps the borrow checker happy
+    /// while the checker reads the pipeline.
+    pub(crate) fn inv_after_edge(&mut self, ci: usize) {
+        if let Some(mut inv) = self.inv.take() {
+            inv.observe_edge(self, ci);
+            self.inv = Some(inv);
+        }
+    }
+
+    /// Hook: the tick machinery just ran at `now`.
+    pub(crate) fn inv_after_tick(&mut self, now: Femtos) {
+        if let Some(mut inv) = self.inv.take() {
+            inv.observe_tick(self, now);
+            self.inv = Some(inv);
+        }
+    }
+
+    /// Hook: the governor just requested frequency `f` for domain `d`.
+    pub(crate) fn inv_freq_request(&mut self, now: Femtos, d: DomainId, f: Frequency) {
+        if let Some(mut inv) = self.inv.take() {
+            inv.observe_freq_request(now, d, f);
+            self.inv = Some(inv);
+        }
+    }
+}

@@ -34,6 +34,31 @@ pub fn simulate(
     Pipeline::new(machine.clone(), generator).run(instructions)
 }
 
+/// [`simulate`] on the deliberately-naive reference interpreter (no edge
+/// scheduler, no fast-forward, no warm-state cache, no incremental
+/// operating-point bookkeeping). Results are byte-identical to
+/// [`simulate`]'s — `mcd-check` exists to prove that claim.
+pub fn simulate_reference(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    instructions: u64,
+) -> RunResult {
+    let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
+    Pipeline::new(machine.clone(), generator).run_reference(instructions)
+}
+
+/// [`simulate_reference`] under an on-line governor; the reference
+/// counterpart of a governed run.
+pub fn simulate_reference_governed<G: Governor>(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    instructions: u64,
+    governor: G,
+) -> RunResult {
+    let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
+    Pipeline::new(machine.clone(), generator).run_reference_with_governor(instructions, governor)
+}
+
 /// [`simulate`] with a trace recorder attached: returns the observability
 /// record alongside the (byte-identical) result.
 pub fn simulate_traced(

@@ -34,9 +34,16 @@ pub mod stats;
 pub(crate) mod warm;
 
 pub use config::PipelineConfig;
+#[cfg(feature = "invariants")]
+pub use core::invariants::{
+    ClockStats, InvariantChecker, InvariantKind, InvariantReport, InvariantViolation,
+};
 pub use core::Pipeline;
 pub use domains::DomainId;
-pub use driver::{simulate, simulate_governed_traced, simulate_traced};
+pub use driver::{
+    simulate, simulate_governed_traced, simulate_reference, simulate_reference_governed,
+    simulate_traced,
+};
 pub use events::{EventKind, EventSpan, InstrTrace};
 pub use governor::{AttackDecay, ControlSample, Governor, NoGovernor};
 pub use machine::{ClockingMode, MachineConfig};

@@ -1,0 +1,66 @@
+//! Runtime invariant checker tests (feature `invariants`).
+
+#![cfg(feature = "invariants")]
+
+use mcd_pipeline::{simulate, AttackDecay, InvariantChecker, MachineConfig, Pipeline, RunResult};
+use mcd_workload::{suites, BenchmarkProfile, WorkloadGenerator};
+
+fn profile(name: &str) -> BenchmarkProfile {
+    suites::by_name(name).expect("known benchmark")
+}
+
+fn bytes(r: &RunResult) -> String {
+    serde_json::to_string(r).expect("result serializes")
+}
+
+fn pipeline(m: &MachineConfig, p: &BenchmarkProfile) -> Pipeline {
+    let gen = WorkloadGenerator::new(p.clone(), m.seed);
+    Pipeline::new(m.clone(), gen)
+}
+
+#[test]
+fn clean_mcd_run_upholds_every_invariant() {
+    let m = MachineConfig::baseline_mcd(7);
+    let p = profile("gcc");
+    let (r, report) = pipeline(&m, &p).run_checked(10_000);
+    assert_eq!(r.committed, 10_000);
+    assert!(report.is_clean(), "{}", report.summary());
+    assert!(report.checked_edges > 10_000, "audit covered the run");
+    // Steady-state edges qualified for the jitter bound on every clock, and
+    // the clean breach rate sits far under the 5 % bound.
+    for s in &report.clocks {
+        assert!(s.qualifying > 200, "qualifying edges {}", s.qualifying);
+        assert!(s.breach_rate() < 0.05, "breach rate {}", s.breach_rate());
+    }
+}
+
+#[test]
+fn clean_governed_run_upholds_every_invariant() {
+    // AttackDecay snaps its requests to the 32-point paper grid, so the
+    // on-grid check must stay quiet too.
+    let m = MachineConfig::baseline_mcd(5);
+    let p = profile("bzip2");
+    let (r, report) = pipeline(&m, &p).run_with_governor_checked(20_000, AttackDecay::paper_like());
+    assert_eq!(r.committed, 20_000);
+    assert!(report.is_clean(), "{}", report.summary());
+}
+
+#[test]
+fn checked_run_results_are_byte_identical_to_unchecked() {
+    let m = MachineConfig::baseline_mcd(3);
+    let p = profile("adpcm");
+    let plain = simulate(&m, &p, 5_000);
+    let checker = InvariantChecker::new(m.vf, m.sync);
+    let (checked, report) = pipeline(&m, &p).with_invariants(checker).run_checked(5_000);
+    assert!(report.is_clean(), "{}", report.summary());
+    assert_eq!(bytes(&plain), bytes(&checked));
+}
+
+#[test]
+fn single_clock_run_is_audited_and_clean() {
+    let m = MachineConfig::baseline(9);
+    let p = profile("g721");
+    let (_, report) = pipeline(&m, &p).run_checked(5_000);
+    assert!(report.is_clean(), "{}", report.summary());
+    assert_eq!(report.clocks.len(), 1, "one physical clock audited");
+}

@@ -54,9 +54,15 @@ impl EnergyBreakdown {
         DomainId::ALL.iter().map(|d| self.domain(*d)).sum()
     }
 
-    /// Fraction of chip energy dissipated in `domain`.
+    /// Fraction of chip energy dissipated in `domain`. A zero-energy
+    /// breakdown (zero-instruction or fully-gated run) has no meaningful
+    /// shares; every domain reports 0.0 rather than NaN.
     pub fn domain_share(&self, domain: DomainId) -> f64 {
-        self.domain(domain) / self.total()
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.domain(domain) / total
     }
 }
 
@@ -249,6 +255,22 @@ mod tests {
         // V drops 1.2 → 0.65: energy ≈ 29 % of baseline.
         let ratio = e_slow / e_base;
         assert!(ratio < 0.35 && ratio > 0.22, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_energy_breakdown_has_zero_shares_not_nan() {
+        // Regression: a fully-gated / zero-instruction breakdown used to
+        // report NaN shares (0/0); every domain must report exactly 0.0.
+        let e = EnergyBreakdown {
+            by_unit: vec![0.0; Unit::ALL.len()],
+            clock: [0.0; DomainId::COUNT],
+            idle_floor: [0.0; DomainId::COUNT],
+        };
+        assert_eq!(e.total(), 0.0);
+        for d in DomainId::ALL {
+            let share = e.domain_share(d);
+            assert!(share == 0.0, "{d} share must be 0.0, got {share}");
+        }
     }
 
     #[test]

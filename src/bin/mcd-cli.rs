@@ -22,12 +22,16 @@
 //!                    [--model xscale|transmeta] [--analysis-threads T]
 //! mcd-cli trace      <benchmark> [--instructions N] [--seed S] [--out FILE]
 //!                    [--sample-every N] [--static]
+//! mcd-cli check      diff
+//! mcd-cli check      fuzz [--seed S] [--cases N] [--out DIR]
+//! mcd-cli check      replay FILE
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use mcd::check::{self, FuzzConfig};
 use mcd::core::{run_benchmark, ExperimentConfig};
 use mcd::grid::{GridCampaign, GridWorker};
 use mcd::harness::{
@@ -67,7 +71,10 @@ fn usage() -> ! {
          [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta] \
          [--analysis-threads T]\n  \
          mcd-cli trace <benchmark> [--instructions N] [--seed S] [--out FILE] \
-         [--sample-every N] [--static]"
+         [--sample-every N] [--static]\n  \
+         mcd-cli check diff\n  \
+         mcd-cli check fuzz [--seed S] [--cases N] [--out DIR]\n  \
+         mcd-cli check replay FILE"
     );
     std::process::exit(2)
 }
@@ -147,6 +154,7 @@ fn main() {
         "grid" => cmd_grid(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "check" => cmd_check(&args[1..]),
         _ => usage(),
     }
 }
@@ -959,6 +967,120 @@ fn cmd_trace(args: &[String]) {
             .sum::<u64>()
     );
     eprintln!("open in chrome://tracing or https://ui.perfetto.dev");
+}
+
+/// `mcd-cli check`: the correctness harness. `diff` sweeps the built-in
+/// configuration lattice through the differential oracle (reference
+/// interpreter vs. optimized engine, byte equality); `fuzz` runs a seeded
+/// campaign over random configurations, shrinks any failure to a minimal
+/// case, and publishes it as repro JSON (default `check-failures/`);
+/// `replay` re-runs one published repro file.
+fn cmd_check(args: &[String]) {
+    let Some(verb) = args.first() else { usage() };
+    match verb.as_str() {
+        "diff" => {
+            let cases = check::lattice();
+            let mut failed = 0usize;
+            for case in &cases {
+                let verdict = match check::run_differential(case) {
+                    Ok(out) if out.is_pass() => "ok".to_string(),
+                    Ok(out) => {
+                        failed += 1;
+                        format!("FAILED: {out:?}")
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        format!("INVALID: {e}")
+                    }
+                };
+                println!(
+                    "{:<8} {:<6} {:<7} {:>5} MHz {:<13} {verdict}",
+                    case.benchmark, case.pipeline, case.mode, case.mhz, case.governor
+                );
+            }
+            eprintln!(
+                "check diff: {}/{} cases match the reference interpreter",
+                cases.len() - failed,
+                cases.len()
+            );
+            if failed > 0 {
+                std::process::exit(1);
+            }
+        }
+        "fuzz" => {
+            let mut cfg = FuzzConfig {
+                seed: 5,
+                cases: 64,
+                out_dir: "check-failures".into(),
+            };
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> String {
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("missing value for {name}");
+                            usage()
+                        })
+                        .clone()
+                };
+                match flag.as_str() {
+                    "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+                    "--cases" => cfg.cases = value("--cases").parse().unwrap_or_else(|_| usage()),
+                    "--out" => cfg.out_dir = value("--out").into(),
+                    _ => usage(),
+                }
+            }
+            let report = check::fuzz(&cfg).unwrap_or_else(|e| {
+                eprintln!("check fuzz: {e}");
+                std::process::exit(1)
+            });
+            if report.swept_tmp > 0 {
+                eprintln!(
+                    "check fuzz: swept {} stale tmp file(s) from {}",
+                    report.swept_tmp,
+                    cfg.out_dir.display()
+                );
+            }
+            for f in &report.failures {
+                eprintln!(
+                    "check fuzz: {} — {} -> {}",
+                    f.kind.as_str(),
+                    f.detail,
+                    f.repro.display()
+                );
+            }
+            eprintln!(
+                "check fuzz: {} case(s), {} fault-injected, {} failure(s)",
+                report.executed,
+                report.chaos_cases,
+                report.failures.len()
+            );
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        "replay" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("check replay requires FILE");
+                usage()
+            };
+            match check::fuzz::replay_file(path.as_ref()) {
+                Ok(None) => eprintln!("check replay: {path}: no longer reproduces"),
+                Ok(Some((kind, detail))) => {
+                    eprintln!(
+                        "check replay: {path}: still fails ({}): {detail}",
+                        kind.as_str()
+                    );
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("check replay: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn machine_for(opts: &Opts) -> MachineConfig {

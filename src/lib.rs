@@ -23,7 +23,9 @@
 //!   sharding with deterministic assembly and fault-tolerant
 //!   reassignment);
 //! * [`trace`] — the observability layer (per-domain event sinks,
-//!   run traces, Chrome trace_event export).
+//!   run traces, Chrome trace_event export);
+//! * [`check`] — the correctness harness (differential oracle against a
+//!   naive reference interpreter, runtime invariants, config fuzzer).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 
 pub mod golden;
 
+pub use mcd_check as check;
 pub use mcd_core as core;
 pub use mcd_grid as grid;
 pub use mcd_harness as harness;
