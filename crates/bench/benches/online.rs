@@ -1,10 +1,10 @@
-//! Extension — on-line control (the paper's future work): the attack/decay
-//! governor of the authors' follow-up work versus the off-line oracle, on a
-//! representative subset of benchmarks. Reported relative to the static
-//! baseline-MCD machine.
+//! Extension — on-line control (the paper's future work): every governor in
+//! the policy registry versus the off-line oracle, on a representative
+//! subset of benchmarks. Reported relative to the static baseline-MCD
+//! machine.
 
 use mcd_offline::{derive_schedule, OfflineConfig};
-use mcd_pipeline::{simulate, AttackDecay, MachineConfig, Pipeline};
+use mcd_pipeline::{simulate, MachineConfig, Pipeline, PolicySpec, POLICY_IDS};
 use mcd_power::PowerModel;
 use mcd_time::DvfsModel;
 use mcd_workload::{suites, WorkloadGenerator};
@@ -12,12 +12,17 @@ use mcd_workload::{suites, WorkloadGenerator};
 fn main() {
     let n = mcd_bench::instructions();
     let power = PowerModel::paper_calibrated();
-    println!("On-line attack/decay vs off-line oracle (θ=5%), {n} instructions");
-    println!(
-        "{:<9} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-        "", "off deg", "off en", "off ED", "on deg", "on en", "on ED"
+    println!("On-line registry policies vs off-line oracle (θ=5%), {n} instructions");
+    print!(
+        "{:<9} | {:>9} {:>9} {:>9}",
+        "", "off deg", "off en", "off ED"
     );
-    let (mut sums_off, mut sums_on) = ([0.0f64; 3], [0.0f64; 3]);
+    for id in POLICY_IDS {
+        let short: String = id.chars().take(6).collect();
+        print!(" | {:>9} {:>9} {:>9}", format!("{short} dg"), "en", "ED");
+    }
+    println!();
+    let mut sums = vec![[0.0f64; 3]; 1 + POLICY_IDS.len()];
     let names = [
         "adpcm", "gcc", "mcf", "em3d", "bzip2", "art", "swim", "g721",
     ];
@@ -36,41 +41,46 @@ fn main() {
         let off_machine =
             MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, analysis.schedule);
         let off = simulate(&off_machine, &profile, n);
-        let m_off = metrics(off.total_time, power.energy_of(&off).total());
+        let mut rows = vec![metrics(off.total_time, power.energy_of(&off).total())];
 
-        let on_machine =
-            MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, Default::default());
-        let generator = WorkloadGenerator::new(profile.clone(), on_machine.seed);
-        let on =
-            Pipeline::new(on_machine, generator).run_with_governor(n, AttackDecay::paper_like());
-        let m_on = metrics(on.total_time, power.energy_of(&on).total());
-
-        for i in 0..3 {
-            sums_off[i] += m_off[i];
-            sums_on[i] += m_on[i];
+        for id in POLICY_IDS {
+            let governor = PolicySpec::parse(id)
+                .expect("registry id parses")
+                .build()
+                .expect("registry id builds");
+            let on_machine =
+                MachineConfig::dynamic(mcd_bench::SEED, DvfsModel::XScale, Default::default());
+            let generator = WorkloadGenerator::new(profile.clone(), on_machine.seed);
+            let on = Pipeline::new(on_machine, generator).run_with_governor(n, governor);
+            rows.push(metrics(on.total_time, power.energy_of(&on).total()));
         }
-        println!(
-            "{name:<9} | {:>8.2}% {:>8.2}% {:>8.2}% | {:>8.2}% {:>8.2}% {:>8.2}%",
-            100.0 * m_off[0],
-            100.0 * m_off[1],
-            100.0 * m_off[2],
-            100.0 * m_on[0],
-            100.0 * m_on[1],
-            100.0 * m_on[2]
-        );
+
+        print!("{name:<9}");
+        for (group, m) in rows.iter().enumerate() {
+            for i in 0..3 {
+                sums[group][i] += m[i];
+            }
+            print!(
+                " | {:>8.2}% {:>8.2}% {:>8.2}%",
+                100.0 * m[0],
+                100.0 * m[1],
+                100.0 * m[2]
+            );
+        }
+        println!();
     }
     let k = names.len() as f64;
-    println!(
-        "{:<9} | {:>8.2}% {:>8.2}% {:>8.2}% | {:>8.2}% {:>8.2}% {:>8.2}%",
-        "AVG",
-        100.0 * sums_off[0] / k,
-        100.0 * sums_off[1] / k,
-        100.0 * sums_off[2] / k,
-        100.0 * sums_on[0] / k,
-        100.0 * sums_on[1] / k,
-        100.0 * sums_on[2] / k
-    );
+    print!("{:<9}", "AVG");
+    for group in &sums {
+        print!(
+            " | {:>8.2}% {:>8.2}% {:>8.2}%",
+            100.0 * group[0] / k,
+            100.0 * group[1] / k,
+            100.0 * group[2] / k
+        );
+    }
     println!();
-    println!("the on-line policy needs no oracle and should land within a few points of");
+    println!();
+    println!("no on-line policy needs the oracle; each should land within a few points of");
     println!("the off-line tool — the feasibility the paper's future-work section posits.");
 }

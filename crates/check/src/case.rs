@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcd_pipeline::{ClockingMode, MachineConfig, PipelineConfig};
+use mcd_pipeline::{ClockingMode, MachineConfig, PipelineConfig, PolicySpec};
 use mcd_time::Frequency;
 
 /// A flat, serializable description of one simulation under test. Every
@@ -22,7 +22,9 @@ pub struct CheckCase {
     pub mode: String,
     /// All-domain nominal frequency in MHz.
     pub mhz: u64,
-    /// On-line governor: `"none"` or `"attack-decay"`.
+    /// On-line governor: `"none"` or any registry policy spec in the
+    /// `id[:key=value,…]` grammar (e.g. `"attack-decay"`,
+    /// `"queue-pi:setpoint=0.6"`).
     pub governor: String,
     /// Warm-up instructions streamed before the measured window.
     pub warmup: u64,
@@ -86,10 +88,24 @@ impl CheckCase {
             }
             other => return Err(format!("unknown chaos model {other:?}")),
         }
-        if !matches!(self.governor.as_str(), "none" | "attack-decay") {
-            return Err(format!("unknown governor {:?}", self.governor));
-        }
+        self.policy()?;
         Ok(m)
+    }
+
+    /// The registry policy this case runs under, or `None` for an
+    /// ungoverned run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the registry's rejection for a governor spec that does not
+    /// parse or validate.
+    pub fn policy(&self) -> Result<Option<PolicySpec>, String> {
+        if self.governor == "none" {
+            return Ok(None);
+        }
+        PolicySpec::parse(&self.governor)
+            .map(Some)
+            .map_err(|e| format!("unknown governor {:?}: {e}", self.governor))
     }
 
     /// Whether this case injects a fault the invariant checker must flag.
@@ -121,6 +137,26 @@ mod tests {
             ..CheckCase::default()
         };
         assert!(c.machine().unwrap_err().contains("banana"));
+    }
+
+    #[test]
+    fn any_registry_policy_is_a_valid_governor() {
+        for governor in ["attack-decay", "queue-pi", "queue-pi:setpoint=0.6,kp=0.7"] {
+            let c = CheckCase {
+                governor: governor.into(),
+                ..CheckCase::default()
+            };
+            c.machine().expect("registry policies are valid governors");
+            assert!(c.policy().expect("parses").is_some());
+        }
+        let none = CheckCase::default();
+        assert!(none.policy().expect("parses").is_none());
+        // Registry parameter validation reaches the case layer.
+        let c = CheckCase {
+            governor: "attack-decay:threshold=2.0".into(),
+            ..CheckCase::default()
+        };
+        assert!(c.machine().is_err());
     }
 
     #[cfg(not(feature = "chaos"))]

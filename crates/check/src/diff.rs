@@ -1,6 +1,6 @@
 //! The differential oracle: optimized engine vs. reference interpreter.
 
-use mcd_pipeline::{AttackDecay, Pipeline, RunResult};
+use mcd_pipeline::{Pipeline, RunResult};
 use mcd_workload::{suites, WorkloadGenerator};
 
 use crate::case::CheckCase;
@@ -53,12 +53,17 @@ pub fn run_differential(case: &CheckCase) -> Result<DiffOutcome, String> {
         let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
         Pipeline::new(machine.clone(), generator)
     };
-    let (fast, slow) = match case.governor.as_str() {
-        "attack-decay" => (
-            build().run_with_governor(case.instructions, AttackDecay::paper_like()),
-            build().run_reference_with_governor(case.instructions, AttackDecay::paper_like()),
-        ),
-        _ => (
+    let (fast, slow) = match case.policy()? {
+        Some(policy) => {
+            let governor = |policy: &mcd_pipeline::PolicySpec| {
+                policy.build().expect("policy() already validated the spec")
+            };
+            (
+                build().run_with_governor(case.instructions, governor(&policy)),
+                build().run_reference_with_governor(case.instructions, governor(&policy)),
+            )
+        }
+        None => (
             build().run(case.instructions),
             build().run_reference(case.instructions),
         ),
@@ -86,6 +91,19 @@ mod tests {
     fn default_case_matches() {
         let out = run_differential(&CheckCase::default()).expect("valid case");
         assert!(out.is_pass(), "{out:?}");
+    }
+
+    #[test]
+    fn governed_cases_match_for_every_registry_policy() {
+        for governor in ["attack-decay", "queue-pi"] {
+            let c = CheckCase {
+                governor: governor.into(),
+                instructions: 600,
+                ..CheckCase::default()
+            };
+            let out = run_differential(&c).expect("valid case");
+            assert!(out.is_pass(), "{governor}: {out:?}");
+        }
     }
 
     #[test]

@@ -111,7 +111,12 @@ fn sample(rng: &mut SimRng) -> CheckCase {
         chaos: "none".into(),
     };
     if case.mode == "mcd" && rng.chance(0.3) {
-        case.governor = "attack-decay".into();
+        case.governor = if rng.chance(0.5) {
+            "attack-decay"
+        } else {
+            "queue-pi"
+        }
+        .into();
     }
     #[cfg(all(feature = "chaos", feature = "invariants"))]
     if rng.chance(0.15) {
@@ -179,18 +184,19 @@ pub fn check_case(case: &CheckCase) -> Option<(FailureKind, String)> {
 /// Runs the optimized engine with the runtime invariant checker armed.
 #[cfg(feature = "invariants")]
 fn run_checked(case: &CheckCase) -> Result<mcd_pipeline::InvariantReport, String> {
-    use mcd_pipeline::{AttackDecay, Pipeline};
+    use mcd_pipeline::Pipeline;
     use mcd_workload::{suites, WorkloadGenerator};
     let profile = suites::by_name(&case.benchmark)
         .ok_or_else(|| format!("unknown benchmark {:?}", case.benchmark))?;
     let machine = case.machine()?;
     let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
     let pipeline = Pipeline::new(machine, generator);
-    let (_, report) = match case.governor.as_str() {
-        "attack-decay" => {
-            pipeline.run_with_governor_checked(case.instructions, AttackDecay::paper_like())
+    let (_, report) = match case.policy()? {
+        Some(policy) => {
+            let governor = policy.build().expect("policy() already validated the spec");
+            pipeline.run_with_governor_checked(case.instructions, governor)
         }
-        _ => pipeline.run_checked(case.instructions),
+        None => pipeline.run_checked(case.instructions),
     };
     Ok(report)
 }

@@ -50,6 +50,20 @@ pub fn lattice() -> Vec<CheckCase> {
         case("gcc", 7, "mcd", 1_000, "attack-decay", "alpha", 0),
         case("mcf", 5, "mcd", 1_000, "attack-decay", "alpha", 0),
         case("bzip2", 13, "mcd", 800, "attack-decay", "alpha", 0),
+        // Governed MCD under the PI setpoint controller: integral state and
+        // multiplicative steps instead of attack/decay jumps, plus one
+        // off-default tuning to exercise registry parameter plumbing.
+        case("adpcm", 11, "mcd", 1_000, "queue-pi", "alpha", 0),
+        case("gcc", 7, "mcd", 1_000, "queue-pi", "alpha", 0),
+        case(
+            "mcf",
+            9,
+            "mcd",
+            500,
+            "queue-pi:setpoint=0.6,kp=0.7",
+            "alpha",
+            0,
+        ),
         // Warm-up: the process-wide warm cache vs. from-scratch rebuild.
         case("g721", 3, "mcd", 1_000, "none", "alpha", 20_000),
         case("gcc", 5, "single", 1_000, "none", "alpha", 20_000),

@@ -16,9 +16,13 @@ use std::time::{Duration, Instant};
 use mcd_offline::{
     cluster_schedule, prepare_slack_threads, slack_cache_key_material, AnalysisOutput, SlackProfile,
 };
-use mcd_pipeline::{simulate, DomainId, MachineConfig, PipelineConfig, RunResult, ScheduleEntry};
+use mcd_pipeline::{
+    simulate, simulate_governed, DomainId, MachineConfig, PipelineConfig, PolicySpec, RunResult,
+    ScheduleEntry,
+};
 use mcd_time::{Femtos, Frequency, FrequencyGrid, VfTable};
 use mcd_workload::BenchmarkProfile;
+use serde::{DeError, Deserialize, Map, Serialize, Value};
 
 use crate::experiment::ExperimentConfig;
 use crate::metrics::Metrics;
@@ -93,44 +97,247 @@ pub struct PhaseTimes {
     pub simulate: Duration,
 }
 
-/// One of the paper's machine configurations, as an independent cell.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum CellConfig {
-    /// Single 1 GHz clock, no scaling.
+/// The machine topology a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Single 1 GHz clock.
     Baseline,
-    /// Four domains statically at 1 GHz (pure synchronization cost).
-    BaselineMcd,
-    /// MCD with the off-line schedule at dilation target θ.
-    Dynamic { theta: f64 },
+    /// Four independently clocked domains.
+    Mcd,
     /// Single clock scaled so its slowdown matches dynamic-5 %.
     GlobalMatched,
 }
 
-impl CellConfig {
+impl Topology {
+    fn tag(self) -> &'static str {
+        match self {
+            Topology::Baseline => "baseline",
+            Topology::Mcd => "mcd",
+            Topology::GlobalMatched => "global-matched",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Result<Self, String> {
+        match tag {
+            "baseline" => Ok(Topology::Baseline),
+            "mcd" => Ok(Topology::Mcd),
+            "global-matched" => Ok(Topology::GlobalMatched),
+            other => Err(format!("unknown topology {other:?}")),
+        }
+    }
+}
+
+/// The control layer driving a scenario's clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Control {
+    /// No scaling: every domain stays at its static frequency.
+    None,
+    /// The off-line tool's schedule at dilation target θ.
+    OfflineSchedule {
+        /// Dilation target (fraction, e.g. `0.05` for θ = 5 %).
+        theta: f64,
+    },
+    /// An on-line governor from the policy registry.
+    Online {
+        /// The policy instantiation (id plus parameter overrides).
+        policy: PolicySpec,
+    },
+}
+
+/// One declarative run configuration: machine topology × control layer.
+///
+/// The paper's five configurations are the four valid (topology, control)
+/// legacy combinations (θ appears twice); the `Online` control axis is
+/// what makes governed runs first-class campaign cells. Construct through
+/// the named constructors — [`ScenarioSpec::validate`] rejects the
+/// combinations the simulator cannot express (schedules and governors both
+/// need per-domain clocks, and the global search dictates its own control).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Machine topology.
+    pub topology: Topology,
+    /// Control layer.
+    pub control: Control,
+}
+
+/// The former name of this axis, kept as an alias through the refactor so
+/// diffs stay reviewable; new code should say [`ScenarioSpec`].
+pub type CellConfig = ScenarioSpec;
+
+impl ScenarioSpec {
     /// The paper's five configurations in figure order.
-    pub const PAPER: [CellConfig; 5] = [
-        CellConfig::Baseline,
-        CellConfig::BaselineMcd,
-        CellConfig::Dynamic { theta: 0.01 },
-        CellConfig::Dynamic { theta: 0.05 },
-        CellConfig::GlobalMatched,
+    pub const PAPER: [ScenarioSpec; 5] = [
+        ScenarioSpec {
+            topology: Topology::Baseline,
+            control: Control::None,
+        },
+        ScenarioSpec {
+            topology: Topology::Mcd,
+            control: Control::None,
+        },
+        ScenarioSpec {
+            topology: Topology::Mcd,
+            control: Control::OfflineSchedule { theta: 0.01 },
+        },
+        ScenarioSpec {
+            topology: Topology::Mcd,
+            control: Control::OfflineSchedule { theta: 0.05 },
+        },
+        ScenarioSpec {
+            topology: Topology::GlobalMatched,
+            control: Control::None,
+        },
     ];
 
-    /// Human-readable configuration name.
-    pub fn label(&self) -> String {
-        match self {
-            CellConfig::Baseline => "baseline".into(),
-            CellConfig::BaselineMcd => "baseline-mcd".into(),
-            CellConfig::Dynamic { theta } => format!("dynamic-{:.0}%", theta * 100.0),
-            CellConfig::GlobalMatched => "global".into(),
+    /// Single 1 GHz clock, no scaling.
+    pub fn baseline() -> ScenarioSpec {
+        ScenarioSpec::PAPER[0].clone()
+    }
+
+    /// Four domains statically at 1 GHz (pure synchronization cost).
+    pub fn baseline_mcd() -> ScenarioSpec {
+        ScenarioSpec::PAPER[1].clone()
+    }
+
+    /// MCD with the off-line schedule at dilation target θ.
+    pub fn dynamic(theta: f64) -> ScenarioSpec {
+        ScenarioSpec {
+            topology: Topology::Mcd,
+            control: Control::OfflineSchedule { theta },
         }
+    }
+
+    /// Single clock scaled so its slowdown matches dynamic-5 %.
+    pub fn global_matched() -> ScenarioSpec {
+        ScenarioSpec::PAPER[4].clone()
+    }
+
+    /// MCD under an on-line governor from the policy registry.
+    pub fn online(policy: PolicySpec) -> ScenarioSpec {
+        ScenarioSpec {
+            topology: Topology::Mcd,
+            control: Control::Online { policy },
+        }
+    }
+
+    /// Checks that the combination is one the simulator can express.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid pairing: schedules and
+    /// governors both require the MCD topology (per-domain clocks), and the
+    /// global-matched topology performs its own frequency search.
+    pub fn validate(&self) -> Result<(), String> {
+        match (&self.topology, &self.control) {
+            (Topology::Baseline | Topology::GlobalMatched, Control::OfflineSchedule { .. }) => {
+                Err(format!(
+                    "{} topology cannot run a per-domain schedule",
+                    self.topology.tag()
+                ))
+            }
+            (Topology::Baseline | Topology::GlobalMatched, Control::Online { .. }) => Err(format!(
+                "{} topology cannot run an on-line governor",
+                self.topology.tag()
+            )),
+            _ => {
+                if let Control::OfflineSchedule { theta } = self.control {
+                    if !(theta.is_finite() && theta > 0.0 && theta < 1.0) {
+                        return Err(format!("dilation target {theta} must lie in (0, 1)"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Human-readable, collision-free scenario name.
+    ///
+    /// The four legacy configurations keep their historical labels
+    /// (`baseline`, `baseline-mcd`, `dynamic-5%`, `global`). On-line
+    /// scenarios render as `online-` plus the policy's canonical
+    /// `id[:key=value,…]` spec, which fingerprints the full parameter set,
+    /// so two distinct scenarios can never share a label.
+    pub fn label(&self) -> String {
+        match (&self.topology, &self.control) {
+            (Topology::Baseline, _) => "baseline".into(),
+            (Topology::GlobalMatched, _) => "global".into(),
+            (Topology::Mcd, Control::None) => "baseline-mcd".into(),
+            (Topology::Mcd, Control::OfflineSchedule { theta }) => {
+                let pct = theta * 100.0;
+                if (pct - pct.round()).abs() < 1e-9 {
+                    format!("dynamic-{pct:.0}%")
+                } else {
+                    // Off-grid θ: keep every digit so nearby targets cannot
+                    // collide on a rounded label.
+                    format!("dynamic-{pct:?}%")
+                }
+            }
+            (Topology::Mcd, Control::Online { policy }) => format!("online-{}", policy.canonical()),
+        }
+    }
+}
+
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "topology".to_string(),
+            Value::String(self.topology.tag().to_string()),
+        );
+        let control = match &self.control {
+            Control::None => Value::String("none".to_string()),
+            Control::OfflineSchedule { theta } => {
+                let mut c = Map::new();
+                c.insert("offline-theta".to_string(), theta.to_value());
+                Value::Object(c)
+            }
+            Control::Online { policy } => {
+                let mut c = Map::new();
+                c.insert("online".to_string(), Value::String(policy.canonical()));
+                Value::Object(c)
+            }
+        };
+        m.insert("control".to_string(), control);
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        let tag: String = serde::__private::field(m, "topology")?;
+        let topology = Topology::from_tag(&tag).map_err(DeError::new)?;
+        let control = match m.get("control") {
+            Some(Value::String(s)) if s == "none" => Control::None,
+            Some(Value::Object(c)) => {
+                if let Some(theta) = c.get("offline-theta") {
+                    Control::OfflineSchedule {
+                        theta: f64::from_value(theta)?,
+                    }
+                } else if let Some(policy) = c.get("online") {
+                    let spec = String::from_value(policy)?;
+                    Control::Online {
+                        policy: PolicySpec::parse(&spec).map_err(DeError::new)?,
+                    }
+                } else {
+                    return Err(DeError::new("control object names no known control"));
+                }
+            }
+            Some(other) => return Err(DeError::expected("control", other)),
+            None => return Err(DeError::new("missing field `control`")),
+        };
+        let spec = ScenarioSpec { topology, control };
+        spec.validate().map_err(DeError::new)?;
+        Ok(spec)
     }
 }
 
 /// What one cell produced.
 #[derive(Debug, Clone)]
 pub struct CellResult {
-    /// Configuration name (see [`CellConfig::label`]).
+    /// Configuration name (see [`ScenarioSpec::label`]).
     pub label: String,
     /// Time/energy metrics of the run.
     pub metrics: Metrics,
@@ -159,6 +366,8 @@ pub struct BenchmarkSession<'a> {
     slack: Option<SlackProfile>,
     /// Refined dynamic runs, keyed by θ's bit pattern.
     dynamic: Vec<(u64, AnalysisOutput, RunResult)>,
+    /// Governed runs, keyed by the policy's canonical spec.
+    online: Vec<(String, RunResult)>,
     global: Option<(Frequency, RunResult)>,
     /// Full-schedule runs already simulated, shared across θ targets and
     /// refinement iterations (a run is a pure function of its schedule
@@ -190,6 +399,7 @@ impl<'a> BenchmarkSession<'a> {
             mcd: None,
             slack: None,
             dynamic: Vec::new(),
+            online: Vec::new(),
             global: None,
             run_memo: HashMap::new(),
             probe_memo: HashMap::new(),
@@ -206,12 +416,20 @@ impl<'a> BenchmarkSession<'a> {
         self.phases
     }
 
-    /// Computes (or returns the memoized) result for one cell.
-    pub fn cell(&mut self, cell: CellConfig) -> CellResult {
-        let label = cell.label();
+    /// Computes (or returns the memoized) result for one scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`ScenarioSpec::validate`] — harness
+    /// and CLI entry points validate specs before any session exists.
+    pub fn cell(&mut self, scenario: &ScenarioSpec) -> CellResult {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        let label = scenario.label();
         let cfg = self.cfg;
-        match cell {
-            CellConfig::Baseline => {
+        match (&scenario.topology, &scenario.control) {
+            (Topology::Baseline, _) => {
                 let run = self.baseline_run();
                 CellResult {
                     label,
@@ -222,7 +440,7 @@ impl<'a> BenchmarkSession<'a> {
                     reconfigurations: None,
                 }
             }
-            CellConfig::BaselineMcd => {
+            (Topology::Mcd, Control::None) => {
                 let run = self.mcd_run();
                 CellResult {
                     label,
@@ -233,8 +451,8 @@ impl<'a> BenchmarkSession<'a> {
                     reconfigurations: None,
                 }
             }
-            CellConfig::Dynamic { theta } => {
-                let i = self.ensure_dynamic(theta);
+            (Topology::Mcd, Control::OfflineSchedule { theta }) => {
+                let i = self.ensure_dynamic(*theta);
                 let (_, analysis, run) = &self.dynamic[i];
                 CellResult {
                     label,
@@ -245,7 +463,21 @@ impl<'a> BenchmarkSession<'a> {
                     reconfigurations: Some(analysis.schedule.len()),
                 }
             }
-            CellConfig::GlobalMatched => {
+            (Topology::Mcd, Control::Online { policy }) => {
+                let policy = policy.clone();
+                let run = self.online_run(&policy);
+                CellResult {
+                    label,
+                    metrics: metrics_of(cfg, run),
+                    committed: run.committed,
+                    ipc: run.ipc(),
+                    frequency: None,
+                    // The applied per-domain frequency transitions — the
+                    // on-line analogue of a schedule's planned entries.
+                    reconfigurations: Some(run.domain_transitions.iter().sum::<u64>() as usize),
+                }
+            }
+            (Topology::GlobalMatched, _) => {
                 let (frequency, run) = self.global_run();
                 let (frequency, metrics, committed, ipc) =
                     (*frequency, metrics_of(cfg, run), run.committed, run.ipc());
@@ -276,6 +508,25 @@ impl<'a> BenchmarkSession<'a> {
     pub fn mcd_run(&mut self) -> &RunResult {
         self.ensure_mcd();
         &self.mcd.as_ref().expect("just computed").1
+    }
+
+    /// The governed run for one on-line policy: the MCD machine starts
+    /// statically at 1 GHz and the governor's grid-snapped requests drive
+    /// the domain clocks from there. Memoized per canonical policy spec.
+    pub fn online_run(&mut self, policy: &PolicySpec) -> &RunResult {
+        let key = policy.canonical();
+        if let Some(i) = self.online.iter().position(|(k, _)| *k == key) {
+            return &self.online[i].1;
+        }
+        let governor = policy
+            .build()
+            .unwrap_or_else(|e| panic!("invalid policy {key:?}: {e}"));
+        let started = Instant::now();
+        let machine = MachineConfig::baseline_mcd(self.cfg.seed);
+        let run = simulate_governed(&machine, self.profile, self.cfg.instructions, governor);
+        self.phases.simulate += started.elapsed();
+        self.online.push((key, run));
+        &self.online.last().expect("just pushed").1
     }
 
     /// The analysis behind the dynamic-θ schedule (Figure-9 statistics).
@@ -387,21 +638,21 @@ impl<'a> BenchmarkSession<'a> {
 /// # Example
 ///
 /// ```no_run
-/// use mcd_core::{run_cell, CellConfig, ExperimentConfig};
+/// use mcd_core::{run_cell, ExperimentConfig, ScenarioSpec};
 /// use mcd_time::DvfsModel;
 /// use mcd_workload::suites;
 ///
 /// let cfg = ExperimentConfig::paper(1, 100_000, DvfsModel::XScale);
 /// let art = suites::by_name("art").expect("known benchmark");
-/// let cell = run_cell(&art, &cfg, CellConfig::Dynamic { theta: 0.05 });
+/// let cell = run_cell(&art, &cfg, &ScenarioSpec::dynamic(0.05));
 /// println!("{}: {} reconfigurations", cell.label, cell.reconfigurations.unwrap());
 /// ```
 pub fn run_cell(
     profile: &BenchmarkProfile,
     cfg: &ExperimentConfig,
-    cell: CellConfig,
+    scenario: &ScenarioSpec,
 ) -> CellResult {
-    BenchmarkSession::new(profile, cfg).cell(cell)
+    BenchmarkSession::new(profile, cfg).cell(scenario)
 }
 
 /// Derives a schedule for dilation target θ and refines the per-domain
@@ -587,9 +838,9 @@ mod tests {
     fn standalone_cell_matches_session_cell() {
         let cfg = ExperimentConfig::paper(7, 20_000, DvfsModel::XScale);
         let profile = suites::by_name("gcc").expect("known benchmark");
-        let standalone = run_cell(&profile, &cfg, CellConfig::Baseline);
+        let standalone = run_cell(&profile, &cfg, &ScenarioSpec::baseline());
         let mut session = BenchmarkSession::new(&profile, &cfg);
-        let from_session = session.cell(CellConfig::Baseline);
+        let from_session = session.cell(&ScenarioSpec::baseline());
         assert_eq!(standalone.metrics, from_session.metrics);
         assert_eq!(standalone.committed, from_session.committed);
     }
@@ -599,16 +850,113 @@ mod tests {
         let cfg = ExperimentConfig::paper(7, 15_000, DvfsModel::XScale);
         let profile = suites::by_name("swim").expect("known benchmark");
         let mut session = BenchmarkSession::new(&profile, &cfg);
-        let a = session.cell(CellConfig::BaselineMcd);
-        let b = session.cell(CellConfig::BaselineMcd);
+        let a = session.cell(&ScenarioSpec::baseline_mcd());
+        let b = session.cell(&ScenarioSpec::baseline_mcd());
         assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]
     fn labels_are_stable() {
-        assert_eq!(CellConfig::Baseline.label(), "baseline");
-        assert_eq!(CellConfig::Dynamic { theta: 0.05 }.label(), "dynamic-5%");
-        assert_eq!(CellConfig::GlobalMatched.label(), "global");
+        assert_eq!(ScenarioSpec::baseline().label(), "baseline");
+        assert_eq!(ScenarioSpec::baseline_mcd().label(), "baseline-mcd");
+        assert_eq!(ScenarioSpec::dynamic(0.05).label(), "dynamic-5%");
+        assert_eq!(ScenarioSpec::dynamic(0.01).label(), "dynamic-1%");
+        assert_eq!(ScenarioSpec::global_matched().label(), "global");
+    }
+
+    #[test]
+    fn labels_are_collision_free_across_the_axis() {
+        let policy = |s: &str| PolicySpec::parse(s).expect("valid policy");
+        let scenarios = [
+            ScenarioSpec::baseline(),
+            ScenarioSpec::baseline_mcd(),
+            ScenarioSpec::dynamic(0.01),
+            ScenarioSpec::dynamic(0.05),
+            // Off-grid θ values that a rounded label would merge.
+            ScenarioSpec::dynamic(0.012),
+            ScenarioSpec::dynamic(0.0125),
+            ScenarioSpec::global_matched(),
+            ScenarioSpec::online(policy("attack-decay")),
+            ScenarioSpec::online(policy("attack-decay:attack=0.1")),
+            ScenarioSpec::online(policy("attack-decay:attack=0.1,decay=0.01")),
+            ScenarioSpec::online(policy("queue-pi")),
+            ScenarioSpec::online(policy("queue-pi:setpoint=0.6")),
+        ];
+        let labels: Vec<String> = scenarios.iter().map(ScenarioSpec::label).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b, "label collision");
+            }
+        }
+        assert_eq!(labels[7], "online-attack-decay");
+        assert_eq!(labels[9], "online-attack-decay:attack=0.1,decay=0.01");
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        for spec in [
+            ScenarioSpec {
+                topology: Topology::Baseline,
+                control: Control::OfflineSchedule { theta: 0.05 },
+            },
+            ScenarioSpec {
+                topology: Topology::GlobalMatched,
+                control: Control::Online {
+                    policy: PolicySpec::parse("attack-decay").expect("valid"),
+                },
+            },
+            ScenarioSpec::dynamic(f64::NAN),
+            ScenarioSpec::dynamic(0.0),
+        ] {
+            assert!(spec.validate().is_err(), "{spec:?} should be invalid");
+        }
+        for spec in ScenarioSpec::PAPER {
+            spec.validate().expect("paper scenarios are valid");
+        }
+    }
+
+    #[test]
+    fn scenario_spec_serde_round_trips() {
+        let scenarios = [
+            ScenarioSpec::baseline(),
+            ScenarioSpec::baseline_mcd(),
+            ScenarioSpec::dynamic(0.05),
+            ScenarioSpec::global_matched(),
+            ScenarioSpec::online(PolicySpec::parse("queue-pi:ki=0.1").expect("valid")),
+        ];
+        for s in &scenarios {
+            let json = serde_json::to_string(s).expect("serializable");
+            let back: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+            assert_eq!(&back, s, "round-trip through {json}");
+        }
+        // Invalid documents are rejected at the serde boundary.
+        assert!(serde_json::from_str::<ScenarioSpec>(
+            r#"{"topology":"baseline","control":{"online":"attack-decay"}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn online_cell_runs_and_memoizes() {
+        let cfg = ExperimentConfig::paper(7, 12_000, DvfsModel::XScale);
+        let profile = suites::by_name("gcc").expect("known benchmark");
+        let mut session = BenchmarkSession::new(&profile, &cfg);
+        let scenario =
+            ScenarioSpec::online(PolicySpec::parse("attack-decay").expect("valid policy"));
+        let a = session.cell(&scenario);
+        let b = session.cell(&scenario);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.label, "online-attack-decay");
+        assert!(
+            a.reconfigurations
+                .expect("governed cells count transitions")
+                > 0
+        );
+        // A different parameterization is a different cell.
+        let other = session.cell(&ScenarioSpec::online(
+            PolicySpec::parse("attack-decay:decay=0.02").expect("valid policy"),
+        ));
+        assert_ne!(other.label, a.label);
     }
 
     /// The load-bearing assumption behind `search_global`'s baseline reuse.
@@ -667,7 +1015,7 @@ mod tests {
         let render = |session: &mut BenchmarkSession| -> String {
             let cells: Vec<String> = CellConfig::PAPER
                 .iter()
-                .map(|c| format!("{:?}", session.cell(*c)))
+                .map(|c| format!("{:?}", session.cell(c)))
                 .collect();
             cells.join("\n")
         };

@@ -7,15 +7,15 @@
 //! clock and voltage scaled so its performance degradation matches
 //! dynamic-5 % — conventional whole-chip DVFS at equal slowdown).
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Map, Serialize, Value};
 
 use mcd_offline::OfflineConfig;
-use mcd_pipeline::DomainId;
+use mcd_pipeline::{DomainId, PolicySpec};
 use mcd_power::PowerModel;
 use mcd_time::{DvfsModel, Frequency};
 use mcd_workload::BenchmarkProfile;
 
-use crate::cell::{BenchmarkSession, CellConfig, RunOptions};
+use crate::cell::{BenchmarkSession, RunOptions, ScenarioSpec};
 use crate::metrics::Metrics;
 
 /// Experiment parameters shared by all benchmarks.
@@ -60,8 +60,24 @@ pub struct DomainSummary {
     pub max_frequency_hz: u64,
 }
 
+/// One governed (online-policy) row of a benchmark's results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRow {
+    /// Canonical policy spec (e.g. `attack-decay` or `queue-pi:setpoint=0.6`).
+    pub policy: String,
+    /// Measured metrics under the governor.
+    pub metrics: Metrics,
+    /// Frequency changes the hardware actually applied.
+    pub reconfigurations: usize,
+}
+
 /// Everything measured for one benchmark.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written rather than derived so the `online` rows
+/// are omitted when empty: documents produced by the five-cell paper
+/// experiment stay byte-identical to the pre-policy format, and older
+/// documents (no `online` key) deserialize to an empty row set.
+#[derive(Debug, Clone)]
 pub struct BenchmarkResults {
     /// Benchmark name.
     pub name: String,
@@ -84,6 +100,57 @@ pub struct BenchmarkResults {
     pub reconfigurations5: usize,
     /// Baseline IPC, for reporting.
     pub baseline_ipc: f64,
+    /// Governed rows, one per online policy requested (empty for the plain
+    /// five-configuration experiment).
+    pub online: Vec<OnlineRow>,
+}
+
+impl Serialize for BenchmarkResults {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("name".into(), self.name.to_value());
+        m.insert("baseline".into(), self.baseline.to_value());
+        m.insert("baseline_mcd".into(), self.baseline_mcd.to_value());
+        m.insert("dynamic1".into(), self.dynamic1.to_value());
+        m.insert("dynamic5".into(), self.dynamic5.to_value());
+        m.insert("global".into(), self.global.to_value());
+        m.insert("global_frequency".into(), self.global_frequency.to_value());
+        m.insert("domain_summary5".into(), self.domain_summary5.to_value());
+        m.insert(
+            "reconfigurations5".into(),
+            self.reconfigurations5.to_value(),
+        );
+        m.insert("baseline_ipc".into(), self.baseline_ipc.to_value());
+        if !self.online.is_empty() {
+            m.insert("online".into(), self.online.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for BenchmarkResults {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        Ok(BenchmarkResults {
+            name: serde::__private::field(m, "name")?,
+            baseline: serde::__private::field(m, "baseline")?,
+            baseline_mcd: serde::__private::field(m, "baseline_mcd")?,
+            dynamic1: serde::__private::field(m, "dynamic1")?,
+            dynamic5: serde::__private::field(m, "dynamic5")?,
+            global: serde::__private::field(m, "global")?,
+            global_frequency: serde::__private::field(m, "global_frequency")?,
+            domain_summary5: serde::__private::field(m, "domain_summary5")?,
+            reconfigurations5: serde::__private::field(m, "reconfigurations5")?,
+            baseline_ipc: serde::__private::field(m, "baseline_ipc")?,
+            online: match m.get("online") {
+                Some(v) => <Vec<OnlineRow>>::from_value(v)
+                    .map_err(|e| DeError::new(format!("field `online`: {e}")))?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl BenchmarkResults {
@@ -189,10 +256,28 @@ pub fn run_benchmark_with(
     thetas: [f64; 2],
     observe: &mut dyn FnMut(&str, std::time::Duration),
 ) -> BenchmarkResults {
+    run_benchmark_scenarios(profile, cfg, options, thetas, &[], observe)
+}
+
+/// [`run_benchmark_with`] plus one governed row per online policy.
+///
+/// The five paper configurations always run; each policy in `policies` adds
+/// an `online-<policy>` cell (MCD topology under the given governor) whose
+/// label is reported through `observe` like any other cell. With an empty
+/// policy list this is exactly `run_benchmark_with`: the returned results
+/// serialize byte-identically to the pre-policy format.
+pub fn run_benchmark_scenarios(
+    profile: &BenchmarkProfile,
+    cfg: &ExperimentConfig,
+    options: RunOptions,
+    thetas: [f64; 2],
+    policies: &[PolicySpec],
+    observe: &mut dyn FnMut(&str, std::time::Duration),
+) -> BenchmarkResults {
     let mut session = BenchmarkSession::with_options(profile, cfg, options);
-    let mut timed = |session: &mut BenchmarkSession, cell: CellConfig| {
+    let mut timed = |session: &mut BenchmarkSession, scenario: &ScenarioSpec| {
         let start = std::time::Instant::now();
-        let result = session.cell(cell);
+        let result = session.cell(scenario);
         observe(&result.label, start.elapsed());
         result
     };
@@ -201,11 +286,25 @@ pub fn run_benchmark_with(
     // traced baseline-MCD run feeds the off-line analysis (whose expensive
     // shaker pass runs once for both dilation targets), and the dynamic-5 %
     // execution time anchors the global-scaling search.
-    let baseline = timed(&mut session, CellConfig::Baseline).metrics;
-    let baseline_mcd = timed(&mut session, CellConfig::BaselineMcd).metrics;
-    let dynamic1 = timed(&mut session, CellConfig::Dynamic { theta: thetas[0] }).metrics;
-    let dyn5 = timed(&mut session, CellConfig::Dynamic { theta: thetas[1] });
-    let global_cell = timed(&mut session, CellConfig::GlobalMatched);
+    let baseline = timed(&mut session, &ScenarioSpec::baseline()).metrics;
+    let baseline_mcd = timed(&mut session, &ScenarioSpec::baseline_mcd()).metrics;
+    let dynamic1 = timed(&mut session, &ScenarioSpec::dynamic(thetas[0])).metrics;
+    let dyn5 = timed(&mut session, &ScenarioSpec::dynamic(thetas[1]));
+    let global_cell = timed(&mut session, &ScenarioSpec::global_matched());
+
+    let online: Vec<OnlineRow> = policies
+        .iter()
+        .map(|policy| {
+            let cell = timed(&mut session, &ScenarioSpec::online(policy.clone()));
+            OnlineRow {
+                policy: policy.canonical(),
+                metrics: cell.metrics,
+                reconfigurations: cell
+                    .reconfigurations
+                    .expect("online cell reports reconfigurations"),
+            }
+        })
+        .collect();
 
     let phases = session.phases();
     observe("phase:trace-run", phases.trace_run);
@@ -240,6 +339,7 @@ pub fn run_benchmark_with(
             .reconfigurations
             .expect("dynamic cell reports reconfigurations"),
         baseline_ipc,
+        online,
     }
 }
 
@@ -279,6 +379,64 @@ mod tests {
             ed[2],
             ed[0]
         );
+    }
+
+    #[test]
+    fn online_policies_add_rows_without_disturbing_the_paper_cells() {
+        let cfg = ExperimentConfig::paper(5, 20_000, DvfsModel::XScale);
+        let profile = suites::by_name("adpcm").expect("known benchmark");
+        let plain = run_benchmark(&profile, &cfg);
+        let policies = [
+            PolicySpec::parse("attack-decay").expect("valid policy"),
+            PolicySpec::parse("queue-pi").expect("valid policy"),
+        ];
+        let mut labels = Vec::new();
+        let governed = run_benchmark_scenarios(
+            &profile,
+            &cfg,
+            RunOptions::default(),
+            [0.01, 0.05],
+            &policies,
+            &mut |label, _| labels.push(label.to_string()),
+        );
+        assert_eq!(governed.online.len(), 2);
+        assert_eq!(governed.online[0].policy, "attack-decay");
+        assert_eq!(governed.online[1].policy, "queue-pi");
+        assert!(labels.contains(&"online-attack-decay".to_string()));
+        assert!(labels.contains(&"online-queue-pi".to_string()));
+        // The five paper cells are untouched by the extra rows.
+        assert_eq!(governed.baseline, plain.baseline);
+        assert_eq!(governed.dynamic5, plain.dynamic5);
+        assert_eq!(governed.global_frequency, plain.global_frequency);
+        // The governor actually exercised the clocks.
+        assert!(governed.online[0].reconfigurations > 0);
+    }
+
+    #[test]
+    fn results_serde_is_backward_and_forward_compatible() {
+        let cfg = ExperimentConfig::paper(3, 8_000, DvfsModel::XScale);
+        let profile = suites::by_name("adpcm").expect("known benchmark");
+        let plain = run_benchmark(&profile, &cfg);
+        let json = serde_json::to_string(&plain).expect("serializable");
+        // No governed rows → no `online` key: pre-policy format exactly.
+        assert!(!json.contains("\"online\""));
+        let back: BenchmarkResults = serde_json::from_str(&json).expect("parses");
+        assert!(back.online.is_empty());
+        assert_eq!(serde_json::to_string(&back).expect("serializable"), json);
+
+        let governed = run_benchmark_scenarios(
+            &profile,
+            &cfg,
+            RunOptions::default(),
+            [0.01, 0.05],
+            &[PolicySpec::parse("attack-decay").expect("valid policy")],
+            &mut |_, _| {},
+        );
+        let json = serde_json::to_string(&governed).expect("serializable");
+        assert!(json.contains("\"online\""));
+        let back: BenchmarkResults = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.online, governed.online);
+        assert_eq!(serde_json::to_string(&back).expect("serializable"), json);
     }
 
     #[test]

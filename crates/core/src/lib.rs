@@ -15,11 +15,12 @@ pub mod metrics;
 pub mod report;
 
 pub use cell::{
-    run_cell, BenchmarkSession, CellConfig, CellResult, PhaseTimes, RunOptions, SlackStore,
+    run_cell, BenchmarkSession, CellConfig, CellResult, Control, PhaseTimes, RunOptions,
+    ScenarioSpec, SlackStore, Topology,
 };
 pub use experiment::{
-    run_benchmark, run_benchmark_observed, run_benchmark_with, BenchmarkResults, DomainSummary,
-    ExperimentConfig,
+    run_benchmark, run_benchmark_observed, run_benchmark_scenarios, run_benchmark_with,
+    BenchmarkResults, DomainSummary, ExperimentConfig, OnlineRow,
 };
 pub use metrics::{DegenerateBaseline, Metrics};
 pub use report::{

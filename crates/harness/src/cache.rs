@@ -39,6 +39,12 @@ use crate::spec::CellSpec;
 /// entries. v2: entries carry a result digest.
 pub const CACHE_FORMAT_VERSION: u32 = 2;
 
+/// Key-material schema tag for cells that exercise the online-policy axis.
+/// Policy-free cells omit it (and serialize their spec without the
+/// `policies` key), keeping every pre-policy cache key — and therefore
+/// every warm cache — exactly as it was.
+pub const CELL_KEY_SCHEMA: &str = "mcd-cell-key/2";
+
 /// Name of the quarantine subdirectory under the cache root.
 pub const QUARANTINE_DIR: &str = "quarantine";
 
@@ -60,6 +66,9 @@ impl CacheKey {
         material.insert("format".to_string(), CACHE_FORMAT_VERSION.to_value());
         material.insert("cell".to_string(), cell.to_value());
         material.insert("profile".to_string(), cell.profile().to_value());
+        if !cell.policies.is_empty() {
+            material.insert("schema".to_string(), CELL_KEY_SCHEMA.to_value());
+        }
         let canonical =
             serde_json::to_string(&Value::Object(material)).expect("JSON writing is infallible");
         CacheKey(sha256::hex_digest(canonical.as_bytes()))
@@ -520,6 +529,7 @@ mod tests {
             instructions: 1_000,
             model: DvfsModel::XScale,
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         }
     }
 
@@ -542,6 +552,31 @@ mod tests {
         let mut other = cell();
         other.model = DvfsModel::Transmeta;
         assert_ne!(base, CacheKey::of(&other), "model must change the key");
+    }
+
+    #[test]
+    fn policies_are_part_of_the_key() {
+        let base = CacheKey::of(&cell());
+        let mut governed = cell();
+        governed.policies = vec!["attack-decay".to_string()];
+        let governed_key = CacheKey::of(&governed);
+        assert_ne!(base, governed_key, "a governed cell is a different cell");
+
+        let mut tuned = governed.clone();
+        tuned.policies = vec!["attack-decay:decay=0.01".to_string()];
+        assert_ne!(
+            governed_key,
+            CacheKey::of(&tuned),
+            "policy parameters must change the key"
+        );
+
+        let mut two = governed.clone();
+        two.policies.push("queue-pi".to_string());
+        assert_ne!(
+            governed_key,
+            CacheKey::of(&two),
+            "adding a policy must change the key"
+        );
     }
 
     #[test]

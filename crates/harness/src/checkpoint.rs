@@ -221,6 +221,7 @@ mod tests {
             instructions: 1_000,
             models: vec![DvfsModel::XScale],
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         }
     }
 

@@ -561,6 +561,7 @@ mod tests {
             instructions: 4_000,
             models: vec![DvfsModel::XScale],
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         }
     }
 

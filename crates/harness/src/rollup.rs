@@ -17,13 +17,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::{CampaignReport, CellOutcome, SlackCacheStats};
 
-/// Schema tag embedded in every rollup document. v4: adds the integrity
-/// layer — audit/divergence/quarantine attribution, cache spot-check
-/// counters, and the checkpoint cadence (v3 added the slack-profile cache
-/// counters, v2 the per-benchmark breakdown and grid attribution); older
-/// documents no longer load (the rollup is derived data — rerunning the
-/// campaign regenerates it).
-pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/4";
+/// Schema tag embedded in every rollup document. v5: adds the per-policy
+/// breakdown for campaigns sweeping the online-governor axis (v4 added the
+/// integrity layer — audit/divergence/quarantine attribution, cache
+/// spot-check counters, and the checkpoint cadence; v3 the slack-profile
+/// cache counters, v2 the per-benchmark breakdown and grid attribution);
+/// older documents no longer load (the rollup is derived data — rerunning
+/// the campaign regenerates it).
+pub const ROLLUP_SCHEMA: &str = "mcd-campaign-rollup/5";
 
 /// File name the rollup is persisted under, inside the cache directory.
 pub const ROLLUP_FILE: &str = "campaign-rollup.json";
@@ -44,6 +45,29 @@ pub struct BenchmarkRollup {
     /// Benchmark name.
     pub benchmark: String,
     /// Cells of this benchmark (seeds × models).
+    pub cells: u64,
+    /// Cells computed this run.
+    pub computed: u64,
+    /// Cells served from the result cache.
+    pub cached: u64,
+    /// Cells that did not finish (failed, stalled, or skipped).
+    pub unfinished: u64,
+    /// Median per-cell wall time (nearest-rank, finished cells only).
+    pub cell_seconds_p50: f64,
+    /// 95th-percentile per-cell wall time (nearest-rank).
+    pub cell_seconds_p95: f64,
+    /// Slowest cell's wall time.
+    pub cell_seconds_max: f64,
+}
+
+/// Outcome and latency breakdown for one online control policy of the
+/// sweep. A cell carrying several policies counts toward each of them (the
+/// governed rows all live inside that one cell).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRollup {
+    /// Canonical policy spec (e.g. `attack-decay` or `queue-pi:kp=0.7`).
+    pub policy: String,
+    /// Cells that ran this policy.
     pub cells: u64,
     /// Cells computed this run.
     pub computed: u64,
@@ -143,6 +167,9 @@ pub struct CampaignRollup {
     pub stall_causes: Vec<StallCauseCount>,
     /// Per-benchmark breakdown, in spec (figure) order.
     pub per_benchmark: Vec<BenchmarkRollup>,
+    /// Per-policy breakdown for governed campaigns, in first-seen order
+    /// (empty when no cell swept the online-governor axis).
+    pub per_policy: Vec<PolicyRollup>,
     /// Slack-profile store lookups (distinct from result-cache probes: a
     /// slack hit skips the shaker pass inside a recomputed cell).
     pub slack_loads: u64,
@@ -214,6 +241,39 @@ impl CampaignRollup {
             });
         }
 
+        let mut per_policy: Vec<PolicyRollup> = Vec::new();
+        for cell in &report.cells {
+            for policy in &cell.cell.policies {
+                if per_policy.iter().any(|p| &p.policy == policy) {
+                    continue;
+                }
+                let policy_spans = sorted_spans(report, |c| c.cell.policies.contains(policy));
+                let rows = || {
+                    report
+                        .cells
+                        .iter()
+                        .filter(|c| c.cell.policies.contains(policy))
+                };
+                let computed = rows()
+                    .filter(|c| matches!(c.outcome, CellOutcome::Computed { .. }))
+                    .count() as u64;
+                let cached = rows()
+                    .filter(|c| matches!(c.outcome, CellOutcome::Cached(_)))
+                    .count() as u64;
+                let total = rows().count() as u64;
+                per_policy.push(PolicyRollup {
+                    policy: policy.clone(),
+                    cells: total,
+                    computed,
+                    cached,
+                    unfinished: total - computed - cached,
+                    cell_seconds_p50: percentile(&policy_spans, 0.50),
+                    cell_seconds_p95: percentile(&policy_spans, 0.95),
+                    cell_seconds_max: policy_spans.last().copied().unwrap_or(0.0),
+                });
+            }
+        }
+
         let mut causes: Vec<StallCauseCount> = Vec::new();
         let mut bump = |cause: &str| {
             match causes.iter_mut().find(|c| c.cause == cause) {
@@ -257,6 +317,7 @@ impl CampaignRollup {
             cell_seconds_max: spans.last().copied().unwrap_or(0.0),
             stall_causes: causes,
             per_benchmark,
+            per_policy,
             slack_loads: 0,
             slack_hits: 0,
             slack_stores: 0,
@@ -421,6 +482,26 @@ impl CampaignRollup {
                 ));
             }
         }
+        if !self.per_policy.is_empty() {
+            out.push_str("\nper-policy\n");
+            out.push_str(&format!(
+                "  {:<36} {:>5} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9}\n",
+                "policy", "cells", "computed", "cached", "unfinished", "p50 s", "p95 s", "max s"
+            ));
+            for p in &self.per_policy {
+                out.push_str(&format!(
+                    "  {:<36} {:>5} {:>8} {:>6} {:>10} {:>9.3} {:>9.3} {:>9.3}\n",
+                    p.policy,
+                    p.cells,
+                    p.computed,
+                    p.cached,
+                    p.unfinished,
+                    p.cell_seconds_p50,
+                    p.cell_seconds_p95,
+                    p.cell_seconds_max,
+                ));
+            }
+        }
         if let Some(grid) = &self.grid {
             out.push_str("\ngrid\n");
             out.push_str(&format!(
@@ -488,6 +569,7 @@ mod tests {
             instructions: 1_000,
             model: DvfsModel::XScale,
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         }
     }
 
@@ -607,6 +689,47 @@ mod tests {
         assert!(table.contains("per-benchmark"));
         assert!(table.contains("adpcm"));
         assert!(table.contains("gsm"));
+    }
+
+    #[test]
+    fn rollup_breaks_down_per_policy() {
+        let cached = CellOutcome::Cached(cell(0).run());
+        let mut r = report_with(vec![
+            (computed(), 100),
+            (computed(), 300),
+            (cached, 10),
+            (CellOutcome::Skipped, 0),
+        ]);
+        // Two cells run attack-decay, one of them also runs queue-pi; the
+        // skipped cell is governed too.
+        r.cells[0].cell.policies = vec!["attack-decay".into()];
+        r.cells[1].cell.policies = vec!["attack-decay".into(), "queue-pi".into()];
+        r.cells[3].cell.policies = vec!["queue-pi".into()];
+        let roll = CampaignRollup::from_report(&r);
+        assert_eq!(roll.per_policy.len(), 2);
+        let ad = &roll.per_policy[0];
+        assert_eq!(ad.policy, "attack-decay");
+        assert_eq!(
+            (ad.cells, ad.computed, ad.cached, ad.unfinished),
+            (2, 2, 0, 0)
+        );
+        assert!((ad.cell_seconds_p50 - 0.100).abs() < 1e-9);
+        assert!((ad.cell_seconds_max - 0.300).abs() < 1e-9);
+        let pi = &roll.per_policy[1];
+        assert_eq!(pi.policy, "queue-pi");
+        assert_eq!(
+            (pi.cells, pi.computed, pi.cached, pi.unfinished),
+            (2, 1, 0, 1)
+        );
+        assert!((pi.cell_seconds_max - 0.300).abs() < 1e-9);
+        let table = roll.table();
+        assert!(table.contains("per-policy"));
+        assert!(table.contains("attack-decay"));
+        assert!(table.contains("queue-pi"));
+        // A policy-free campaign keeps the section out of the report.
+        let quiet = CampaignRollup::from_report(&report_with(vec![(computed(), 10)]));
+        assert!(quiet.per_policy.is_empty());
+        assert!(!quiet.table().contains("per-policy"));
     }
 
     #[test]

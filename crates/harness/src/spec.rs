@@ -9,14 +9,19 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Map, Serialize, Value};
 
-use mcd_core::{run_benchmark_with, BenchmarkResults, ExperimentConfig, RunOptions};
+use mcd_core::{run_benchmark_scenarios, BenchmarkResults, ExperimentConfig, RunOptions};
+use mcd_pipeline::PolicySpec;
 use mcd_time::DvfsModel;
 use mcd_workload::{suites, BenchmarkProfile};
 
 /// A full sweep: the cross product of benchmarks, seeds and DVFS models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written so the `policies` axis is omitted when
+/// empty: policy-free specs produce exactly the pre-policy document (and
+/// digest), and documents written before the axis existed still parse.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Benchmarks to run, in figure order. Empty means the full Table-2
     /// suite ([`suites::names`]).
@@ -30,6 +35,51 @@ pub struct CampaignSpec {
     pub models: Vec<DvfsModel>,
     /// The two dilation targets `[θ_low, θ_high]` (paper: 1 % and 5 %).
     pub thetas: [f64; 2],
+    /// Online control policies (`id[:key=value,…]` grammar). Each cell runs
+    /// every listed policy as an extra governed row on top of the five paper
+    /// configurations. Empty reproduces the paper sweep exactly.
+    pub policies: Vec<String>,
+}
+
+impl Serialize for CampaignSpec {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("benchmarks".into(), self.benchmarks.to_value());
+        m.insert("seeds".into(), self.seeds.to_value());
+        m.insert("instructions".into(), self.instructions.to_value());
+        m.insert("models".into(), self.models.to_value());
+        m.insert("thetas".into(), self.thetas.to_value());
+        if !self.policies.is_empty() {
+            m.insert("policies".into(), self.policies.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for CampaignSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        Ok(CampaignSpec {
+            benchmarks: serde::__private::field(m, "benchmarks")?,
+            seeds: serde::__private::field(m, "seeds")?,
+            instructions: serde::__private::field(m, "instructions")?,
+            models: serde::__private::field(m, "models")?,
+            thetas: serde::__private::field(m, "thetas")?,
+            policies: opt_policies(m)?,
+        })
+    }
+}
+
+/// Reads an optional `policies` key (absent ⇒ empty, pre-policy documents).
+fn opt_policies(m: &Map) -> Result<Vec<String>, DeError> {
+    match m.get("policies") {
+        Some(v) => {
+            <Vec<String>>::from_value(v).map_err(|e| DeError::new(format!("field `policies`: {e}")))
+        }
+        None => Ok(Vec::new()),
+    }
 }
 
 impl CampaignSpec {
@@ -42,6 +92,7 @@ impl CampaignSpec {
             instructions,
             models: vec![model],
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         }
     }
 
@@ -78,6 +129,7 @@ impl CampaignSpec {
                 return Err(SpecError::UnknownBenchmark(name.clone()));
             }
         }
+        let policies = canonical_policies(&self.policies)?;
         let mut cells = Vec::with_capacity(names.len() * self.seeds.len() * self.models.len());
         for &model in &self.models {
             for &seed in &self.seeds {
@@ -88,6 +140,7 @@ impl CampaignSpec {
                         instructions: self.instructions,
                         model,
                         thetas: self.thetas,
+                        policies: policies.clone(),
                     });
                 }
             }
@@ -96,9 +149,31 @@ impl CampaignSpec {
     }
 }
 
+/// Validates policy specs against the registry and canonicalizes them
+/// (sorted parameters, normalized numbers), rejecting duplicates that only
+/// differ in spelling.
+fn canonical_policies(policies: &[String]) -> Result<Vec<String>, SpecError> {
+    let mut canonical = Vec::with_capacity(policies.len());
+    for raw in policies {
+        let spec =
+            PolicySpec::parse(raw).map_err(|e| SpecError::BadPolicy(raw.clone(), e.to_string()))?;
+        let c = spec.canonical();
+        if canonical.contains(&c) {
+            return Err(SpecError::BadPolicy(raw.clone(), "duplicate policy".into()));
+        }
+        canonical.push(c);
+    }
+    Ok(canonical)
+}
+
 /// One independent unit of campaign work: a benchmark under one parameter
-/// point, producing the full five-configuration [`BenchmarkResults`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// point, producing the full five-configuration [`BenchmarkResults`] plus
+/// one governed row per online policy.
+///
+/// Serialization is hand-written so `policies` is omitted when empty —
+/// policy-free cells keep their pre-policy bytes, and therefore their
+/// pre-policy cache keys (see [`crate::CacheKey`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellSpec {
     /// Benchmark name (must exist in [`suites`]).
     pub benchmark: String,
@@ -110,6 +185,40 @@ pub struct CellSpec {
     pub model: DvfsModel,
     /// Dilation targets `[θ_low, θ_high]`.
     pub thetas: [f64; 2],
+    /// Canonical online policy specs to run as extra governed rows (empty
+    /// for the plain paper cell).
+    pub policies: Vec<String>,
+}
+
+impl Serialize for CellSpec {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("benchmark".into(), self.benchmark.to_value());
+        m.insert("seed".into(), self.seed.to_value());
+        m.insert("instructions".into(), self.instructions.to_value());
+        m.insert("model".into(), self.model.to_value());
+        m.insert("thetas".into(), self.thetas.to_value());
+        if !self.policies.is_empty() {
+            m.insert("policies".into(), self.policies.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for CellSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        Ok(CellSpec {
+            benchmark: serde::__private::field(m, "benchmark")?,
+            seed: serde::__private::field(m, "seed")?,
+            instructions: serde::__private::field(m, "instructions")?,
+            model: serde::__private::field(m, "model")?,
+            thetas: serde::__private::field(m, "thetas")?,
+            policies: opt_policies(m)?,
+        })
+    }
 }
 
 impl CellSpec {
@@ -142,11 +251,17 @@ impl CellSpec {
         options: RunOptions,
         observe: &mut dyn FnMut(&str, std::time::Duration),
     ) -> BenchmarkResults {
-        run_benchmark_with(
+        let policies: Vec<PolicySpec> = self
+            .policies
+            .iter()
+            .map(|p| PolicySpec::parse(p).unwrap_or_else(|e| panic!("invalid policy `{p}`: {e}")))
+            .collect();
+        run_benchmark_scenarios(
             &self.profile(),
             &self.experiment_config(),
             options,
             self.thetas,
+            &policies,
             observe,
         )
     }
@@ -156,12 +271,18 @@ impl CellSpec {
         self.run_observed(&mut |_, _| {})
     }
 
-    /// Short human-readable identity, e.g. `gcc/s5/n240000/XScale`.
+    /// Short human-readable identity, e.g. `gcc/s5/n240000/XScale`; governed
+    /// cells append their policies, e.g. `gcc/s5/n240000/XScale+attack-decay`.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/s{}/n{}/{:?}",
             self.benchmark, self.seed, self.instructions, self.model
-        )
+        );
+        for policy in &self.policies {
+            label.push('+');
+            label.push_str(policy);
+        }
+        label
     }
 }
 
@@ -174,6 +295,8 @@ pub enum SpecError {
     UnknownBenchmark(String),
     /// A dilation target outside (0, 1).
     BadTheta(f64),
+    /// An online policy spec the registry rejected (spec, reason).
+    BadPolicy(String, String),
 }
 
 impl fmt::Display for SpecError {
@@ -183,6 +306,9 @@ impl fmt::Display for SpecError {
             SpecError::UnknownBenchmark(name) => write!(f, "unknown benchmark `{name}`"),
             SpecError::BadTheta(theta) => {
                 write!(f, "dilation target {theta} outside (0, 1)")
+            }
+            SpecError::BadPolicy(spec, reason) => {
+                write!(f, "invalid policy `{spec}`: {reason}")
             }
         }
     }
@@ -205,11 +331,14 @@ impl FromStr for CellSpec {
     type Err = String;
 
     /// Parses the `label()` form back into a spec (θs take the paper
-    /// defaults). Used by `campaign status` filters.
+    /// defaults; a `+policy` suffix per governed row). Used by
+    /// `campaign status` filters.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let parts: Vec<&str> = s.split('/').collect();
         if parts.len() != 4 {
-            return Err(format!("expected bench/sSEED/nINSNS/MODEL, got `{s}`"));
+            return Err(format!(
+                "expected bench/sSEED/nINSNS/MODEL[+POLICY…], got `{s}`"
+            ));
         }
         let seed = parts[1]
             .strip_prefix('s')
@@ -219,12 +348,22 @@ impl FromStr for CellSpec {
             .strip_prefix('n')
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| format!("bad instruction field `{}`", parts[2]))?;
+        let mut tail = parts[3].split('+');
+        let model = tail.next().expect("split yields at least one part");
+        let policies = tail
+            .map(|p| {
+                PolicySpec::parse(p)
+                    .map(|spec| spec.canonical())
+                    .map_err(|e| format!("invalid policy `{p}`: {e}"))
+            })
+            .collect::<Result<Vec<String>, String>>()?;
         Ok(CellSpec {
             benchmark: parts[0].to_string(),
             seed,
             instructions,
-            model: parse_model(parts[3])?,
+            model: parse_model(model)?,
             thetas: [0.01, 0.05],
+            policies,
         })
     }
 }
@@ -250,6 +389,7 @@ mod tests {
             instructions: 1_000,
             models: vec![DvfsModel::XScale, DvfsModel::Transmeta],
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         };
         let cells = spec.expand().expect("valid spec");
         let labels: Vec<String> = cells.iter().map(|c| c.label()).collect();
@@ -287,6 +427,62 @@ mod tests {
         let mut spec = CampaignSpec::paper(5, 1_000, DvfsModel::XScale);
         spec.thetas = [0.01, 1.5];
         assert_eq!(spec.expand(), Err(SpecError::BadTheta(1.5)));
+    }
+
+    #[test]
+    fn policies_expand_canonicalized_into_every_cell() {
+        let mut spec = CampaignSpec::paper(5, 1_000, DvfsModel::XScale);
+        spec.benchmarks = vec!["gcc".into()];
+        spec.policies = vec![
+            "attack-decay:decay=0.01,attack=0.1".into(),
+            "queue-pi".into(),
+        ];
+        let cells = spec.expand().expect("valid spec");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(
+            cells[0].policies,
+            vec!["attack-decay:attack=0.1,decay=0.01", "queue-pi"]
+        );
+        assert_eq!(
+            cells[0].label(),
+            "gcc/s5/n1000/XScale+attack-decay:attack=0.1,decay=0.01+queue-pi"
+        );
+        let parsed: CellSpec = cells[0].label().parse().expect("label round-trips");
+        assert_eq!(parsed, cells[0]);
+    }
+
+    #[test]
+    fn bad_policies_are_rejected_at_expansion() {
+        let mut spec = CampaignSpec::paper(5, 1_000, DvfsModel::XScale);
+        spec.policies = vec!["thermal-cap".into()];
+        assert!(matches!(spec.expand(), Err(SpecError::BadPolicy(_, _))));
+
+        // Two spellings of the same canonical policy are one policy.
+        spec.policies = vec!["queue-pi:kp=0.5".into(), "queue-pi:kp=0.50".into()];
+        assert!(matches!(spec.expand(), Err(SpecError::BadPolicy(_, _))));
+    }
+
+    #[test]
+    fn policy_free_specs_serialize_without_the_policies_key() {
+        let spec = CampaignSpec::paper(5, 1_000, DvfsModel::XScale);
+        let json = serde_json::to_string(&spec).expect("serializable");
+        assert!(!json.contains("policies"));
+        let back: CampaignSpec = serde_json::from_str(&json).expect("parses");
+        assert!(back.policies.is_empty());
+
+        let cell = &spec.expand().expect("valid spec")[0];
+        let json = serde_json::to_string(cell).expect("serializable");
+        assert!(!json.contains("policies"));
+        let back: CellSpec = serde_json::from_str(&json).expect("parses");
+        assert_eq!(&back, cell);
+
+        // Governed specs round-trip through the new key.
+        let mut governed = spec.clone();
+        governed.policies = vec!["attack-decay".into()];
+        let json = serde_json::to_string(&governed).expect("serializable");
+        assert!(json.contains("\"policies\""));
+        let back: CampaignSpec = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, governed);
     }
 
     #[test]

@@ -436,6 +436,7 @@ mod tests {
             instructions: 600,
             model: DvfsModel::XScale,
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         }
     }
 

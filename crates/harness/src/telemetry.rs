@@ -473,6 +473,7 @@ mod tests {
             instructions: 500,
             model: DvfsModel::Transmeta,
             thetas: [0.01, 0.05],
+            policies: Vec::new(),
         }
     }
 

@@ -59,6 +59,19 @@ pub fn simulate_reference_governed<G: Governor>(
     Pipeline::new(machine.clone(), generator).run_reference_with_governor(instructions, governor)
 }
 
+/// [`simulate`] under an on-line governor: the machine starts from its
+/// static configuration and the governor's grid-snapped requests drive the
+/// per-domain clocks through the normal DVFS transition model.
+pub fn simulate_governed<G: Governor>(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    instructions: u64,
+    governor: G,
+) -> RunResult {
+    let generator = WorkloadGenerator::new(profile.clone(), machine.seed);
+    Pipeline::new(machine.clone(), generator).run_with_governor(instructions, governor)
+}
+
 /// [`simulate`] with a trace recorder attached: returns the observability
 /// record alongside the (byte-identical) result.
 pub fn simulate_traced(

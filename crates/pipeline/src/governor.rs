@@ -12,9 +12,25 @@
 //! governor returns frequency requests which the machine applies through
 //! the normal DVFS transition model (ramps, re-locks and all).
 
+use std::fmt;
+
 use mcd_time::{Femtos, Frequency, FrequencyGrid};
 
 use crate::domains::DomainId;
+
+/// Sanitizes one utilization sample before a policy consumes it.
+///
+/// Occupancy is a fraction of capacity, so anything outside `[0, 1]` is a
+/// measurement artifact, and a NaN would poison every decayed target it
+/// touches. Infinities clamp to the nearest bound; NaN falls back to the
+/// previous interval's value (no swing — the policy sees a stable queue).
+fn sanitize_utilization(util: f64, prev: f64) -> f64 {
+    if util.is_nan() {
+        prev
+    } else {
+        util.clamp(0.0, 1.0)
+    }
+}
 
 /// Utilization observed in one control interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,7 +195,7 @@ impl Governor for AttackDecay {
         let mut decision: ControlDecision = [None; DomainId::COUNT];
         for d in &DomainId::ALL[1..] {
             let i = d.index();
-            let util = sample.queue_utilization[i];
+            let util = sanitize_utilization(sample.queue_utilization[i], self.prev_util[i]);
             let delta = util - self.prev_util[i];
             self.prev_util[i] = util;
             let current = self.target_hz[i];
@@ -217,6 +233,305 @@ impl Governor for AttackDecay {
 
     fn interval(&self) -> Femtos {
         self.interval
+    }
+}
+
+/// A proportional–integral controller holding each queue at a setpoint.
+///
+/// Per scaled domain and interval: the error is the occupancy's distance
+/// from `setpoint` (a fuller queue means the domain is falling behind and
+/// should speed up); the frequency target moves multiplicatively by
+/// `kp * error + ki * integral`, with the integral clamped so a long
+/// saturation spell cannot wind up an unbounded correction. A completely
+/// idle domain drops straight to the floor and its integral resets. Like
+/// [`AttackDecay`], emitted decisions are snapped to the 32-point grid and
+/// deduplicated, and the front end is never scaled.
+#[derive(Debug, Clone)]
+pub struct QueuePi {
+    interval: Femtos,
+    /// Target queue occupancy in `(0, 1)`.
+    setpoint: f64,
+    /// Proportional gain (per unit occupancy error, per interval).
+    kp: f64,
+    /// Integral gain.
+    ki: f64,
+    /// Accumulated error per domain, clamped to [`QueuePi::WINDUP_CAP`].
+    integral: [f64; DomainId::COUNT],
+    /// Previous interval's utilization (for NaN fallback only).
+    prev_util: [f64; DomainId::COUNT],
+    /// Continuous frequency targets; emitted decisions are quantized.
+    target_hz: [f64; DomainId::COUNT],
+    grid: FrequencyGrid,
+    requested: [Frequency; DomainId::COUNT],
+    f_min: f64,
+    f_max: f64,
+}
+
+impl QueuePi {
+    /// Anti-windup bound on the accumulated error.
+    const WINDUP_CAP: f64 = 2.0;
+    /// Largest per-interval multiplicative step, so one interval can never
+    /// jump the target across the whole operating region.
+    const MAX_STEP: f64 = 0.25;
+
+    /// Default tuning: 10 µs intervals, 50 % occupancy setpoint, gains
+    /// chosen so a saturated queue recovers to 1 GHz within a few dozen
+    /// intervals without oscillating at the setpoint.
+    pub fn default_tuning() -> Self {
+        QueuePi::new(Femtos::from_micros(10), 0.5, 0.5, 0.05)
+    }
+
+    /// Creates a controller with custom tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero, `setpoint` is outside `(0, 1)`,
+    /// either gain is negative or non-finite, or both gains are zero.
+    pub fn new(interval: Femtos, setpoint: f64, kp: f64, ki: f64) -> Self {
+        assert!(interval > Femtos::ZERO, "control interval must be positive");
+        assert!(
+            setpoint.is_finite() && setpoint > 0.0 && setpoint < 1.0,
+            "invalid setpoint: {setpoint}"
+        );
+        for (name, v) in [("kp", kp), ("ki", ki)] {
+            assert!(v.is_finite() && v >= 0.0, "invalid {name}: {v}");
+        }
+        assert!(kp > 0.0 || ki > 0.0, "at least one gain must be positive");
+        QueuePi {
+            interval,
+            setpoint,
+            kp,
+            ki,
+            integral: [0.0; DomainId::COUNT],
+            prev_util: [0.0; DomainId::COUNT],
+            target_hz: [1e9; DomainId::COUNT],
+            grid: FrequencyGrid::paper32(),
+            requested: [Frequency::GHZ; DomainId::COUNT],
+            f_min: 250e6,
+            f_max: 1e9,
+        }
+    }
+}
+
+impl Governor for QueuePi {
+    fn decide(&mut self, sample: &ControlSample) -> ControlDecision {
+        let mut decision: ControlDecision = [None; DomainId::COUNT];
+        for d in &DomainId::ALL[1..] {
+            let i = d.index();
+            let util = sanitize_utilization(sample.queue_utilization[i], self.prev_util[i]);
+            self.prev_util[i] = util;
+            if sample.issued[i] == 0 && util < 1e-3 {
+                // Completely idle domain: floor it and forget the history,
+                // so the next active phase starts from a neutral controller.
+                self.integral[i] = 0.0;
+                self.target_hz[i] = self.f_min;
+            } else {
+                let error = util - self.setpoint;
+                self.integral[i] =
+                    (self.integral[i] + error).clamp(-Self::WINDUP_CAP, Self::WINDUP_CAP);
+                let control = (self.kp * error + self.ki * self.integral[i])
+                    .clamp(-Self::MAX_STEP, Self::MAX_STEP);
+                self.target_hz[i] =
+                    (self.target_hz[i] * (1.0 + control)).clamp(self.f_min, self.f_max);
+            }
+            let snapped = self.grid.snap(self.target_hz[i]).frequency;
+            if snapped != self.requested[i] {
+                self.requested[i] = snapped;
+                decision[i] = Some(snapped);
+            }
+        }
+        decision
+    }
+
+    fn interval(&self) -> Femtos {
+        self.interval
+    }
+}
+
+/// Policy identifiers the registry can instantiate, in registry order.
+pub const POLICY_IDS: &[&str] = &["attack-decay", "queue-pi"];
+
+/// A declarative on-line policy: registry id plus explicit parameter
+/// overrides, parsed from the `id[:key=value,…]` grammar used by cell
+/// specs, the campaign CLI, and the check harness.
+///
+/// The spec is *canonical*: parameters are sorted by name and rejected on
+/// duplicates, so two specs describing the same instantiation render (and
+/// therefore hash, label, and cache) identically.
+///
+/// ```
+/// use mcd_pipeline::governor::PolicySpec;
+///
+/// let p = PolicySpec::parse("attack-decay:decay=0.01,attack=0.1").unwrap();
+/// assert_eq!(p.canonical(), "attack-decay:attack=0.1,decay=0.01");
+/// let mut governor = p.build().unwrap();
+/// assert!(governor.interval() > mcd_time::Femtos::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PolicySpec {
+    /// Registry identifier (one of [`POLICY_IDS`]).
+    pub id: String,
+    /// Explicit parameter overrides, sorted by name. Values are kept as
+    /// their canonical shortest-round-trip rendering so equality and
+    /// ordering need no float comparisons.
+    pub params: Vec<(String, String)>,
+}
+
+impl PolicySpec {
+    /// Parses `id` or `id:key=value,key=value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown id, malformed or
+    /// duplicate parameter, or non-finite value.
+    pub fn parse(spec: &str) -> Result<PolicySpec, String> {
+        let (id, rest) = match spec.split_once(':') {
+            Some((id, rest)) => (id, Some(rest)),
+            None => (spec, None),
+        };
+        if !POLICY_IDS.contains(&id) {
+            return Err(format!(
+                "unknown policy {id:?}; known policies: {}",
+                POLICY_IDS.join(", ")
+            ));
+        }
+        let mut params: Vec<(String, String)> = Vec::new();
+        if let Some(rest) = rest {
+            for pair in rest.split(',') {
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(format!("malformed parameter {pair:?} (want key=value)"));
+                };
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("parameter {key}={value:?} is not a number"))?;
+                if !parsed.is_finite() {
+                    return Err(format!("parameter {key}={value} must be finite"));
+                }
+                if params.iter().any(|(k, _)| k == key) {
+                    return Err(format!("duplicate parameter {key:?}"));
+                }
+                params.push((key.to_string(), format!("{parsed:?}")));
+            }
+        }
+        params.sort();
+        let spec = PolicySpec {
+            id: id.to_string(),
+            params,
+        };
+        spec.build()?; // Validate names and ranges eagerly.
+        Ok(spec)
+    }
+
+    /// The canonical `id[:key=value,…]` rendering ([`PolicySpec::parse`] of
+    /// it round-trips to `self`).
+    pub fn canonical(&self) -> String {
+        if self.params.is_empty() {
+            return self.id.clone();
+        }
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}:{}", self.id, params.join(","))
+    }
+
+    fn param(&self, key: &str, default: f64) -> f64 {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.parse().expect("canonical value round-trips"))
+            .unwrap_or(default)
+    }
+
+    fn interval(&self) -> Result<Femtos, String> {
+        let us = self.param("interval-us", 10.0);
+        if !(us.is_finite() && us >= 1.0 && us.fract() == 0.0 && us <= 1e6) {
+            return Err(format!(
+                "interval-us={us} must be a whole number of microseconds in [1, 1e6]"
+            ));
+        }
+        Ok(Femtos::from_micros(us as u64))
+    }
+
+    fn check_params(&self, known: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.params {
+            if !known.contains(&key.as_str()) {
+                return Err(format!(
+                    "policy {:?} has no parameter {key:?}; known: {}",
+                    self.id,
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates the governor this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown parameter name or
+    /// out-of-range value.
+    pub fn build(&self) -> Result<Box<dyn Governor>, String> {
+        let fraction = |key: &str, default: f64| -> Result<f64, String> {
+            let v = self.param(key, default);
+            if v > 0.0 && v < 1.0 {
+                Ok(v)
+            } else {
+                Err(format!("{key}={v} must lie in (0, 1)"))
+            }
+        };
+        match self.id.as_str() {
+            "attack-decay" => {
+                self.check_params(&["interval-us", "threshold", "attack", "decay"])?;
+                Ok(Box::new(AttackDecay::new(
+                    self.interval()?,
+                    fraction("threshold", 0.0175)?,
+                    fraction("attack", 0.07)?,
+                    fraction("decay", 0.005)?,
+                )))
+            }
+            "queue-pi" => {
+                self.check_params(&["interval-us", "setpoint", "kp", "ki"])?;
+                let gain = |key: &str, default: f64| -> Result<f64, String> {
+                    let v = self.param(key, default);
+                    if v.is_finite() && v >= 0.0 {
+                        Ok(v)
+                    } else {
+                        Err(format!("{key}={v} must be non-negative"))
+                    }
+                };
+                let (kp, ki) = (gain("kp", 0.5)?, gain("ki", 0.05)?);
+                if kp == 0.0 && ki == 0.0 {
+                    return Err("queue-pi needs at least one positive gain".to_string());
+                }
+                Ok(Box::new(QueuePi::new(
+                    self.interval()?,
+                    fraction("setpoint", 0.5)?,
+                    kp,
+                    ki,
+                )))
+            }
+            other => Err(format!(
+                "unknown policy {other:?}; known policies: {}",
+                POLICY_IDS.join(", ")
+            )),
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl std::str::FromStr for PolicySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicySpec::parse(s)
     }
 }
 
@@ -360,5 +675,161 @@ mod tests {
     #[should_panic(expected = "invalid attack")]
     fn bad_parameters_rejected() {
         let _ = AttackDecay::new(Femtos::from_micros(10), 0.02, 1.5, 0.005);
+    }
+
+    #[test]
+    fn nan_utilization_does_not_poison_the_target() {
+        // Regression: a NaN occupancy sample used to propagate into
+        // `prev_util` and `target_hz`, after which every later decision was
+        // NaN-driven. A NaN now reads as "unchanged" (the stable/decay
+        // path) and the targets stay finite and in range.
+        let mut g = AttackDecay::paper_like();
+        g.decide(&sample([0.0, 0.4, 0.4, 0.4], [1, 1, 1, 1]));
+        let before = g.target_hz;
+        g.decide(&sample([0.0, f64::NAN, 0.4, 0.4], [1, 1, 1, 1]));
+        let i = DomainId::Integer.index();
+        assert!(g.prev_util[i].is_finite());
+        assert!(g.target_hz[i].is_finite());
+        assert!(
+            g.target_hz[i] < before[i],
+            "NaN reads as a stable queue, so the target decays"
+        );
+        // And the governor keeps operating normally afterwards.
+        let d = g.decide(&sample([0.0, 0.0, 0.4, 0.4], [0, 0, 1, 1]));
+        assert_eq!(d[i], Some(Frequency::MIN_SCALED));
+    }
+
+    #[test]
+    fn infinite_utilization_clamps_to_the_unit_interval() {
+        let mut g = AttackDecay::paper_like();
+        g.decide(&sample(
+            [0.0, f64::INFINITY, f64::NEG_INFINITY, 0.4],
+            [1; 4],
+        ));
+        assert_eq!(g.prev_util[DomainId::Integer.index()], 1.0);
+        assert_eq!(g.prev_util[DomainId::FloatingPoint.index()], 0.0);
+        for d in &DomainId::ALL[1..] {
+            assert!(g.target_hz[d.index()].is_finite());
+        }
+    }
+
+    #[test]
+    fn queue_pi_raises_frequency_above_setpoint_and_lowers_it_below() {
+        let mut g = QueuePi::default_tuning();
+        // Decay well below the ceiling first, so upward motion is visible.
+        for _ in 0..40 {
+            g.decide(&sample([0.0, 0.2, 0.2, 0.2], [1, 1, 1, 1]));
+        }
+        let i = DomainId::Integer.index();
+        let low = g.target_hz[i];
+        assert!(low < 1e9, "below-setpoint occupancy lowers the target");
+        for _ in 0..40 {
+            g.decide(&sample([0.0, 0.9, 0.2, 0.2], [1, 1, 1, 1]));
+        }
+        assert!(
+            g.target_hz[i] > low,
+            "above-setpoint occupancy raises the target"
+        );
+    }
+
+    #[test]
+    fn queue_pi_is_grid_snapped_deduplicated_and_leaves_the_front_end() {
+        let grid = FrequencyGrid::paper32();
+        let on_grid = |f: Frequency| grid.points().iter().any(|p| p.frequency == f);
+        let mut g = QueuePi::default_tuning();
+        let mut x: u64 = 0x0123_4567_89AB_CDEF;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut last: [Option<Frequency>; DomainId::COUNT] = [None; DomainId::COUNT];
+        let mut emitted = 0usize;
+        for _ in 0..5_000 {
+            let util = [rnd(), rnd(), rnd() * rnd(), rnd()];
+            let issued = [1, 1, u64::from(util[2] > 0.05), 1];
+            let d = g.decide(&sample(util, issued));
+            assert_eq!(d[DomainId::FrontEnd.index()], None);
+            for (i, f) in d.iter().enumerate() {
+                if let Some(f) = f {
+                    emitted += 1;
+                    assert!(on_grid(*f), "off-grid decision: {} Hz", f.as_hz());
+                    assert_ne!(last[i], Some(*f), "consecutive duplicate request");
+                    last[i] = Some(*f);
+                }
+            }
+        }
+        assert!(emitted > 100, "walk should exercise many decisions");
+    }
+
+    #[test]
+    fn queue_pi_integral_never_winds_up_unbounded() {
+        let mut g = QueuePi::default_tuning();
+        for _ in 0..10_000 {
+            g.decide(&sample([0.0, 1.0, 1.0, 1.0], [9, 9, 9, 9]));
+        }
+        for d in &DomainId::ALL[1..] {
+            let i = d.index();
+            assert!(g.integral[i].abs() <= QueuePi::WINDUP_CAP + 1e-12);
+            assert!(g.target_hz[i] <= 1e9 + 1.0);
+        }
+    }
+
+    #[test]
+    fn policy_spec_parses_and_canonicalizes() {
+        let p = PolicySpec::parse("attack-decay").expect("bare id parses");
+        assert_eq!(p.canonical(), "attack-decay");
+        let p = PolicySpec::parse("queue-pi:ki=0.1,setpoint=0.6").expect("params parse");
+        assert_eq!(p.canonical(), "queue-pi:ki=0.1,setpoint=0.6");
+        // Parameter order never matters: the rendering is sorted.
+        let swapped = PolicySpec::parse("queue-pi:setpoint=0.6,ki=0.1").expect("parses");
+        assert_eq!(p, swapped);
+        // Canonical strings round-trip.
+        assert_eq!(PolicySpec::parse(&p.canonical()).expect("round-trips"), p);
+    }
+
+    #[test]
+    fn policy_spec_rejects_bad_input_with_context() {
+        assert!(PolicySpec::parse("banana").unwrap_err().contains("banana"));
+        assert!(PolicySpec::parse("attack-decay:attack")
+            .unwrap_err()
+            .contains("key=value"));
+        assert!(PolicySpec::parse("attack-decay:attack=high")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(PolicySpec::parse("attack-decay:attack=0.1,attack=0.2")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(PolicySpec::parse("attack-decay:banana=1")
+            .unwrap_err()
+            .contains("no parameter"));
+        assert!(PolicySpec::parse("attack-decay:attack=1.5")
+            .unwrap_err()
+            .contains("(0, 1)"));
+        assert!(PolicySpec::parse("queue-pi:kp=0,ki=0")
+            .unwrap_err()
+            .contains("gain"));
+        assert!(PolicySpec::parse("queue-pi:interval-us=0.5")
+            .unwrap_err()
+            .contains("interval-us"));
+    }
+
+    #[test]
+    fn registry_builds_every_known_policy() {
+        for id in POLICY_IDS {
+            let p = PolicySpec::parse(id).expect("known id parses");
+            let g = p.build().expect("known id builds");
+            assert!(g.interval() > Femtos::ZERO);
+        }
+    }
+
+    #[test]
+    fn registry_parameters_reach_the_governor() {
+        let p = PolicySpec::parse("attack-decay:interval-us=20").expect("parses");
+        assert_eq!(
+            p.build().expect("builds").interval(),
+            Femtos::from_micros(20)
+        );
     }
 }

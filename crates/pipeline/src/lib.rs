@@ -41,11 +41,13 @@ pub use core::invariants::{
 pub use core::Pipeline;
 pub use domains::DomainId;
 pub use driver::{
-    simulate, simulate_governed_traced, simulate_reference, simulate_reference_governed,
-    simulate_traced,
+    simulate, simulate_governed, simulate_governed_traced, simulate_reference,
+    simulate_reference_governed, simulate_traced,
 };
 pub use events::{EventKind, EventSpan, InstrTrace};
-pub use governor::{AttackDecay, ControlSample, Governor, NoGovernor};
+pub use governor::{
+    AttackDecay, ControlSample, Governor, NoGovernor, PolicySpec, QueuePi, POLICY_IDS,
+};
 pub use machine::{ClockingMode, MachineConfig};
 pub use result::RunResult;
 pub use schedule::{FrequencySchedule, ScheduleEntry};

@@ -1,7 +1,9 @@
-//! End-to-end tests of the on-line attack/decay governor.
+//! End-to-end tests of the on-line governors.
 
-use mcd_pipeline::{AttackDecay, DomainId, MachineConfig, Pipeline};
-use mcd_time::Femtos;
+use mcd_pipeline::{
+    AttackDecay, ControlSample, DomainId, Governor, MachineConfig, Pipeline, PolicySpec, QueuePi,
+};
+use mcd_time::{Femtos, Frequency};
 use mcd_workload::{suites, WorkloadGenerator};
 
 fn run_online(name: &str, n: u64) -> mcd_pipeline::RunResult {
@@ -66,6 +68,73 @@ fn governor_saves_energy_versus_static_mcd() {
     );
     let u = Unit::IqInt;
     assert!(online.ledger.weighted_v2(u) <= static_run.ledger.weighted_v2(u) + 1.0);
+}
+
+fn interval_sample(governor: &dyn Governor, util: [f64; 4], issued: [u64; 4]) -> ControlSample {
+    ControlSample {
+        start: Femtos::ZERO,
+        end: governor.interval(),
+        queue_utilization: util,
+        issued,
+        committed: 1_000,
+    }
+}
+
+#[test]
+fn saturated_domains_at_the_ceiling_stay_silent() {
+    // Both registry policies start with every domain at (and last-requested
+    // at) 1 GHz. A queue that stays saturated keeps pushing the continuous
+    // target upward, but the clamp pins it at the ceiling — so the snapped
+    // grid point never changes and the governor must not re-request the
+    // frequency the hardware is already running at.
+    let policies: [Box<dyn Governor>; 2] = [
+        Box::new(AttackDecay::paper_like()),
+        Box::new(QueuePi::default_tuning()),
+    ];
+    for mut governor in policies {
+        for step in 0..500 {
+            // Constant deep saturation: the attack/decay climb path and the
+            // PI's positive error both keep asking for more than 1 GHz.
+            let s = interval_sample(governor.as_ref(), [0.0, 0.98, 0.98, 0.98], [9, 9, 9, 9]);
+            let decision = governor.decide(&s);
+            assert_eq!(
+                decision,
+                [None; DomainId::COUNT],
+                "ceiling-pinned domain re-requested a frequency at step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn idle_domains_at_the_floor_request_it_exactly_once() {
+    // The other saturation edge: a dead domain is floored on the first
+    // interval, and every later idle interval snaps to the same 250 MHz
+    // grid point — which must not be re-emitted.
+    for spec in ["attack-decay", "queue-pi"] {
+        let mut governor = PolicySpec::parse(spec)
+            .expect("registry policy")
+            .build()
+            .expect("registry policy builds");
+        let mut floor_requests = [0usize; DomainId::COUNT];
+        for _ in 0..300 {
+            let s = interval_sample(governor.as_ref(), [0.0; 4], [0; 4]);
+            for (i, f) in governor.decide(&s).iter().enumerate() {
+                if let Some(f) = f {
+                    assert_eq!(*f, Frequency::MIN_SCALED, "{spec}: non-floor request");
+                    floor_requests[i] += 1;
+                }
+            }
+        }
+        for d in &DomainId::ALL[1..] {
+            assert_eq!(
+                floor_requests[d.index()],
+                1,
+                "{spec}: the floor must be requested exactly once, then held"
+            );
+        }
+        assert_eq!(floor_requests[DomainId::FrontEnd.index()], 0);
+    }
 }
 
 #[test]

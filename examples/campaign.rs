@@ -21,6 +21,7 @@ fn main() {
         instructions: 40_000,
         models: vec![DvfsModel::XScale, DvfsModel::Transmeta],
         thetas: [0.01, 0.05],
+        policies: Vec::new(),
     };
     let cache = ResultCache::open("target/mcd-campaign-cache").expect("create cache dir");
     let campaign = Campaign::new(spec).workers(0); // 0 = one worker per core

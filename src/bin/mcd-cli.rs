@@ -6,7 +6,8 @@
 //! mcd-cli analyze    <benchmark> [--theta PCT] [--model xscale|transmeta] [--instructions N]
 //! mcd-cli experiment <benchmark> [--instructions N] [--seed S] [--json]
 //! mcd-cli campaign   run|status [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N]
-//!                    [--models xscale,transmeta] [--workers W] [--analysis-threads T]
+//!                    [--models xscale,transmeta] [--policy SPEC]... [--dry-run]
+//!                    [--workers W] [--analysis-threads T]
 //!                    [--cache-dir DIR] [--telemetry FILE|-] [--checkpoint FILE]
 //!                    [--checkpoint-every N] [--deadline SECS] [--json]
 //! mcd-cli campaign   resume --checkpoint FILE [--workers W] [--cache-dir DIR]
@@ -21,7 +22,7 @@
 //! mcd-cli bench snapshot [--out FILE] [--benchmarks a,b,..] [--seed S] [--instructions N]
 //!                    [--model xscale|transmeta] [--analysis-threads T]
 //! mcd-cli trace      <benchmark> [--instructions N] [--seed S] [--out FILE]
-//!                    [--sample-every N] [--static]
+//!                    [--sample-every N] [--governor SPEC] [--static]
 //! mcd-cli check      diff
 //! mcd-cli check      fuzz [--seed S] [--cases N] [--out DIR]
 //! mcd-cli check      replay FILE
@@ -32,7 +33,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use mcd::check::{self, FuzzConfig};
-use mcd::core::{run_benchmark, ExperimentConfig};
+use mcd::core::{run_benchmark, ExperimentConfig, ScenarioSpec};
 use mcd::grid::{GridCampaign, GridWorker};
 use mcd::harness::{
     parse_model, BenchSnapshot, Campaign, CampaignReport, CampaignRollup, CampaignSpec,
@@ -40,7 +41,7 @@ use mcd::harness::{
 };
 use mcd::offline::{derive_schedule, OfflineConfig};
 use mcd::pipeline::{
-    simulate, simulate_governed_traced, simulate_traced, AttackDecay, DomainId, MachineConfig,
+    simulate, simulate_governed_traced, simulate_traced, DomainId, MachineConfig, PolicySpec,
     TraceConfig,
 };
 use mcd::power::PowerModel;
@@ -55,7 +56,8 @@ fn usage() -> ! {
          [--model xscale|transmeta] [--instructions N]\n  mcd-cli experiment <benchmark> \
          [--instructions N] [--seed S] [--json]\n  mcd-cli campaign run|status \
          [--benchmarks a,b,..] [--seeds 1,2,..] [--instructions N] \
-         [--models xscale,transmeta] [--workers W] [--analysis-threads T] [--cache-dir DIR] \
+         [--models xscale,transmeta] [--policy SPEC]... [--dry-run] [--workers W] \
+         [--analysis-threads T] [--cache-dir DIR] \
          [--telemetry FILE|-] [--checkpoint FILE] [--checkpoint-every N] [--deadline SECS] \
          [--json]\n  \
          mcd-cli campaign resume \
@@ -71,7 +73,7 @@ fn usage() -> ! {
          [--benchmarks a,b,..] [--seed S] [--instructions N] [--model xscale|transmeta] \
          [--analysis-threads T]\n  \
          mcd-cli trace <benchmark> [--instructions N] [--seed S] [--out FILE] \
-         [--sample-every N] [--static]\n  \
+         [--sample-every N] [--governor SPEC] [--static]\n  \
          mcd-cli check diff\n  \
          mcd-cli check fuzz [--seed S] [--cases N] [--out DIR]\n  \
          mcd-cli check replay FILE"
@@ -257,6 +259,7 @@ struct CampaignOpts {
     audit_rate: Option<u64>,
     heartbeat: Option<Duration>,
     heartbeat_timeout: Option<Duration>,
+    dry_run: bool,
     json: bool,
 }
 
@@ -274,6 +277,7 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
         audit_rate: None,
         heartbeat: None,
         heartbeat_timeout: None,
+        dry_run: false,
         json: false,
     };
     let mut it = args.iter();
@@ -321,6 +325,8 @@ fn parse_campaign_opts(args: &[String]) -> CampaignOpts {
                     })
                     .collect()
             }
+            "--policy" => opts.spec.policies.push(value("--policy")),
+            "--dry-run" => opts.dry_run = true,
             "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--analysis-threads" => {
                 opts.analysis_threads = value("--analysis-threads")
@@ -642,6 +648,55 @@ fn report_campaign(report: &CampaignReport, opts: &CampaignOpts) -> i32 {
     0
 }
 
+/// `mcd-cli campaign run --dry-run`: prints the expanded cell grid — one
+/// row per cell with its cache key and hit/miss preview, plus the scenario
+/// column every cell runs — and exits without executing anything.
+fn dry_run_campaign(opts: &CampaignOpts, cache: &ResultCache) -> ! {
+    let campaign = Campaign::new(opts.spec.clone());
+    let rows = campaign.status(cache).unwrap_or_else(|e| {
+        eprintln!("invalid campaign: {e}");
+        std::process::exit(2)
+    });
+    // Every cell of one spec runs the same scenario column: the five paper
+    // configurations plus one governed row per policy.
+    let mut scenarios = vec![
+        ScenarioSpec::baseline().label(),
+        ScenarioSpec::baseline_mcd().label(),
+        ScenarioSpec::dynamic(opts.spec.thetas[0]).label(),
+        ScenarioSpec::dynamic(opts.spec.thetas[1]).label(),
+        ScenarioSpec::global_matched().label(),
+    ];
+    if let Some((cell, _, _)) = rows.first() {
+        for policy in &cell.policies {
+            let policy = PolicySpec::parse(policy).expect("expanded policies are canonical");
+            scenarios.push(ScenarioSpec::online(policy).label());
+        }
+    }
+    println!(
+        "dry run: {} cells x {} scenarios (nothing executed)",
+        rows.len(),
+        scenarios.len()
+    );
+    println!("scenarios: {}", scenarios.join(" "));
+    println!("{:<44} {:<12}  cache", "cell", "key");
+    let cached = rows.iter().filter(|(_, _, hit)| *hit).count();
+    for (cell, key, hit) in &rows {
+        println!(
+            "{:<44} {}  {}",
+            cell.label(),
+            &key.hex()[..12],
+            if *hit { "cached" } else { "missing" }
+        );
+    }
+    println!(
+        "{cached}/{} cells cached in {}; {} to compute",
+        rows.len(),
+        cache.dir().display(),
+        rows.len() - cached
+    );
+    std::process::exit(0)
+}
+
 fn cmd_campaign(args: &[String]) {
     let Some(verb) = args.first() else { usage() };
     let mut opts = parse_campaign_opts(&args[1..]);
@@ -651,6 +706,13 @@ fn cmd_campaign(args: &[String]) {
     });
     match verb.as_str() {
         "run" | "resume" => {
+            if opts.dry_run {
+                if verb != "run" {
+                    eprintln!("--dry-run only applies to `campaign run`");
+                    usage()
+                }
+                dry_run_campaign(&opts, &cache)
+            }
             if let Some(addr) = opts.grid.clone() {
                 run_grid_campaign(&addr, verb == "resume", &opts, &cache)
             }
@@ -878,7 +940,9 @@ fn scrub_value(report: &ScrubReport) -> serde::Value {
 ///
 /// By default the run is driven by the online attack/decay governor on the
 /// baseline MCD machine, so the per-domain frequency stairsteps actually
-/// move; `--static` traces the ungoverned machine instead.
+/// move; `--governor SPEC` swaps in any registry policy
+/// (`id[:key=value,…]`, e.g. `queue-pi:setpoint=0.6`) and `--static`
+/// traces the ungoverned machine instead.
 fn cmd_trace(args: &[String]) {
     let Some(benchmark) = args.first() else {
         usage()
@@ -891,6 +955,7 @@ fn cmd_trace(args: &[String]) {
     let mut out = format!("trace_{benchmark}.json");
     let mut cfg = TraceConfig::full();
     let mut governed = true;
+    let mut governor_spec = "attack-decay".to_string();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -910,6 +975,7 @@ fn cmd_trace(args: &[String]) {
             "--sample-every" => {
                 cfg.sample_every = value("--sample-every").parse().unwrap_or_else(|_| usage())
             }
+            "--governor" => governor_spec = value("--governor"),
             "--static" => governed = false,
             _ => usage(),
         }
@@ -920,13 +986,13 @@ fn cmd_trace(args: &[String]) {
     });
     let machine = MachineConfig::baseline_mcd(seed);
     let (run, trace) = if governed {
-        simulate_governed_traced(
-            &machine,
-            &profile,
-            instructions,
-            AttackDecay::paper_like(),
-            cfg,
-        )
+        let governor = PolicySpec::parse(&governor_spec)
+            .and_then(|policy| policy.build())
+            .unwrap_or_else(|e| {
+                eprintln!("invalid --governor {governor_spec:?}: {e}");
+                std::process::exit(2)
+            });
+        simulate_governed_traced(&machine, &profile, instructions, governor, cfg)
     } else {
         simulate_traced(&machine, &profile, instructions, cfg)
     };

@@ -21,6 +21,7 @@ fn small_spec() -> CampaignSpec {
         instructions: 2_500,
         models: vec![DvfsModel::XScale],
         thetas: [0.01, 0.05],
+        policies: Vec::new(),
     }
 }
 
@@ -51,6 +52,43 @@ fn campaign_output_is_byte_identical_across_worker_counts_and_to_serial() {
             report.to_json().expect("all cells succeeded"),
             serial_json,
             "campaign with {workers} workers diverged from the serial driver"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn governed_campaign_is_byte_identical_across_worker_counts_and_to_serial() {
+    // Same guarantee as above, with the on-line policy axis switched on:
+    // governed rows are part of the cell result, so they must come out
+    // byte-identical whether cells run serially or race on a pool.
+    let mut spec = small_spec();
+    spec.benchmarks = vec!["adpcm".into(), "art".into()];
+    spec.policies = vec!["attack-decay".into(), "queue-pi:setpoint=0.6,kp=0.7".into()];
+
+    let serial: Vec<_> = spec
+        .expand()
+        .expect("valid spec")
+        .iter()
+        .map(CellSpec::run)
+        .collect();
+    assert!(
+        serial.iter().all(|r| r.online.len() == 2),
+        "every governed cell carries one row per policy"
+    );
+    let serial_json = serde_json::to_string_pretty(&serial).expect("serializable");
+
+    for workers in [1, 2, 8] {
+        let (cache, dir) = scratch_cache(&format!("governed{workers}"));
+        let report = Campaign::new(spec.clone())
+            .workers(workers)
+            .run(&cache, &Telemetry::disabled())
+            .expect("valid spec");
+        assert_eq!(report.computed(), 2, "workers = {workers}");
+        assert_eq!(
+            report.to_json().expect("all cells succeeded"),
+            serial_json,
+            "governed campaign with {workers} workers diverged from serial"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -95,6 +133,7 @@ fn arb_cell() -> impl Strategy<Value = CellSpec> {
                 DvfsModel::Transmeta
             },
             thetas: [theta, (theta * 5.0).min(0.99)],
+            policies: Vec::new(),
         })
 }
 

@@ -36,6 +36,7 @@ fn small_spec() -> CampaignSpec {
         instructions: 2_500,
         models: vec![DvfsModel::XScale],
         thetas: [0.01, 0.05],
+        policies: Vec::new(),
     }
 }
 
@@ -380,6 +381,7 @@ fn one_cell_spec() -> CampaignSpec {
         instructions: 2_500,
         models: vec![DvfsModel::XScale],
         thetas: [0.01, 0.05],
+        policies: Vec::new(),
     }
 }
 

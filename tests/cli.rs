@@ -1,0 +1,92 @@
+//! Smoke tests through the real `mcd-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcd-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn campaign_dry_run_previews_the_grid_without_executing() {
+    let cache = scratch("dryrun");
+    let out = Command::new(env!("CARGO_BIN_EXE_mcd-cli"))
+        .args([
+            "campaign",
+            "run",
+            "--dry-run",
+            "--benchmarks",
+            "adpcm,gcc",
+            "--seeds",
+            "5",
+            "--instructions",
+            "2000",
+            "--policy",
+            "attack-decay:decay=0.01,attack=0.1",
+            "--policy",
+            "queue-pi",
+            "--cache-dir",
+            cache.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("run mcd-cli");
+    assert!(out.status.success(), "dry run exits 0: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+
+    // The preview names every scenario each cell will run, with the policy
+    // specs canonicalized, and one row per expanded cell with a cache
+    // verdict.
+    assert!(stdout.contains("2 cells x 7 scenarios"), "{stdout}");
+    assert!(
+        stdout.contains(
+            "baseline baseline-mcd dynamic-1% dynamic-5% global \
+             online-attack-decay:attack=0.1,decay=0.01 online-queue-pi"
+        ),
+        "{stdout}"
+    );
+    for cell in [
+        "adpcm/s5/n2000/XScale+attack-decay:attack=0.1,decay=0.01+queue-pi",
+        "gcc/s5/n2000/XScale+attack-decay:attack=0.1,decay=0.01+queue-pi",
+    ] {
+        assert!(stdout.contains(cell), "missing {cell} in:\n{stdout}");
+    }
+    assert!(stdout.contains("missing"), "{stdout}");
+    assert!(stdout.contains("2 to compute"), "{stdout}");
+
+    // Nothing ran: the cache holds no cell results.
+    let computed = std::fs::read_dir(&cache)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(computed, 0, "dry run must not execute cells");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn campaign_rejects_unknown_policies_before_running() {
+    let cache = scratch("badpolicy");
+    let out = Command::new(env!("CARGO_BIN_EXE_mcd-cli"))
+        .args([
+            "campaign",
+            "run",
+            "--dry-run",
+            "--benchmarks",
+            "adpcm",
+            "--policy",
+            "thermal-cap",
+            "--cache-dir",
+            cache.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("run mcd-cli");
+    assert!(!out.status.success(), "unknown policy must fail");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 output");
+    assert!(stderr.contains("thermal-cap"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -35,6 +35,7 @@ fn small_spec() -> CampaignSpec {
         instructions: 2_500,
         models: vec![DvfsModel::XScale],
         thetas: [0.01, 0.05],
+        policies: Vec::new(),
     }
 }
 
@@ -109,6 +110,44 @@ fn loopback_grid_is_byte_identical_to_serial_for_1_2_and_4_workers() {
             report.computed() + worker_audits as usize
         );
         assert_eq!(report.computed() + report.cached(), report.cells.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn governed_loopback_grid_is_byte_identical_to_serial() {
+    // The policy axis rides inside the Assign payload's cell spec, so a
+    // governed campaign must survive the wire round trip with the same
+    // bytes a serial run produces — including the per-policy online rows.
+    let dir = scratch("governed");
+    let mut spec = small_spec();
+    spec.benchmarks = vec!["adpcm".into(), "mst".into()];
+    spec.seeds = vec![5];
+    spec.policies = vec!["attack-decay".into(), "queue-pi:setpoint=0.6".into()];
+    let reference = serial_json(&spec, &dir);
+
+    for workers in [1usize, 2] {
+        let cache_dir = dir.join(format!("cache-{workers}"));
+        let server = GridCampaign::new(spec.clone())
+            .bind("127.0.0.1:0")
+            .expect("bind loopback");
+        let addr = server.local_addr().expect("local addr");
+        let coordinator = spawn_server(server, cache_dir, Telemetry::disabled());
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let worker = GridWorker::connect(addr.to_string()).name(format!("gov{w}"));
+                thread::spawn(move || worker.run().expect("worker run"))
+            })
+            .collect();
+        let report = coordinator.join().expect("coordinator thread");
+        for h in worker_handles {
+            h.join().expect("worker thread");
+        }
+        assert_eq!(
+            report.to_json().expect("grid run finishes every cell"),
+            reference,
+            "{workers}-worker governed grid bytes differ from serial"
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

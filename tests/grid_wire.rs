@@ -29,6 +29,7 @@ fn sample_cell(seed: u64) -> CellSpec {
         instructions: 800,
         model: DvfsModel::XScale,
         thetas: [0.01, 0.05],
+        policies: Vec::new(),
     }
 }
 
@@ -157,6 +158,50 @@ fn v1_welcome_without_heartbeat_still_decodes() {
         heartbeat_us, None,
         "a /1 Welcome never advertised a heartbeat"
     );
+}
+
+#[test]
+fn assign_without_a_policies_key_decodes_to_a_policy_free_cell() {
+    // An Assign as written before the online-policy axis existed: the cell
+    // spec has no `policies` key at all.
+    let payload = r#"{"Assign":{"cell":11,"spec":{"benchmark":"adpcm","instructions":800,"model":"XScale","seed":3,"thetas":[0.01,0.05]}}}"#;
+    let (frame, _) = decode(&raw_frame(4, payload)).expect("pre-policy Assign decodes");
+    let Frame::Assign { cell, spec } = frame else {
+        panic!("decoded to a different frame");
+    };
+    assert_eq!(cell, 11);
+    assert_eq!(spec, sample_cell(3));
+    assert!(
+        spec.policies.is_empty(),
+        "a pre-policy Assign never carried policies"
+    );
+}
+
+#[test]
+fn policy_free_assigns_keep_their_pre_policy_wire_bytes() {
+    let bytes = encode(&Frame::Assign {
+        cell: 11,
+        spec: sample_cell(3),
+    });
+    let text = String::from_utf8_lossy(&bytes);
+    assert!(
+        !text.contains("policies"),
+        "a policy-free Assign must serialize exactly as before the axis existed"
+    );
+
+    // Governed assigns carry the axis and round-trip byte-exactly.
+    let mut governed = sample_cell(3);
+    governed.policies = vec!["attack-decay".into(), "queue-pi:kp=0.7".into()];
+    let frame = Frame::Assign {
+        cell: 12,
+        spec: governed.clone(),
+    };
+    assert_round_trip(&frame);
+    let (decoded, _) = decode(&encode(&frame)).expect("governed Assign decodes");
+    let Frame::Assign { spec, .. } = decoded else {
+        panic!("decoded to a different frame");
+    };
+    assert_eq!(spec, governed);
 }
 
 #[test]

@@ -28,6 +28,7 @@ fn spec() -> CampaignSpec {
         instructions: 2_500,
         models: vec![DvfsModel::XScale],
         thetas: [0.01, 0.05],
+        policies: Vec::new(),
     }
 }
 

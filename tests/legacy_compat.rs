@@ -1,0 +1,153 @@
+//! Results-neutrality pins for the scenario/policy refactor.
+//!
+//! The fixtures under `tests/fixtures/` were produced by the
+//! pre-`ScenarioSpec` implementation (closed `CellConfig` enum, no policy
+//! axis, `mcd-cell-key/1`-era cache material). These tests pin the current
+//! code to those bytes: policy-free cells must keep their cache keys, spec
+//! digests, result documents, and cached campaign artifacts exactly as
+//! they were, no matter how the control-policy layer evolves.
+
+use std::path::{Path, PathBuf};
+
+use mcd::core::BenchmarkResults;
+use mcd::harness::{
+    spec_digest, CacheKey, Campaign, CampaignRollup, CampaignSpec, CellSpec, ResultCache,
+    Telemetry, ROLLUP_FILE, ROLLUP_SCHEMA,
+};
+use mcd::time::DvfsModel;
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn legacy_cell() -> CellSpec {
+    CellSpec {
+        benchmark: "adpcm".into(),
+        seed: 5,
+        instructions: 2_500,
+        model: DvfsModel::XScale,
+        thetas: [0.01, 0.05],
+        policies: Vec::new(),
+    }
+}
+
+#[test]
+fn policy_free_cache_keys_are_pinned_to_their_pre_refactor_bytes() {
+    // Hexes recorded from the pre-refactor implementation. If either
+    // changes, every existing result cache is silently invalidated — treat
+    // a failure here as a results-neutrality break, not a fixture update.
+    assert_eq!(
+        CacheKey::of(&legacy_cell()).hex(),
+        "40517be1820291f278e8b8d1825b01900f82fc4589b298399b80b2276b657e7f"
+    );
+    let other = CellSpec {
+        benchmark: "gcc".into(),
+        seed: 7,
+        instructions: 4_000,
+        model: DvfsModel::Transmeta,
+        thetas: [0.02, 0.04],
+        policies: Vec::new(),
+    };
+    assert_eq!(
+        CacheKey::of(&other).hex(),
+        "0ef0d362882f64ae775c6f7d9f9b760719831971df3a426244d5279978944d97"
+    );
+}
+
+#[test]
+fn policy_free_spec_digests_are_pinned() {
+    let spec = CampaignSpec {
+        benchmarks: vec!["adpcm".into(), "mst".into()],
+        seeds: vec![5],
+        instructions: 5_000,
+        models: vec![DvfsModel::XScale],
+        thetas: [0.01, 0.05],
+        policies: Vec::new(),
+    };
+    // Pre-refactor digest: checkpoints written before the policy axis
+    // existed must still match their campaigns.
+    assert_eq!(
+        spec_digest(&spec),
+        "56039c676e49f7544e1f57aa3e3614c2f8032ba19558932f8a86984849b46fb4"
+    );
+}
+
+#[test]
+fn legacy_results_match_a_fresh_run_byte_for_byte() {
+    let raw = std::fs::read_to_string(fixtures().join("legacy_benchmark_results.json"))
+        .expect("fixture present");
+    let fixture: serde_json::Value = serde_json::from_str(&raw).expect("fixture parses");
+
+    // A fresh run of the same cell through the refactored scenario driver.
+    let run = legacy_cell().run();
+    let run_json = serde_json::to_string_pretty(&run).expect("serializable");
+    let run_value: serde_json::Value = serde_json::from_str(&run_json).expect("round-trips");
+    assert_eq!(
+        run_value, fixture,
+        "policy-free results drifted from the pre-refactor bytes"
+    );
+
+    // And the document round-trips through the typed deserializer without
+    // gaining or losing fields (in particular, no `online` key appears).
+    let typed: BenchmarkResults = serde_json::from_str(&raw).expect("legacy document parses");
+    assert!(typed.online.is_empty());
+    let reserialized = serde_json::to_string_pretty(&typed).expect("serializable");
+    assert_eq!(reserialized, run_json);
+}
+
+#[test]
+fn legacy_cache_replays_with_zero_recomputes() {
+    // Copy the pre-refactor cache into a scratch dir (the harness may write
+    // rollups/probe files into it) and replay the campaign it was built by.
+    let src = fixtures().join("legacy_cache");
+    let dir = std::env::temp_dir().join(format!("mcd-legacy-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(&src, &dir);
+
+    let spec = CampaignSpec {
+        benchmarks: vec!["adpcm".into(), "mst".into()],
+        seeds: vec![5],
+        instructions: 2_500,
+        models: vec![DvfsModel::XScale],
+        thetas: [0.01, 0.05],
+        policies: Vec::new(),
+    };
+    let cache = ResultCache::open(&dir).expect("open copied cache");
+    let report = Campaign::new(spec)
+        .run(&cache, &Telemetry::disabled())
+        .expect("valid spec");
+    assert_eq!(
+        report.cached(),
+        2,
+        "both pre-refactor entries must be cache hits"
+    );
+    assert_eq!(report.computed(), 0, "nothing may be recomputed");
+
+    // The replay regenerates the (derived) rollup under the current schema.
+    let rollup = CampaignRollup::load(&dir.join(ROLLUP_FILE)).expect("fresh rollup loads");
+    assert_eq!(rollup.schema, ROLLUP_SCHEMA);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn outdated_rollup_schemas_are_rejected_not_misread() {
+    // The rollup is derived data, so unlike cells it is versioned strictly:
+    // the fixture was written at mcd-campaign-rollup/4 (no per-policy
+    // breakdown) and must be refused, not half-parsed.
+    let err = CampaignRollup::load(&fixtures().join("legacy_cache").join(ROLLUP_FILE))
+        .expect_err("old schema must not load");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create scratch dir");
+    for entry in std::fs::read_dir(src).expect("fixture dir readable") {
+        let entry = entry.expect("fixture entry readable");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy fixture file");
+        }
+    }
+}
